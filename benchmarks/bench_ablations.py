@@ -1,0 +1,132 @@
+"""X2 — design-choice ablations the paper calls out.
+
+Sweeps for the design decisions sections III-V discuss qualitatively:
+
+* weak filtering of TAGE predictions (on/off);
+* GPV depth (9, the pre-z14 design, vs 17);
+* perceptron weight virtualisation (on/off);
+* completion delay (the prediction->update gap the GPQ bridges).
+"""
+
+import dataclasses
+
+from repro.configs import z15_config
+from repro.configs.predictor import PerceptronConfig, PhtConfig
+
+from common import fmt, print_table, run_functional
+from repro.workloads.generators import deep_history_program, pattern_program
+
+
+def _weak_filter_ablation():
+    """Weak filtering guards against cold/thrashy weak entries."""
+    results = {}
+    for filtered in (True, False):
+        config = z15_config()
+        pht = dataclasses.replace(config.pht)
+        if not filtered:
+            # A permanently confident weak counter disables filtering.
+            pht.weak_threshold = 0
+        config.pht = pht
+        config.validate()
+        stats = run_functional(config, "transactions", branches=8000,
+                               warmup=4000)
+        results[filtered] = stats.mpki
+    return results
+
+
+def _gpv_depth_ablation():
+    """The z14 depth change: 9 -> 17 taken branches of history."""
+    results = {}
+    for depth in (9, 17):
+        config = z15_config()
+        config.gpv_depth = depth
+        if depth < 17:
+            config.pht = PhtConfig(tage=True, rows=512, ways=8,
+                                   short_history=5, long_history=9)
+            config.ctb = dataclasses.replace(config.ctb, history=9)
+            config.perceptron = dataclasses.replace(
+                config.perceptron, weight_count=9
+            )
+        config.validate()
+        stats = run_functional(config, deep_history_program(noise_depth=12),
+                               branches=8000, warmup=4000)
+        results[depth] = stats.mpki
+    return results
+
+
+def _virtualization_ablation():
+    """2:1 virtualisation retargets dead perceptron weights."""
+    results = {}
+    for virtualized in (True, False):
+        config = z15_config()
+        perceptron = dataclasses.replace(config.perceptron)
+        if not virtualized:
+            perceptron.virtualization_age = 10**9  # never retarget
+        # Make the perceptron the only deep predictor so its quality
+        # shows: shrink the PHT out of relevance.
+        config.perceptron = perceptron
+        config.pht = PhtConfig(tage=False, rows=8, ways=1, short_history=9,
+                               long_history=9)
+        config.validate()
+        stats = run_functional(config, deep_history_program(noise_depth=12),
+                               branches=8000, warmup=4000)
+        results[virtualized] = stats.mpki
+    return results
+
+
+def _completion_delay_sweep():
+    results = {}
+    for delay in (0, 12, 32, 64):
+        config = z15_config()
+        config.completion_delay = delay
+        config.validate()
+        stats = run_functional(
+            config, pattern_program([[True] * 20 + [False] * 20]),
+            branches=6000, warmup=0,
+        )
+        results[delay] = stats.mispredicted_branches
+    return results
+
+
+def test_design_choice_ablations(benchmark):
+    def _run_all():
+        return (
+            _weak_filter_ablation(),
+            _gpv_depth_ablation(),
+            _virtualization_ablation(),
+            _completion_delay_sweep(),
+        )
+
+    weak, gpv, virtualization, delays = benchmark.pedantic(
+        _run_all, rounds=1, iterations=1
+    )
+
+    print_table(
+        "Ablations — design choices (sections III-V)",
+        ["design choice", "setting", "metric", "value"],
+        [
+            ["TAGE weak filtering", "enabled", "MPKI", fmt(weak[True])],
+            ["TAGE weak filtering", "disabled", "MPKI", fmt(weak[False])],
+            ["GPV depth", "9 (pre-z14)", "MPKI (deep-history)", fmt(gpv[9])],
+            ["GPV depth", "17 (z14+)", "MPKI (deep-history)", fmt(gpv[17])],
+            ["perceptron virtualisation", "enabled",
+             "MPKI (deep-history, PHT crippled)", fmt(virtualization[True])],
+            ["perceptron virtualisation", "disabled",
+             "MPKI (deep-history, PHT crippled)", fmt(virtualization[False])],
+        ]
+        + [
+            ["completion delay", str(delay), "mispredicts (flip pattern)",
+             count]
+            for delay, count in delays.items()
+        ],
+        paper_note="each knob exists for a reason: filtering cold weak "
+        "entries, deep path history, retargeting dead weights, and "
+        "bridging the prediction->update gap",
+    )
+
+    # GPV depth: deep correlations need the 17-branch history.
+    assert gpv[17] < gpv[9]
+    # Weak filtering: within noise on this mix, never much worse.
+    assert weak[True] <= weak[False] * 1.15 + 0.5
+    # Longer completion delays cost mispredicts (motivates the overlays).
+    assert delays[64] >= delays[0]

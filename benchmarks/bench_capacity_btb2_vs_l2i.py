@@ -1,0 +1,79 @@
+"""S2A — Section II.A: capacity — BTB sweep and the BTB2's reach.
+
+The paper argues a 4MB L2I implies ~128K trackable branches, so "there
+is significant value to large branch meta data": the BTB1 alone cannot
+cover large warm footprints, and the BTB2 restores coverage.  This
+benchmark sweeps BTB1 capacity against a fixed footprint, with and
+without the BTB2 behind it.
+"""
+
+from repro.configs import z15_config
+from repro.configs.predictor import Btb1Config
+
+from common import fmt, pct, print_table, run_functional
+from repro.workloads.generators import large_footprint_program
+
+
+SWEEP = [
+    ("64 x 4 = 256", 64, 4),
+    ("128 x 4 = 512", 128, 4),
+    ("256 x 4 = 1K", 256, 4),
+    ("512 x 4 = 2K", 512, 4),
+]
+
+
+def _ring():
+    return large_footprint_program(block_count=256, taken_bias=0.4, seed=7,
+                                   name="capacity-ring")
+
+
+def _config(rows, ways, with_btb2):
+    config = z15_config()
+    config.btb1 = Btb1Config(rows=rows, ways=ways, policy="lru")
+    if not with_btb2:
+        config.btb2 = None
+    return config.validate()
+
+
+def _run_sweep():
+    results = []
+    for label, rows, ways in SWEEP:
+        with_btb2 = run_functional(_config(rows, ways, True), _ring(),
+                                   branches=8000, warmup=4000)
+        without = run_functional(_config(rows, ways, False), _ring(),
+                                 branches=8000, warmup=4000)
+        results.append((label, with_btb2, without))
+    return results
+
+
+def test_btb_capacity_sweep(benchmark):
+    results = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for label, with_btb2, without in results:
+        rows.append([
+            label,
+            pct(without.dynamic_coverage), fmt(without.mpki),
+            pct(with_btb2.dynamic_coverage), fmt(with_btb2.mpki),
+        ])
+    print_table(
+        "Section II.A — BTB1 capacity sweep vs a ~1K-branch footprint",
+        ["BTB1 size", "coverage (no BTB2)", "MPKI (no BTB2)",
+         "coverage (+BTB2)", "MPKI (+BTB2)"],
+        rows,
+        paper_note="large warm footprints need large branch metadata; "
+        "the BTB2 acts as a level-2 cache for the BTB1",
+    )
+
+    # Shape 1: without the BTB2, coverage grows with BTB1 capacity.
+    coverage_alone = [without.dynamic_coverage for _, _, without in results]
+    assert coverage_alone[-1] > coverage_alone[0]
+    # Shape 2: the BTB2 helps most when the BTB1 is undersized.
+    small_gain = results[0][1].dynamic_coverage - results[0][2].dynamic_coverage
+    large_gain = results[-1][1].dynamic_coverage - results[-1][2].dynamic_coverage
+    assert small_gain > large_gain
+    # Shape 3: with enough BTB1 capacity the footprint is well covered
+    # (never-taken branches are never installed, bounding coverage).
+    assert results[-1][1].dynamic_coverage > 0.7
+    # Shape 4: MPKI improves with capacity (the headline capacity claim).
+    assert results[-1][1].mpki < results[0][2].mpki

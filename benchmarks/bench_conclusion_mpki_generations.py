@@ -1,0 +1,96 @@
+"""C1 — Conclusion: MPKI across generations.
+
+The paper's headline: "On common LSPR workloads, the average number of
+mispredicted branches per thousand instructions decreased 9.6% between
+the z14 and z13, and another 25% between the z15 and z14."
+
+This benchmark runs the generation presets over the synthetic LSPR-like
+suite and reports the measured average-MPKI deltas next to the paper's.
+Absolute percentages differ (the workloads are synthetic, the z13/z14
+structure sizes are interpolated, and the paper's LSPR weighting is
+unknown); the required shape is a monotone MPKI decrease with every
+generation contributing, and a large cumulative z13 -> z15 gain.
+"""
+
+from repro.configs import GENERATIONS
+
+from common import fmt, print_table, run_functional
+from repro.workloads.generators import large_footprint_program
+
+#: Workload -> (builder, measured branches, warmup branches).  The
+#: capacity point uses a ring sized between the z14 and z15 BTB1s so the
+#: generation growth shows (the paper's "large instruction footprint"
+#: regime).
+SUITE = {
+    "transactions": (lambda: "transactions", 8000, 4000),
+    "correlated": (lambda: "correlated", 8000, 4000),
+    "footprint-xl": (
+        lambda: large_footprint_program(block_count=4096, taken_bias=0.4,
+                                        seed=7, name="footprint-xl"),
+        16000,
+        40000,
+    ),
+    "services": (lambda: "services", 8000, 4000),
+    "patterned": (lambda: "patterned", 8000, 4000),
+    "dispatch": (lambda: "dispatch", 8000, 4000),
+}
+
+PAPER_IMPROVEMENT = {"z14": 9.6, "z15": 25.0}
+
+
+def _run_all():
+    averages = {}
+    per_workload = {}
+    for name, (factory, _info) in GENERATIONS.items():
+        total = 0.0
+        per_workload[name] = {}
+        for workload, (builder, branches, warmup) in SUITE.items():
+            stats = run_functional(factory(), builder(), branches=branches,
+                                   warmup=warmup)
+            per_workload[name][workload] = stats.mpki
+            total += stats.mpki
+        averages[name] = total / len(SUITE)
+    return averages, per_workload
+
+
+def test_conclusion_generation_mpki(benchmark):
+    averages, per_workload = benchmark.pedantic(_run_all, rounds=1,
+                                                iterations=1)
+
+    names = list(averages)
+    rows = []
+    previous = None
+    for name in names:
+        average = averages[name]
+        if previous is None:
+            improvement = "-"
+        else:
+            improvement = fmt(100 * (1 - average / averages[previous]), 1) + "%"
+        paper = PAPER_IMPROVEMENT.get(name)
+        rows.append([
+            name,
+            fmt(average, 3),
+            improvement,
+            f"{paper}%" if paper is not None else "-",
+        ])
+        previous = name
+    print_table(
+        "Conclusion — average MPKI across the synthetic LSPR-like suite",
+        ["generation", "avg MPKI", "improvement vs prior", "paper"],
+        rows,
+        paper_note="MPKI decreased 9.6% z13->z14 and another 25% z14->z15 "
+        "on LSPR workloads",
+    )
+    workloads = list(SUITE)
+    detail = [
+        [name] + [fmt(per_workload[name][w], 2) for w in workloads]
+        for name in names
+    ]
+    print_table("per-workload MPKI", ["generation"] + workloads, detail)
+
+    # Shape: monotone decrease across all four generations; the modern
+    # designs improve substantially over z13 in total.
+    assert averages["z13"] <= averages["zEC12"]
+    assert averages["z14"] < averages["z13"]
+    assert averages["z15"] < averages["z14"]
+    assert averages["z15"] < 0.75 * averages["z13"]

@@ -1,0 +1,59 @@
+"""F1 — Figure 1 / section II.D: pipeline restart costs.
+
+The paper: a branch wrong costs "up to 26 cycles" of pipeline refill and
+"about 35 cycles" statistically once queueing disruption is counted.
+This benchmark measures the per-misprediction cycle cost the cycle
+engine charges and the share of total cycles lost to restarts on a
+mispredict-heavy workload.
+"""
+
+from repro.configs import TimingConfig, z15_config
+
+from common import fmt, print_table, run_cycle
+from repro.workloads.generators import large_footprint_program
+
+
+def _run():
+    program = large_footprint_program(block_count=512, taken_bias=0.4,
+                                      deterministic_fraction=0.5, seed=9,
+                                      name="restart-ring")
+    return run_cycle(z15_config(), program, branches=8000)
+
+
+def test_restart_penalty(benchmark):
+    stats = benchmark.pedantic(_run, rounds=1, iterations=1)
+    timing = TimingConfig()
+
+    mispredicts = stats.accuracy.mispredicted_branches
+    full_restarts = [
+        klass
+        for klass, count in stats.accuracy.classes.items()
+        for _ in range(count)
+        if klass.value in ("direction-wrong", "target-wrong",
+                           "surprise-taken", "surprise-guess-wrong")
+    ]
+    per_restart = stats.restart_cycles / max(1, stats.restarts)
+    print_table(
+        "Figure 1 — restart penalty accounting",
+        ["metric", "value"],
+        [
+            ["branches", stats.branches],
+            ["mispredicted branches", mispredicts],
+            ["restart events", stats.restarts],
+            ["restart cycles", stats.restart_cycles],
+            ["avg cycles / restart", fmt(per_restart, 1)],
+            ["paper restart penalty", timing.restart_penalty],
+            ["paper statistical penalty", timing.statistical_restart_penalty],
+            ["restart share of cycles",
+             fmt(100 * stats.restart_cycles / stats.cycles, 1) + "%"],
+            ["CPI", fmt(stats.cpi, 3)],
+        ],
+        paper_note="branch wrong flush costs up to 26 cycles, ~35 "
+        "statistically with queueing disruption",
+    )
+
+    # Shape: the average restart sits between the decode-restart cost and
+    # the statistical penalty, and mispredict-heavy code is restart-bound.
+    assert timing.decode_restart_penalty <= per_restart <= \
+        timing.statistical_restart_penalty + 1
+    assert stats.restart_cycles > 0.2 * stats.cycles

@@ -1,0 +1,112 @@
+"""F3 — Figure 3: the BPL component inventory, validated by ablation.
+
+Figure 3 draws the component diagram (BTB1+BHT, BTB2, TAGE PHT,
+perceptron, CTB, CRS, CPRED, SKOOT).  This benchmark removes each
+auxiliary component from the z15 configuration and measures the damage
+on the workload class that component exists for — every component must
+earn its silicon on its niche.
+"""
+
+from repro.configs import z15_config
+from repro.configs.predictor import (
+    Btb1Config,
+    CrsConfig,
+    CtbConfig,
+    PerceptronConfig,
+    PhtConfig,
+)
+
+from common import fmt, print_table, run_functional
+from repro.workloads.generators import large_footprint_program
+
+
+def _variant(**overrides):
+    config = z15_config()
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config.validate()
+
+
+def _tiny_pht():
+    return PhtConfig(tage=False, rows=8, ways=1, short_history=9,
+                     long_history=9)
+
+
+def _run_all():
+    results = {}
+
+    # TAGE PHT: pattern-dependent directions.
+    results["tage-pht"] = (
+        "patterned",
+        run_functional(z15_config(), "patterned").mpki,
+        run_functional(_variant(pht=_tiny_pht()), "patterned").mpki,
+    )
+    # Perceptron: outcome-correlated branches.
+    results["perceptron"] = (
+        "correlated",
+        run_functional(z15_config(), "correlated").mpki,
+        run_functional(
+            _variant(perceptron=PerceptronConfig(enabled=False)), "correlated"
+        ).mpki,
+    )
+    # CTB: multi-target dispatch.
+    results["ctb"] = (
+        "dispatch",
+        run_functional(z15_config(), "dispatch").mpki,
+        run_functional(
+            _variant(ctb=CtbConfig(rows=1, ways=1, history=17)), "dispatch"
+        ).mpki,
+    )
+    # CRS: call/return idioms with noisy bodies (the CTB cannot cover
+    # these — the CRS's unique niche).
+    results["crs"] = (
+        "services-noisy",
+        run_functional(z15_config(), "services-noisy").mpki,
+        run_functional(
+            _variant(crs=CrsConfig(enabled=False)), "services-noisy"
+        ).mpki,
+    )
+    # BTB2: capacity beyond the BTB1 (shrink the BTB1 to expose it;
+    # CRS disabled in both variants so ring jumps that alias as
+    # call/return pairs don't blur the capacity signal).
+    ring = large_footprint_program(block_count=256, taken_bias=0.4, seed=7,
+                                   name="capacity-ring")
+    small_btb1 = Btb1Config(rows=64, ways=4, policy="lru")
+    with_btb2 = _variant(btb1=small_btb1, crs=CrsConfig(enabled=False))
+    without_btb2 = _variant(btb1=Btb1Config(rows=64, ways=4, policy="lru"),
+                            btb2=None, crs=CrsConfig(enabled=False))
+    ring2 = large_footprint_program(block_count=256, taken_bias=0.4, seed=7,
+                                    name="capacity-ring")
+    results["btb2"] = (
+        "footprint(tiny BTB1)",
+        run_functional(with_btb2, ring).mpki,
+        run_functional(without_btb2, ring2).mpki,
+    )
+    return results
+
+
+def test_component_ablation(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    rows = []
+    for component, (workload, with_mpki, without_mpki) in results.items():
+        delta = without_mpki - with_mpki
+        rows.append([component, workload, fmt(with_mpki), fmt(without_mpki),
+                     fmt(delta, 2)])
+    print_table(
+        "Figure 3 — component ablations on their niche workloads",
+        ["component", "workload", "MPKI (z15)", "MPKI (removed)", "delta"],
+        rows,
+        paper_note="each auxiliary predictor exists for a workload class "
+        "(sections III-VI)",
+    )
+
+    for component, (workload, with_mpki, without_mpki) in results.items():
+        assert with_mpki <= without_mpki + 0.05, (
+            f"removing {component} should not help on {workload}"
+        )
+    # At least the PHT, CTB and BTB2 ablations must show clear damage.
+    assert results["tage-pht"][2] > results["tage-pht"][1] + 0.5
+    assert results["ctb"][2] > results["ctb"][1] + 0.5
+    assert results["btb2"][2] > results["btb2"][1] + 0.5
+    assert results["crs"][2] > results["crs"][1] + 0.5

@@ -1,0 +1,52 @@
+"""F5 — Figure 5: CPRED-accelerated re-indexing.
+
+The paper: with the column predictor the pipeline re-indexes at b2
+instead of b5, predicting "a taken branch every 2 cycles".  Same
+microkernel as F4, CPRED enabled: once the streams are learned, most
+redirects run at the accelerated interval and throughput approaches 2
+cycles per taken branch.
+"""
+
+from repro.configs import TimingConfig, z15_config
+from repro.configs.predictor import CpredConfig
+
+from bench_fig4_pipeline_rates import taken_chain_program
+from common import fmt, pct, print_table, run_cycle
+
+
+def _run_all():
+    branches = 4000
+    with_cpred = run_cycle(z15_config(), taken_chain_program(),
+                           branches=branches)
+    no_cpred_config = z15_config()
+    no_cpred_config.cpred = CpredConfig(enabled=False)
+    no_cpred_config.validate()
+    without_cpred = run_cycle(no_cpred_config, taken_chain_program(),
+                              branches=branches)
+    return with_cpred, without_cpred
+
+
+def test_cpred_reindex_rate(benchmark):
+    with_cpred, without_cpred = benchmark.pedantic(_run_all, rounds=1,
+                                                   iterations=1)
+    timing = TimingConfig()
+
+    with_rate = with_cpred.cycles / with_cpred.taken_redirects
+    without_rate = without_cpred.cycles / without_cpred.taken_redirects
+    hit_rate = with_cpred.cpred_redirects / with_cpred.taken_redirects
+    print_table(
+        "Figure 5 — CPRED b2 re-index acceleration",
+        ["configuration", "cycles/taken", "CPRED-accelerated", "paper"],
+        [
+            ["with CPRED", fmt(with_rate, 2), pct(hit_rate),
+             timing.taken_interval_cpred],
+            ["without CPRED", fmt(without_rate, 2), "-",
+             timing.taken_interval_st],
+        ],
+        paper_note="with the CPRED the design can predict a taken branch "
+        "every 2 cycles; every 5 without",
+    )
+
+    assert hit_rate > 0.9  # steady streams are fully learned
+    assert with_rate < without_rate
+    assert abs(with_rate - timing.taken_interval_cpred) < 1.0

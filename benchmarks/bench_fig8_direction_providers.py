@@ -1,0 +1,77 @@
+"""F8 — Figure 8: direction-provider selection.
+
+The flowchart picks the direction provider: unconditional > perceptron
+(if useful) > speculative PHT > TAGE PHT (weak-filtered) > BHT/SBHT.
+This benchmark reports the realised provider distribution and per-
+provider accuracy on workloads spanning the provider space, and checks
+the escalation logic: auxiliary providers only appear on bidirectional
+branches and out-predict the BHT on their niches.
+"""
+
+from repro.configs import z15_config
+from repro.core.providers import DirectionProvider
+
+from common import fmt, pct, print_table, run_functional
+
+
+WORKLOADS = ["compute-kernel", "patterned", "correlated", "transactions"]
+
+
+def _run_all():
+    return {
+        name: run_functional(z15_config(), name, branches=8000, warmup=4000)
+        for name in WORKLOADS
+    }
+
+
+def test_direction_provider_selection(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    rows = []
+    for workload, stats in results.items():
+        for provider, (count, correct) in sorted(
+            stats.direction_providers.items(), key=lambda kv: -kv[1][0]
+        ):
+            if count == 0:
+                continue
+            rows.append([
+                workload,
+                provider.value,
+                count,
+                pct(count / stats.branches),
+                pct(correct / count),
+            ])
+    print_table(
+        "Figure 8 — direction providers by workload",
+        ["workload", "provider", "predictions", "share", "accuracy"],
+        rows,
+        paper_note="BHT is the bread and butter; TAGE PHT and perceptron "
+        "override only for bidirectional branches they predict better",
+    )
+
+    # Shape checks.
+    patterned = results["patterned"]
+    pht_uses = sum(
+        patterned.direction_providers.get(p, [0, 0])[0]
+        for p in (DirectionProvider.PHT_SHORT, DirectionProvider.PHT_LONG,
+                  DirectionProvider.SPHT)
+    )
+    assert pht_uses > 0, "patterned workload must engage the PHT"
+    pht_accuracy = patterned.provider_accuracy(DirectionProvider.PHT_SHORT)
+    if pht_accuracy is not None:
+        bht_accuracy = patterned.provider_accuracy(DirectionProvider.BHT)
+        if bht_accuracy is not None:
+            assert pht_accuracy >= bht_accuracy - 0.05
+
+    # Unconditional entries are always right.
+    for stats in results.values():
+        accuracy = stats.provider_accuracy(DirectionProvider.UNCONDITIONAL)
+        if accuracy is not None:
+            assert accuracy == 1.0
+
+    # The perceptron engages somewhere across the suite.
+    perceptron_uses = sum(
+        stats.direction_providers.get(DirectionProvider.PERCEPTRON, [0, 0])[0]
+        for stats in results.values()
+    )
+    assert perceptron_uses > 0

@@ -1,0 +1,70 @@
+"""F9 — Figure 9: target-provider selection.
+
+The flowchart: the BTB1 always has a target; only multi-target branches
+consult the CRS (marked, non-blacklisted returns with a valid stack)
+ahead of the CTB.  This benchmark reports target-provider distribution
+and accuracy on call/return and dispatch workloads and validates the
+escalation rule (single-target branches never use the auxiliaries).
+"""
+
+from repro.configs import z15_config
+from repro.core.providers import TargetProvider
+
+from common import fmt, pct, print_table, run_functional
+
+
+WORKLOADS = ["services", "dispatch", "compute-kernel", "transactions"]
+
+
+def _run_all():
+    return {
+        name: run_functional(z15_config(), name, branches=8000, warmup=4000)
+        for name in WORKLOADS
+    }
+
+
+def test_target_provider_selection(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    rows = []
+    for workload, stats in results.items():
+        total = sum(v[0] for v in stats.target_providers.values())
+        for provider, (count, correct) in sorted(
+            stats.target_providers.items(), key=lambda kv: -kv[1][0]
+        ):
+            if count == 0:
+                continue
+            rows.append([
+                workload,
+                provider.value,
+                count,
+                pct(count / max(1, total)),
+                pct(correct / count),
+            ])
+    print_table(
+        "Figure 9 — target providers by workload (agreed-taken branches)",
+        ["workload", "provider", "uses", "share", "target accuracy"],
+        rows,
+        paper_note="CRS serves call/return idioms, CTB serves path-"
+        "correlated changing targets, BTB1 serves everything else",
+    )
+
+    services = results["services"]
+    crs_accuracy = services.target_provider_accuracy(TargetProvider.CRS)
+    assert crs_accuracy is not None, "CRS must engage on services"
+    assert crs_accuracy > 0.9
+
+    dispatch = results["dispatch"]
+    ctb_accuracy = dispatch.target_provider_accuracy(TargetProvider.CTB)
+    assert ctb_accuracy is not None, "CTB must engage on dispatch"
+    assert ctb_accuracy > 0.8
+
+    # Single-target code never escalates to the auxiliaries.
+    kernel = results["compute-kernel"]
+    assert kernel.target_provider_accuracy(TargetProvider.CRS) is None
+    assert kernel.target_provider_accuracy(TargetProvider.CTB) is None
+    # The BTB1 remains the dominant provider everywhere.
+    for stats in results.values():
+        btb1 = stats.target_providers.get(TargetProvider.BTB1, [0, 0])[0]
+        total = sum(v[0] for v in stats.target_providers.values())
+        assert btb1 >= total / 2

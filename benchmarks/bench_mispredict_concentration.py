@@ -1,0 +1,78 @@
+"""X1 — §V motivation: misprediction concentration.
+
+The paper justifies the tiny 32-entry perceptron with: "it is often the
+case that a small subset of branch instruction addresses is responsible
+for a disproportionately larger proportion of the total mispredictions
+in a workload.  It is critical to keep the right branches in the
+perceptron table".
+
+This extension benchmark measures the concentration curve on the
+transaction mix and verifies that the perceptron's replacement policy
+actually captures hot mispredicting branches.
+"""
+
+from repro.configs import z15_config
+from repro.core import LookaheadBranchPredictor
+from repro.engine import FunctionalEngine
+from repro.stats import MispredictProfile
+from repro.workloads import get_workload
+
+from common import fmt, pct, print_table
+
+
+def _run():
+    profile = MispredictProfile()
+    engine = FunctionalEngine(
+        LookaheadBranchPredictor(z15_config()), profile=profile
+    )
+    engine.run_program(get_workload("transactions"), max_branches=12000,
+                       warmup_branches=4000)
+    predictor = engine.predictor
+    perceptron_addresses = {
+        entry.address
+        for row in predictor.perceptron._rows
+        for entry in row
+        if entry is not None
+    }
+    return profile, perceptron_addresses
+
+
+def test_mispredict_concentration(benchmark):
+    profile, perceptron_addresses = benchmark.pedantic(_run, rounds=1,
+                                                       iterations=1)
+
+    rows = [
+        [pct(fraction), pct(share), pct(fraction and share / fraction / 100)]
+        for fraction, share in profile.concentration_curve()
+    ]
+    rows = [
+        [pct(fraction), pct(share), fmt(share / fraction, 1) + "x"]
+        for fraction, share in profile.concentration_curve()
+    ]
+    print_table(
+        "Section V — misprediction concentration (transactions)",
+        ["top fraction of branches", "share of mispredicts", "disproportion"],
+        rows,
+        paper_note="a small subset of branch addresses causes a "
+        "disproportionately large share of mispredictions",
+    )
+
+    hot = profile.top(32)
+    hot_addresses = {branch.address for branch in hot}
+    captured = len(hot_addresses & perceptron_addresses)
+    print_table(
+        "perceptron targeting",
+        ["metric", "value"],
+        [
+            ["perceptron entries", len(perceptron_addresses)],
+            ["hot-32 branches held by perceptron", captured],
+        ],
+    )
+
+    # Shape 1: disproportion — the top 10% of branches cause well over
+    # 10% of mispredicts.
+    assert profile.concentration(0.10) > 0.25
+    assert profile.concentration(0.50) > 0.70
+    # Shape 2: the perceptron's usefulness/protection replacement holds
+    # mostly hot branches.
+    assert captured >= min(8, len(perceptron_addresses))

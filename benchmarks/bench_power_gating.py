@@ -1,0 +1,75 @@
+"""X3 — §IV/VI: CPRED power gating of auxiliary structures.
+
+"As in z14, the z15 CPRED continues to predict which branch prediction
+structures need to be powered up in the target stream" and "If the
+bidirectional state or multi-target state is not set, the PHT,
+perceptron and CTB are subject to power down via the CPRED."
+
+This benchmark counts auxiliary-structure accesses (a power proxy) with
+and without the CPRED's power prediction, on a workload where most
+streams never need the auxiliaries.
+"""
+
+import dataclasses
+
+from repro.configs import z15_config
+from repro.core import LookaheadBranchPredictor
+from repro.engine import FunctionalEngine
+from repro.workloads.generators import large_footprint_program
+
+from common import fmt, print_table
+
+
+def _run(power_gating: bool):
+    config = z15_config()
+    if not power_gating:
+        # CPRED still accelerates but powers everything (mask all-on) —
+        # emulated by disabling the gate checks via an all-needs mask:
+        # simplest faithful toggle is disabling CPRED's gating by
+        # marking every trained stream as needing everything.
+        config = z15_config()
+    predictor = LookaheadBranchPredictor(config)
+    if not power_gating:
+        predictor.cpred.allows_power = lambda lookup, bit: True
+    program = large_footprint_program(block_count=512, taken_bias=0.4,
+                                      seed=7, name="power-ring")
+    engine = FunctionalEngine(predictor)
+    stats = engine.run_program(program, max_branches=10000,
+                               warmup_branches=5000)
+    accesses = (
+        predictor.tage.lookups
+        + predictor.perceptron.lookups
+        + predictor.ctb.lookups
+    )
+    return stats, predictor, accesses
+
+
+def test_cpred_power_gating(benchmark):
+    def _run_both():
+        return _run(True), _run(False)
+
+    (gated_stats, gated_predictor, gated_accesses), (
+        open_stats, _open_predictor, open_accesses
+    ) = benchmark.pedantic(_run_both, rounds=1, iterations=1)
+
+    total_branches = gated_stats.branches
+    print_table(
+        "Section IV/VI — CPRED power gating (aux accesses as power proxy)",
+        ["configuration", "aux accesses", "per 1K branches", "MPKI",
+         "gate misses"],
+        [
+            ["power gating ON", gated_accesses,
+             fmt(1000 * gated_accesses / total_branches, 1),
+             fmt(gated_stats.mpki), gated_predictor.cpred.power_gate_misses],
+            ["power gating OFF", open_accesses,
+             fmt(1000 * open_accesses / total_branches, 1),
+             fmt(open_stats.mpki), 0],
+        ],
+        paper_note="streams whose branches are neither bidirectional nor "
+        "multi-target keep the PHT, perceptron and CTB dark",
+    )
+
+    # Shape: gating removes auxiliary accesses at negligible accuracy
+    # cost (wrongly-gated lookups fall back to the BHT and are counted).
+    assert gated_accesses < open_accesses
+    assert gated_stats.mpki <= open_stats.mpki * 1.1 + 0.5

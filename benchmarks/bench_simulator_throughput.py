@@ -1,0 +1,38 @@
+"""X6 — simulator throughput (the library's own performance).
+
+Not a paper experiment: measures the model's simulation speed so
+regressions in the hot paths (the search walk, figure-8 selection, the
+update pipeline) are caught.  Uses real pytest-benchmark rounds, unlike
+the reproduction benches which run once and print tables.
+"""
+
+import pytest
+
+from repro.configs import z15_config
+from repro.core import LookaheadBranchPredictor
+from repro.engine import FunctionalEngine
+from repro.workloads import get_workload
+
+BRANCHES = 3000
+
+
+def _simulate(program_name: str) -> float:
+    engine = FunctionalEngine(LookaheadBranchPredictor(z15_config()))
+    stats = engine.run_program(get_workload(program_name),
+                               max_branches=BRANCHES, warmup_branches=0)
+    return stats.mpki
+
+
+@pytest.mark.parametrize("workload", ["compute-kernel", "transactions"])
+def test_functional_throughput(benchmark, workload):
+    result = benchmark.pedantic(
+        _simulate, args=(workload,), rounds=3, iterations=1,
+        warmup_rounds=1,
+    )
+    assert result >= 0.0
+    # Floor: the functional engine must stay above ~3K branches/second
+    # (the repro band's "slow for large footprints" caveat, bounded).
+    seconds = benchmark.stats.stats.mean
+    branches_per_second = BRANCHES / seconds
+    print(f"\n{workload}: {branches_per_second:,.0f} branches/second")
+    assert branches_per_second > 3000

@@ -1,0 +1,19 @@
+"""Benchmark harness configuration.
+
+Each benchmark prints the table/figure it reproduces; pytest captures
+that output unless run with -s, so every table is also appended to
+``benchmarks/results/latest.txt`` (truncated here at session start).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import common  # noqa: E402
+
+
+def pytest_sessionstart(session):
+    os.makedirs(os.path.dirname(common.RESULTS_PATH), exist_ok=True)
+    with open(common.RESULTS_PATH, "w") as stream:
+        stream.write("# reproduced tables/figures, one per benchmark\n")

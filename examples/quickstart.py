@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: run the z15 branch predictor model over a workload.
+
+Builds the paper-faithful z15 configuration, executes an LSPR-like
+transaction workload, and prints the accuracy report with the provider
+breakdown of figures 8 and 9.
+
+Usage::
+
+    python examples/quickstart.py [workload] [branches]
+
+Workloads: see `repro.workloads.STANDARD_WORKLOADS` (default:
+"transactions").
+"""
+
+import sys
+
+from repro import FunctionalEngine, LookaheadBranchPredictor
+from repro.configs import z15_config
+from repro.workloads import STANDARD_WORKLOADS, get_workload
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "transactions"
+    branches = int(sys.argv[2]) if len(sys.argv) > 2 else 30_000
+
+    if workload not in STANDARD_WORKLOADS:
+        known = "\n  ".join(
+            f"{spec.name:<20} {spec.description}"
+            for spec in STANDARD_WORKLOADS.values()
+        )
+        raise SystemExit(f"unknown workload {workload!r}; available:\n  {known}")
+
+    print(f"workload: {workload} — {STANDARD_WORKLOADS[workload].description}")
+    print(f"running {branches} branches (plus {branches // 4} warmup)...")
+
+    predictor = LookaheadBranchPredictor(z15_config())
+    engine = FunctionalEngine(predictor)
+    stats = engine.run_program(
+        get_workload(workload),
+        max_branches=branches,
+        warmup_branches=branches // 4,
+    )
+
+    print()
+    print(stats.report(f"z15 / {workload}"))
+    print()
+    print("structure occupancy after the run:")
+    print(f"  BTB1:       {predictor.btb1.occupancy:>6} / {predictor.btb1.capacity}")
+    if predictor.btb2 is not None:
+        print(f"  BTB2:       {predictor.btb2.occupancy:>6} / {predictor.btb2.capacity}")
+    print(f"  TAGE short: {predictor.tage.short_table.occupancy:>6}")
+    if predictor.tage.long_table is not None:
+        print(f"  TAGE long:  {predictor.tage.long_table.occupancy:>6}")
+    print(f"  perceptron: {predictor.perceptron.occupancy:>6} / "
+          f"{predictor.config.perceptron.capacity}")
+    print(f"  CTB:        {predictor.ctb.occupancy:>6} / {predictor.config.ctb.capacity}")
+
+
+if __name__ == "__main__":
+    main()

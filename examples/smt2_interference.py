@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""SMT2: two threads sharing one branch predictor.
+
+The z15 runs two SMT threads through shared prediction tables, with the
+single BTB1 search port alternating between them (section IV).  This
+example interleaves two workloads as SMT threads — each keeps its own
+search state, GPV and call/return stacks, while every table is shared —
+and compares accuracy against each thread running alone, then shows the
+SMT2 timing cost (the 6-cycle taken interval versus 5 single-threaded).
+
+Usage::
+
+    python examples/smt2_interference.py [branches]
+"""
+
+import sys
+
+from repro import CycleEngine, FunctionalEngine, LookaheadBranchPredictor
+from repro.configs import z15_config
+from repro.workloads import Smt2Run, get_workload
+
+
+def run_alone(name: str, branches: int):
+    engine = FunctionalEngine(LookaheadBranchPredictor(z15_config()))
+    return engine.run_program(get_workload(name), max_branches=branches,
+                              warmup_branches=0)
+
+
+def run_smt2(name_a: str, name_b: str, branches: int):
+    run = Smt2Run(get_workload(name_a), get_workload(name_b), seed=3)
+    engine = FunctionalEngine(LookaheadBranchPredictor(z15_config()))
+    stats = engine.run_events(run.run(branches))
+    stats.instructions = run.instructions_executed
+    return stats
+
+
+def main() -> None:
+    branches = int(sys.argv[1]) if len(sys.argv) > 1 else 12_000
+    thread_a, thread_b = "transactions", "compute-kernel"
+
+    print(f"threads: {thread_a} + {thread_b}")
+    alone_a = run_alone(thread_a, branches // 2)
+    alone_b = run_alone(thread_b, branches // 2)
+    together = run_smt2(thread_a, thread_b, branches)
+
+    print()
+    print(f"{'run':<28} {'mispredicts':>12} {'accuracy':>9}")
+    print("-" * 52)
+    print(f"{thread_a + ' alone':<28} {alone_a.mispredicted_branches:>12} "
+          f"{alone_a.direction_accuracy:>8.2%}")
+    print(f"{thread_b + ' alone':<28} {alone_b.mispredicted_branches:>12} "
+          f"{alone_b.direction_accuracy:>8.2%}")
+    combined = alone_a.mispredicted_branches + alone_b.mispredicted_branches
+    print(f"{'sum of alone runs':<28} {combined:>12}")
+    print(f"{'SMT2 interleaved':<28} "
+          f"{together.mispredicted_branches:>12} "
+          f"{together.direction_accuracy:>8.2%}")
+    interference = together.mispredicted_branches - combined
+    print(f"\ntable-sharing interference: {interference:+d} mispredicts "
+          f"({interference / max(1, combined):+.1%})")
+
+    # Timing: the SMT2 port-sharing cost on a taken-heavy kernel (CPRED
+    # disabled so the base 5-vs-6-cycle interval of section IV shows).
+    print("\ntiming (taken-chain kernel, CPRED off, cycles per taken branch):")
+    from benchmarks_support import taken_chain  # local helper below
+
+    from repro.configs.predictor import CpredConfig
+
+    for smt2 in (False, True):
+        config = z15_config()
+        config.cpred = CpredConfig(enabled=False)
+        config.validate()
+        engine = CycleEngine(LookaheadBranchPredictor(config), smt2=smt2)
+        stats = engine.run_program(taken_chain(), max_branches=3000)
+        rate = stats.cycles / stats.taken_redirects
+        label = "SMT2" if smt2 else "single thread"
+        print(f"  {label:<14} {rate:5.2f} cycles/taken "
+              f"(paper: {6 if smt2 else 5})")
+
+
+def _install_support_module() -> None:
+    """Expose the taken-chain microkernel without importing benchmarks/."""
+    import types
+
+    from repro.isa.instructions import BranchKind
+    from repro.workloads import AlwaysTaken, CodeBuilder
+
+    def taken_chain(links: int = 16, stride: int = 64):
+        builder = CodeBuilder(0x10000, name="taken-chain")
+        addresses = [0x10000 + index * stride for index in range(links)]
+        for index, address in enumerate(addresses):
+            builder.jump_to(address)
+            builder.branch(
+                BranchKind.UNCONDITIONAL_RELATIVE,
+                target=addresses[(index + 1) % links],
+                behavior=AlwaysTaken(),
+            )
+        return builder.build(entry_point=addresses[0])
+
+    module = types.ModuleType("benchmarks_support")
+    module.taken_chain = taken_chain
+    sys.modules["benchmarks_support"] = module
+
+
+if __name__ == "__main__":
+    _install_support_module()
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""The section-VII white-box verification environment in action.
+
+Runs the constrained-random environment twice: against the healthy DUT
+(clean) and against a DUT with an injected install-path defect (the
+read-before-write duplicate filter silently skipped), showing the
+decoupled read-side/write-side checkers catching the bug — "early
+detection of performance related hardware problems close to the source
+of failure".
+
+Usage::
+
+    python examples/verification_demo.py [branches]
+"""
+
+import sys
+
+from repro import LookaheadBranchPredictor
+from repro.configs import z15_config
+from repro.core.btb1 import InstallResult
+from repro.verification import StimulusConstraints, VerificationEnvironment
+
+
+def healthy_run(branches: int) -> None:
+    dut = LookaheadBranchPredictor(z15_config())
+    env = VerificationEnvironment(
+        dut,
+        StimulusConstraints(seed=2024),
+        checkpoint_interval=250,
+    )
+    report = env.run(branches=branches, preload_entries=200)
+    print(report.summary())
+
+
+def inject_duplicate_defect(dut: LookaheadBranchPredictor) -> None:
+    """Defect: every 9th install bypasses the duplicate filter."""
+    original_install = dut.btb1.install
+    state = {"calls": 0}
+
+    def broken_install(address, context, entry):
+        state["calls"] += 1
+        if state["calls"] % 9:
+            return original_install(address, context, entry)
+        base = address - address % 64
+        entry.tag = dut.btb1.tag_of(base, context)
+        entry.offset = address - base
+        entry.line_base = base
+        entry.context = context
+        row = dut.btb1.row_of(base)
+        way = dut.btb1._table.victim_way(row)
+        dut.btb1._table.write(row, way, entry)
+        result = InstallResult(installed=True, duplicate=False, row=row,
+                               way=way)
+        if dut.btb1.on_install is not None:
+            dut.btb1.on_install(address=address, context=context,
+                                entry=entry, result=result)
+        return result
+
+    dut.btb1.install = broken_install
+
+
+def buggy_run(branches: int) -> None:
+    dut = LookaheadBranchPredictor(z15_config())
+    inject_duplicate_defect(dut)
+    env = VerificationEnvironment(
+        dut,
+        StimulusConstraints(seed=2024, revisit_rate=0.9, address_span=0x4000),
+        checkpoint_interval=250,
+    )
+    report = env.run(branches=branches)
+    print(report.summary())
+
+
+def main() -> None:
+    branches = int(sys.argv[1]) if len(sys.argv) > 1 else 3000
+
+    print("=== healthy DUT ===")
+    healthy_run(branches)
+    print()
+    print("=== DUT with injected duplicate-install defect ===")
+    buggy_run(branches)
+    print()
+    print("the write-side checker and checkpoint crosschecks localise the")
+    print("defect to the install path — a functional symptom (duplicate")
+    print("BTB1 entries) that black-box architectural checking would miss.")
+
+
+if __name__ == "__main__":
+    main()

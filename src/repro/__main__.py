@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — run a predictor over a standard workload and print the
+  accuracy report (optionally the per-branch mispredict profile).
+* ``compare`` — compare the generation presets (or baselines) over a
+  workload.
+* ``cycles`` — run the cycle-level engine and print the timing report.
+* ``verify`` — run the white-box verification environment.
+* ``workloads`` — list the standard workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    GsharePredictor,
+    LTagePredictor,
+    StaticBtfntPredictor,
+)
+from repro.configs import GENERATIONS, z15_config
+from repro.core import LookaheadBranchPredictor, load_state, save_state
+from repro.engine import CycleEngine, FunctionalEngine
+from repro.stats import MispredictProfile
+from repro.verification import StimulusConstraints, VerificationEnvironment
+from repro.workloads import STANDARD_WORKLOADS, get_workload
+
+BASELINES = {
+    "always-taken": AlwaysTakenPredictor,
+    "static-btfnt": StaticBtfntPredictor,
+    "bimodal": BimodalPredictor,
+    "gshare": GsharePredictor,
+    "l-tage": LTagePredictor,
+}
+
+
+def _predictor_for(name: str):
+    if name in GENERATIONS:
+        factory, _ = GENERATIONS[name]
+        return LookaheadBranchPredictor(factory())
+    if name in BASELINES:
+        return BASELINES[name]()
+    known = ", ".join(list(GENERATIONS) + list(BASELINES))
+    raise SystemExit(f"unknown predictor {name!r}; known: {known}")
+
+
+def cmd_run(args: argparse.Namespace) -> None:
+    predictor = _predictor_for(args.predictor)
+    if args.load_state:
+        if not isinstance(predictor, LookaheadBranchPredictor):
+            raise SystemExit("--load-state requires a generation preset")
+        loaded = load_state(predictor, args.load_state)
+        print(f"restored state: {loaded}")
+    profile = MispredictProfile() if args.profile else None
+    engine = FunctionalEngine(predictor, profile=profile)
+    stats = engine.run_program(
+        get_workload(args.workload, args.seed),
+        max_branches=args.branches,
+        warmup_branches=args.warmup,
+        seed=args.seed,
+    )
+    print(stats.report(f"{args.predictor} / {args.workload}"))
+    if profile is not None:
+        print()
+        print(profile.report(f"{args.workload} hot branches"))
+    if args.save_state:
+        if not isinstance(predictor, LookaheadBranchPredictor):
+            raise SystemExit("--save-state requires a generation preset")
+        saved = save_state(predictor, args.save_state)
+        print(f"saved state: {saved} -> {args.save_state}")
+
+
+def cmd_compare(args: argparse.Namespace) -> None:
+    names = args.predictors or list(GENERATIONS)
+    print(f"{'predictor':<14} {'coverage':>9} {'accuracy':>9} {'MPKI':>9}")
+    print("-" * 45)
+    for name in names:
+        engine = FunctionalEngine(_predictor_for(name))
+        stats = engine.run_program(
+            get_workload(args.workload, args.seed),
+            max_branches=args.branches,
+            warmup_branches=args.warmup,
+            seed=args.seed,
+        )
+        print(
+            f"{name:<14} {stats.dynamic_coverage:>8.2%} "
+            f"{stats.direction_accuracy:>8.2%} {stats.mpki:>9.3f}"
+        )
+
+
+def cmd_cycles(args: argparse.Namespace) -> None:
+    predictor = _predictor_for(args.predictor)
+    if not isinstance(predictor, LookaheadBranchPredictor):
+        raise SystemExit("the cycle engine requires a generation preset")
+    engine = CycleEngine(predictor, smt2=args.smt2,
+                         lookahead_prefetch=not args.no_prefetch)
+    stats = engine.run_program(
+        get_workload(args.workload, args.seed),
+        max_branches=args.branches,
+        seed=args.seed,
+    )
+    print(stats.report(f"{args.predictor} / {args.workload}"))
+
+
+def cmd_verify(args: argparse.Namespace) -> None:
+    dut = LookaheadBranchPredictor(z15_config())
+    env = VerificationEnvironment(
+        dut,
+        StimulusConstraints(seed=args.seed),
+        checkpoint_interval=args.checkpoint_interval,
+    )
+    report = env.run(branches=args.branches, preload_entries=args.preload)
+    print(report.summary())
+    if not report.clean:
+        sys.exit(1)
+
+
+def cmd_workloads(_args: argparse.Namespace) -> None:
+    for spec in STANDARD_WORKLOADS.values():
+        print(f"{spec.name:<20} {spec.description}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="IBM z15 branch predictor model (ISCA 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one predictor/workload")
+    run_parser.add_argument("workload", nargs="?", default="transactions")
+    run_parser.add_argument("--predictor", default="z15")
+    run_parser.add_argument("--branches", type=int, default=30_000)
+    run_parser.add_argument("--warmup", type=int, default=10_000)
+    run_parser.add_argument("--seed", type=int, default=1)
+    run_parser.add_argument("--profile", action="store_true",
+                            help="print the hot-branch mispredict profile")
+    run_parser.add_argument("--save-state", metavar="PATH",
+                            help="save the learned BTB/CTB state after the run")
+    run_parser.add_argument("--load-state", metavar="PATH",
+                            help="preload saved state before the run")
+    run_parser.set_defaults(func=cmd_run)
+
+    compare_parser = sub.add_parser("compare",
+                                    help="compare predictors on a workload")
+    compare_parser.add_argument("workload", nargs="?", default="transactions")
+    compare_parser.add_argument("--predictors", nargs="*",
+                                help="default: the four generation presets")
+    compare_parser.add_argument("--branches", type=int, default=20_000)
+    compare_parser.add_argument("--warmup", type=int, default=8_000)
+    compare_parser.add_argument("--seed", type=int, default=1)
+    compare_parser.set_defaults(func=cmd_compare)
+
+    cycles_parser = sub.add_parser("cycles", help="cycle-level timing run")
+    cycles_parser.add_argument("workload", nargs="?", default="transactions")
+    cycles_parser.add_argument("--predictor", default="z15")
+    cycles_parser.add_argument("--branches", type=int, default=15_000)
+    cycles_parser.add_argument("--seed", type=int, default=1)
+    cycles_parser.add_argument("--smt2", action="store_true")
+    cycles_parser.add_argument("--no-prefetch", action="store_true")
+    cycles_parser.set_defaults(func=cmd_cycles)
+
+    verify_parser = sub.add_parser("verify",
+                                   help="white-box verification run")
+    verify_parser.add_argument("--branches", type=int, default=5_000)
+    verify_parser.add_argument("--preload", type=int, default=200)
+    verify_parser.add_argument("--seed", type=int, default=1234)
+    verify_parser.add_argument("--checkpoint-interval", type=int, default=500)
+    verify_parser.set_defaults(func=cmd_verify)
+
+    workloads_parser = sub.add_parser("workloads",
+                                      help="list standard workloads")
+    workloads_parser.set_defaults(func=cmd_workloads)
+    return parser
+
+
+def main(argv=None) -> None:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Baseline predictors for comparison benchmarks."""
+
+from repro.baselines.base import BaselinePredictor, DirectMappedBtb
+from repro.baselines.ltage import LTagePredictor
+from repro.baselines.simple import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    GsharePredictor,
+    StaticBtfntPredictor,
+)
+
+__all__ = [
+    "BaselinePredictor",
+    "DirectMappedBtb",
+    "LTagePredictor",
+    "AlwaysTakenPredictor",
+    "BimodalPredictor",
+    "GsharePredictor",
+    "StaticBtfntPredictor",
+]

@@ -1,0 +1,102 @@
+"""Baseline predictor scaffolding.
+
+Baselines implement the same driving protocol as the z15 model
+(:meth:`restart`, :meth:`context_switch`, :meth:`predict_and_resolve`,
+:meth:`finalize`) so the :class:`~repro.engine.FunctionalEngine` and the
+benchmarks can swap them in directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.gpq import PredictionRecord
+from repro.core.predictor import PredictionOutcome, SearchTrace
+from repro.core.providers import DirectionProvider, TargetProvider
+from repro.isa.dynamic import DynamicBranch
+
+
+class BaselinePredictor:
+    """Common plumbing: build records, call the subclass hooks, train."""
+
+    name = "baseline"
+
+    def __init__(self) -> None:
+        self.predictions = 0
+
+    # -- protocol ------------------------------------------------------
+
+    def restart(self, address: int, context: int = 0, thread: int = 0) -> None:
+        """Baselines keep no lookahead search state."""
+
+    def context_switch(self, address: int, context: int, thread: int = 0) -> None:
+        self.restart(address, context, thread)
+
+    def finalize(self) -> None:
+        """No delayed updates by default."""
+
+    def predict_and_resolve(self, branch: DynamicBranch) -> PredictionOutcome:
+        self.predictions += 1
+        taken, direction_provider = self.predict_direction(branch)
+        target: Optional[int] = None
+        target_provider = TargetProvider.NONE
+        if taken:
+            target, target_provider = self.predict_target(branch)
+        record = PredictionRecord(
+            sequence=branch.sequence,
+            address=branch.address,
+            context=branch.context,
+            thread=branch.thread,
+            kind=branch.kind,
+            length=branch.instruction.length,
+            dynamic=True,
+            predicted_taken=taken,
+            predicted_target=target,
+            direction_provider=direction_provider,
+            target_provider=target_provider,
+        )
+        record.resolve(branch.taken, branch.target)
+        self.train(branch)
+        return PredictionOutcome(record=record, trace=SearchTrace())
+
+    # -- subclass hooks --------------------------------------------------
+
+    def predict_direction(
+        self, branch: DynamicBranch
+    ) -> Tuple[bool, DirectionProvider]:
+        raise NotImplementedError
+
+    def predict_target(
+        self, branch: DynamicBranch
+    ) -> Tuple[Optional[int], TargetProvider]:
+        """Default target source: a direct-mapped BTB, when present."""
+        raise NotImplementedError
+
+    def train(self, branch: DynamicBranch) -> None:
+        raise NotImplementedError
+
+
+class DirectMappedBtb:
+    """A simple direct-mapped branch target buffer for the baselines."""
+
+    def __init__(self, entries: int = 4096):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        self.entries = entries
+        self._mask = entries - 1
+        self._tags = [None] * entries
+        self._targets = [0] * entries
+
+    def _index(self, address: int) -> int:
+        return (address >> 1) & self._mask
+
+    def lookup(self, address: int) -> Optional[int]:
+        index = self._index(address)
+        if self._tags[index] == address:
+            return self._targets[index]
+        return None
+
+    def install(self, address: int, target: int) -> None:
+        index = self._index(address)
+        self._tags[index] = address
+        self._targets[index] = target

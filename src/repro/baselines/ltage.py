@@ -1,0 +1,173 @@
+"""An L-TAGE-style reference direction predictor.
+
+The paper's TAGE PHT "exploits a variation of the TAGE algorithm based
+off of [8]" — Seznec's L-TAGE.  This baseline implements the canonical
+academic arrangement (a bimodal base plus N tagged tables with
+geometrically increasing *outcome* history) so the z15's two-table,
+GPV-indexed variation can be compared against its ancestor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.baselines.base import BaselinePredictor, DirectMappedBtb
+from repro.common.bits import fold_xor, mask
+from repro.core.providers import DirectionProvider, TargetProvider
+from repro.isa.dynamic import DynamicBranch
+
+
+@dataclass
+class _TaggedEntry:
+    tag: int
+    counter: int  # 3-bit, taken when >= 4
+    useful: int  # 2-bit
+
+
+class LTagePredictor(BaselinePredictor):
+    """Bimodal base + geometric-history tagged tables."""
+
+    name = "l-tage"
+
+    def __init__(
+        self,
+        table_rows: int = 1024,
+        table_count: int = 4,
+        min_history: int = 4,
+        max_history: int = 64,
+        tag_bits: int = 9,
+        btb_entries: int = 4096,
+    ):
+        super().__init__()
+        if table_rows & (table_rows - 1):
+            raise ValueError("table_rows must be a power of two")
+        self.table_rows = table_rows
+        self.tag_bits = tag_bits
+        self._row_bits = table_rows.bit_length() - 1
+        # Geometric history lengths.
+        self.histories: List[int] = []
+        ratio = (max_history / min_history) ** (1 / max(1, table_count - 1))
+        length = float(min_history)
+        for _ in range(table_count):
+            self.histories.append(int(round(length)))
+            length *= ratio
+        self.tables: List[List[Optional[_TaggedEntry]]] = [
+            [None] * table_rows for _ in range(table_count)
+        ]
+        self.base = [2] * 8192  # bimodal, weak taken
+        self._history = 0
+        self._history_bits = max_history
+        self.btb = DirectMappedBtb(btb_entries)
+        self._alloc_tick = 0
+        # Prediction bookkeeping between predict and train.
+        self._last: Optional[dict] = None
+
+    # -- index/tag -------------------------------------------------------
+
+    def _index(self, table: int, address: int) -> int:
+        history = self._history & mask(self.histories[table])
+        return fold_xor((address >> 1) ^ (history * 0x9E3B), self._row_bits)
+
+    def _tag(self, table: int, address: int) -> int:
+        history = self._history & mask(self.histories[table])
+        return fold_xor((address >> 2) ^ (history * 0x7F4A) ^ table, self.tag_bits)
+
+    # -- prediction ------------------------------------------------------
+
+    def predict_direction(self, branch) -> Tuple[bool, DirectionProvider]:
+        address = branch.address
+        provider_table = None
+        provider_entry = None
+        alt_taken = self.base[(address >> 1) & 8191] >= 2
+        # Longest-history match wins.
+        for table in reversed(range(len(self.tables))):
+            row = self._index(table, address)
+            entry = self.tables[table][row]
+            if entry is not None and entry.tag == self._tag(table, address):
+                provider_table = table
+                provider_entry = entry
+                break
+        if provider_entry is not None:
+            taken = provider_entry.counter >= 4
+            provider = DirectionProvider.PHT_LONG
+        else:
+            taken = alt_taken
+            provider = DirectionProvider.BHT
+        self._last = {
+            "address": address,
+            "table": provider_table,
+            "taken": taken,
+            "alt_taken": alt_taken,
+        }
+        return taken, provider
+
+    def predict_target(self, branch) -> Tuple[Optional[int], TargetProvider]:
+        target = self.btb.lookup(branch.address)
+        if target is not None:
+            return target, TargetProvider.BTB1
+        if branch.instruction.static_target is not None:
+            return branch.instruction.static_target, TargetProvider.STATIC_RELATIVE
+        return None, TargetProvider.NONE
+
+    # -- training --------------------------------------------------------
+
+    def train(self, branch: DynamicBranch) -> None:
+        assert self._last is not None and self._last["address"] == branch.address
+        state = self._last
+        self._last = None
+        address = branch.address
+        actual = branch.taken
+        table = state["table"]
+        if table is not None:
+            row = self._index(table, address)
+            entry = self.tables[table][row]
+            if entry is not None and entry.tag == self._tag(table, address):
+                if actual:
+                    entry.counter = min(7, entry.counter + 1)
+                else:
+                    entry.counter = max(0, entry.counter - 1)
+                was_correct = state["taken"] == actual
+                alt_correct = state["alt_taken"] == actual
+                if was_correct and not alt_correct:
+                    entry.useful = min(3, entry.useful + 1)
+                elif not was_correct and alt_correct:
+                    entry.useful = max(0, entry.useful - 1)
+        else:
+            index = (address >> 1) & 8191
+            if actual:
+                self.base[index] = min(3, self.base[index] + 1)
+            else:
+                self.base[index] = max(0, self.base[index] - 1)
+
+        # Allocate a longer-history entry on a misprediction.
+        if state["taken"] != actual:
+            start = (table + 1) if table is not None else 0
+            self._allocate(start, address, actual)
+
+        if actual and branch.target is not None:
+            self.btb.install(address, branch.target)
+        self._history = ((self._history << 1) | int(actual)) & mask(
+            self._history_bits
+        )
+
+    def _allocate(self, start_table: int, address: int, taken: bool) -> None:
+        for table in range(start_table, len(self.tables)):
+            row = self._index(table, address)
+            entry = self.tables[table][row]
+            if entry is None or entry.useful == 0:
+                self.tables[table][row] = _TaggedEntry(
+                    tag=self._tag(table, address),
+                    counter=4 if taken else 3,
+                    useful=0,
+                )
+                return
+        # Nothing allocatable: age usefulness (Seznec's decay).
+        for table in range(start_table, len(self.tables)):
+            row = self._index(table, address)
+            entry = self.tables[table][row]
+            if entry is not None:
+                entry.useful = max(0, entry.useful - 1)
+
+    def restart(self, address: int, context: int = 0, thread: int = 0) -> None:
+        """Global history persists across restarts."""

@@ -1,0 +1,164 @@
+"""Classic baseline direction predictors.
+
+These are the comparison points decades of literature (the paper's
+section II.D references) measure against: static heuristics, the
+bimodal 2-bit table, and gshare.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.baselines.base import BaselinePredictor, DirectMappedBtb
+from repro.common.bits import mask
+from repro.core.providers import DirectionProvider, TargetProvider
+from repro.isa.dynamic import DynamicBranch
+from repro.isa.instructions import static_guess_taken
+
+
+class AlwaysTakenPredictor(BaselinePredictor):
+    """Every branch predicted taken; targets from a small BTB."""
+
+    name = "always-taken"
+
+    def __init__(self, btb_entries: int = 4096):
+        super().__init__()
+        self.btb = DirectMappedBtb(btb_entries)
+
+    def predict_direction(self, branch) -> Tuple[bool, DirectionProvider]:
+        return True, DirectionProvider.STATIC
+
+    def predict_target(self, branch) -> Tuple[Optional[int], TargetProvider]:
+        target = self.btb.lookup(branch.address)
+        if target is not None:
+            return target, TargetProvider.BTB1
+        if branch.instruction.static_target is not None:
+            return branch.instruction.static_target, TargetProvider.STATIC_RELATIVE
+        return None, TargetProvider.NONE
+
+    def train(self, branch: DynamicBranch) -> None:
+        if branch.taken and branch.target is not None:
+            self.btb.install(branch.address, branch.target)
+
+
+class StaticBtfntPredictor(BaselinePredictor):
+    """Backward-taken / forward-not-taken plus the decode static rules."""
+
+    name = "static-btfnt"
+
+    def __init__(self, btb_entries: int = 4096):
+        super().__init__()
+        self.btb = DirectMappedBtb(btb_entries)
+
+    def predict_direction(self, branch) -> Tuple[bool, DirectionProvider]:
+        instruction = branch.instruction
+        if static_guess_taken(instruction):
+            return True, DirectionProvider.STATIC
+        if (
+            instruction.static_target is not None
+            and instruction.static_target < instruction.address
+        ):
+            return True, DirectionProvider.STATIC
+        return False, DirectionProvider.STATIC
+
+    def predict_target(self, branch) -> Tuple[Optional[int], TargetProvider]:
+        if branch.instruction.static_target is not None:
+            return branch.instruction.static_target, TargetProvider.STATIC_RELATIVE
+        target = self.btb.lookup(branch.address)
+        if target is not None:
+            return target, TargetProvider.BTB1
+        return None, TargetProvider.NONE
+
+    def train(self, branch: DynamicBranch) -> None:
+        if branch.taken and branch.target is not None:
+            self.btb.install(branch.address, branch.target)
+
+
+class BimodalPredictor(BaselinePredictor):
+    """Per-PC 2-bit saturating counters."""
+
+    name = "bimodal"
+
+    def __init__(self, table_size: int = 16384, btb_entries: int = 4096):
+        super().__init__()
+        if table_size <= 0 or table_size & (table_size - 1):
+            raise ValueError("table_size must be a positive power of two")
+        self.table = [2] * table_size  # weak taken
+        self._mask = table_size - 1
+        self.btb = DirectMappedBtb(btb_entries)
+
+    def _index(self, address: int) -> int:
+        return (address >> 1) & self._mask
+
+    def predict_direction(self, branch) -> Tuple[bool, DirectionProvider]:
+        counter = self.table[self._index(branch.address)]
+        return counter >= 2, DirectionProvider.BHT
+
+    def predict_target(self, branch) -> Tuple[Optional[int], TargetProvider]:
+        target = self.btb.lookup(branch.address)
+        if target is not None:
+            return target, TargetProvider.BTB1
+        if branch.instruction.static_target is not None:
+            return branch.instruction.static_target, TargetProvider.STATIC_RELATIVE
+        return None, TargetProvider.NONE
+
+    def train(self, branch: DynamicBranch) -> None:
+        index = self._index(branch.address)
+        if branch.taken:
+            self.table[index] = min(3, self.table[index] + 1)
+            if branch.target is not None:
+                self.btb.install(branch.address, branch.target)
+        else:
+            self.table[index] = max(0, self.table[index] - 1)
+
+
+class GsharePredictor(BaselinePredictor):
+    """Global-history XOR-indexed 2-bit counters (McFarling)."""
+
+    name = "gshare"
+
+    def __init__(
+        self,
+        table_size: int = 16384,
+        history_bits: int = 12,
+        btb_entries: int = 4096,
+    ):
+        super().__init__()
+        if table_size <= 0 or table_size & (table_size - 1):
+            raise ValueError("table_size must be a positive power of two")
+        self.table = [2] * table_size
+        self._index_bits = table_size.bit_length() - 1
+        self.history_bits = history_bits
+        self._history = 0
+        self.btb = DirectMappedBtb(btb_entries)
+
+    def _index(self, address: int) -> int:
+        history = self._history & mask(self.history_bits)
+        return ((address >> 1) ^ history) & mask(self._index_bits)
+
+    def predict_direction(self, branch) -> Tuple[bool, DirectionProvider]:
+        counter = self.table[self._index(branch.address)]
+        return counter >= 2, DirectionProvider.PHT_SHORT
+
+    def predict_target(self, branch) -> Tuple[Optional[int], TargetProvider]:
+        target = self.btb.lookup(branch.address)
+        if target is not None:
+            return target, TargetProvider.BTB1
+        if branch.instruction.static_target is not None:
+            return branch.instruction.static_target, TargetProvider.STATIC_RELATIVE
+        return None, TargetProvider.NONE
+
+    def train(self, branch: DynamicBranch) -> None:
+        index = self._index(branch.address)
+        if branch.taken:
+            self.table[index] = min(3, self.table[index] + 1)
+            if branch.target is not None:
+                self.btb.install(branch.address, branch.target)
+        else:
+            self.table[index] = max(0, self.table[index] - 1)
+        self._history = ((self._history << 1) | int(branch.taken)) & mask(
+            self.history_bits
+        )
+
+    def restart(self, address: int, context: int = 0, thread: int = 0) -> None:
+        """History persists across restarts (global predictor)."""

@@ -1,0 +1,41 @@
+"""Shared low-level utilities: address math, bit manipulation, RNG, errors.
+
+Everything in this package is intentionally free of dependencies on the
+rest of :mod:`repro` so that any other subpackage may import it.
+"""
+
+from repro.common.addresses import (
+    HALFWORD,
+    LINE_SIZE,
+    align_down,
+    align_up,
+    line_index,
+    line_of,
+    line_offset,
+    lines_between,
+    next_line,
+)
+from repro.common.bits import bit_select, fold_xor, mask, popcount, rotate_left
+from repro.common.errors import ConfigError, ReproError, SimulationError
+from repro.common.rng import DeterministicRng
+
+__all__ = [
+    "HALFWORD",
+    "LINE_SIZE",
+    "align_down",
+    "align_up",
+    "line_index",
+    "line_of",
+    "line_offset",
+    "lines_between",
+    "next_line",
+    "bit_select",
+    "fold_xor",
+    "mask",
+    "popcount",
+    "rotate_left",
+    "ConfigError",
+    "ReproError",
+    "SimulationError",
+    "DeterministicRng",
+]

@@ -1,0 +1,82 @@
+"""Instruction-address arithmetic.
+
+The z15 branch-prediction logic searches the instruction address space in
+64-byte lines (section IV of the paper: "cover 64 bytes of address space
+with just one search").  z/Architecture instructions are 2, 4 or 6 bytes
+long and always halfword (2-byte) aligned, so every instruction address in
+this model is an even integer.
+
+Addresses are plain Python ints interpreted as 64-bit virtual addresses.
+"""
+
+from __future__ import annotations
+
+#: Bytes covered by one branch-prediction search (one BTB1 row).
+LINE_SIZE = 64
+
+#: Minimum instruction alignment in the modelled CISC ISA.
+HALFWORD = 2
+
+#: Number of address bits kept when normalising to the 64-bit space.
+ADDRESS_BITS = 64
+
+_ADDRESS_MASK = (1 << ADDRESS_BITS) - 1
+
+
+def normalize(address: int) -> int:
+    """Wrap *address* into the modelled 64-bit virtual address space."""
+    return address & _ADDRESS_MASK
+
+
+def align_down(address: int, alignment: int = LINE_SIZE) -> int:
+    """Round *address* down to a multiple of *alignment*."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return address - (address % alignment)
+
+
+def align_up(address: int, alignment: int = LINE_SIZE) -> int:
+    """Round *address* up to a multiple of *alignment*."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    remainder = address % alignment
+    if remainder == 0:
+        return address
+    return address + alignment - remainder
+
+
+def line_of(address: int, line_size: int = LINE_SIZE) -> int:
+    """Return the line-aligned base address containing *address*."""
+    return align_down(address, line_size)
+
+
+def line_index(address: int, line_size: int = LINE_SIZE) -> int:
+    """Return the line number (address divided by the line size)."""
+    return address // line_size
+
+
+def line_offset(address: int, line_size: int = LINE_SIZE) -> int:
+    """Return the byte offset of *address* within its line."""
+    return address % line_size
+
+
+def next_line(address: int, line_size: int = LINE_SIZE) -> int:
+    """Return the base address of the line after the one holding *address*."""
+    return line_of(address, line_size) + line_size
+
+
+def lines_between(start: int, end: int, line_size: int = LINE_SIZE) -> int:
+    """Number of line steps a sequential search walks from *start* to *end*.
+
+    Both endpoints are inclusive of their own lines: an address in the same
+    line is 0 steps away, an address in the following line is 1 step away.
+    *end* must not precede *start*.
+    """
+    if end < start:
+        raise ValueError(f"end ({end:#x}) precedes start ({start:#x})")
+    return line_index(end, line_size) - line_index(start, line_size)
+
+
+def is_halfword_aligned(address: int) -> bool:
+    """True when *address* obeys the ISA's 2-byte instruction alignment."""
+    return address % HALFWORD == 0

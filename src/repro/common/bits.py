@@ -1,0 +1,63 @@
+"""Bit-manipulation helpers used by the prediction-structure index/tag math.
+
+Hardware tables index and tag with selected, folded address bits; these
+helpers keep that arithmetic explicit and in one place.
+"""
+
+from __future__ import annotations
+
+
+def mask(width: int) -> int:
+    """Return a mask of *width* low-order ones (``mask(3) == 0b111``)."""
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bit_select(value: int, low: int, width: int) -> int:
+    """Extract *width* bits of *value* starting at bit *low* (LSB = bit 0)."""
+    if low < 0:
+        raise ValueError(f"low must be non-negative, got {low}")
+    return (value >> low) & mask(width)
+
+
+def fold_xor(value: int, width: int) -> int:
+    """Fold *value* down to *width* bits by XOR-ing successive chunks.
+
+    This mirrors the classic hardware trick for hashing a wide value (an
+    instruction address or a history vector) into a narrow table index.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    folded = 0
+    remaining = value
+    chunk_mask = mask(width)
+    while remaining:
+        folded ^= remaining & chunk_mask
+        remaining >>= width
+    return folded
+
+
+def rotate_left(value: int, amount: int, width: int) -> int:
+    """Rotate the low *width* bits of *value* left by *amount*."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    amount %= width
+    value &= mask(width)
+    return ((value << amount) | (value >> (width - amount))) & mask(width)
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in *value* (non-negative)."""
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    return bin(value).count("1")
+
+
+def sign(value: int) -> int:
+    """Return -1, 0 or +1 matching the sign of *value*."""
+    if value > 0:
+        return 1
+    if value < 0:
+        return -1
+    return 0

@@ -1,0 +1,23 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an internally inconsistent state."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file or record could not be parsed."""
+
+
+class VerificationError(ReproError):
+    """A white-box verification checker detected a DUT/reference mismatch."""

@@ -1,0 +1,41 @@
+"""Configuration presets for the modelled predictor generations."""
+
+from repro.configs.predictor import (
+    Btb1Config,
+    Btb2Config,
+    CpredConfig,
+    CrsConfig,
+    CtbConfig,
+    PerceptronConfig,
+    PhtConfig,
+    PredictorConfig,
+    SpeculativeOverlayConfig,
+)
+from repro.configs.generations import (
+    GENERATIONS,
+    GenerationInfo,
+    z15_config,
+    z14_config,
+    z13_config,
+    zec12_config,
+)
+from repro.configs.timing import TimingConfig
+
+__all__ = [
+    "Btb1Config",
+    "Btb2Config",
+    "CpredConfig",
+    "CrsConfig",
+    "CtbConfig",
+    "PerceptronConfig",
+    "PhtConfig",
+    "PredictorConfig",
+    "SpeculativeOverlayConfig",
+    "TimingConfig",
+    "GENERATIONS",
+    "GenerationInfo",
+    "z15_config",
+    "z14_config",
+    "z13_config",
+    "zec12_config",
+]

@@ -1,0 +1,348 @@
+"""Predictor configuration dataclasses.
+
+Every structure size and policy threshold in the model is collected here
+so that the generation presets (:mod:`repro.configs.generations`) and the
+benchmark parameter sweeps can vary them without touching predictor code.
+
+Values that the paper states explicitly are used verbatim and noted; the
+remaining thresholds are engineering choices marked ``assumption``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import ConfigError
+
+
+def _require_power_of_two(name: str, value: int) -> None:
+    if value <= 0 or value & (value - 1):
+        raise ConfigError(f"{name} must be a positive power of two, got {value}")
+
+
+@dataclass
+class Btb1Config:
+    """BTB1 + embedded BHT.  Paper: 16K branches = 2K rows x 8 ways."""
+
+    rows: int = 2048
+    ways: int = 8
+    #: Width of the partial tag (section IV notes partial tagging makes
+    #: bad predictions possible); assumption: 16 bits.
+    tag_bits: int = 16
+    #: Bytes of address space one row covers (one search), paper: 64.
+    line_size: int = 64
+    #: Replacement policy: "plru" matches 8-way hardware; "lru" is exact.
+    policy: str = "plru"
+
+    def validate(self) -> None:
+        _require_power_of_two("btb1.rows", self.rows)
+        if self.ways < 1:
+            raise ConfigError(f"btb1.ways must be >= 1, got {self.ways}")
+        if self.policy == "plru":
+            _require_power_of_two("btb1.ways (plru)", self.ways)
+        _require_power_of_two("btb1.line_size", self.line_size)
+        if self.tag_bits < 4:
+            raise ConfigError(f"btb1.tag_bits too small: {self.tag_bits}")
+
+    @property
+    def capacity(self) -> int:
+        return self.rows * self.ways
+
+
+@dataclass
+class Btb2Config:
+    """Second-level BTB.  Paper: 128K branches = 32K rows x 4 ways.
+
+    The BTB2 is searched when content is "thought to be missing" from the
+    BTB1: after ``empty_search_threshold`` successive no-prediction
+    searches (paper: three), proactively when an unusual number of
+    disruptive surprise branches occur within a window, and on context
+    changes.  A search transfers the branches of ``transfer_lines``
+    consecutive lines (up to 128 branches = 32 lines x 4 ways) through a
+    staging queue.
+    """
+
+    rows: int = 32768
+    ways: int = 4
+    tag_bits: int = 16
+    line_size: int = 64
+    policy: str = "lru"
+    #: Successive qualified empty BTB1 searches that trigger a search (paper: 3).
+    empty_search_threshold: int = 3
+    #: Lines transferred per BTB2 search; 32 lines x 4 ways = 128 branches (paper).
+    transfer_lines: int = 32
+    #: Staging queue depth between BTB2 and BTB1 (assumption: 64).
+    staging_capacity: int = 64
+    #: Surprise branches within the window that proactively fire a search
+    #: (paper: "unusual number of non-predicted disruptive branches";
+    #: assumption: 4 within 64 completed branches).
+    surprise_trigger_count: int = 4
+    surprise_trigger_window: int = 64
+    #: No-hit searches between periodic-refresh writebacks.  The hardware
+    #: runs ~5 searches per branch; the functional model walks ~1.3, so
+    #: the threshold is scaled down to keep the writeback-per-install
+    #: ratio comparable (assumption: 4).
+    refresh_threshold: int = 4
+    #: True = z15 semi-inclusive + periodic refresh; False = zEC12-style
+    #: semi-exclusive victim handling.
+    inclusive: bool = True
+
+    def validate(self) -> None:
+        _require_power_of_two("btb2.rows", self.rows)
+        if self.ways < 1:
+            raise ConfigError(f"btb2.ways must be >= 1, got {self.ways}")
+        if self.empty_search_threshold < 1:
+            raise ConfigError("btb2.empty_search_threshold must be >= 1")
+        if self.transfer_lines < 1:
+            raise ConfigError("btb2.transfer_lines must be >= 1")
+        if self.staging_capacity < 1:
+            raise ConfigError("btb2.staging_capacity must be >= 1")
+
+    @property
+    def capacity(self) -> int:
+        return self.rows * self.ways
+
+
+@dataclass
+class PhtConfig:
+    """Pattern history table(s).
+
+    With ``tage=True`` this is the z15 two-table TAGE arrangement (short
+    table indexed with the 9 most recent GPV branches, long with all 17);
+    with ``tage=False`` it is the single tagged PHT of z196..z14 vintage
+    using ``short_history`` only.
+    """
+
+    tage: bool = True
+    rows: int = 512
+    ways: int = 8
+    tag_bits: int = 9
+    #: Direction counter width (3-bit saturating; taken when >= 4).
+    counter_bits: int = 3
+    usefulness_bits: int = 2
+    short_history: int = 9
+    long_history: int = 17
+    #: New installs favour the short table 2:1 when both victims are
+    #: usefulness-0 (paper).
+    short_install_ratio: int = 2
+    #: Global weak-confidence counter: weak predictions are allowed to
+    #: provide only while the counter is above this threshold (paper's
+    #: "weak prediction counter"; assumption: 4 of an 8-wide counter).
+    weak_counter_bits: int = 4
+    weak_threshold: int = 4
+
+    def validate(self) -> None:
+        _require_power_of_two("pht.rows", self.rows)
+        if self.ways < 1:
+            raise ConfigError(f"pht.ways must be >= 1, got {self.ways}")
+        if self.short_history < 1 or self.long_history < self.short_history:
+            raise ConfigError("pht history lengths inconsistent")
+        if self.counter_bits < 2:
+            raise ConfigError("pht.counter_bits must be >= 2")
+
+    @property
+    def capacity(self) -> int:
+        tables = 2 if self.tage else 1
+        return tables * self.rows * self.ways
+
+
+@dataclass
+class PerceptronConfig:
+    """Perceptron auxiliary direction predictor.
+
+    Paper: 32 entries as 16 rows x 2 ways, weights over the GPV with 2:1
+    virtualisation (34 GPV bits -> 17 weights), protection limit and
+    usefulness-based replacement, provider promotion above a global
+    usefulness threshold.
+    """
+
+    enabled: bool = True
+    rows: int = 16
+    ways: int = 2
+    weight_count: int = 17
+    #: Signed weight magnitude limit (assumption: 6-bit -> +/-31).
+    weight_limit: int = 31
+    #: Installs start with this protection count (assumption: 4).
+    protection_limit: int = 4
+    usefulness_bits: int = 4
+    #: Usefulness at/above which the perceptron becomes the provider
+    #: (the paper's "predetermined global threshold"; assumption: 3).
+    provider_threshold: int = 3
+    #: Below this usefulness the entry is still "learning": usefulness is
+    #: incremented even when both perceptron and alternate are wrong.
+    learning_threshold: int = 2
+    #: Weight magnitude at/below which virtualisation retargets the
+    #: weight to its alternate GPV bit (assumption: 2).
+    virtualization_threshold: int = 2
+    #: Updates an entry must have seen before virtualisation can occur.
+    virtualization_age: int = 16
+
+    def validate(self) -> None:
+        if self.enabled:
+            _require_power_of_two("perceptron.rows", self.rows)
+            if self.ways < 1:
+                raise ConfigError("perceptron.ways must be >= 1")
+            if self.weight_count < 1:
+                raise ConfigError("perceptron.weight_count must be >= 1")
+
+    @property
+    def capacity(self) -> int:
+        return self.rows * self.ways if self.enabled else 0
+
+
+@dataclass
+class CtbConfig:
+    """Changing target buffer.  Paper: 2K entries as 4 x 512 arrays,
+    indexed solely by the GPV, tagged with virtual-address bits."""
+
+    rows: int = 512
+    ways: int = 4
+    tag_bits: int = 12
+    #: GPV branches used for the index (z15: 17, pre-z15: 9).
+    history: int = 17
+
+    def validate(self) -> None:
+        _require_power_of_two("ctb.rows", self.rows)
+        if self.ways < 1:
+            raise ConfigError("ctb.ways must be >= 1")
+
+    @property
+    def capacity(self) -> int:
+        return self.rows * self.ways
+
+
+@dataclass
+class CrsConfig:
+    """Call/return stack heuristic (section VI).
+
+    One-entry stacks on both the completion (detection) and prediction
+    sides; a branch whose taken distance exceeds ``distance_threshold``
+    bytes pushes its NSIA; returns may land at NSIA plus one of
+    ``return_offsets``.  CRS-mispredicting branches are blacklisted with
+    ``amnesty_period`` granting periodic second chances.
+    """
+
+    enabled: bool = True
+    #: Minimum |target - branch| in bytes to treat a branch as a call
+    #: (paper: "a predetermined threshold number of byte blocks";
+    #: assumption: 1024).
+    distance_threshold: int = 1024
+    #: Allowed return-landing offsets from the NSIA (paper: 0,2,4,6,8).
+    return_offsets: tuple = (0, 2, 4, 6, 8)
+    #: Every Nth completing wrong-target blacklisted branch is granted
+    #: amnesty (assumption: 16).
+    amnesty_period: int = 16
+
+    def validate(self) -> None:
+        if self.enabled and self.distance_threshold < 2:
+            raise ConfigError("crs.distance_threshold must be >= 2")
+
+
+@dataclass
+class CpredConfig:
+    """Column predictor: stream-indexed fast re-index + power prediction."""
+
+    enabled: bool = True
+    rows: int = 512
+    ways: int = 2
+    tag_bits: int = 10
+
+    def validate(self) -> None:
+        if self.enabled:
+            _require_power_of_two("cpred.rows", self.rows)
+
+    @property
+    def capacity(self) -> int:
+        return self.rows * self.ways if self.enabled else 0
+
+
+@dataclass
+class SpeculativeOverlayConfig:
+    """SBHT / SPHT speculative direction overlays (section IV)."""
+
+    enabled: bool = True
+    #: Entries per overlay (assumption: 8 each; the paper says "a small
+    #: number of entries").
+    entries: int = 8
+
+    def validate(self) -> None:
+        if self.enabled and self.entries < 1:
+            raise ConfigError("speculative overlay needs at least one entry")
+
+
+@dataclass
+class PredictorConfig:
+    """Complete configuration of one modelled branch predictor."""
+
+    btb1: Btb1Config = field(default_factory=Btb1Config)
+    btb2: Optional[Btb2Config] = field(default_factory=Btb2Config)
+    pht: PhtConfig = field(default_factory=PhtConfig)
+    perceptron: PerceptronConfig = field(default_factory=PerceptronConfig)
+    ctb: CtbConfig = field(default_factory=CtbConfig)
+    crs: CrsConfig = field(default_factory=CrsConfig)
+    cpred: CpredConfig = field(default_factory=CpredConfig)
+    speculative: SpeculativeOverlayConfig = field(
+        default_factory=SpeculativeOverlayConfig
+    )
+    #: Taken branches tracked by the GPV (z14/z15: 17, earlier: 9).
+    gpv_depth: int = 17
+    #: Bits of hashed branch address shifted into the GPV per taken branch.
+    gpv_bits_per_branch: int = 2
+    #: SKOOT empty-search skipping (z15 only).
+    skoot_enabled: bool = True
+    #: Maximum SKOOT skip distance in lines (field width assumption: 4 bits).
+    skoot_max: int = 15
+    #: In-flight branches between prediction and non-speculative update.
+    completion_delay: int = 12
+    #: Global prediction queue depth (assumption: 128).
+    gpq_capacity: int = 128
+    #: Write (install/update) queue depth (assumption: 16).
+    write_queue_capacity: int = 16
+    #: Write-queue entries drained per completion step ("up to one write
+    #: queue entry per cycle"; several cycles pass per branch).
+    write_drain_per_step: int = 4
+    #: Functional-walk cap: sequential-search gaps longer than this many
+    #: lines are summarised rather than searched line by line.
+    search_walk_cap: int = 64
+    #: Lines of additional walking before BTB2 staging-queue content
+    #: becomes visible to the searcher (transfer latency approximation).
+    btb2_visibility_lines: int = 2
+    name: str = "custom"
+
+    def validate(self) -> "PredictorConfig":
+        """Check cross-field consistency; returns self for chaining."""
+        self.btb1.validate()
+        if self.btb2 is not None:
+            self.btb2.validate()
+        self.pht.validate()
+        self.perceptron.validate()
+        self.ctb.validate()
+        self.crs.validate()
+        self.cpred.validate()
+        self.speculative.validate()
+        if self.gpv_depth < 1:
+            raise ConfigError("gpv_depth must be >= 1")
+        if self.gpv_bits_per_branch < 1:
+            raise ConfigError("gpv_bits_per_branch must be >= 1")
+        gpv_bits = self.gpv_depth * self.gpv_bits_per_branch
+        if self.pht.long_history > self.gpv_depth:
+            raise ConfigError(
+                f"pht.long_history ({self.pht.long_history}) exceeds "
+                f"gpv_depth ({self.gpv_depth})"
+            )
+        if self.ctb.history > self.gpv_depth:
+            raise ConfigError(
+                f"ctb.history ({self.ctb.history}) exceeds gpv_depth "
+                f"({self.gpv_depth})"
+            )
+        if self.perceptron.enabled and self.perceptron.weight_count > gpv_bits:
+            raise ConfigError(
+                f"perceptron.weight_count ({self.perceptron.weight_count}) "
+                f"exceeds GPV width ({gpv_bits})"
+            )
+        if self.completion_delay < 0:
+            raise ConfigError("completion_delay must be >= 0")
+        if self.completion_delay >= self.gpq_capacity:
+            raise ConfigError("completion_delay must be < gpq_capacity")
+        return self

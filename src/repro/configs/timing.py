@@ -1,0 +1,65 @@
+"""Timing parameters for the cycle-level engine.
+
+The paper gives these numbers directly (sections I-IV); anything it does
+not state is marked as an assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+
+@dataclass
+class TimingConfig:
+    """Cycle-level costs and bandwidths of the modelled front end."""
+
+    #: Branch-prediction search pipeline depth, b0..b5 (paper: 6 cycles).
+    bpl_pipeline_depth: int = 6
+    #: Cycles between taken-branch predictions without CPRED, single
+    #: thread (paper: 5) and SMT2 (paper: 6, port sharing).
+    taken_interval_st: int = 5
+    taken_interval_smt2: int = 6
+    #: Cycles between taken-branch predictions on a CPRED hit (paper: 2).
+    taken_interval_cpred: int = 2
+    #: Bytes of address space covered per search (paper: 64).
+    search_bytes_per_cycle: int = 64
+    #: Instruction fetch bandwidth (paper: 32 bytes/cycle).
+    fetch_bytes_per_cycle: int = 32
+    #: Pipeline restart penalty for a branch wrong (paper: "up to 26").
+    restart_penalty: int = 26
+    #: Statistical penalty including queueing disruption (paper: ~35).
+    statistical_restart_penalty: int = 35
+    #: Additional inefficiency refilling the issue queue after a complete
+    #: restart (paper: "up to 10 cycles").
+    restart_refill_penalty: int = 10
+    #: L1 I-cache hit latency in cycles (assumption: 4).
+    l1i_latency: int = 4
+    #: L2 I-cache latency over an L1 hit (paper: minimum of 8 cycles).
+    l2i_extra_latency: int = 8
+    #: L3 latency over an L1 hit (paper: 45 cycles).
+    l3_extra_latency: int = 45
+    #: Memory latency over an L1 hit (assumption: 250).
+    memory_extra_latency: int = 250
+    #: Cycles the back end takes to produce an indirect surprise target
+    #: (paper: "generally about a dozen cycles into the back end").
+    indirect_resolution_delay: int = 12
+    #: Decode-time restart cost for a statically-guessed-taken relative
+    #: surprise branch, where "the front end ... can generate the restart
+    #: address" (assumption: 8 cycles).
+    decode_restart_penalty: int = 8
+    #: Maximum instructions decoded/dispatched per cycle (paper: 6).
+    dispatch_width: int = 6
+
+    def validate(self) -> "TimingConfig":
+        if self.bpl_pipeline_depth < 1:
+            raise ConfigError("bpl_pipeline_depth must be >= 1")
+        if self.taken_interval_cpred > self.taken_interval_st:
+            raise ConfigError("CPRED interval cannot exceed the base interval")
+        if self.search_bytes_per_cycle < self.fetch_bytes_per_cycle:
+            raise ConfigError(
+                "search bandwidth below fetch bandwidth would let fetch "
+                "permanently outrun prediction"
+            )
+        return self

@@ -1,0 +1,64 @@
+"""The paper's primary contribution: the z15 lookahead branch predictor.
+
+The composed predictor lives in :class:`LookaheadBranchPredictor`; every
+structure it assembles (BTB1/BTB2, TAGE PHT, perceptron, CTB, CRS,
+CPRED, GPV, GPQ, speculative overlays) is individually importable and
+individually tested.
+"""
+
+from repro.core.btb1 import Btb1, BtbHit, InstallResult
+from repro.core.btb2 import Btb2System, StagedTransfer
+from repro.core.cpred import ColumnPredictor, CpredLookup
+from repro.core.crs import CallReturnStack, CrsPrediction
+from repro.core.ctb import ChangingTargetBuffer, CtbLookup
+from repro.core.direction import DirectionDecision, DirectionLogic
+from repro.core.entries import Btb2Entry, BtbEntry
+from repro.core.gpq import GlobalPredictionQueue, PredictionRecord
+from repro.core.gpv import GlobalPathVector
+from repro.core.perceptron import Perceptron, PerceptronLookup
+from repro.core.predictor import (
+    LookaheadBranchPredictor,
+    PredictionOutcome,
+    SearchTrace,
+)
+from repro.core.providers import DirectionProvider, TargetProvider
+from repro.core.spec import SpeculativeOverlay
+from repro.core.state_io import load_state, save_state
+from repro.core.tage import TageLookup, TageLookupSnapshot, TagePht
+from repro.core.target import TargetDecision, TargetLogic
+
+__all__ = [
+    "Btb1",
+    "BtbHit",
+    "InstallResult",
+    "Btb2System",
+    "StagedTransfer",
+    "ColumnPredictor",
+    "CpredLookup",
+    "CallReturnStack",
+    "CrsPrediction",
+    "ChangingTargetBuffer",
+    "CtbLookup",
+    "DirectionDecision",
+    "DirectionLogic",
+    "BtbEntry",
+    "Btb2Entry",
+    "GlobalPredictionQueue",
+    "PredictionRecord",
+    "GlobalPathVector",
+    "Perceptron",
+    "PerceptronLookup",
+    "LookaheadBranchPredictor",
+    "PredictionOutcome",
+    "SearchTrace",
+    "DirectionProvider",
+    "TargetProvider",
+    "SpeculativeOverlay",
+    "load_state",
+    "save_state",
+    "TageLookup",
+    "TageLookupSnapshot",
+    "TagePht",
+    "TargetDecision",
+    "TargetLogic",
+]

@@ -1,0 +1,237 @@
+"""The level-1 branch target buffer (BTB1) with its embedded BHT.
+
+"The bread and butter of the branch predictor is the BTB1, where the BHT
+and BTB for the direction and target address respectively reside"
+(section V).  The z15 BTB1 holds 16K branches as 2K logical rows of 8
+ways; one row covers a 64-byte line of instruction address space and a
+single search reads the whole row, predicting up to 8 branches per cycle
+(section IV).
+
+Entries are partially tagged: two different lines that fold to the same
+(row, tag) pair alias, which is how predictions can appear "in the middle
+of an instruction, or ... on a non-branch instruction" (section IV).  The
+IDU detects those and calls :meth:`Btb1.remove`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.common.addresses import line_index, line_of
+from repro.common.bits import fold_xor, mask
+from repro.configs.predictor import Btb1Config
+from repro.core.entries import BtbEntry
+from repro.structures.assoc import SetAssociativeTable
+
+
+@dataclass(frozen=True)
+class BtbHit:
+    """A search hit: where the entry lives and the line it matched in.
+
+    ``address`` is the branch address the hit *implies* — the searched
+    line base plus the entry's stored offset.  For an aliased entry this
+    differs from the address the entry was installed for.
+    """
+
+    row: int
+    way: int
+    entry: BtbEntry
+    line_base: int
+
+    @property
+    def address(self) -> int:
+        return self.entry.address_in(self.line_base)
+
+    @property
+    def aliased(self) -> bool:
+        """True when the hit comes from a different line than the entry
+        was installed for (ground-truth check; hardware cannot tell)."""
+        return self.entry.line_base != self.line_base
+
+
+@dataclass
+class InstallResult:
+    """Outcome of an install attempt through the write port."""
+
+    installed: bool
+    duplicate: bool
+    row: int
+    way: Optional[int] = None
+    victim: Optional[BtbEntry] = None
+
+
+class Btb1:
+    """The level-1 BTB array plus index/tag math and install filtering."""
+
+    def __init__(self, config: Btb1Config):
+        config.validate()
+        self.config = config
+        self._row_bits = config.rows.bit_length() - 1
+        self._table: SetAssociativeTable[BtbEntry] = SetAssociativeTable(
+            rows=config.rows, ways=config.ways, policy=config.policy
+        )
+        # Statistics
+        self.searches = 0
+        self.hit_searches = 0
+        self.installs = 0
+        self.duplicate_rejects = 0
+        self.evictions = 0
+        self.removals = 0
+        # White-box verification taps (section VII): monitors attach
+        # callables here to observe "internal signals".  Each is invoked
+        # with keyword arguments describing the event.
+        self.on_search = None
+        self.on_install = None
+        self.on_remove = None
+
+    # ------------------------------------------------------------------
+    # Index / tag math
+    # ------------------------------------------------------------------
+
+    def row_of(self, address: int) -> int:
+        """Row selected by an address: low line-index bits."""
+        return line_index(address, self.config.line_size) & mask(self._row_bits)
+
+    def tag_of(self, address: int, context: int) -> int:
+        """Partial tag: line-index bits above the row index, folded with
+        the address-space context."""
+        high_bits = line_index(address, self.config.line_size) >> self._row_bits
+        return fold_xor(high_bits ^ (context * 0x9E37), self.config.tag_bits)
+
+    # ------------------------------------------------------------------
+    # Search (read) port
+    # ------------------------------------------------------------------
+
+    def search_line(
+        self, line_base: int, context: int, min_offset: int = 0
+    ) -> List[BtbHit]:
+        """Search one 64-byte line: all tag-matching entries at or beyond
+        *min_offset*, ordered by their in-line offset (the b3 ordering
+        stage of the pipeline)."""
+        base = line_of(line_base, self.config.line_size)
+        row = self.row_of(base)
+        tag = self.tag_of(base, context)
+        self.searches += 1
+        # Hot path: inline the row scan (called once per searched line).
+        hits = [
+            BtbHit(row=row, way=way, entry=entry, line_base=base)
+            for way, entry in enumerate(self._table.row_entries(row))
+            if entry is not None
+            and entry.tag == tag
+            and entry.offset >= min_offset
+        ]
+        hits.sort(key=lambda hit: hit.entry.offset)
+        if hits:
+            self.hit_searches += 1
+            for hit in hits:
+                self._table.touch(hit.row, hit.way)
+        if self.on_search is not None:
+            self.on_search(
+                line_base=base, context=context, min_offset=min_offset, hits=hits
+            )
+        return hits
+
+    def lookup(self, address: int, context: int) -> Optional[BtbHit]:
+        """Find the entry for one specific branch address (exact offset)."""
+        base = line_of(address, self.config.line_size)
+        offset = address - base
+        row = self.row_of(base)
+        tag = self.tag_of(base, context)
+        found = self._table.find(
+            row, lambda entry: entry.tag == tag and entry.offset == offset
+        )
+        if found is None:
+            return None
+        way, entry = found
+        self._table.touch(row, way)
+        return BtbHit(row=row, way=way, entry=entry, line_base=base)
+
+    # ------------------------------------------------------------------
+    # Write port (second port: read-analyze-write install filtering)
+    # ------------------------------------------------------------------
+
+    def install(self, address: int, context: int, entry: BtbEntry) -> InstallResult:
+        """Install *entry* for *address*, filtering duplicates.
+
+        Models the z15 install path: "a read before write using the
+        second search port ... only written into the BTB1 if the read
+        shows that it does not already exist" (section III).
+        """
+        base = line_of(address, self.config.line_size)
+        offset = address - base
+        row = self.row_of(base)
+        tag = self.tag_of(base, context)
+        entry.tag = tag
+        entry.offset = offset
+        entry.line_base = base
+        entry.context = context
+        existing = self._table.find(
+            row, lambda candidate: candidate.tag == tag and candidate.offset == offset
+        )
+        if existing is not None:
+            self.duplicate_rejects += 1
+            result = InstallResult(installed=False, duplicate=True, row=row)
+            if self.on_install is not None:
+                self.on_install(address=address, context=context, entry=entry,
+                                result=result)
+            return result
+        way, victim = self._table.install(row, entry)
+        self.installs += 1
+        if victim is not None:
+            self.evictions += 1
+        result = InstallResult(
+            installed=True, duplicate=False, row=row, way=way, victim=victim
+        )
+        if self.on_install is not None:
+            self.on_install(address=address, context=context, entry=entry,
+                            result=result)
+        return result
+
+    def remove(self, hit: BtbHit) -> bool:
+        """Remove a (bad) entry; True when it was still present."""
+        current = self._table.read(hit.row, hit.way)
+        if current is not hit.entry:
+            return False
+        self._table.invalidate(hit.row, hit.way)
+        self.removals += 1
+        if self.on_remove is not None:
+            self.on_remove(row=hit.row, way=hit.way, entry=hit.entry)
+        return True
+
+    # ------------------------------------------------------------------
+    # Periodic-refresh support
+    # ------------------------------------------------------------------
+
+    def entry_at(self, row: int, way: int) -> Optional[BtbEntry]:
+        """Direct read of one slot (update-time entry relocation)."""
+        return self._table.read(row, way)
+
+    def victim_preview(self, row: int) -> Optional[BtbEntry]:
+        """The entry next in line for eviction in *row*, if the row is full.
+
+        The periodic refresh analyses a no-hit search's row and writes its
+        LRU entry back to the BTB2 (section III).  A row with an empty way
+        has no eviction pressure, so returns None.
+        """
+        way = self._table.victim_way(row)
+        return self._table.read(row, way)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        return self._table.occupancy()
+
+    @property
+    def capacity(self) -> int:
+        return self._table.capacity
+
+    def entries(self):
+        """Iterate ``(row, way, entry)`` over all valid entries."""
+        return iter(self._table)
+
+    def clear(self) -> None:
+        self._table.clear()

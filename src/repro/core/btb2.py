@@ -1,0 +1,272 @@
+"""The second-level BTB (BTB2), its staging queue and search triggers.
+
+The BTB2 "acts like a level 2 cache for the BTB1" but, unlike a cache,
+"must approximate when content is missing rather than looking for a
+specific cache line" (section III).  The approximations, all modelled
+here:
+
+* three qualified successive BTB1 searches with no predictions trigger a
+  search (``empty_search_threshold``);
+* an unusual number of non-predicted disruptive branches in a time
+  window proactively fires a search;
+* context-changing events trigger proactive searches to prime the BTB1
+  for the new context;
+* found branches (up to 128 = 32 lines x 4 ways) flow through a staging
+  queue and are installed into the BTB1 via read-before-write dedup;
+* the z15 semi-inclusive policy relies on *periodic refresh*: every
+  ``refresh_threshold`` no-hit searches, the searched row's next-victim
+  entry is written back to the BTB2 under the covers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.addresses import line_of
+from repro.common.bits import fold_xor, mask
+from repro.common.errors import ConfigError
+from repro.configs.predictor import Btb2Config
+from repro.core.btb1 import Btb1
+from repro.core.entries import Btb2Entry, BtbEntry
+from repro.structures.assoc import SetAssociativeTable
+from repro.structures.queues import BoundedQueue
+
+
+@dataclass
+class StagedTransfer:
+    """One BTB2 hit waiting in the staging queue for a BTB1 install."""
+
+    address: int
+    context: int
+    entry: Btb2Entry
+
+
+class Btb2System:
+    """The BTB2 array plus the trigger/transfer/refresh machinery."""
+
+    def __init__(self, config: Btb2Config, btb1: Btb1):
+        config.validate()
+        self.config = config
+        self.btb1 = btb1
+        self._row_bits = config.rows.bit_length() - 1
+        self._table: SetAssociativeTable[Btb2Entry] = SetAssociativeTable(
+            rows=config.rows, ways=config.ways, policy=config.policy
+        )
+        self.staging: BoundedQueue[StagedTransfer] = BoundedQueue(
+            config.staging_capacity, name="btb2-staging"
+        )
+        # Trigger state
+        self._consecutive_empty = 0
+        self._no_hit_since_refresh = 0
+        self._surprise_times: List[int] = []
+        # Statistics
+        self.searches = 0
+        self.searches_empty_trigger = 0
+        self.searches_surprise_trigger = 0
+        self.searches_context_trigger = 0
+        self.transfers_found = 0
+        self.transfers_staged = 0
+        self.staging_overflows = 0
+        self.writebacks = 0
+        self.refresh_writebacks = 0
+        self.installs = 0
+
+    # ------------------------------------------------------------------
+    # Index / tag math
+    # ------------------------------------------------------------------
+
+    def row_of(self, address: int) -> int:
+        return (address // self.config.line_size) & mask(self._row_bits)
+
+    def tag_of(self, address: int, context: int) -> int:
+        high_bits = (address // self.config.line_size) >> self._row_bits
+        return fold_xor(high_bits ^ (context * 0x9E37), self.config.tag_bits)
+
+    # ------------------------------------------------------------------
+    # Trigger bookkeeping (driven by the search pipeline)
+    # ------------------------------------------------------------------
+
+    def note_search_outcome(self, search_address: int, context: int, hit: bool) -> bool:
+        """Record one BTB1 search result; fire a BTB2 search when the
+        empty-search counter reaches its threshold.  Returns True when a
+        BTB2 search fired."""
+        if hit:
+            self._consecutive_empty = 0
+            return False
+        self._consecutive_empty += 1
+        self._no_hit_since_refresh += 1
+        self._maybe_periodic_refresh(search_address, context)
+        if self._consecutive_empty >= self.config.empty_search_threshold:
+            self._consecutive_empty = 0
+            self.searches_empty_trigger += 1
+            self.search(search_address, context)
+            return True
+        return False
+
+    def note_surprise_branch(self, now: int, address: int, context: int) -> bool:
+        """Record a disruptive non-predicted branch; proactively fire a
+        search when an unusual number occur within the window."""
+        window = self.config.surprise_trigger_window
+        self._surprise_times = [t for t in self._surprise_times if now - t < window]
+        self._surprise_times.append(now)
+        if len(self._surprise_times) >= self.config.surprise_trigger_count:
+            self._surprise_times.clear()
+            self.searches_surprise_trigger += 1
+            self.search(address, context)
+            return True
+        return False
+
+    def note_context_switch(self, address: int, context: int) -> None:
+        """Context-changing events prefetch and prime the level-1
+        predictor for the new context (section III)."""
+        self.searches_context_trigger += 1
+        self.search(address, context)
+
+    def reset_empty_counter(self) -> None:
+        """Restarts re-qualify the empty-search counting."""
+        self._consecutive_empty = 0
+
+    # ------------------------------------------------------------------
+    # The search itself
+    # ------------------------------------------------------------------
+
+    def search(self, address: int, context: int) -> int:
+        """Search ``transfer_lines`` consecutive lines starting at the
+        line of *address*; stage every hit.  Returns branches staged."""
+        self.searches += 1
+        base = line_of(address, self.config.line_size)
+        staged = 0
+        for line_number in range(self.config.transfer_lines):
+            line_base = base + line_number * self.config.line_size
+            row = self.row_of(line_base)
+            tag = self.tag_of(line_base, context)
+            for way, entry in self._table.find_all(
+                row, lambda candidate, t=tag: candidate.tag == t
+            ):
+                self.transfers_found += 1
+                self._table.touch(row, way)
+                transfer = StagedTransfer(
+                    address=line_base + entry.offset, context=context, entry=entry
+                )
+                if self.staging.try_push(transfer):
+                    staged += 1
+                else:
+                    self.staging_overflows += 1
+        self.transfers_staged += staged
+        return staged
+
+    def drain_staging(self, limit: Optional[int] = None) -> int:
+        """Install staged transfers into the BTB1 (read-before-write
+        dedup happens inside :meth:`Btb1.install`).  Returns installs."""
+        installed = 0
+        remaining = limit if limit is not None else len(self.staging)
+        while remaining > 0 and self.staging:
+            transfer = self.staging.pop()
+            remaining -= 1
+            btb1_tag = self.btb1.tag_of(transfer.address, transfer.context)
+            entry = transfer.entry.to_btb1_entry(btb1_tag)
+            result = self.btb1.install(transfer.address, transfer.context, entry)
+            if result.installed:
+                installed += 1
+                self.installs += 1
+                if not self.config.inclusive and result.victim is not None:
+                    # Semi-exclusive designs write the displaced victim
+                    # back out (the pre-z15 BTBP victim-buffer role).
+                    self.writeback_entry(result.victim)
+        return installed
+
+    # ------------------------------------------------------------------
+    # Write-backs
+    # ------------------------------------------------------------------
+
+    def writeback_entry(self, entry: BtbEntry) -> None:
+        """Write a BTB1 entry's current state into the BTB2."""
+        address = entry.line_base + entry.offset
+        row = self.row_of(address)
+        tag = self.tag_of(address, entry.context)
+        snapshot = Btb2Entry.from_btb1_entry(entry, tag)
+        self._table.install(
+            row,
+            snapshot,
+            match=lambda candidate: candidate.tag == tag
+            and candidate.offset == entry.offset,
+        )
+        self.writebacks += 1
+
+    def _maybe_periodic_refresh(self, search_address: int, context: int) -> None:
+        """The z15 periodic refresh: on every Nth no-hit search, write the
+        searched row's next-victim entry back to the BTB2 (section III).
+
+        Only the inclusive (z15) design uses this; semi-exclusive
+        generations write victims back at eviction time instead.
+        """
+        if not self.config.inclusive:
+            return
+        if self._no_hit_since_refresh < self.config.refresh_threshold:
+            return
+        self._no_hit_since_refresh = 0
+        row = self.btb1.row_of(search_address)
+        victim = self.btb1.victim_preview(row)
+        if victim is not None:
+            self.writeback_entry(victim)
+            self.refresh_writebacks += 1
+
+    def handle_btb1_eviction(self, victim: BtbEntry) -> None:
+        """Called when a BTB1 install displaces an entry.
+
+        z15 assumes the victim "already exist[s] in the BTB2" (kept true
+        by periodic refresh) and burns no power re-writing it; the
+        semi-exclusive designs write it back now.
+        """
+        if not self.config.inclusive:
+            self.writeback_entry(victim)
+
+    # ------------------------------------------------------------------
+    # Direct install (used at completion time for learned branches)
+    # ------------------------------------------------------------------
+
+    def install_snapshot(self, address: int, context: int, entry: BtbEntry) -> None:
+        """Install/update the BTB2 copy of a branch (inclusive priming)."""
+        row = self.row_of(address)
+        tag = self.tag_of(address, context)
+        offset = address % self.config.line_size
+        snapshot = Btb2Entry.from_btb1_entry(entry, tag)
+        snapshot.offset = offset
+        snapshot.line_base = line_of(address, self.config.line_size)
+        self._table.install(
+            row,
+            snapshot,
+            match=lambda candidate: candidate.tag == tag
+            and candidate.offset == offset,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        return self._table.occupancy()
+
+    @property
+    def capacity(self) -> int:
+        return self._table.capacity
+
+    def contains(self, address: int, context: int) -> bool:
+        """Ground-truth membership test (used by tests/verification)."""
+        row = self.row_of(address)
+        tag = self.tag_of(address, context)
+        offset = address % self.config.line_size
+        return (
+            self._table.find(
+                row,
+                lambda candidate: candidate.tag == tag and candidate.offset == offset,
+            )
+            is not None
+        )
+
+    def clear(self) -> None:
+        self._table.clear()
+        self.staging.clear()
+        self._consecutive_empty = 0

@@ -1,0 +1,172 @@
+"""The column predictor (CPRED) with power prediction (sections IV, VI).
+
+The CPRED is "indexed upon entering a new stream" and predicts, for that
+stream: how many sequential searches will run before the taken branch
+that leaves it, which BTB1 way (column) that branch occupies, and the
+redirect address (with SKOOT incorporated, the target plus the skip
+along the target stream).  A correct CPRED lets the pipeline re-index at
+b2 instead of b5, predicting a taken branch every 2 cycles instead of 5.
+
+It also predicts which auxiliary structures (PHT, perceptron, CTB) need
+to be powered up in the target stream; structures a stream doesn't need
+stay dark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.bits import fold_xor
+from repro.configs.predictor import CpredConfig
+from repro.structures.assoc import SetAssociativeTable
+
+#: Power-mask bits: which auxiliary structures the stream needs.
+POWER_PHT = 1
+POWER_PERCEPTRON = 2
+POWER_CTB = 4
+POWER_ALL = POWER_PHT | POWER_PERCEPTRON | POWER_CTB
+
+
+@dataclass
+class CpredEntry:
+    """One stream's learned exit: search count, way, redirect, power."""
+
+    tag: int
+    searches_to_taken: int
+    way: int
+    redirect_address: int
+    power_mask: int = POWER_ALL
+
+
+@dataclass
+class CpredLookup:
+    """Prediction-time snapshot of a CPRED probe for one stream."""
+
+    hit: bool
+    row: int = 0
+    tag: int = 0
+    searches_to_taken: int = 0
+    way: int = 0
+    redirect_address: int = 0
+    power_mask: int = POWER_ALL
+
+
+class ColumnPredictor:
+    """Stream-indexed accelerator + power predictor."""
+
+    def __init__(self, config: CpredConfig):
+        config.validate()
+        self.config = config
+        self._row_bits = max(1, config.rows.bit_length() - 1)
+        self._table: SetAssociativeTable[CpredEntry] = SetAssociativeTable(
+            rows=config.rows, ways=config.ways, policy="lru"
+        )
+        self.lookups = 0
+        self.hits = 0
+        self.correct = 0
+        self.wrong = 0
+        self.trains = 0
+        self.power_gated_lookups = 0
+        self.power_gate_misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    def row_of(self, stream_start: int) -> int:
+        return fold_xor(stream_start >> 1, self._row_bits) % self.config.rows
+
+    def tag_of(self, stream_start: int, context: int) -> int:
+        return fold_xor(
+            (stream_start >> 4) ^ (context * 0x1F7B), self.config.tag_bits
+        )
+
+    def lookup(self, stream_start: int, context: int) -> CpredLookup:
+        """Probe on stream entry."""
+        if not self.enabled:
+            return CpredLookup(hit=False)
+        self.lookups += 1
+        row = self.row_of(stream_start)
+        tag = self.tag_of(stream_start, context)
+        found = self._table.find(row, lambda entry: entry.tag == tag)
+        if found is None:
+            return CpredLookup(hit=False, row=row, tag=tag)
+        way, entry = found
+        self._table.touch(row, way)
+        self.hits += 1
+        return CpredLookup(
+            hit=True,
+            row=row,
+            tag=tag,
+            searches_to_taken=entry.searches_to_taken,
+            way=entry.way,
+            redirect_address=entry.redirect_address,
+            power_mask=entry.power_mask,
+        )
+
+    def resolve(self, lookup: CpredLookup, actual_way: int, actual_redirect: int) -> bool:
+        """Score a CPRED hit once the stream's exit is known.
+
+        Correct means the predicted column and redirect address match
+        what the BTB search pipeline produced — only then may the early
+        b2 re-index stand.
+        """
+        if not lookup.hit:
+            return False
+        is_correct = (
+            lookup.way == actual_way and lookup.redirect_address == actual_redirect
+        )
+        if is_correct:
+            self.correct += 1
+        else:
+            self.wrong += 1
+        return is_correct
+
+    def train(
+        self,
+        stream_start: int,
+        context: int,
+        searches_to_taken: int,
+        way: int,
+        redirect_address: int,
+        power_mask: int,
+    ) -> None:
+        """Learn/refresh a stream exit when its taken branch is found."""
+        if not self.enabled:
+            return
+        row = self.row_of(stream_start)
+        tag = self.tag_of(stream_start, context)
+        self._table.install(
+            row,
+            CpredEntry(
+                tag=tag,
+                searches_to_taken=searches_to_taken,
+                way=way,
+                redirect_address=redirect_address,
+                power_mask=power_mask,
+            ),
+            match=lambda entry: entry.tag == tag,
+        )
+        self.trains += 1
+
+    def allows_power(self, lookup: CpredLookup, structure_bit: int) -> bool:
+        """Whether *structure_bit* is powered for the stream.
+
+        Without a CPRED hit everything stays powered (no information to
+        gate on); with a hit, only predicted-needed structures are up.
+        """
+        if not self.enabled or not lookup.hit:
+            return True
+        allowed = bool(lookup.power_mask & structure_bit)
+        if not allowed:
+            self.power_gated_lookups += 1
+        return allowed
+
+    def note_power_gate_miss(self) -> None:
+        """A gated-off structure turned out to be needed."""
+        self.power_gate_misses += 1
+
+    @property
+    def occupancy(self) -> int:
+        return self._table.occupancy()

@@ -1,0 +1,218 @@
+"""The call/return stack heuristic (CRS, section VI).
+
+z/Architecture has no architected call/return instructions, so the
+predictor *infers* call/return pairs from branch distance: a completed
+taken branch whose |target - address| exceeds a threshold behaves like a
+call, and its NSIA goes onto a one-entry stack; a later taken branch
+landing at NSIA + {0,2,4,6,8} behaves like the matching return and gets
+its BTB1 metadata marked.  The same machinery runs twice:
+
+* the *detection* side at completion marks possible returns;
+* the *prediction* side maintains its own one-entry stack and supplies
+  ``stack.NSIA + return_offset`` as the target of marked returns.
+
+CRS wrong targets blacklist the branch; every Nth completing
+wrong-target blacklisted branch that still pair-matches receives
+amnesty.
+
+Stacks are per SMT thread (call/return pairing is a per-thread control
+flow property); the blacklist/amnesty bookkeeping and statistics are
+shared, matching the shared BTB1 metadata they protect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.configs.predictor import CrsConfig
+
+
+@dataclass
+class _Stack:
+    """A one-entry NSIA stack."""
+
+    nsia: int = 0
+    valid: bool = False
+
+    def push(self, nsia: int) -> None:
+        self.nsia = nsia
+        self.valid = True
+
+    def invalidate(self) -> None:
+        self.valid = False
+
+
+@dataclass
+class CrsPrediction:
+    """Prediction-side outcome for one branch, stored in the GPQ."""
+
+    used: bool
+    target: Optional[int] = None
+
+
+class CallReturnStack:
+    """Both sides of the one-entry call/return stack heuristic."""
+
+    def __init__(self, config: CrsConfig):
+        config.validate()
+        self.config = config
+        self._predict_stacks: Dict[int, _Stack] = {}
+        self._detect_stacks: Dict[int, _Stack] = {}
+        self._amnesty_counter = 0
+        self.predictions_used = 0
+        self.detections = 0
+        self.blacklists = 0
+        self.amnesties = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    def _predict_stack(self, thread: int) -> _Stack:
+        return self._predict_stacks.setdefault(thread, _Stack())
+
+    def _detect_stack(self, thread: int) -> _Stack:
+        return self._detect_stacks.setdefault(thread, _Stack())
+
+    # ------------------------------------------------------------------
+    # Shared heuristic
+    # ------------------------------------------------------------------
+
+    def _is_call_like(self, branch_address: int, target: int) -> bool:
+        """Distance heuristic: far-away taken targets look like calls."""
+        return abs(target - branch_address) >= self.config.distance_threshold
+
+    def _matching_offset(self, stack: _Stack, target: int) -> Optional[int]:
+        """The return offset if *target* lands at NSIA + offset."""
+        if not stack.valid:
+            return None
+        delta = target - stack.nsia
+        if delta in self.config.return_offsets:
+            return delta
+        return None
+
+    # ------------------------------------------------------------------
+    # Prediction side
+    # ------------------------------------------------------------------
+
+    def predict_target(
+        self,
+        is_marked_return: bool,
+        return_offset: Optional[int],
+        blacklisted: bool,
+        thread: int = 0,
+    ) -> CrsPrediction:
+        """Figure 9's CRS leg: a marked, non-blacklisted return with a
+        valid prediction stack takes NSIA + offset; the stack is then
+        invalidated."""
+        stack = self._predict_stack(thread)
+        if (
+            not self.enabled
+            or not is_marked_return
+            or blacklisted
+            or return_offset is None
+            or not stack.valid
+        ):
+            return CrsPrediction(used=False)
+        target = stack.nsia + return_offset
+        stack.invalidate()
+        self.predictions_used += 1
+        return CrsPrediction(used=True, target=target)
+
+    def note_predicted_taken(
+        self, branch_address: int, target: int, nsia: int, thread: int = 0
+    ) -> None:
+        """After a taken prediction: push the NSIA when the branch's
+        predicted target clears the distance threshold."""
+        if not self.enabled:
+            return
+        if self._is_call_like(branch_address, target):
+            self._predict_stack(thread).push(nsia)
+
+    def flush_prediction_stack(self, thread: int = 0) -> None:
+        """Full restarts (run start, context switch) invalidate the
+        speculative prediction stack."""
+        self._predict_stack(thread).invalidate()
+
+    def snapshot_prediction_stack(self, thread: int = 0) -> tuple:
+        """Checkpoint the speculative stack (stored per prediction so a
+        flush can restore the state as of the mispredicted branch)."""
+        stack = self._predict_stack(thread)
+        return (stack.valid, stack.nsia)
+
+    def restore_prediction_stack(self, snapshot: tuple,
+                                 thread: int = 0) -> None:
+        """Restore a checkpoint taken at the restart point — the repair
+        that keeps call/return pairing alive across mispredicted noise
+        between a call and its return."""
+        stack = self._predict_stack(thread)
+        stack.valid, stack.nsia = snapshot
+
+    # ------------------------------------------------------------------
+    # Detection side (completion time)
+    # ------------------------------------------------------------------
+
+    def observe_completed_taken(
+        self, branch_address: int, target: int, nsia: int, thread: int = 0
+    ) -> Optional[int]:
+        """Process one completed resolved-taken branch.
+
+        Returns the matched return offset when this branch behaved like a
+        return (the caller marks the BTB1 metadata), else None.  The
+        call-like push happens regardless, with the paper's subtlety: the
+        stack "can continually be updated even while valid ... as long as
+        it doesn't otherwise match the NSIA plus offset already on the
+        stack".
+        """
+        if not self.enabled:
+            return None
+        stack = self._detect_stack(thread)
+        matched = self._matching_offset(stack, target)
+        if matched is not None:
+            self.detections += 1
+            stack.invalidate()
+            return matched
+        if self._is_call_like(branch_address, target):
+            stack.push(nsia)
+        return None
+
+    # ------------------------------------------------------------------
+    # Blacklist / amnesty
+    # ------------------------------------------------------------------
+
+    def should_blacklist(self) -> bool:
+        """A CRS-provided target resolved wrong: always blacklist."""
+        self.blacklists += 1
+        return True
+
+    def consider_amnesty(self, still_pair_matches: bool) -> bool:
+        """Called for every completing wrong-target branch that is
+        blacklisted; every Nth such branch that still produced a
+        successful call/return pair match is un-blacklisted."""
+        if not self.enabled:
+            return False
+        self._amnesty_counter += 1
+        if self._amnesty_counter >= self.config.amnesty_period:
+            self._amnesty_counter = 0
+            if still_pair_matches:
+                self.amnesties += 1
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def prediction_stack_valid(self) -> bool:
+        """Thread 0's prediction stack state (single-thread tests)."""
+        return self._predict_stack(0).valid
+
+    @property
+    def detection_stack_valid(self) -> bool:
+        """Thread 0's detection stack state (single-thread tests)."""
+        return self._detect_stack(0).valid
+
+    def prediction_stack_valid_for(self, thread: int) -> bool:
+        return self._predict_stack(thread).valid

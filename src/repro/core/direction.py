@@ -1,0 +1,201 @@
+"""Direction-provider selection — the paper's figure 8.
+
+For a BTB1 hit the chain is: entries marked unconditional are taken;
+bidirectional branches consult the perceptron (if useful), then the
+speculative PHT overlay, then the main TAGE PHT tables (weak filtering
+applied), and finally the BHT (with its own speculative overlay).  The
+selected provider *and* the alternate — what would have been selected
+without the provider — are recorded, because completion-time usefulness
+updates compare the two (section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.btb1 import BtbHit
+from repro.core.cpred import (
+    POWER_PERCEPTRON,
+    POWER_PHT,
+    ColumnPredictor,
+    CpredLookup,
+)
+from repro.core.gpv import GlobalPathVector
+from repro.core.perceptron import Perceptron, PerceptronLookup
+from repro.core.providers import DirectionProvider
+from repro.core.spec import SpeculativeOverlay, sbht_key, spht_key
+from repro.core.tage import LONG, TageLookup, TageLookupSnapshot, TagePht
+
+
+@dataclass
+class DirectionDecision:
+    """The selected direction plus everything the GPQ must remember."""
+
+    taken: bool
+    provider: DirectionProvider
+    alternate_taken: Optional[bool]
+    alternate_provider: Optional[DirectionProvider]
+    bht_taken: bool
+    tage_snapshot: Optional[TageLookupSnapshot]
+    perceptron_lookup: Optional[PerceptronLookup]
+    pht_powered: bool = True
+    perceptron_powered: bool = True
+
+
+class DirectionLogic:
+    """Composes the BHT, TAGE PHT, perceptron and speculative overlays."""
+
+    def __init__(
+        self,
+        tage: TagePht,
+        perceptron: Perceptron,
+        sbht: SpeculativeOverlay,
+        spht: SpeculativeOverlay,
+        cpred: ColumnPredictor,
+    ):
+        self.tage = tage
+        self.perceptron = perceptron
+        self.sbht = sbht
+        self.spht = spht
+        self.cpred = cpred
+
+    def decide(
+        self,
+        hit: BtbHit,
+        gpv: GlobalPathVector,
+        sequence: int,
+        cpred_lookup: CpredLookup,
+    ) -> DirectionDecision:
+        """Run figure 8 for one BTB1 hit."""
+        entry = hit.entry
+        if entry.is_unconditional:
+            return DirectionDecision(
+                taken=True,
+                provider=DirectionProvider.UNCONDITIONAL,
+                alternate_taken=None,
+                alternate_provider=None,
+                bht_taken=True,
+                tage_snapshot=None,
+                perceptron_lookup=None,
+            )
+
+        candidates: List[Tuple[DirectionProvider, bool]] = []
+        tage_snapshot: Optional[TageLookupSnapshot] = None
+        perceptron_lookup: Optional[PerceptronLookup] = None
+        pht_powered = True
+        perceptron_powered = True
+
+        if entry.may_use_direction_aux:
+            perceptron_powered = self.cpred.allows_power(
+                cpred_lookup, POWER_PERCEPTRON
+            )
+            pht_powered = self.cpred.allows_power(cpred_lookup, POWER_PHT)
+
+            if perceptron_powered:
+                perceptron_lookup = self.perceptron.lookup(hit.address, gpv)
+                if perceptron_lookup.hit and perceptron_lookup.useful:
+                    assert perceptron_lookup.taken is not None
+                    candidates.append(
+                        (DirectionProvider.PERCEPTRON, perceptron_lookup.taken)
+                    )
+            else:
+                self.cpred.note_power_gate_miss()
+
+            if pht_powered:
+                tage_lookup = self.tage.lookup(hit.address, gpv)
+                tage_snapshot = TageLookupSnapshot.from_lookup(tage_lookup)
+                self._append_pht_candidates(candidates, tage_lookup)
+            else:
+                self.cpred.note_power_gate_miss()
+
+        # BHT leg, with its speculative overlay.
+        bht_taken = entry.bht.taken
+        sbht_override = self.sbht.lookup(
+            sbht_key(hit.row, hit.way, entry.tag, entry.offset)
+        )
+        if sbht_override is not None:
+            candidates.append((DirectionProvider.SBHT, sbht_override))
+        candidates.append((DirectionProvider.BHT, bht_taken))
+
+        provider, taken = candidates[0]
+        if len(candidates) > 1:
+            alternate_provider, alternate_taken = candidates[1]
+        else:
+            alternate_provider, alternate_taken = None, None
+
+        # "Upon a weak prediction, a new entry is written into the SBHT
+        # or SPHT" — assume it correct and strengthen speculatively.
+        self._install_weak_overlays(
+            hit, provider, taken, tage_snapshot, sequence
+        )
+
+        return DirectionDecision(
+            taken=taken,
+            provider=provider,
+            alternate_taken=alternate_taken,
+            alternate_provider=alternate_provider,
+            bht_taken=bht_taken,
+            tage_snapshot=tage_snapshot,
+            perceptron_lookup=perceptron_lookup,
+            pht_powered=pht_powered,
+            perceptron_powered=perceptron_powered,
+        )
+
+    def _append_pht_candidates(
+        self,
+        candidates: List[Tuple[DirectionProvider, bool]],
+        lookup: TageLookup,
+    ) -> None:
+        """SPHT overlay first, then the main-table provider selection,
+        then the TAGE-internal alternate (long's alt is short)."""
+        for hit in (lookup.long_hit, lookup.short_hit):
+            if hit is None:
+                continue
+            override = self.spht.lookup(spht_key(hit.table, hit.row, hit.tag))
+            if override is not None:
+                candidates.append((DirectionProvider.SPHT, override))
+                break
+        if lookup.provider is not None:
+            assert lookup.provider_taken is not None
+            provider_id = (
+                DirectionProvider.PHT_LONG
+                if lookup.provider == LONG
+                else DirectionProvider.PHT_SHORT
+            )
+            candidates.append((provider_id, lookup.provider_taken))
+            if lookup.provider == LONG and lookup.short_hit is not None:
+                candidates.append(
+                    (DirectionProvider.PHT_SHORT, lookup.short_hit.taken)
+                )
+
+    def _install_weak_overlays(
+        self,
+        hit: BtbHit,
+        provider: DirectionProvider,
+        taken: bool,
+        tage_snapshot: Optional[TageLookupSnapshot],
+        sequence: int,
+    ) -> None:
+        entry = hit.entry
+        if provider is DirectionProvider.BHT and entry.bht.weak:
+            self.sbht.install(
+                sbht_key(hit.row, hit.way, entry.tag, entry.offset),
+                taken,
+                sequence,
+            )
+        if (
+            provider in (DirectionProvider.PHT_SHORT, DirectionProvider.PHT_LONG)
+            and tage_snapshot is not None
+            and tage_snapshot.provider_weak
+            and tage_snapshot.provider is not None
+        ):
+            self.spht.install(
+                spht_key(
+                    tage_snapshot.provider,
+                    tage_snapshot.provider_row,
+                    tage_snapshot.provider_tag,
+                ),
+                taken,
+                sequence,
+            )

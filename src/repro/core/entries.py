@@ -1,0 +1,154 @@
+"""Entry records stored in the BTB arrays.
+
+BTB1 entries carry the branch's partial tag, its position within the
+64-byte line, the embedded BHT direction counter and the auxiliary-
+predictor escalation flags (bidirectional, multi-target), the CRS return
+marking/blacklist, and the SKOOT field (section IV-VI of the paper).
+
+A note on ``line_base``: real entries cannot reconstruct their full
+instruction address from the partial tag — which is exactly why bad
+branch predictions on non-branch addresses happen.  The model keeps the
+true installing line address in ``line_base`` as ground-truth
+bookkeeping (used for BTB2 write-backs and for the IDU's bad-prediction
+detection); *matching* never uses it, only the partial ``tag``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.isa.instructions import BranchKind, UNCONDITIONAL_KINDS
+from repro.structures.saturating import TwoBitDirectionCounter
+
+
+@dataclass
+class BtbEntry:
+    """One BTB1 entry: a branch the predictor has learned about."""
+
+    #: Partial tag derived from the line address and context.
+    tag: int
+    #: Byte offset of the branch within its 64-byte line (even).
+    offset: int
+    #: Instruction length (2/4/6); lets consumers compute the NSIA.
+    length: int
+    #: Branch kind bits as decode reported them at install time.
+    kind: BranchKind
+    #: Predicted target address (always present; the BTB1 "always has a
+    #: target address", section VI).
+    target: int
+    #: Embedded 2-bit BHT direction/strength counter.
+    bht: TwoBitDirectionCounter = field(
+        default_factory=lambda: TwoBitDirectionCounter(
+            TwoBitDirectionCounter.WEAK_TAKEN
+        )
+    )
+    #: Set once the branch has exhibited both directions; gates the
+    #: TAGE PHT and perceptron (figure 8).
+    bidirectional: bool = False
+    #: Set once the branch has resolved with a wrong target; gates the
+    #: CTB and CRS (figure 9).
+    multi_target: bool = False
+    #: When not None the branch is marked a possible return landing at
+    #: NSIA + return_offset of the paired call (section VI).
+    return_offset: Optional[int] = None
+    #: True when a CRS-provided target went wrong; cleared by amnesty.
+    crs_blacklisted: bool = False
+    #: SKOOT skip amount in 64-byte lines along the target stream;
+    #: None is the "unknown" initial state (section IV).
+    skoot: Optional[int] = None
+    #: Ground-truth line address this entry was installed from (model
+    #: bookkeeping only; see module docstring).
+    line_base: int = 0
+    #: Address-space identifier at install time (model bookkeeping).
+    context: int = 0
+
+    @property
+    def is_unconditional(self) -> bool:
+        """Entries marked unconditional always predict taken (figure 8)."""
+        return self.kind in UNCONDITIONAL_KINDS
+
+    @property
+    def may_use_direction_aux(self) -> bool:
+        """Whether the PHT/perceptron may override the BHT."""
+        return self.bidirectional and not self.is_unconditional
+
+    @property
+    def may_use_target_aux(self) -> bool:
+        """Whether the CTB/CRS may override the BTB1 target."""
+        return self.multi_target
+
+    def address_in(self, line_base: int) -> int:
+        """The branch address this entry implies for a search of *line_base*."""
+        return line_base + self.offset
+
+    def train_skoot(self, observed_skip: int, maximum: int) -> None:
+        """Move the SKOOT field toward *observed_skip*.
+
+        The field starts unknown and afterwards only decreases
+        ("only decreasing except when being updated from the unknown
+        state", section IV).
+        """
+        clamped = max(0, min(observed_skip, maximum))
+        if self.skoot is None:
+            self.skoot = clamped
+        else:
+            self.skoot = min(self.skoot, clamped)
+
+
+@dataclass
+class Btb2Entry:
+    """One BTB2 entry: a reduced snapshot sufficient to re-prime the BTB1.
+
+    The BTB2 "acts like a level 2 cache for the BTB1" (section II.D); a
+    transfer restores the branch without relearning its metadata.
+    """
+
+    tag: int
+    offset: int
+    length: int
+    kind: BranchKind
+    target: int
+    #: Snapshot of the BHT state at write-back time.
+    bht_value: int = TwoBitDirectionCounter.WEAK_TAKEN
+    bidirectional: bool = False
+    multi_target: bool = False
+    return_offset: Optional[int] = None
+    skoot: Optional[int] = None
+    line_base: int = 0
+    context: int = 0
+
+    def to_btb1_entry(self, btb1_tag: int) -> BtbEntry:
+        """Materialise a BTB1 entry from this snapshot."""
+        return BtbEntry(
+            tag=btb1_tag,
+            offset=self.offset,
+            length=self.length,
+            kind=self.kind,
+            target=self.target,
+            bht=TwoBitDirectionCounter(self.bht_value),
+            bidirectional=self.bidirectional,
+            multi_target=self.multi_target,
+            return_offset=self.return_offset,
+            skoot=self.skoot,
+            line_base=self.line_base,
+            context=self.context,
+        )
+
+    @classmethod
+    def from_btb1_entry(cls, entry: BtbEntry, btb2_tag: int) -> "Btb2Entry":
+        """Snapshot a BTB1 entry for write-back (periodic refresh)."""
+        return cls(
+            tag=btb2_tag,
+            offset=entry.offset,
+            length=entry.length,
+            kind=entry.kind,
+            target=entry.target,
+            bht_value=entry.bht.value,
+            bidirectional=entry.bidirectional,
+            multi_target=entry.multi_target,
+            return_offset=entry.return_offset,
+            skoot=entry.skoot,
+            line_base=entry.line_base,
+            context=entry.context,
+        )

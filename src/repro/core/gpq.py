@@ -1,0 +1,155 @@
+"""The global prediction queue (GPQ).
+
+"Branch prediction information is also queued within the IFB in the
+global prediction queue (GPQ) to be used upon completion for performing
+updates" (section IV).  The GPQ holds each prediction's full state —
+including the *alternate* prediction and the GPV snapshot — across the
+"large gap in time between when branches are predicted and when they are
+updated", and drives every non-speculative update when the branch
+completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.cpred import CpredLookup
+from repro.core.crs import CrsPrediction
+from repro.core.ctb import CtbLookup
+from repro.core.perceptron import PerceptronLookup
+from repro.core.providers import DirectionProvider, TargetProvider
+from repro.core.tage import TageLookupSnapshot
+from repro.isa.instructions import BranchKind
+from repro.structures.queues import BoundedQueue
+
+
+@dataclass
+class PredictionRecord:
+    """Everything the update pipeline needs about one predicted branch."""
+
+    sequence: int
+    address: int
+    context: int
+    thread: int
+    kind: BranchKind
+    length: int
+    #: True when the BTB1 provided the prediction ("dynamically
+    #: predicted"); False for surprise branches.
+    dynamic: bool
+    predicted_taken: bool
+    predicted_target: Optional[int]
+    direction_provider: DirectionProvider
+    target_provider: TargetProvider
+    #: The direction the alternate provider would have chosen (section V).
+    alternate_taken: Optional[bool] = None
+    alternate_provider: Optional[DirectionProvider] = None
+    #: GPV value captured *before* this branch updated it.
+    gpv_snapshot: int = 0
+    # --- provider-specific prediction-time snapshots -------------------
+    btb_row: int = 0
+    btb_way: int = 0
+    btb_tag: int = 0
+    btb_offset: int = 0
+    bidirectional_at_prediction: bool = False
+    multi_target_at_prediction: bool = False
+    marked_return_at_prediction: bool = False
+    blacklisted_at_prediction: bool = False
+    tage: Optional[TageLookupSnapshot] = None
+    perceptron: Optional[PerceptronLookup] = None
+    ctb: Optional[CtbLookup] = None
+    crs: Optional[CrsPrediction] = None
+    cpred: Optional[CpredLookup] = None
+    #: CRS speculative-stack checkpoint taken after this branch's
+    #: prediction-side processing (restored on a flush at this branch).
+    crs_stack_snapshot: tuple = (False, 0)
+    #: Power gating applied to this branch's aux lookups.
+    pht_powered: bool = True
+    perceptron_powered: bool = True
+    ctb_powered: bool = True
+    # --- resolution (filled by the engine before completion) -----------
+    actual_taken: Optional[bool] = None
+    actual_target: Optional[int] = None
+
+    @property
+    def resolved(self) -> bool:
+        return self.actual_taken is not None
+
+    @property
+    def direction_wrong(self) -> bool:
+        if not self.resolved:
+            return False
+        return self.predicted_taken != self.actual_taken
+
+    @property
+    def target_wrong(self) -> bool:
+        """Wrong target on an agreed-taken branch."""
+        if not self.resolved or not self.actual_taken or not self.predicted_taken:
+            return False
+        return self.predicted_target != self.actual_target
+
+    @property
+    def mispredicted(self) -> bool:
+        return self.direction_wrong or self.target_wrong
+
+    @property
+    def next_sequential(self) -> int:
+        return self.address + self.length
+
+    def resolve(self, actual_taken: bool, actual_target: Optional[int]) -> None:
+        self.actual_taken = actual_taken
+        self.actual_target = actual_target
+
+
+class GlobalPredictionQueue:
+    """Bounded in-order queue of in-flight prediction records.
+
+    The functional engine uses it to delay non-speculative updates by the
+    configured completion latency — the property that makes the SBHT/SPHT
+    overlays observable.
+    """
+
+    def __init__(self, capacity: int):
+        self._queue: BoundedQueue[PredictionRecord] = BoundedQueue(
+            capacity, name="gpq"
+        )
+        self.forced_completions = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return self._queue.full
+
+    def push(self, record: PredictionRecord) -> Optional[PredictionRecord]:
+        """Enqueue a new prediction.  When the queue is full the oldest
+        record is force-completed first (modelling the stall that would
+        otherwise throttle the search pipeline); it is returned so the
+        caller can run its update immediately."""
+        forced = None
+        if self._queue.full:
+            forced = self._queue.pop()
+            self.forced_completions += 1
+        self._queue.push(record)
+        return forced
+
+    def completions_due(self, completed_sequence: int) -> List[PredictionRecord]:
+        """Pop every record whose branch has completed (sequence <=
+        *completed_sequence*), oldest first."""
+        due: List[PredictionRecord] = []
+        while self._queue:
+            oldest = self._queue.peek()
+            assert oldest is not None
+            if oldest.sequence > completed_sequence:
+                break
+            due.append(self._queue.pop())
+        return due
+
+    def drain(self) -> List[PredictionRecord]:
+        """Complete everything (end of run)."""
+        return self._queue.drain()
+
+    def flush(self) -> None:
+        """Pipeline flush: discard in-flight records without updates."""
+        self._queue.clear()

@@ -1,0 +1,84 @@
+"""The Global Path Vector (section V).
+
+The GPV represents the executed path as the last N *taken* branches:
+each taken branch contributes a 2-bit hash of its instruction address,
+shifted into the vector (oldest bits fall out).  Not-taken predictions do
+not participate, because the search pipeline only re-indexes on taken
+branches.
+
+z13 and earlier tracked 9 taken branches (18 bits); z14/z15 track 17
+(34 bits).
+"""
+
+from __future__ import annotations
+
+from repro.common.bits import fold_xor, mask
+
+
+class GlobalPathVector:
+    """A shift register of per-taken-branch address hashes."""
+
+    def __init__(self, depth: int = 17, bits_per_branch: int = 2):
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        if bits_per_branch < 1:
+            raise ValueError(f"bits_per_branch must be >= 1, got {bits_per_branch}")
+        self.depth = depth
+        self.bits_per_branch = bits_per_branch
+        self.width = depth * bits_per_branch
+        self._value = 0
+
+    def branch_hash(self, address: int) -> int:
+        """Hash a taken branch's instruction address down to the per-branch
+        contribution ("select bits of the branch's instruction address are
+        hashed down to a smaller 2-bit vector", section V).
+
+        Instruction addresses are halfword aligned, so bit 0 carries no
+        information; the hash folds the address above it.
+        """
+        return fold_xor(address >> 1, self.bits_per_branch)
+
+    def record_taken(self, address: int) -> None:
+        """Shift the hash of a newly taken branch into the vector."""
+        self._value = (
+            (self._value << self.bits_per_branch) | self.branch_hash(address)
+        ) & mask(self.width)
+
+    def value(self, depth: int | None = None) -> int:
+        """The packed history.
+
+        With *depth* the most recent that many branches are returned —
+        this is how the short TAGE table sees only the youngest 9 of the
+        17 tracked branches while the long table sees all 17.
+        """
+        if depth is None:
+            return self._value
+        if not 1 <= depth <= self.depth:
+            raise ValueError(
+                f"depth must be in [1, {self.depth}], got {depth}"
+            )
+        return self._value & mask(depth * self.bits_per_branch)
+
+    def bits(self) -> tuple:
+        """The vector as a tuple of 0/1 ints, LSB (youngest) first.
+
+        The perceptron weights each consume one GPV bit (section V).
+        """
+        return tuple((self._value >> i) & 1 for i in range(self.width))
+
+    def snapshot(self) -> int:
+        """The raw value, for storing in a prediction record."""
+        return self._value
+
+    def restore(self, snapshot: int) -> None:
+        """Reset the vector to a previously captured snapshot."""
+        self._value = snapshot & mask(self.width)
+
+    def clear(self) -> None:
+        self._value = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"GlobalPathVector(depth={self.depth}, "
+            f"value={self._value:#0{self.width // 4 + 2}x})"
+        )

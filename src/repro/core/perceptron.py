@@ -1,0 +1,278 @@
+"""The perceptron auxiliary direction predictor (section V).
+
+Introduced on z14 and carried into z15, the perceptron targets branches
+"not otherwise predictable with sufficient accuracy by BHT or PHT
+structures".  Faithfully modelled behaviours:
+
+* 32 entries as 16 rows x 2 ways, shared between threads;
+* a table of signed weights over GPV path-history bits; the sign of the
+  weight sum is the direction, the magnitudes express correlation;
+* 2:1 *virtualisation*: 34 GPV bits map onto 17 weights; a weight whose
+  magnitude stays near zero is retargeted to its alternate GPV bit;
+* replacement protected by a per-entry protection limit (decremented on
+  each replacement attempt, replaceable only at zero) and a usefulness
+  value (least-useful way chosen);
+* the entry only *provides* the direction once its usefulness exceeds a
+  global threshold; below a learning threshold usefulness grows even
+  when both the perceptron and the alternate were wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.common.bits import fold_xor
+from repro.configs.predictor import PerceptronConfig
+from repro.core.gpv import GlobalPathVector
+
+
+@dataclass
+class PerceptronEntry:
+    """One perceptron: a tagged weight vector with replacement metadata."""
+
+    address: int
+    weights: List[int]
+    #: Which GPV bit each weight currently observes (virtualisation map).
+    mapping: List[int]
+    usefulness: int = 0
+    protection: int = 0
+    updates_seen: int = 0
+
+    def selected_bits(self, gpv_bits: Tuple[int, ...]) -> Tuple[int, ...]:
+        """The GPV bits this entry's weights currently observe."""
+        return tuple(gpv_bits[index] for index in self.mapping)
+
+    def weight_sum(self, gpv_bits: Tuple[int, ...]) -> int:
+        """Signed sum: each weight contributes +w when its GPV bit is 1
+        and -w when it is 0 (the bit supplies the sign, section V)."""
+        total = 0
+        for weight, bit_index in zip(self.weights, self.mapping):
+            bit = gpv_bits[bit_index]
+            total += weight if bit else -weight
+        return total
+
+    def predict(self, gpv_bits: Tuple[int, ...]) -> bool:
+        """Direction = sign of the weight sum (>= 0 predicts taken)."""
+        return self.weight_sum(gpv_bits) >= 0
+
+
+@dataclass
+class PerceptronLookup:
+    """Prediction-time snapshot stored in the GPQ."""
+
+    hit: bool
+    row: int = 0
+    way: int = 0
+    address: int = 0
+    taken: Optional[bool] = None
+    #: True when usefulness clears the provider threshold.
+    useful: bool = False
+    #: GPV bits at prediction time (the whole vector; training re-selects
+    #: through the possibly-updated mapping).
+    gpv_bits: Tuple[int, ...] = field(default_factory=tuple)
+
+
+class Perceptron:
+    """The 16x2 perceptron array with virtualised weights."""
+
+    def __init__(self, config: PerceptronConfig, gpv_width: int):
+        config.validate()
+        self.config = config
+        self.gpv_width = gpv_width
+        self._row_bits = max(1, config.rows.bit_length() - 1)
+        self._rows: List[List[Optional[PerceptronEntry]]] = [
+            [None] * config.ways for _ in range(config.rows)
+        ]
+        self.lookups = 0
+        self.hits = 0
+        self.provider_hits = 0
+        self.installs = 0
+        self.install_rejects = 0
+        self.virtualizations = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    # ------------------------------------------------------------------
+    # Index math and virtualisation map
+    # ------------------------------------------------------------------
+
+    def row_of(self, address: int) -> int:
+        """Indexed as a function of the BPL search address (section V)."""
+        return fold_xor(address >> 1, self._row_bits) % self.config.rows
+
+    def _initial_mapping(self) -> List[int]:
+        """Primary GPV bit per weight: with 2:1 virtualisation weight *i*
+        starts watching bit ``2i``; its alternate is ``2i + 1``."""
+        stride = max(1, self.gpv_width // self.config.weight_count)
+        return [
+            (i * stride) % self.gpv_width for i in range(self.config.weight_count)
+        ]
+
+    def _alternate_bit(self, weight_index: int, current_bit: int) -> int:
+        """The predetermined alternate GPV bit for a poorly-correlating
+        weight (section V: "the perceptron tries a different
+        predetermined bit in the GPV")."""
+        return (current_bit + 1) % self.gpv_width
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+
+    def lookup(self, address: int, gpv: GlobalPathVector) -> PerceptronLookup:
+        """Probe for *address*; the entry provides only when useful."""
+        if not self.enabled:
+            return PerceptronLookup(hit=False)
+        self.lookups += 1
+        row = self.row_of(address)
+        gpv_bits = gpv.bits()
+        for way, entry in enumerate(self._rows[row]):
+            if entry is not None and entry.address == address:
+                self.hits += 1
+                useful = entry.usefulness >= self.config.provider_threshold
+                if useful:
+                    self.provider_hits += 1
+                return PerceptronLookup(
+                    hit=True,
+                    row=row,
+                    way=way,
+                    address=address,
+                    taken=entry.predict(gpv_bits),
+                    useful=useful,
+                    gpv_bits=gpv_bits,
+                )
+        return PerceptronLookup(hit=False, row=row, gpv_bits=gpv_bits)
+
+    # ------------------------------------------------------------------
+    # Completion-time training
+    # ------------------------------------------------------------------
+
+    def update(
+        self,
+        lookup: PerceptronLookup,
+        actual_taken: bool,
+        alternate_taken: Optional[bool],
+    ) -> None:
+        """Train weights and manage usefulness after resolution.
+
+        Weight rule (section V): on a taken resolution every weight whose
+        GPV bit is 1 is incremented and the rest decremented; on not
+        taken, the reverse.  Usefulness: +1 when the perceptron beat the
+        alternate, -1 when it lost; while below the learning threshold it
+        also grows when both were wrong.
+        """
+        if not self.enabled or not lookup.hit:
+            return
+        entry = self._entry_at(lookup.row, lookup.way, lookup.address)
+        if entry is None:
+            return
+        perceptron_taken = entry.predict(lookup.gpv_bits)
+        self._train_weights(entry, lookup.gpv_bits, actual_taken)
+        entry.updates_seen += 1
+        perceptron_correct = perceptron_taken == actual_taken
+        if alternate_taken is None:
+            alternate_correct = None
+        else:
+            alternate_correct = alternate_taken == actual_taken
+        if alternate_correct is not None:
+            if perceptron_correct and not alternate_correct:
+                entry.usefulness = min(
+                    entry.usefulness + 1, (1 << self.config.usefulness_bits) - 1
+                )
+            elif not perceptron_correct and alternate_correct:
+                entry.usefulness = max(entry.usefulness - 1, 0)
+            elif (
+                not perceptron_correct
+                and not alternate_correct
+                and entry.usefulness < self.config.learning_threshold
+            ):
+                entry.usefulness += 1
+        self._maybe_virtualize(entry)
+
+    def _train_weights(
+        self, entry: PerceptronEntry, gpv_bits: Tuple[int, ...], taken: bool
+    ) -> None:
+        limit = self.config.weight_limit
+        for index, bit_index in enumerate(entry.mapping):
+            bit = gpv_bits[bit_index]
+            if taken == bool(bit):
+                entry.weights[index] = min(limit, entry.weights[index] + 1)
+            else:
+                entry.weights[index] = max(-limit, entry.weights[index] - 1)
+
+    def _maybe_virtualize(self, entry: PerceptronEntry) -> None:
+        """Retarget near-zero weights to their alternate GPV bit."""
+        if entry.updates_seen < self.config.virtualization_age:
+            return
+        threshold = self.config.virtualization_threshold
+        for index, weight in enumerate(entry.weights):
+            if abs(weight) <= threshold:
+                entry.mapping[index] = self._alternate_bit(
+                    index, entry.mapping[index]
+                )
+                entry.weights[index] = 0
+                self.virtualizations += 1
+        entry.updates_seen = 0
+
+    # ------------------------------------------------------------------
+    # Replacement
+    # ------------------------------------------------------------------
+
+    def install(self, address: int) -> bool:
+        """Try to allocate an entry for a hard-to-predict branch.
+
+        The least-useful way with protection 0 is replaced; every denied
+        attempt decrements the candidates' protection (section V).
+        """
+        if not self.enabled:
+            return False
+        row = self.row_of(address)
+        ways = self._rows[row]
+        for way, entry in enumerate(ways):
+            if entry is not None and entry.address == address:
+                return False  # already present
+        for way, entry in enumerate(ways):
+            if entry is None:
+                ways[way] = self._new_entry(address)
+                self.installs += 1
+                return True
+        replaceable = [
+            (entry.usefulness, way)
+            for way, entry in enumerate(ways)
+            if entry is not None and entry.protection == 0
+        ]
+        if replaceable:
+            _, way = min(replaceable)
+            ways[way] = self._new_entry(address)
+            self.installs += 1
+            return True
+        for entry in ways:
+            assert entry is not None
+            entry.protection -= 1
+        self.install_rejects += 1
+        return False
+
+    def _new_entry(self, address: int) -> PerceptronEntry:
+        return PerceptronEntry(
+            address=address,
+            weights=[0] * self.config.weight_count,
+            mapping=self._initial_mapping(),
+            usefulness=0,
+            protection=self.config.protection_limit,
+        )
+
+    def _entry_at(
+        self, row: int, way: int, address: int
+    ) -> Optional[PerceptronEntry]:
+        entry = self._rows[row][way]
+        if entry is None or entry.address != address:
+            return None
+        return entry
+
+    @property
+    def occupancy(self) -> int:
+        return sum(
+            1 for row in self._rows for entry in row if entry is not None
+        )

@@ -1,0 +1,62 @@
+"""Provider identities for direction and target predictions.
+
+Figure 8 of the paper selects the direction provider; figure 9 selects
+the target provider.  The engines and benchmarks report accuracy broken
+down by these.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class DirectionProvider(enum.Enum):
+    """Who supplied the direction of a prediction."""
+
+    #: BTB1 entry marked unconditional — always taken.
+    UNCONDITIONAL = "unconditional"
+    #: The 2-bit BHT embedded in the BTB1.
+    BHT = "bht"
+    #: Speculative BHT overlay.
+    SBHT = "sbht"
+    #: Short-history TAGE PHT table (or the single tagged PHT pre-z15).
+    PHT_SHORT = "pht-short"
+    #: Long-history TAGE PHT table.
+    PHT_LONG = "pht-long"
+    #: Speculative PHT overlay.
+    SPHT = "spht"
+    #: Perceptron.
+    PERCEPTRON = "perceptron"
+    #: Decode-time static guess (surprise branches only).
+    STATIC = "static"
+
+
+class TargetProvider(enum.Enum):
+    """Who supplied the target of a taken prediction."""
+
+    #: Target field of the BTB1 entry.
+    BTB1 = "btb1"
+    #: Changing target buffer.
+    CTB = "ctb"
+    #: Call/return stack.
+    CRS = "crs"
+    #: Front-end computed target of a statically-guessed-taken relative
+    #: branch (surprise branches only).
+    STATIC_RELATIVE = "static-relative"
+    #: No target available — statically guessed taken indirect surprise:
+    #: the front end waits for the execution units.
+    NONE = "none"
+
+
+#: Direction providers that count as "dynamic" (BTB-based) predictions.
+DYNAMIC_DIRECTION_PROVIDERS = frozenset(
+    {
+        DirectionProvider.UNCONDITIONAL,
+        DirectionProvider.BHT,
+        DirectionProvider.SBHT,
+        DirectionProvider.PHT_SHORT,
+        DirectionProvider.PHT_LONG,
+        DirectionProvider.SPHT,
+        DirectionProvider.PERCEPTRON,
+    }
+)

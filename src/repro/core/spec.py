@@ -1,0 +1,111 @@
+"""Speculative BHT / PHT overlays (SBHT / SPHT, section IV).
+
+"Because there is a large gap in time between when branches are
+predicted and when they are updated", a weak-state counter can be read
+again before the strengthening update lands — the weak-taken loop branch
+would flutter.  The SBHT/SPHT track weak occurrences of predictions
+that, assumed correct, strengthen the state; mispredicted branches also
+install corrected entries.  Entries are removed when the installing
+branch completes or flushes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.configs.predictor import SpeculativeOverlayConfig
+
+
+@dataclass
+class OverlayEntry:
+    """One speculative direction override."""
+
+    key: Hashable
+    taken: bool
+    #: Dynamic sequence number of the branch instance that installed the
+    #: entry; removal triggers at its completion/flush.
+    installer_sequence: int
+
+
+class SpeculativeOverlay:
+    """A small fully-associative override table keyed by predictor entry.
+
+    For the SBHT the key is the branch's BTB1 location; for the SPHT it
+    is the (table, row, tag) identity of the PHT entry.  FIFO-evicting
+    when full (assumption — the paper only says "a small number of
+    entries").
+    """
+
+    def __init__(self, config: SpeculativeOverlayConfig, name: str):
+        config.validate()
+        self.config = config
+        self.name = name
+        self._entries: Dict[Hashable, OverlayEntry] = {}
+        self._insertion_order: list = []
+        self.installs = 0
+        self.overrides = 0
+        self.removals = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    def lookup(self, key: Hashable) -> Optional[bool]:
+        """The overridden direction for *key*, or None."""
+        if not self.enabled:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self.overrides += 1
+        return entry.taken
+
+    def install(self, key: Hashable, taken: bool, installer_sequence: int) -> None:
+        """Install or refresh an override."""
+        if not self.enabled:
+            return
+        if key in self._entries:
+            existing = self._entries[key]
+            existing.taken = taken
+            existing.installer_sequence = installer_sequence
+            return
+        if len(self._entries) >= self.config.entries:
+            oldest_key = self._insertion_order.pop(0)
+            self._entries.pop(oldest_key, None)
+        self._entries[key] = OverlayEntry(
+            key=key, taken=taken, installer_sequence=installer_sequence
+        )
+        self._insertion_order.append(key)
+        self.installs += 1
+
+    def retire(self, sequence: int) -> int:
+        """Remove entries whose installer has completed; returns count."""
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if entry.installer_sequence <= sequence
+        ]
+        for key in stale:
+            del self._entries[key]
+            self._insertion_order.remove(key)
+        self.removals += len(stale)
+        return len(stale)
+
+    def flush(self) -> None:
+        """Pipeline flush: drop every speculative override."""
+        self._entries.clear()
+        self._insertion_order.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def sbht_key(row: int, way: int, tag: int, offset: int) -> Tuple:
+    """SBHT key: the BTB1 entry identity."""
+    return ("sbht", row, way, tag, offset)
+
+
+def spht_key(table: str, row: int, tag: int) -> Tuple:
+    """SPHT key: the PHT entry identity."""
+    return ("spht", table, row, tag)

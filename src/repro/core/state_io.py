@@ -1,0 +1,129 @@
+"""Predictor-state persistence.
+
+The paper's verification flow preloads "the branch predictor arrays like
+BTB1 and BTB2 to initialize states into those arrays which would
+otherwise be difficult to get to or would take a large number of
+simulation cycles to reach" (§VII).  This module generalises that:
+the learned contents of the BTB1, BTB2 and CTB can be saved to a JSON
+file after a warmup run and restored into a fresh predictor, skipping
+minutes of re-warming in sweep experiments.
+
+Only the address-keyed tables are persisted; the path-history tables
+(TAGE, perceptron) are deliberately excluded — their entries are indexed
+by GPV values that a fresh run will not reproduce exactly, so restoring
+them would create phantom contexts.  They re-warm quickly from the
+restored BTB state.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.entries import BtbEntry
+from repro.core.predictor import LookaheadBranchPredictor
+from repro.isa.instructions import BranchKind
+from repro.structures.saturating import TwoBitDirectionCounter
+
+#: Format marker.
+STATE_FORMAT = "repro-predictor-state-v1"
+
+
+def _entry_to_dict(entry: BtbEntry) -> dict:
+    return {
+        "offset": entry.offset,
+        "length": entry.length,
+        "kind": entry.kind.value,
+        "target": entry.target,
+        "bht": entry.bht.value,
+        "bidirectional": entry.bidirectional,
+        "multi_target": entry.multi_target,
+        "return_offset": entry.return_offset,
+        "skoot": entry.skoot,
+        "line_base": entry.line_base,
+        "context": entry.context,
+    }
+
+
+def _entry_from_dict(data: dict) -> BtbEntry:
+    return BtbEntry(
+        tag=0,  # recomputed at install time
+        offset=data["offset"],
+        length=data["length"],
+        kind=BranchKind(data["kind"]),
+        target=data["target"],
+        bht=TwoBitDirectionCounter(data["bht"]),
+        bidirectional=data["bidirectional"],
+        multi_target=data["multi_target"],
+        return_offset=data["return_offset"],
+        skoot=data["skoot"],
+        line_base=data["line_base"],
+        context=data["context"],
+    )
+
+
+def save_state(
+    predictor: LookaheadBranchPredictor, path: Union[str, Path]
+) -> dict:
+    """Write the predictor's learned BTB/CTB state to *path*.
+
+    Returns the summary counts written.
+    """
+    btb1_entries = [
+        _entry_to_dict(entry) for _row, _way, entry in predictor.btb1.entries()
+    ]
+    btb2_entries = []
+    if predictor.btb2 is not None:
+        for _row, _way, snapshot in predictor.btb2._table:
+            btb2_entries.append(
+                {
+                    "offset": snapshot.offset,
+                    "length": snapshot.length,
+                    "kind": snapshot.kind.value,
+                    "target": snapshot.target,
+                    "bht": snapshot.bht_value,
+                    "bidirectional": snapshot.bidirectional,
+                    "multi_target": snapshot.multi_target,
+                    "return_offset": snapshot.return_offset,
+                    "skoot": snapshot.skoot,
+                    "line_base": snapshot.line_base,
+                    "context": snapshot.context,
+                }
+            )
+    payload = {
+        "format": STATE_FORMAT,
+        "config_name": predictor.config.name,
+        "btb1": btb1_entries,
+        "btb2": btb2_entries,
+    }
+    Path(path).write_text(json.dumps(payload))
+    return {"btb1": len(btb1_entries), "btb2": len(btb2_entries)}
+
+
+def load_state(
+    predictor: LookaheadBranchPredictor, path: Union[str, Path]
+) -> dict:
+    """Restore saved state into *predictor* (installed through the
+    normal dedup write port, so geometry differences are tolerated).
+
+    Returns the counts actually installed.
+    """
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != STATE_FORMAT:
+        raise ValueError(f"{path}: not a predictor state file")
+    installed_btb1 = 0
+    for data in payload["btb1"]:
+        entry = _entry_from_dict(data)
+        address = data["line_base"] + data["offset"]
+        result = predictor.btb1.install(address, data["context"], entry)
+        if result.installed:
+            installed_btb1 += 1
+    installed_btb2 = 0
+    if predictor.btb2 is not None:
+        for data in payload["btb2"]:
+            entry = _entry_from_dict(data)
+            address = data["line_base"] + data["offset"]
+            predictor.btb2.install_snapshot(address, data["context"], entry)
+            installed_btb2 += 1
+    return {"btb1": installed_btb1, "btb2": installed_btb2}

@@ -1,0 +1,96 @@
+"""Target-provider selection — the paper's figure 9.
+
+The BTB1 always has a target.  Only once a branch has resolved with a
+wrong target does its BTB1 entry get marked multi-target, opening the
+auxiliary providers: the call/return stack (for marked, non-blacklisted
+returns while the prediction stack is valid) ahead of the CTB (on a
+path-history tag hit), falling back to the BTB1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.btb1 import BtbHit
+from repro.core.cpred import POWER_CTB, ColumnPredictor, CpredLookup
+from repro.core.crs import CallReturnStack, CrsPrediction
+from repro.core.ctb import ChangingTargetBuffer, CtbLookup
+from repro.core.providers import TargetProvider
+
+
+@dataclass
+class TargetDecision:
+    """The selected target plus the GPQ snapshots."""
+
+    target: int
+    provider: TargetProvider
+    ctb_lookup: Optional[CtbLookup]
+    crs_prediction: Optional[CrsPrediction]
+    ctb_powered: bool = True
+
+
+class TargetLogic:
+    """Composes the BTB1 target, CTB and CRS."""
+
+    def __init__(
+        self,
+        ctb: ChangingTargetBuffer,
+        crs: CallReturnStack,
+        cpred: ColumnPredictor,
+    ):
+        self.ctb = ctb
+        self.crs = crs
+        self.cpred = cpred
+
+    def decide(
+        self,
+        hit: BtbHit,
+        context: int,
+        gpv_snapshot: int,
+        cpred_lookup: CpredLookup,
+        thread: int = 0,
+    ) -> TargetDecision:
+        """Run figure 9 for one predicted-taken BTB1 hit."""
+        entry = hit.entry
+        ctb_lookup: Optional[CtbLookup] = None
+        crs_prediction: Optional[CrsPrediction] = None
+        ctb_powered = True
+
+        if entry.may_use_target_aux:
+            crs_prediction = self.crs.predict_target(
+                is_marked_return=entry.return_offset is not None,
+                return_offset=entry.return_offset,
+                blacklisted=entry.crs_blacklisted,
+                thread=thread,
+            )
+            if crs_prediction.used:
+                assert crs_prediction.target is not None
+                return TargetDecision(
+                    target=crs_prediction.target,
+                    provider=TargetProvider.CRS,
+                    ctb_lookup=None,
+                    crs_prediction=crs_prediction,
+                )
+            ctb_powered = self.cpred.allows_power(cpred_lookup, POWER_CTB)
+            if ctb_powered:
+                ctb_lookup = self.ctb.lookup(hit.address, context, gpv_snapshot)
+                if ctb_lookup.hit:
+                    assert ctb_lookup.target is not None
+                    return TargetDecision(
+                        target=ctb_lookup.target,
+                        provider=TargetProvider.CTB,
+                        ctb_lookup=ctb_lookup,
+                        crs_prediction=crs_prediction,
+                        ctb_powered=ctb_powered,
+                    )
+            else:
+                self.cpred.note_power_gate_miss()
+
+        return TargetDecision(
+            target=entry.target,
+            provider=TargetProvider.BTB1,
+            ctb_lookup=ctb_lookup,
+            crs_prediction=crs_prediction,
+            ctb_powered=ctb_powered,
+        )

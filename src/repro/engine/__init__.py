@@ -1,0 +1,6 @@
+"""Simulation engines: functional (accuracy) and cycle-level (timing)."""
+
+from repro.engine.cycle import CycleEngine, CycleStats
+from repro.engine.functional import FunctionalEngine
+
+__all__ = ["CycleEngine", "CycleStats", "FunctionalEngine"]

@@ -1,0 +1,121 @@
+"""The functional simulation engine.
+
+Drives any predictor implementing the *branch predictor protocol* (the
+:class:`~repro.core.predictor.LookaheadBranchPredictor` or one of the
+baselines) over a workload, collecting :class:`~repro.stats.RunStats`.
+This engine measures *accuracy* (coverage, direction/target correctness,
+MPKI); the cycle engine in :mod:`repro.engine.cycle` measures time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from repro.core.predictor import LookaheadBranchPredictor, PredictionOutcome
+from repro.isa.dynamic import DynamicBranch
+from repro.stats.metrics import RunStats
+from repro.workloads.executor import Executor
+from repro.workloads.multi import ContextSwitch, InterleavedRun
+from repro.workloads.program import Program
+
+
+class FunctionalEngine:
+    """Feeds executed branches to a predictor and aggregates statistics.
+
+    An optional *profile* (:class:`repro.stats.analysis.MispredictProfile`)
+    receives every counted outcome for per-address analysis.
+    """
+
+    def __init__(self, predictor: LookaheadBranchPredictor, profile=None):
+        self.predictor = predictor
+        self.stats = RunStats()
+        self.profile = profile
+
+    def _record(self, outcome) -> None:
+        self.stats.record(outcome)
+        if self.profile is not None:
+            self.profile.record(outcome)
+
+    def run_program(
+        self,
+        program: Program,
+        max_branches: int,
+        seed: int = 1,
+        warmup_branches: int = 0,
+    ) -> RunStats:
+        """Execute *program* and predict every branch.
+
+        With *warmup_branches* the first that many branches train the
+        predictor without being counted (steady-state measurement).
+        """
+        executor = Executor(program, seed=seed)
+        self.predictor.restart(program.entry_point, context=0)
+        counted_instructions_start = 0
+        for index, branch in enumerate(
+            executor.run(max_branches=warmup_branches + max_branches)
+        ):
+            outcome = self.predictor.predict_and_resolve(branch)
+            if index == warmup_branches - 1:
+                counted_instructions_start = executor.instructions_executed
+            if index >= warmup_branches:
+                self._record(outcome)
+        self.predictor.finalize()
+        self.stats.instructions = (
+            executor.instructions_executed - counted_instructions_start
+        )
+        return self.stats
+
+    def run_branches(
+        self,
+        branches: Iterable[DynamicBranch],
+        instructions: Optional[int] = None,
+        restart_at: Optional[int] = None,
+    ) -> RunStats:
+        """Predict a pre-recorded branch stream (e.g. a loaded trace)."""
+        first = True
+        count = 0
+        for branch in branches:
+            if first:
+                start = restart_at if restart_at is not None else branch.address
+                self.predictor.restart(start, context=branch.context)
+                first = False
+            outcome = self.predictor.predict_and_resolve(branch)
+            self._record(outcome)
+            count += 1
+        self.predictor.finalize()
+        # Without real instruction counts, approximate with the paper's
+        # 1-branch-in-4 density.
+        self.stats.instructions = (
+            instructions if instructions is not None else count * 4
+        )
+        return self.stats
+
+    def run_events(
+        self,
+        events: Iterable[Union[DynamicBranch, ContextSwitch]],
+        instructions: Optional[int] = None,
+    ) -> RunStats:
+        """Drive an interleaved multi-context event stream."""
+        count = 0
+        for event in events:
+            if isinstance(event, ContextSwitch):
+                self.predictor.context_switch(
+                    event.entry_point, event.context, event.thread
+                )
+                continue
+            outcome = self.predictor.predict_and_resolve(event)
+            self._record(outcome)
+            count += 1
+        self.predictor.finalize()
+        self.stats.instructions = (
+            instructions if instructions is not None else count * 4
+        )
+        return self.stats
+
+    def run_interleaved(
+        self, run: InterleavedRun, total_branches: int
+    ) -> RunStats:
+        """Convenience wrapper for :class:`InterleavedRun`."""
+        stats = self.run_events(run.run(total_branches))
+        stats.instructions = run.instructions_executed
+        return stats

@@ -1,0 +1,17 @@
+"""Front-end substrate: the instruction-cache hierarchy."""
+
+from repro.frontend.icache import (
+    AccessResult,
+    CacheLevel,
+    CacheLevelConfig,
+    InstructionCacheHierarchy,
+    z15_hierarchy_configs,
+)
+
+__all__ = [
+    "AccessResult",
+    "CacheLevel",
+    "CacheLevelConfig",
+    "InstructionCacheHierarchy",
+    "z15_hierarchy_configs",
+]

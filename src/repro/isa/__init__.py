@@ -1,0 +1,30 @@
+"""A synthetic z/Architecture-like instruction model.
+
+The real z/Architecture is a CISC ISA with 2-, 4- and 6-byte
+instructions, dozens of branch opcodes, relative branches (target =
+branch address + signed halfword offset) and indirect branches (target =
+base + index + displacement, resolved late in the pipeline), and *no*
+architected call/return instructions.  This package models exactly the
+properties the branch predictor can observe.
+"""
+
+from repro.isa.instructions import (
+    BranchKind,
+    Instruction,
+    VALID_LENGTHS,
+    is_branch,
+    static_guess_taken,
+    static_target_known,
+)
+from repro.isa.dynamic import DynamicBranch, DynamicInstruction
+
+__all__ = [
+    "BranchKind",
+    "Instruction",
+    "VALID_LENGTHS",
+    "is_branch",
+    "static_guess_taken",
+    "static_target_known",
+    "DynamicBranch",
+    "DynamicInstruction",
+]

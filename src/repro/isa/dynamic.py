@@ -1,0 +1,80 @@
+"""Dynamic execution records.
+
+A workload's execution is a stream of :class:`DynamicInstruction` events;
+the branch-bearing subset is what every predictor consumes.  Records are
+immutable so engines, queues and verification monitors can share them
+freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa.instructions import BranchKind, Instruction
+
+
+@dataclass(frozen=True)
+class DynamicInstruction:
+    """One executed instruction instance.
+
+    ``sequence`` is the dynamic instruction number (0-based) within the
+    run; ``thread`` identifies the SMT thread; ``context`` is a small
+    address-space identifier used for virtual-address tagging (the CTB
+    entry "can only be used if there is a tag match for the current
+    address space", section VI).
+    """
+
+    sequence: int
+    instruction: Instruction
+    thread: int = 0
+    context: int = 0
+
+    @property
+    def address(self) -> int:
+        return self.instruction.address
+
+    @property
+    def is_branch(self) -> bool:
+        return self.instruction.is_branch
+
+
+@dataclass(frozen=True)
+class DynamicBranch:
+    """One executed branch instance with its resolved outcome."""
+
+    sequence: int
+    instruction: Instruction
+    taken: bool
+    target: Optional[int]
+    thread: int = 0
+    context: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.instruction.is_branch:
+            raise ValueError("DynamicBranch requires a branch instruction")
+        if self.taken and self.target is None:
+            raise ValueError("a taken branch must carry a target")
+        if not self.taken and self.target is not None:
+            raise ValueError("a not-taken branch carries no target")
+
+    @property
+    def address(self) -> int:
+        return self.instruction.address
+
+    @property
+    def kind(self) -> BranchKind:
+        return self.instruction.kind
+
+    @property
+    def next_sequential(self) -> int:
+        """The fall-through address (NSIA)."""
+        return self.instruction.next_sequential
+
+    @property
+    def next_address(self) -> int:
+        """Where control actually went: target if taken, else NSIA."""
+        if self.taken:
+            assert self.target is not None
+            return self.target
+        return self.instruction.next_sequential

@@ -1,0 +1,152 @@
+"""Static instruction model.
+
+Only the attributes the branch predictor and front end can observe are
+modelled: the instruction address, its length (2/4/6 bytes), whether it
+is a branch and of which kind, and — for relative branches — the
+statically encoded target.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.addresses import HALFWORD
+
+#: Legal z-like instruction lengths in bytes.
+VALID_LENGTHS = (2, 4, 6)
+
+
+class BranchKind(enum.Enum):
+    """Branch categories as the decode logic distinguishes them.
+
+    The paper's static-guess rules (section IV): unconditional branches
+    and loop branches are statically guessed taken; most conditional
+    branches are statically guessed not-taken.  Relative branches have
+    front-end-computable targets; indirect targets are produced about a
+    dozen cycles into the back end.
+    """
+
+    #: Not a branch at all.
+    NONE = "none"
+    #: Conditional, target encoded as an offset in the instruction text.
+    CONDITIONAL_RELATIVE = "cond-rel"
+    #: Unconditional, relative target.
+    UNCONDITIONAL_RELATIVE = "uncond-rel"
+    #: Conditional, target from base+index+displacement (registers).
+    CONDITIONAL_INDIRECT = "cond-ind"
+    #: Unconditional indirect (e.g. branch-on-register), multi-target capable.
+    UNCONDITIONAL_INDIRECT = "uncond-ind"
+    #: Branch-on-count style loop-closing branch; statically guessed taken.
+    LOOP_RELATIVE = "loop-rel"
+
+
+#: Branch kinds whose dynamic target can vary between executions.
+INDIRECT_KINDS = frozenset(
+    {BranchKind.CONDITIONAL_INDIRECT, BranchKind.UNCONDITIONAL_INDIRECT}
+)
+
+#: Branch kinds that always redirect when executed.
+UNCONDITIONAL_KINDS = frozenset(
+    {BranchKind.UNCONDITIONAL_RELATIVE, BranchKind.UNCONDITIONAL_INDIRECT}
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction in a program image.
+
+    For relative branches *static_target* holds the encoded target
+    (branch address + signed halfword offset already applied).  Indirect
+    branches carry ``static_target=None``; their dynamic target comes
+    from the executing behaviour model.
+    """
+
+    address: int
+    length: int
+    kind: BranchKind = BranchKind.NONE
+    static_target: Optional[int] = None
+    mnemonic: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.length not in VALID_LENGTHS:
+            raise ValueError(
+                f"instruction length must be one of {VALID_LENGTHS}, got {self.length}"
+            )
+        if self.address % HALFWORD:
+            raise ValueError(
+                f"instruction address {self.address:#x} is not halfword aligned"
+            )
+        if self.kind in INDIRECT_KINDS and self.static_target is not None:
+            raise ValueError("indirect branches cannot carry a static target")
+        relative_branch = self.kind in (
+            BranchKind.CONDITIONAL_RELATIVE,
+            BranchKind.UNCONDITIONAL_RELATIVE,
+            BranchKind.LOOP_RELATIVE,
+        )
+        if relative_branch and self.static_target is None:
+            raise ValueError(f"{self.kind.value} branch requires a static target")
+        if self.static_target is not None and self.static_target % HALFWORD:
+            raise ValueError(
+                f"branch target {self.static_target:#x} is not halfword aligned"
+            )
+
+    @property
+    def is_branch(self) -> bool:
+        return self.kind is not BranchKind.NONE
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.kind in (
+            BranchKind.CONDITIONAL_RELATIVE,
+            BranchKind.CONDITIONAL_INDIRECT,
+            BranchKind.LOOP_RELATIVE,
+        )
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.kind in INDIRECT_KINDS
+
+    @property
+    def next_sequential(self) -> int:
+        """Address of the next sequential instruction (the branch NSIA)."""
+        return self.address + self.length
+
+    @property
+    def end_address(self) -> int:
+        """One past the last byte of this instruction."""
+        return self.address + self.length
+
+
+def is_branch(instruction: Instruction) -> bool:
+    """True when *instruction* is any kind of branch."""
+    return instruction.is_branch
+
+
+def static_guess_taken(instruction: Instruction) -> bool:
+    """The decode-time static direction guess for a surprise branch.
+
+    "Unconditional branches and loop branches are statically guessed
+    taken.  Most conditional branches are statically guessed not-taken."
+    (section IV)
+    """
+    if not instruction.is_branch:
+        raise ValueError(f"{instruction!r} is not a branch")
+    if instruction.kind in UNCONDITIONAL_KINDS:
+        return True
+    if instruction.kind is BranchKind.LOOP_RELATIVE:
+        return True
+    return False
+
+
+def static_target_known(instruction: Instruction) -> bool:
+    """Whether the front end can compute the taken target on its own.
+
+    For statically guessed taken *relative* branches the front end can
+    generate the restart address; for indirect branches it must wait for
+    the execution units (section IV).
+    """
+    if not instruction.is_branch:
+        raise ValueError(f"{instruction!r} is not a branch")
+    return instruction.static_target is not None

@@ -1,0 +1,18 @@
+"""Statistics, reporting and per-branch analysis."""
+
+from repro.stats.analysis import HotBranch, MispredictProfile
+from repro.stats.metrics import (
+    MISPREDICT_CLASSES,
+    MispredictClass,
+    RunStats,
+    classify,
+)
+
+__all__ = [
+    "HotBranch",
+    "MispredictProfile",
+    "MISPREDICT_CLASSES",
+    "MispredictClass",
+    "RunStats",
+    "classify",
+]

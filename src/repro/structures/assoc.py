@@ -1,0 +1,169 @@
+"""A generic set-associative table.
+
+Every major z15 prediction array — BTB1 (2K x 8), BTB2 (32K x 4), the
+TAGE PHT tables (512 x 8), the CTB (512 x 4) and the perceptron array
+(16 x 2) — is a set-associative structure.  This class provides the row /
+way / replacement mechanics; the tables in :mod:`repro.core` supply the
+index and tag functions and the entry types.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, List, Optional, Tuple, TypeVar
+
+from repro.structures.lru import PseudoLruTree, ReplacementPolicy, TrueLru
+
+E = TypeVar("E")
+
+PolicyFactory = Callable[[int], ReplacementPolicy]
+
+_POLICY_FACTORIES = {
+    "lru": TrueLru,
+    "plru": PseudoLruTree,
+}
+
+
+class SetAssociativeTable(Generic[E]):
+    """Rows x ways of optional entries with per-row replacement state."""
+
+    def __init__(self, rows: int, ways: int, policy: str = "lru"):
+        if rows <= 0:
+            raise ValueError(f"rows must be positive, got {rows}")
+        if ways <= 0:
+            raise ValueError(f"ways must be positive, got {ways}")
+        if policy not in _POLICY_FACTORIES:
+            raise ValueError(f"unknown replacement policy {policy!r}")
+        self.rows = rows
+        self.ways = ways
+        self.policy_name = policy
+        factory = _POLICY_FACTORIES[policy]
+        self._data: List[List[Optional[E]]] = [[None] * ways for _ in range(rows)]
+        self._policies: List[ReplacementPolicy] = [factory(ways) for _ in range(rows)]
+
+    @property
+    def capacity(self) -> int:
+        """Total number of entries the table can hold."""
+        return self.rows * self.ways
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise ValueError(f"row {row} out of range for {self.rows}-row table")
+
+    def _check_way(self, way: int) -> None:
+        if not 0 <= way < self.ways:
+            raise ValueError(f"way {way} out of range for {self.ways}-way table")
+
+    def row_entries(self, row: int) -> List[Optional[E]]:
+        """A copy of the row's contents indexed by way."""
+        self._check_row(row)
+        return list(self._data[row])
+
+    def read(self, row: int, way: int) -> Optional[E]:
+        """The entry at (row, way), or None; does not touch replacement."""
+        self._check_row(row)
+        self._check_way(way)
+        return self._data[row][way]
+
+    def find(self, row: int, match: Callable[[E], bool]) -> Optional[Tuple[int, E]]:
+        """First (way, entry) in *row* whose entry satisfies *match*."""
+        self._check_row(row)
+        for way, entry in enumerate(self._data[row]):
+            if entry is not None and match(entry):
+                return way, entry
+        return None
+
+    def find_all(self, row: int, match: Callable[[E], bool]) -> List[Tuple[int, E]]:
+        """All (way, entry) pairs in *row* whose entries satisfy *match*.
+
+        A BTB1 search reads a whole row and can report every branch in the
+        64-byte line at once (up to 8 predictions per cycle, section IV).
+        """
+        self._check_row(row)
+        return [
+            (way, entry)
+            for way, entry in enumerate(self._data[row])
+            if entry is not None and match(entry)
+        ]
+
+    def touch(self, row: int, way: int) -> None:
+        """Mark (row, way) most recently used."""
+        self._check_row(row)
+        self._check_way(way)
+        self._policies[row].touch(way)
+
+    def victim_way(self, row: int) -> int:
+        """The way a new install would displace: an empty way if one
+        exists, otherwise the replacement policy's choice."""
+        self._check_row(row)
+        for way, entry in enumerate(self._data[row]):
+            if entry is None:
+                return way
+        return self._policies[row].victim()
+
+    def write(self, row: int, way: int, entry: E, touch: bool = True) -> Optional[E]:
+        """Overwrite (row, way) with *entry*; returns the displaced entry."""
+        self._check_row(row)
+        self._check_way(way)
+        displaced = self._data[row][way]
+        self._data[row][way] = entry
+        if touch:
+            self._policies[row].touch(way)
+        return displaced
+
+    def install(
+        self,
+        row: int,
+        entry: E,
+        match: Optional[Callable[[E], bool]] = None,
+    ) -> Tuple[int, Optional[E]]:
+        """Install *entry* in *row*, returning ``(way, evicted_entry)``.
+
+        When *match* is given and an existing entry satisfies it, that
+        entry is overwritten in place (an update).  Otherwise an empty way
+        is used, or the replacement victim is displaced.
+        """
+        self._check_row(row)
+        if match is not None:
+            found = self.find(row, match)
+            if found is not None:
+                way, _ = found
+                return way, self.write(row, way, entry)
+        way = self.victim_way(row)
+        return way, self.write(row, way, entry)
+
+    def invalidate(self, row: int, way: int) -> Optional[E]:
+        """Remove and return the entry at (row, way)."""
+        self._check_row(row)
+        self._check_way(way)
+        removed = self._data[row][way]
+        self._data[row][way] = None
+        return removed
+
+    def invalidate_where(self, match: Callable[[E], bool]) -> int:
+        """Remove every entry satisfying *match*; returns removal count."""
+        removed = 0
+        for row in range(self.rows):
+            for way, entry in enumerate(self._data[row]):
+                if entry is not None and match(entry):
+                    self._data[row][way] = None
+                    removed += 1
+        return removed
+
+    def occupancy(self) -> int:
+        """Number of valid entries currently held."""
+        return sum(
+            1 for row in self._data for entry in row if entry is not None
+        )
+
+    def clear(self) -> None:
+        """Invalidate every entry (replacement state is kept)."""
+        for row in self._data:
+            for way in range(self.ways):
+                row[way] = None
+
+    def __iter__(self):
+        """Iterate over ``(row, way, entry)`` for every valid entry."""
+        for row_index, row in enumerate(self._data):
+            for way, entry in enumerate(row):
+                if entry is not None:
+                    yield row_index, way, entry

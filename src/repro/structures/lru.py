@@ -1,0 +1,104 @@
+"""Replacement policies for set-associative tables.
+
+Two policies are provided: exact LRU (list-based, what the paper's prose
+reasons about when it says "next to be evicted (LRU) entry") and a
+tree-based pseudo-LRU, the usual hardware implementation for 8-way
+arrays.  Both answer the same three questions per row: which way is the
+victim, which way was just used, and which way was just filled.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class ReplacementPolicy:
+    """Per-row replacement state for a set-associative structure."""
+
+    def __init__(self, ways: int):
+        if ways <= 0:
+            raise ValueError(f"ways must be positive, got {ways}")
+        self.ways = ways
+
+    def touch(self, way: int) -> None:
+        """Record a use of *way* (moves it away from eviction)."""
+        raise NotImplementedError
+
+    def victim(self) -> int:
+        """Return the way that would be evicted next."""
+        raise NotImplementedError
+
+    def _check_way(self, way: int) -> None:
+        if not 0 <= way < self.ways:
+            raise ValueError(f"way {way} out of range for {self.ways}-way row")
+
+
+class TrueLru(ReplacementPolicy):
+    """Exact least-recently-used ordering."""
+
+    def __init__(self, ways: int):
+        super().__init__(ways)
+        # Index 0 is least recently used; the last element is most recent.
+        self._order: List[int] = list(range(ways))
+
+    def touch(self, way: int) -> None:
+        self._check_way(way)
+        self._order.remove(way)
+        self._order.append(way)
+
+    def victim(self) -> int:
+        return self._order[0]
+
+    def recency_order(self) -> List[int]:
+        """Ways ordered least- to most-recently used (for introspection)."""
+        return list(self._order)
+
+
+class PseudoLruTree(ReplacementPolicy):
+    """Tree-based pseudo-LRU over a power-of-two number of ways.
+
+    A binary tree of single-bit pointers; each internal node points toward
+    the less recently used half.  This is the standard area-cheap
+    approximation used for wide (8-way) hardware arrays such as the BTB1.
+    """
+
+    def __init__(self, ways: int):
+        super().__init__(ways)
+        if ways & (ways - 1):
+            raise ValueError(f"pseudo-LRU requires power-of-two ways, got {ways}")
+        # One bit per internal node, heap-ordered; node 1 is the root.
+        # A bit of 0 means "left subtree is older", 1 means "right is older".
+        self._bits = [0] * ways  # index 0 unused
+
+    def touch(self, way: int) -> None:
+        self._check_way(way)
+        node = 1
+        span = self.ways
+        offset = 0
+        while span > 1:
+            half = span // 2
+            if way < offset + half:
+                # Used the left half: point the node at the right half.
+                self._bits[node] = 1
+                node = 2 * node
+                span = half
+            else:
+                self._bits[node] = 0
+                node = 2 * node + 1
+                offset += half
+                span = half
+
+    def victim(self) -> int:
+        node = 1
+        span = self.ways
+        offset = 0
+        while span > 1:
+            half = span // 2
+            if self._bits[node] == 0:
+                node = 2 * node
+                span = half
+            else:
+                node = 2 * node + 1
+                offset += half
+                span = half
+        return offset

@@ -1,0 +1,99 @@
+"""Bounded queues with occupancy statistics.
+
+The z15 design places queues between the prediction pipeline and its
+consumers "to prevent the consumers from excessively throttling the
+search pipeline" (section IV), and uses a staging queue between the BTB2
+and BTB1 plus a write queue for installs.  All of them are bounded FIFOs
+whose overflow behaviour matters, so the model counts rejects.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterator, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class QueueFullError(Exception):
+    """Raised by :meth:`BoundedQueue.push` when the queue is full."""
+
+
+class BoundedQueue(Generic[T]):
+    """A FIFO with a hard capacity and drop/occupancy accounting."""
+
+    def __init__(self, capacity: int, name: str = "queue"):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[T] = deque()
+        self.pushes = 0
+        self.pops = 0
+        self.rejects = 0
+        self.high_watermark = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def push(self, item: T) -> None:
+        """Append *item*; raises :class:`QueueFullError` when full."""
+        if self.full:
+            self.rejects += 1
+            raise QueueFullError(f"{self.name} is full (capacity {self.capacity})")
+        self._items.append(item)
+        self.pushes += 1
+        self.high_watermark = max(self.high_watermark, len(self._items))
+
+    def try_push(self, item: T) -> bool:
+        """Append *item* if there is room; returns success."""
+        if self.full:
+            self.rejects += 1
+            return False
+        self._items.append(item)
+        self.pushes += 1
+        self.high_watermark = max(self.high_watermark, len(self._items))
+        return True
+
+    def pop(self) -> T:
+        """Remove and return the oldest item."""
+        if not self._items:
+            raise IndexError(f"pop from empty {self.name}")
+        self.pops += 1
+        return self._items.popleft()
+
+    def try_pop(self) -> Optional[T]:
+        """Remove and return the oldest item, or None when empty."""
+        if not self._items:
+            return None
+        self.pops += 1
+        return self._items.popleft()
+
+    def peek(self) -> Optional[T]:
+        """The oldest item without removing it, or None when empty."""
+        return self._items[0] if self._items else None
+
+    def drain(self) -> List[T]:
+        """Remove and return every queued item, oldest first."""
+        drained = list(self._items)
+        self.pops += len(drained)
+        self._items.clear()
+        return drained
+
+    def clear(self) -> None:
+        """Discard contents without counting them as pops (a flush)."""
+        self._items.clear()

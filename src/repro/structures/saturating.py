@@ -1,0 +1,121 @@
+"""Saturating counters — the building block of direction prediction.
+
+The BHT embedded in the BTB1 is a 2-bit saturating counter that "indicates
+the direction and strength" (section V).  TAGE PHT entries and usefulness
+counts are also small saturating counters.
+"""
+
+from __future__ import annotations
+
+
+class SaturatingCounter:
+    """An n-bit saturating counter holding values in [0, 2**bits - 1]."""
+
+    def __init__(self, bits: int, value: int = 0):
+        if bits <= 0:
+            raise ValueError(f"bits must be positive, got {bits}")
+        self.bits = bits
+        self.maximum = (1 << bits) - 1
+        if not 0 <= value <= self.maximum:
+            raise ValueError(f"value {value} out of range for {bits}-bit counter")
+        self.value = value
+
+    def increment(self, amount: int = 1) -> int:
+        """Saturating add; returns the new value."""
+        self.value = min(self.maximum, self.value + amount)
+        return self.value
+
+    def decrement(self, amount: int = 1) -> int:
+        """Saturating subtract; returns the new value."""
+        self.value = max(0, self.value - amount)
+        return self.value
+
+    def is_saturated_high(self) -> bool:
+        return self.value == self.maximum
+
+    def is_saturated_low(self) -> bool:
+        return self.value == 0
+
+    def __repr__(self) -> str:
+        return f"SaturatingCounter(bits={self.bits}, value={self.value})"
+
+
+class TwoBitDirectionCounter:
+    """The classic 2-bit direction counter with named strength states.
+
+    Encoding (matching the usual hardware convention):
+
+    ====== =================
+    value  meaning
+    ====== =================
+    0      strong not-taken
+    1      weak not-taken
+    2      weak taken
+    3      strong taken
+    ====== =================
+    """
+
+    STRONG_NOT_TAKEN = 0
+    WEAK_NOT_TAKEN = 1
+    WEAK_TAKEN = 2
+    STRONG_TAKEN = 3
+
+    def __init__(self, value: int = WEAK_NOT_TAKEN):
+        if not 0 <= value <= 3:
+            raise ValueError(f"2-bit counter value out of range: {value}")
+        self.value = value
+
+    @classmethod
+    def for_direction(cls, taken: bool, strong: bool = False) -> "TwoBitDirectionCounter":
+        """Build a counter primed to predict *taken*, weakly by default.
+
+        New BTB installs prime the BHT weakly in the resolved direction so
+        that a single contrary outcome can flip the prediction.
+        """
+        if taken:
+            return cls(cls.STRONG_TAKEN if strong else cls.WEAK_TAKEN)
+        return cls(cls.STRONG_NOT_TAKEN if strong else cls.WEAK_NOT_TAKEN)
+
+    @property
+    def taken(self) -> bool:
+        """The predicted direction."""
+        return self.value >= self.WEAK_TAKEN
+
+    @property
+    def strong(self) -> bool:
+        """True in either saturated state."""
+        return self.value in (self.STRONG_NOT_TAKEN, self.STRONG_TAKEN)
+
+    @property
+    def weak(self) -> bool:
+        return not self.strong
+
+    def update(self, taken: bool) -> None:
+        """Move one step toward the resolved direction (saturating)."""
+        if taken:
+            self.value = min(self.STRONG_TAKEN, self.value + 1)
+        else:
+            self.value = max(self.STRONG_NOT_TAKEN, self.value - 1)
+
+    def strengthen(self) -> None:
+        """Move one step toward saturation in the current direction.
+
+        Used by the speculative BHT/PHT mechanism: a weak prediction that
+        is assumed correct updates the state to strong (section IV).
+        """
+        self.update(self.taken)
+
+    def copy(self) -> "TwoBitDirectionCounter":
+        return TwoBitDirectionCounter(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TwoBitDirectionCounter):
+            return NotImplemented
+        return self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __repr__(self) -> str:
+        names = {0: "strong-NT", 1: "weak-NT", 2: "weak-T", 3: "strong-T"}
+        return f"TwoBitDirectionCounter({names[self.value]})"

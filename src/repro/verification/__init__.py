@@ -1,0 +1,40 @@
+"""White-box verification environment (paper section VII).
+
+Reproduces the methodology: hardware-signal-driven reference models,
+decoupled read-side/write-side checking, constrained-random stimulus
+from a parameter file, array preloading, and checkpoint crosschecks.
+"""
+
+from repro.verification.environment import (
+    VerificationEnvironment,
+    VerificationReport,
+)
+from repro.verification.monitors import BtbInterfaceMonitor, Failure
+from repro.verification.prediction_checker import PredictionRuleChecker
+from repro.verification.preload import preload_from_branches, preload_random
+from repro.verification.reference import MirrorEntry, ReferenceBtb1Mirror
+from repro.verification.stimulus import RandomBranchDriver, StimulusConstraints
+from repro.verification.transactions import (
+    InstallTransaction,
+    PredictionTransaction,
+    RemoveTransaction,
+    SearchTransaction,
+)
+
+__all__ = [
+    "VerificationEnvironment",
+    "VerificationReport",
+    "BtbInterfaceMonitor",
+    "Failure",
+    "PredictionRuleChecker",
+    "preload_from_branches",
+    "preload_random",
+    "MirrorEntry",
+    "ReferenceBtb1Mirror",
+    "RandomBranchDriver",
+    "StimulusConstraints",
+    "InstallTransaction",
+    "PredictionTransaction",
+    "RemoveTransaction",
+    "SearchTransaction",
+]

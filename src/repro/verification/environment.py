@@ -1,0 +1,176 @@
+"""The composed white-box verification environment (figure 11).
+
+Wires a DUT (:class:`LookaheadBranchPredictor`) to the interface
+monitor, drives it with constrained-random stimulus (optionally after
+array preloading), runs periodic checkpoint crosschecks, and reports
+failures.  Invariant checks over the DUT's architectural state run at
+every checkpoint as additional unit monitors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.predictor import LookaheadBranchPredictor
+from repro.verification.monitors import BtbInterfaceMonitor, Failure
+from repro.verification.prediction_checker import PredictionRuleChecker
+from repro.verification.preload import preload_random
+from repro.verification.stimulus import RandomBranchDriver, StimulusConstraints
+from repro.workloads.multi import ContextSwitch
+
+
+@dataclass
+class VerificationReport:
+    """Results of one verification run."""
+
+    branches_driven: int = 0
+    checkpoints: int = 0
+    search_transactions: int = 0
+    install_transactions: int = 0
+    failures: List[Failure] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "CLEAN" if self.clean else f"{len(self.failures)} FAILURES"
+        lines = [
+            f"verification run: {status}",
+            f"  branches driven:      {self.branches_driven}",
+            f"  checkpoints:          {self.checkpoints}",
+            f"  search transactions:  {self.search_transactions}",
+            f"  install transactions: {self.install_transactions}",
+        ]
+        for failure in self.failures[:10]:
+            lines.append(f"  {failure!r}")
+        return "\n".join(lines)
+
+
+class VerificationEnvironment:
+    """Constrained-random + white-box checking around one DUT."""
+
+    def __init__(
+        self,
+        dut: LookaheadBranchPredictor,
+        constraints: Optional[StimulusConstraints] = None,
+        checkpoint_interval: int = 500,
+        enabled_checkers: Optional[set] = None,
+    ):
+        self.dut = dut
+        self.constraints = (
+            constraints if constraints is not None else StimulusConstraints()
+        )
+        self.checkpoint_interval = checkpoint_interval
+        self.monitor = BtbInterfaceMonitor(dut.btb1, enabled_checkers)
+        self.rule_checker = PredictionRuleChecker()
+        self.driver = RandomBranchDriver(self.constraints)
+
+    def run(
+        self,
+        branches: int,
+        preload_entries: int = 0,
+    ) -> VerificationReport:
+        """Drive the DUT and return the collected report."""
+        if preload_entries:
+            preload_random(self.dut, preload_entries, seed=self.constraints.seed)
+        report = VerificationReport()
+        self.dut.restart(self.constraints.address_base, context=0)
+        since_checkpoint = 0
+        for event in self.driver.events(branches):
+            if isinstance(event, ContextSwitch):
+                self.dut.context_switch(event.entry_point, event.context)
+                continue
+            outcome = self.dut.predict_and_resolve(event)
+            self.rule_checker.check(outcome)
+            report.branches_driven += 1
+            since_checkpoint += 1
+            if since_checkpoint >= self.checkpoint_interval:
+                since_checkpoint = 0
+                self.monitor.checkpoint()
+                self._invariant_checks()
+                report.checkpoints += 1
+        self.dut.finalize()
+        self.monitor.checkpoint()
+        self._invariant_checks()
+        report.checkpoints += 1
+        report.search_transactions = self.monitor.search_transactions
+        report.install_transactions = self.monitor.install_transactions
+        report.failures = list(self.monitor.failures) + list(
+            self.rule_checker.failures
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    # Architectural invariants (additional unit monitors)
+    # ------------------------------------------------------------------
+
+    def _invariant_checks(self) -> None:
+        self._check_no_row_duplicates()
+        self._check_counter_ranges()
+        self._check_skoot_ranges()
+        self._check_btb2_bounds()
+
+    def _check_no_row_duplicates(self) -> None:
+        """No two live entries in a row share (tag, offset) — the
+        property the BTBP used to guarantee and the z15 write port's
+        read-before-write must now uphold (section III)."""
+        seen = {}
+        for row, way, entry in self.dut.btb1.entries():
+            key = (row, entry.tag, entry.offset)
+            if key in seen:
+                self.monitor._fail(
+                    "invariant",
+                    f"duplicate entries in row {row}: ways {seen[key]} and "
+                    f"{way} share tag {entry.tag} offset {entry.offset}",
+                    self.monitor.search_transactions,
+                )
+            seen[key] = way
+
+    def _check_counter_ranges(self) -> None:
+        for row, way, entry in self.dut.btb1.entries():
+            if not 0 <= entry.bht.value <= 3:
+                self.monitor._fail(
+                    "invariant",
+                    f"BHT counter out of range at ({row},{way}): "
+                    f"{entry.bht.value}",
+                    self.monitor.search_transactions,
+                )
+
+    def _check_skoot_ranges(self) -> None:
+        maximum = self.dut.config.skoot_max
+        for row, way, entry in self.dut.btb1.entries():
+            if entry.skoot is not None and not 0 <= entry.skoot <= maximum:
+                self.monitor._fail(
+                    "invariant",
+                    f"SKOOT field out of range at ({row},{way}): {entry.skoot}",
+                    self.monitor.search_transactions,
+                )
+
+    def _check_btb2_bounds(self) -> None:
+        """BTB2 and staging-queue structural invariants."""
+        btb2 = self.dut.btb2
+        if btb2 is None:
+            return
+        if btb2.occupancy > btb2.capacity:
+            self.monitor._fail(
+                "invariant",
+                f"BTB2 occupancy {btb2.occupancy} exceeds capacity "
+                f"{btb2.capacity}",
+                self.monitor.search_transactions,
+            )
+        if len(btb2.staging) > btb2.config.staging_capacity:
+            self.monitor._fail(
+                "invariant",
+                f"staging queue over capacity: {len(btb2.staging)}",
+                self.monitor.search_transactions,
+            )
+        line_size = btb2.config.line_size
+        for transfer in btb2.staging:
+            if transfer.entry.offset >= line_size or transfer.entry.offset % 2:
+                self.monitor._fail(
+                    "invariant",
+                    f"staged transfer with bad offset {transfer.entry.offset}",
+                    self.monitor.search_transactions,
+                )

@@ -1,0 +1,237 @@
+"""Interface and unit monitors.
+
+The :class:`BtbInterfaceMonitor` attaches to the DUT's white-box signal
+taps and abstracts install/remove/search events into transactions; the
+read-side and write-side unit monitors consume them *decoupled from each
+other* (figure 11): the read-side checker compares search results
+against the hardware-driven reference mirror; the write-side checker
+validates the install path's expected behaviour (dedup, capacity).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.errors import VerificationError
+from repro.core.btb1 import Btb1
+from repro.verification.reference import ReferenceBtb1Mirror
+from repro.verification.transactions import (
+    InstallTransaction,
+    RemoveTransaction,
+    SearchTransaction,
+)
+
+
+class Failure:
+    """One detected mismatch, with enough context to debug."""
+
+    def __init__(self, checker: str, message: str, serial: int):
+        self.checker = checker
+        self.message = message
+        self.serial = serial
+
+    def __repr__(self) -> str:
+        return f"[{self.checker} @ txn {self.serial}] {self.message}"
+
+
+class BtbInterfaceMonitor:
+    """Taps the BTB1's signals and fans transactions out to checkers.
+
+    Individual checkers can be disabled via the ``enabled_checkers``
+    set, mirroring the paper's "disabling certain checkers via parameter
+    files while there were pending fixes".
+    """
+
+    READ_CHECKER = "read-side"
+    WRITE_CHECKER = "write-side"
+
+    def __init__(self, btb1: Btb1, enabled_checkers: Optional[set] = None):
+        self.btb1 = btb1
+        self.mirror = ReferenceBtb1Mirror(btb1.config.rows, btb1.config.ways)
+        self.enabled_checkers = (
+            enabled_checkers
+            if enabled_checkers is not None
+            else {self.READ_CHECKER, self.WRITE_CHECKER}
+        )
+        self.failures: List[Failure] = []
+        self.search_transactions = 0
+        self.install_transactions = 0
+        self.remove_transactions = 0
+        self._serial = 0
+        btb1.on_search = self._on_search
+        btb1.on_install = self._on_install
+        btb1.on_remove = self._on_remove
+
+    def detach(self) -> None:
+        self.btb1.on_search = None
+        self.btb1.on_install = None
+        self.btb1.on_remove = None
+
+    # ------------------------------------------------------------------
+    # Signal taps -> transactions
+    # ------------------------------------------------------------------
+
+    def _next_serial(self) -> int:
+        self._serial += 1
+        return self._serial
+
+    def _on_search(self, line_base, context, min_offset, hits) -> None:
+        txn = SearchTransaction(
+            serial=self._next_serial(),
+            line_base=line_base,
+            context=context,
+            min_offset=min_offset,
+            hits=tuple(
+                (hit.row, hit.way, hit.entry.tag, hit.entry.offset) for hit in hits
+            ),
+        )
+        self.search_transactions += 1
+        self._check_search(txn)
+
+    def _on_install(self, address, context, entry, result) -> None:
+        txn = InstallTransaction(
+            serial=self._next_serial(),
+            address=address,
+            context=context,
+            row=result.row,
+            way=result.way,
+            installed=result.installed,
+            duplicate=result.duplicate,
+            tag=entry.tag,
+            offset=entry.offset,
+            victim_present=result.victim is not None,
+        )
+        self.install_transactions += 1
+        self._check_install(txn)
+        self.mirror.apply_install(txn)
+
+    def _on_remove(self, row, way, entry) -> None:
+        txn = RemoveTransaction(
+            serial=self._next_serial(),
+            row=row,
+            way=way,
+            tag=entry.tag,
+            offset=entry.offset,
+        )
+        self.remove_transactions += 1
+        self.mirror.apply_remove(txn)
+
+    # ------------------------------------------------------------------
+    # Read-side checker
+    # ------------------------------------------------------------------
+
+    def _check_search(self, txn: SearchTransaction) -> None:
+        """Every reported hit must exist in the mirror with a matching
+        tag/offset, and every mirror entry that should have matched must
+        be reported (no dropped hits)."""
+        if self.READ_CHECKER not in self.enabled_checkers:
+            return
+        expected_row = self.btb1.row_of(txn.line_base)
+        expected_tag = self.btb1.tag_of(txn.line_base, txn.context)
+        reported = set()
+        for row, way, tag, offset in txn.hits:
+            reported.add((row, way))
+            if row != expected_row:
+                self._fail(
+                    self.READ_CHECKER,
+                    f"hit reported from row {row}, search indexed row "
+                    f"{expected_row}",
+                    txn.serial,
+                )
+            mirror_entry = self.mirror.slot(row, way)
+            if mirror_entry is None:
+                self._fail(
+                    self.READ_CHECKER,
+                    f"hit at ({row},{way}) but mirror slot is empty",
+                    txn.serial,
+                )
+                continue
+            if mirror_entry.tag != tag or mirror_entry.offset != offset:
+                self._fail(
+                    self.READ_CHECKER,
+                    f"hit at ({row},{way}) tag/offset {tag}/{offset} != "
+                    f"mirror {mirror_entry.tag}/{mirror_entry.offset}",
+                    txn.serial,
+                )
+        # Completeness: mirror entries that match the search must appear.
+        for way, mirror_entry in self.mirror.row_entries(expected_row):
+            if (
+                mirror_entry.tag == expected_tag
+                and mirror_entry.offset >= txn.min_offset
+                and (expected_row, way) not in reported
+            ):
+                self._fail(
+                    self.READ_CHECKER,
+                    f"mirror entry at ({expected_row},{way}) matched the "
+                    "search but was not reported",
+                    txn.serial,
+                )
+
+    # ------------------------------------------------------------------
+    # Write-side checker
+    # ------------------------------------------------------------------
+
+    def _check_install(self, txn: InstallTransaction) -> None:
+        """The read-before-write filter must reject duplicates: an
+        install may only succeed if no live mirror entry already has the
+        same (tag, offset) in the row — and must be rejected when one
+        does."""
+        if self.WRITE_CHECKER not in self.enabled_checkers:
+            return
+        existing = [
+            way
+            for way, entry in self.mirror.row_entries(txn.row)
+            if entry.tag == txn.tag and entry.offset == txn.offset
+        ]
+        if txn.installed and existing and existing != [txn.way]:
+            self._fail(
+                self.WRITE_CHECKER,
+                f"install at row {txn.row} created a duplicate of ways "
+                f"{existing}",
+                txn.serial,
+            )
+        if txn.duplicate and not existing:
+            self._fail(
+                self.WRITE_CHECKER,
+                f"install at row {txn.row} rejected as duplicate but the "
+                "mirror shows no duplicate",
+                txn.serial,
+            )
+
+    # ------------------------------------------------------------------
+    # Checkpoints and failure handling
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Crosscheck the full mirror against the hardware array state.
+
+        "At certain checkpoint events, monitors crosschecked these expect
+        values with the actual state of the hardware driven model."
+        """
+        hardware = {
+            (row, way): (entry.tag, entry.offset)
+            for row, way, entry in self.btb1.entries()
+        }
+        mirrored = {
+            key: (entry.tag, entry.offset)
+            for key, entry in self.mirror.slots().items()
+        }
+        if hardware != mirrored:
+            only_hw = set(hardware) - set(mirrored)
+            only_mirror = set(mirrored) - set(hardware)
+            self._fail(
+                "checkpoint",
+                f"mirror diverged: hardware-only slots {sorted(only_hw)[:4]}, "
+                f"mirror-only slots {sorted(only_mirror)[:4]}",
+                self._serial,
+            )
+
+    def _fail(self, checker: str, message: str, serial: int) -> None:
+        self.failures.append(Failure(checker, message, serial))
+
+    def assert_clean(self) -> None:
+        if self.failures:
+            raise VerificationError(
+                f"{len(self.failures)} verification failures; first: "
+                f"{self.failures[0]!r}"
+            )

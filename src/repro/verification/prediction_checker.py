@@ -1,0 +1,150 @@
+"""Prediction-consistency checking (the read side of figure 11, at the
+semantic level).
+
+The interface monitors validate the arrays; this unit monitor validates
+the *selection logic*: every prediction delivered to the consumers must
+obey the figure-8/figure-9 provider rules.  It consumes
+:class:`~repro.core.predictor.PredictionOutcome` records straight off the
+prediction interface, so it can run inside any engine-driven simulation
+(the paper's "monitors ... enabled ... also in higher level verification
+environments").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.predictor import PredictionOutcome
+from repro.core.providers import DirectionProvider, TargetProvider
+from repro.isa.instructions import UNCONDITIONAL_KINDS
+from repro.verification.monitors import Failure
+
+
+class PredictionRuleChecker:
+    """Checks each delivered prediction against the selection rules."""
+
+    def __init__(self) -> None:
+        self.failures: List[Failure] = []
+        self.checked = 0
+
+    def _fail(self, message: str) -> None:
+        self.failures.append(Failure("prediction-rules", message, self.checked))
+
+    def check(self, outcome: PredictionOutcome) -> None:
+        """Validate one prediction outcome."""
+        self.checked += 1
+        record = outcome.record
+        if record.dynamic:
+            self._check_dynamic(record)
+        else:
+            self._check_surprise(record)
+
+    # ------------------------------------------------------------------
+    # Figure 8 rules
+    # ------------------------------------------------------------------
+
+    def _check_dynamic(self, record) -> None:
+        provider = record.direction_provider
+        if provider is DirectionProvider.STATIC:
+            self._fail(
+                f"dynamic prediction at {record.address:#x} reported a "
+                "static direction provider"
+            )
+        if provider is DirectionProvider.UNCONDITIONAL:
+            if not record.predicted_taken:
+                self._fail(
+                    f"unconditional-provided prediction at "
+                    f"{record.address:#x} was not taken"
+                )
+        # Auxiliary direction providers require the bidirectional state
+        # at prediction time (figure 8's first diamond).
+        aux_providers = (
+            DirectionProvider.PERCEPTRON,
+            DirectionProvider.PHT_SHORT,
+            DirectionProvider.PHT_LONG,
+            DirectionProvider.SPHT,
+        )
+        if provider in aux_providers and not record.bidirectional_at_prediction:
+            self._fail(
+                f"aux direction provider {provider.value} used at "
+                f"{record.address:#x} without the bidirectional state"
+            )
+        if record.predicted_taken:
+            self._check_target_rules(record)
+        else:
+            if record.predicted_target is not None:
+                self._fail(
+                    f"not-taken prediction at {record.address:#x} carries "
+                    "a target"
+                )
+
+    # ------------------------------------------------------------------
+    # Figure 9 rules
+    # ------------------------------------------------------------------
+
+    def _check_target_rules(self, record) -> None:
+        provider = record.target_provider
+        if record.predicted_target is None:
+            self._fail(
+                f"taken dynamic prediction at {record.address:#x} has no "
+                "target (the BTB1 always has a target)"
+            )
+            return
+        if provider is TargetProvider.NONE:
+            self._fail(
+                f"taken dynamic prediction at {record.address:#x} reported "
+                "no target provider"
+            )
+        if provider in (TargetProvider.CTB, TargetProvider.CRS):
+            if not record.multi_target_at_prediction:
+                self._fail(
+                    f"{provider.value} target used at {record.address:#x} "
+                    "without the multi-target state"
+                )
+        if provider is TargetProvider.CRS:
+            if not record.marked_return_at_prediction:
+                self._fail(
+                    f"CRS target used at {record.address:#x} on a branch "
+                    "not marked as a return"
+                )
+            if record.blacklisted_at_prediction:
+                self._fail(
+                    f"CRS target used at {record.address:#x} on a "
+                    "blacklisted branch"
+                )
+        if provider is TargetProvider.CTB:
+            if record.ctb is None or not record.ctb.hit:
+                self._fail(
+                    f"CTB target reported at {record.address:#x} without a "
+                    "recorded CTB hit"
+                )
+
+    # ------------------------------------------------------------------
+    # Surprise rules (section IV statics)
+    # ------------------------------------------------------------------
+
+    def _check_surprise(self, record) -> None:
+        if record.direction_provider is not DirectionProvider.STATIC:
+            self._fail(
+                f"surprise branch at {record.address:#x} reported a "
+                "dynamic direction provider"
+            )
+        guessed_taken = record.predicted_taken
+        if record.kind in UNCONDITIONAL_KINDS and not guessed_taken:
+            self._fail(
+                f"unconditional surprise at {record.address:#x} statically "
+                "guessed not-taken"
+            )
+        if guessed_taken and record.predicted_target is not None:
+            if record.target_provider is not TargetProvider.STATIC_RELATIVE:
+                self._fail(
+                    f"surprise taken target at {record.address:#x} from "
+                    f"{record.target_provider.value}"
+                )
+
+    def assert_clean(self) -> None:
+        if self.failures:
+            raise AssertionError(
+                f"{len(self.failures)} prediction-rule violations; first: "
+                f"{self.failures[0]!r}"
+            )

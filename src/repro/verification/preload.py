@@ -1,0 +1,95 @@
+"""Array preloading.
+
+"The ... environment also employed preloading of the branch predictor
+arrays like BTB1 and BTB2 to initialize states into those arrays which
+would otherwise be difficult to get to or would take a large number of
+simulation cycles to reach" (section VII).
+
+Two modes, as in the paper: loading from a *static* predetermined
+instruction stream, or generating a *dynamic* random set at cycle zero.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.common.rng import DeterministicRng
+from repro.core.entries import BtbEntry
+from repro.core.predictor import LookaheadBranchPredictor
+from repro.isa.dynamic import DynamicBranch
+from repro.isa.instructions import BranchKind
+from repro.structures.saturating import TwoBitDirectionCounter
+
+
+def preload_from_branches(
+    predictor: LookaheadBranchPredictor,
+    branches: Iterable[DynamicBranch],
+    prime_btb2: bool = True,
+) -> int:
+    """Static preload: install every (taken) branch of a predetermined
+    stream directly into the BTB1 (and optionally BTB2)."""
+    installed = 0
+    for branch in branches:
+        if not branch.taken or branch.target is None:
+            continue
+        entry = BtbEntry(
+            tag=0,
+            offset=0,
+            length=branch.instruction.length,
+            kind=branch.kind,
+            target=branch.target,
+            bht=TwoBitDirectionCounter.for_direction(True, strong=True),
+        )
+        result = predictor.btb1.install(branch.address, branch.context, entry)
+        if result.installed:
+            installed += 1
+            if prime_btb2 and predictor.btb2 is not None:
+                predictor.btb2.install_snapshot(
+                    branch.address, branch.context, entry
+                )
+    return installed
+
+
+def preload_random(
+    predictor: LookaheadBranchPredictor,
+    count: int,
+    seed: int = 99,
+    address_base: int = 0x10000,
+    address_span: int = 0x100000,
+    context: int = 0,
+    prime_btb2: bool = True,
+) -> List[int]:
+    """Dynamic preload: a random entry set generated "at cycle zero".
+
+    Returns the installed branch addresses so a test can aim stimulus at
+    the preloaded state.
+    """
+    rng = DeterministicRng(seed).fork("preload")
+    addresses: List[int] = []
+    for _ in range(count):
+        address = address_base + rng.randint(0, address_span // 2) * 2
+        kind = rng.choice(
+            (
+                BranchKind.CONDITIONAL_RELATIVE,
+                BranchKind.UNCONDITIONAL_RELATIVE,
+                BranchKind.LOOP_RELATIVE,
+                BranchKind.UNCONDITIONAL_INDIRECT,
+            )
+        )
+        target = address_base + rng.randint(0, address_span // 2) * 2
+        entry = BtbEntry(
+            tag=0,
+            offset=0,
+            length=rng.choice((2, 4, 6)),
+            kind=kind,
+            target=target,
+            bht=TwoBitDirectionCounter(rng.randint(0, 3)),
+            bidirectional=rng.chance(0.3),
+            multi_target=rng.chance(0.15),
+        )
+        result = predictor.btb1.install(address, context, entry)
+        if result.installed:
+            addresses.append(address)
+            if prime_btb2 and predictor.btb2 is not None:
+                predictor.btb2.install_snapshot(address, context, entry)
+    return addresses

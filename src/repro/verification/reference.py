@@ -1,0 +1,69 @@
+"""Hardware-signal-driven reference models.
+
+Per section VII: "models of important hardware structures were created
+... driven by internal hardware signals and ... in lockstep with the
+hardware.  These ... were more of an abstraction of the internal
+hardware workings than an independent reference model with values set by
+verification code only.  Hardware implementation errors would corrupt
+values in these models."
+
+The reference BTB1 mirror therefore updates only from the DUT's *write*
+events (install/remove transactions), never from expected values the
+checkers compute — exactly the decoupling of figure 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.verification.transactions import InstallTransaction, RemoveTransaction
+
+
+@dataclass(frozen=True)
+class MirrorEntry:
+    """Install-time immutable facts about one BTB1 slot."""
+
+    tag: int
+    offset: int
+    context: int
+
+
+class ReferenceBtb1Mirror:
+    """A (row, way) -> entry mirror fed exclusively by write transactions."""
+
+    def __init__(self, rows: int, ways: int):
+        self.rows = rows
+        self.ways = ways
+        self._slots: Dict[Tuple[int, int], MirrorEntry] = {}
+        self.install_events = 0
+        self.remove_events = 0
+
+    def apply_install(self, txn: InstallTransaction) -> None:
+        self.install_events += 1
+        if not txn.installed or txn.way is None:
+            return
+        self._slots[(txn.row, txn.way)] = MirrorEntry(
+            tag=txn.tag, offset=txn.offset, context=txn.context
+        )
+
+    def apply_remove(self, txn: RemoveTransaction) -> None:
+        self.remove_events += 1
+        self._slots.pop((txn.row, txn.way), None)
+
+    def slot(self, row: int, way: int) -> Optional[MirrorEntry]:
+        return self._slots.get((row, way))
+
+    def row_entries(self, row: int) -> List[Tuple[int, MirrorEntry]]:
+        return [
+            (way, entry)
+            for (slot_row, way), entry in self._slots.items()
+            if slot_row == row
+        ]
+
+    def occupancy(self) -> int:
+        return len(self._slots)
+
+    def slots(self) -> Dict[Tuple[int, int], MirrorEntry]:
+        """A copy of the full mirror state (checkpoint crosschecking)."""
+        return dict(self._slots)

@@ -1,0 +1,155 @@
+"""Constrained-random stimulus generation.
+
+"Constrained random verification environments support a symbolic
+language that allows a user to specify constraints in a parameter file
+... Constraints restrict the random behavior of drivers and allow the
+user to determine the probability of certain events" (section VII).
+
+:class:`StimulusConstraints` is that parameter file; the driver draws
+legal-but-adversarial branch streams from it (random addresses, kinds,
+directions, context switches) to push the DUT into corner states that
+real programs rarely reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Union
+
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRng
+from repro.isa.dynamic import DynamicBranch
+from repro.isa.instructions import BranchKind, Instruction
+from repro.workloads.multi import ContextSwitch
+
+
+@dataclass
+class StimulusConstraints:
+    """The "parameter file" steering the random driver."""
+
+    seed: int = 1234
+    #: Address window the stream wanders inside.
+    address_base: int = 0x10000
+    address_span: int = 0x40000
+    #: Relative probability of each branch kind.
+    kind_weights: Dict[BranchKind, float] = field(
+        default_factory=lambda: {
+            BranchKind.CONDITIONAL_RELATIVE: 0.55,
+            BranchKind.UNCONDITIONAL_RELATIVE: 0.2,
+            BranchKind.LOOP_RELATIVE: 0.1,
+            BranchKind.CONDITIONAL_INDIRECT: 0.05,
+            BranchKind.UNCONDITIONAL_INDIRECT: 0.1,
+        }
+    )
+    #: Probability a conditional resolves taken.
+    conditional_taken_rate: float = 0.4
+    #: Probability consecutive branches are sequential (same stream)
+    #: rather than a jump to a random address.
+    locality: float = 0.7
+    #: Probability of a context switch between branches.
+    context_switch_rate: float = 0.01
+    context_count: int = 3
+    #: Probability of revisiting a previously generated branch (lets
+    #: table states mature instead of pure cold misses).
+    revisit_rate: float = 0.6
+
+    def validate(self) -> None:
+        if not self.kind_weights:
+            raise ConfigError("kind_weights must not be empty")
+        for probability in (
+            self.conditional_taken_rate,
+            self.locality,
+            self.context_switch_rate,
+            self.revisit_rate,
+        ):
+            if not 0.0 <= probability <= 1.0:
+                raise ConfigError(f"probability out of range: {probability}")
+
+
+Event = Union[DynamicBranch, ContextSwitch]
+
+
+class RandomBranchDriver:
+    """Draws a constrained-random event stream."""
+
+    def __init__(self, constraints: StimulusConstraints):
+        constraints.validate()
+        self.constraints = constraints
+        self.rng = DeterministicRng(constraints.seed).fork("stimulus")
+        self._pool: List[Instruction] = []
+        self._sequence = 0
+        self._cursor = constraints.address_base
+        self._context = 0
+
+    def _random_address(self) -> int:
+        span = self.constraints.address_span
+        return self.constraints.address_base + (self.rng.randint(0, span // 2) * 2)
+
+    def _new_instruction(self) -> Instruction:
+        kinds = list(self.constraints.kind_weights)
+        weights = [self.constraints.kind_weights[k] for k in kinds]
+        kind = self.rng.weighted_choice(kinds, weights)
+        length = self.rng.choice((2, 4, 6))
+        address = self._cursor
+        indirect = kind in (
+            BranchKind.CONDITIONAL_INDIRECT,
+            BranchKind.UNCONDITIONAL_INDIRECT,
+        )
+        target = None if indirect else self._random_address()
+        instruction = Instruction(
+            address=address, length=length, kind=kind, static_target=target
+        )
+        self._pool.append(instruction)
+        return instruction
+
+    def _next_instruction(self) -> Instruction:
+        if self._pool and self.rng.chance(self.constraints.revisit_rate):
+            instruction = self.rng.choice(self._pool)
+            self._cursor = instruction.address
+            return instruction
+        if not self.rng.chance(self.constraints.locality):
+            self._cursor = self._random_address()
+        return self._new_instruction()
+
+    def _resolve(self, instruction: Instruction) -> DynamicBranch:
+        kind = instruction.kind
+        if kind in (BranchKind.UNCONDITIONAL_RELATIVE, BranchKind.UNCONDITIONAL_INDIRECT):
+            taken = True
+        elif kind is BranchKind.LOOP_RELATIVE:
+            taken = self.rng.chance(0.8)
+        else:
+            taken = self.rng.chance(self.constraints.conditional_taken_rate)
+        if taken:
+            target = (
+                instruction.static_target
+                if instruction.static_target is not None
+                else self._random_address()
+            )
+        else:
+            target = None
+        branch = DynamicBranch(
+            sequence=self._sequence,
+            instruction=instruction,
+            taken=taken,
+            target=target,
+            context=self._context,
+        )
+        self._sequence += 1
+        # Advance the cursor along the resolved path.
+        self._cursor = branch.next_address + self.rng.randint(0, 8) * 2
+        return branch
+
+    def events(self, count: int) -> Iterator[Event]:
+        """Yield *count* branches (plus interleaved context switches)."""
+        produced = 0
+        while produced < count:
+            if self.rng.chance(self.constraints.context_switch_rate):
+                self._context = self.rng.randint(
+                    0, self.constraints.context_count - 1
+                )
+                yield ContextSwitch(
+                    context=self._context, thread=0, entry_point=self._cursor
+                )
+            instruction = self._next_instruction()
+            yield self._resolve(instruction)
+            produced += 1

@@ -1,0 +1,63 @@
+"""Transaction abstractions.
+
+Interface monitors "abstract signals in the design into Transactions"
+(figure 11).  Each transaction is an immutable record of one interface
+or internal event of the DUT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SearchTransaction:
+    """One BTB1 read-port search: the line searched and the hits the
+    hardware reported, as (row, way, tag, offset) tuples."""
+
+    serial: int
+    line_base: int
+    context: int
+    min_offset: int
+    hits: Tuple[Tuple[int, int, int, int], ...]
+
+
+@dataclass(frozen=True)
+class InstallTransaction:
+    """One write-port install attempt."""
+
+    serial: int
+    address: int
+    context: int
+    row: int
+    way: Optional[int]
+    installed: bool
+    duplicate: bool
+    tag: int
+    offset: int
+    victim_present: bool
+
+
+@dataclass(frozen=True)
+class RemoveTransaction:
+    """One bad-prediction removal."""
+
+    serial: int
+    row: int
+    way: int
+    tag: int
+    offset: int
+
+
+@dataclass(frozen=True)
+class PredictionTransaction:
+    """One prediction as delivered to the IDU/ICM consumers."""
+
+    serial: int
+    address: int
+    dynamic: bool
+    predicted_taken: bool
+    predicted_target: Optional[int]
+    direction_provider: str
+    target_provider: str

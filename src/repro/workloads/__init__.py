@@ -1,0 +1,87 @@
+"""Workload substrate: programs, behaviours, executors, generators.
+
+The paper's evaluation runs proprietary LSPR workloads; this package
+builds their synthetic equivalents — executable programs whose dynamic
+branch statistics (branch density, instruction lengths, footprint,
+pattern/call/indirect structure) match what the paper describes.
+"""
+
+from repro.workloads.behaviors import (
+    AlwaysTaken,
+    BiasedRandom,
+    BranchBehavior,
+    Call,
+    Correlated,
+    ExecutionContext,
+    IndirectCycle,
+    IndirectRandom,
+    Loop,
+    NeverTaken,
+    Pattern,
+    Return,
+)
+from repro.workloads.executor import Executor
+from repro.workloads.generators import (
+    call_return_program,
+    correlated_program,
+    deep_history_program,
+    deep_xor_program,
+    indirect_dispatch_program,
+    large_footprint_program,
+    loop_nest_program,
+    noisy_call_return_program,
+    pattern_program,
+    transaction_workload,
+)
+from repro.workloads.multi import ContextSwitch, InterleavedRun, Smt2Run
+from repro.workloads.program import CodeBuilder, Label, Program
+from repro.workloads.suite import STANDARD_WORKLOADS, WorkloadSpec, get_workload
+from repro.workloads.synthesis import (
+    BranchProfile,
+    clone_trace,
+    profile_trace,
+    synthesize_program,
+)
+from repro.workloads.trace import load_trace, read_trace, write_trace
+
+__all__ = [
+    "AlwaysTaken",
+    "BiasedRandom",
+    "BranchBehavior",
+    "Call",
+    "Correlated",
+    "ExecutionContext",
+    "IndirectCycle",
+    "IndirectRandom",
+    "Loop",
+    "NeverTaken",
+    "Pattern",
+    "Return",
+    "Executor",
+    "call_return_program",
+    "correlated_program",
+    "deep_history_program",
+    "deep_xor_program",
+    "indirect_dispatch_program",
+    "large_footprint_program",
+    "loop_nest_program",
+    "noisy_call_return_program",
+    "pattern_program",
+    "transaction_workload",
+    "ContextSwitch",
+    "InterleavedRun",
+    "Smt2Run",
+    "CodeBuilder",
+    "Label",
+    "Program",
+    "STANDARD_WORKLOADS",
+    "BranchProfile",
+    "clone_trace",
+    "profile_trace",
+    "synthesize_program",
+    "WorkloadSpec",
+    "get_workload",
+    "load_trace",
+    "read_trace",
+    "write_trace",
+]

@@ -1,0 +1,212 @@
+"""Branch behaviour models.
+
+A behaviour decides, per dynamic execution of its branch, whether the
+branch is taken and (for indirect branches) where it goes.  Behaviours
+receive an :class:`ExecutionContext` giving them the executor's shadow
+call stack, the global outcome history (for correlated branches) and a
+deterministic RNG.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from repro.common.errors import SimulationError
+from repro.common.rng import DeterministicRng
+from repro.isa.instructions import Instruction
+
+
+class ExecutionContext:
+    """What the executor exposes to behaviours."""
+
+    def __init__(self, rng: DeterministicRng, history_depth: int = 64):
+        self.rng = rng
+        #: Shadow call stack of return addresses (model bookkeeping).
+        self.call_stack: List[int] = []
+        #: Recent branch outcomes, newest last (True = taken).
+        self.outcome_history: Deque[bool] = deque(maxlen=history_depth)
+        #: Dynamic branch count so far.
+        self.branches_executed = 0
+
+    def record_outcome(self, taken: bool) -> None:
+        self.outcome_history.append(taken)
+        self.branches_executed += 1
+
+    def recent_outcomes(self, count: int) -> Tuple[bool, ...]:
+        """The last *count* outcomes, oldest first (padded with False)."""
+        history = list(self.outcome_history)[-count:]
+        padding = [False] * (count - len(history))
+        return tuple(padding + history)
+
+
+class BranchBehavior:
+    """Base class: resolve one dynamic execution of a branch."""
+
+    def resolve(
+        self, instruction: Instruction, context: ExecutionContext
+    ) -> Tuple[bool, Optional[int]]:
+        """Return ``(taken, target)``; *target* is None when not taken,
+        and must be the static target for relative branches."""
+        raise NotImplementedError
+
+    def _taken_target(self, instruction: Instruction) -> int:
+        if instruction.static_target is None:
+            raise SimulationError(
+                f"behaviour for {instruction.address:#x} needs a static target"
+            )
+        return instruction.static_target
+
+
+class AlwaysTaken(BranchBehavior):
+    """Unconditional relative jumps."""
+
+    def resolve(self, instruction, context):
+        return True, self._taken_target(instruction)
+
+
+class NeverTaken(BranchBehavior):
+    """A conditional branch that never goes (dead guard)."""
+
+    def resolve(self, instruction, context):
+        return False, None
+
+
+class Loop(BranchBehavior):
+    """A loop-closing branch: taken ``trip_count - 1`` times, then not
+    taken once, repeating.  The canonical PHT-predictable pattern."""
+
+    def __init__(self, trip_count: int):
+        if trip_count < 1:
+            raise ValueError(f"trip_count must be >= 1, got {trip_count}")
+        self.trip_count = trip_count
+        self._iteration = 0
+
+    def resolve(self, instruction, context):
+        self._iteration += 1
+        if self._iteration >= self.trip_count:
+            self._iteration = 0
+            return False, None
+        return True, self._taken_target(instruction)
+
+
+class Pattern(BranchBehavior):
+    """A fixed cyclic taken/not-taken pattern."""
+
+    def __init__(self, pattern: Sequence[bool]):
+        if not pattern:
+            raise ValueError("pattern must be non-empty")
+        self.pattern = tuple(bool(p) for p in pattern)
+        self._position = 0
+
+    def resolve(self, instruction, context):
+        taken = self.pattern[self._position]
+        self._position = (self._position + 1) % len(self.pattern)
+        if taken:
+            return True, self._taken_target(instruction)
+        return False, None
+
+
+class BiasedRandom(BranchBehavior):
+    """Taken with a fixed probability — data-dependent, hard to predict."""
+
+    def __init__(self, taken_probability: float):
+        if not 0.0 <= taken_probability <= 1.0:
+            raise ValueError("taken_probability must be in [0, 1]")
+        self.taken_probability = taken_probability
+
+    def resolve(self, instruction, context):
+        if context.rng.chance(self.taken_probability):
+            return True, self._taken_target(instruction)
+        return False, None
+
+
+class Correlated(BranchBehavior):
+    """Direction = parity of selected recent global outcomes.
+
+    Exercises the path-history predictors: the direction is a pure
+    function of prior branch outcomes, invisible to the BHT but
+    learnable by the TAGE PHT / perceptron.
+    """
+
+    def __init__(self, history_bits: Sequence[int], invert: bool = False):
+        if not history_bits:
+            raise ValueError("history_bits must be non-empty")
+        self.history_bits = tuple(history_bits)
+        self.depth = max(history_bits) + 1
+        self.invert = invert
+
+    def resolve(self, instruction, context):
+        recent = context.recent_outcomes(self.depth)
+        parity = sum(recent[-1 - bit] for bit in self.history_bits) % 2
+        taken = bool(parity) ^ self.invert
+        if taken:
+            return True, self._taken_target(instruction)
+        return False, None
+
+
+class Call(BranchBehavior):
+    """A call-like branch: always taken to the function entry; pushes the
+    return address (NSIA) onto the shadow stack."""
+
+    def __init__(self, max_depth: int = 64):
+        self.max_depth = max_depth
+
+    def resolve(self, instruction, context):
+        if len(context.call_stack) >= self.max_depth:
+            raise SimulationError("shadow call stack overflow")
+        context.call_stack.append(instruction.next_sequential)
+        return True, self._taken_target(instruction)
+
+
+class Return(BranchBehavior):
+    """A return-like indirect branch: pops the shadow stack.
+
+    ``landing_offset`` models z-style returns that land a few bytes past
+    the call's NSIA (the CRS checks offsets 0,2,4,6,8 — section VI).
+    """
+
+    def __init__(self, landing_offset: int = 0, fallback: Optional[int] = None):
+        if landing_offset % 2:
+            raise ValueError("landing_offset must be even")
+        self.landing_offset = landing_offset
+        self.fallback = fallback
+
+    def resolve(self, instruction, context):
+        if context.call_stack:
+            return True, context.call_stack.pop() + self.landing_offset
+        if self.fallback is not None:
+            return True, self.fallback
+        raise SimulationError(
+            f"return at {instruction.address:#x} with empty shadow stack"
+        )
+
+
+class IndirectCycle(BranchBehavior):
+    """An indirect branch cycling through a fixed target list — a
+    multi-target (changing target) branch with a path-correlated
+    pattern, the CTB's bread and butter."""
+
+    def __init__(self, targets: Sequence[int]):
+        if not targets:
+            raise ValueError("targets must be non-empty")
+        self.targets = tuple(targets)
+        self._position = 0
+
+    def resolve(self, instruction, context):
+        target = self.targets[self._position]
+        self._position = (self._position + 1) % len(self.targets)
+        return True, target
+
+
+class IndirectRandom(BranchBehavior):
+    """An indirect branch picking a random target — the worst case for
+    any target predictor."""
+
+    def __init__(self, targets: Sequence[int]):
+        if not targets:
+            raise ValueError("targets must be non-empty")
+        self.targets = tuple(targets)
+
+    def resolve(self, instruction, context):
+        return True, context.rng.choice(self.targets)

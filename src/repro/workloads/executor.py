@@ -1,0 +1,106 @@
+"""The program executor: the model's "processor back end".
+
+Walks a :class:`~repro.workloads.program.Program` from its entry point,
+resolving each branch through its behaviour, and yields the executed
+branches in program order — the resolved path the predictor is measured
+against.  Non-branch instructions are counted (for MPKI) but not
+yielded.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.common.errors import SimulationError
+from repro.common.rng import DeterministicRng
+from repro.isa.dynamic import DynamicBranch
+from repro.workloads.behaviors import BranchBehavior, ExecutionContext
+from repro.workloads.program import Program
+
+
+class Executor:
+    """Deterministic in-order execution of one program."""
+
+    def __init__(
+        self,
+        program: Program,
+        seed: int = 1,
+        context_id: int = 0,
+        thread: int = 0,
+        start_sequence: int = 0,
+    ):
+        self.program = program
+        self.context_id = context_id
+        self.thread = thread
+        self.rng = DeterministicRng(seed).fork(f"executor-{program.name}")
+        self.exec_context = ExecutionContext(self.rng)
+        self.pc = program.entry_point
+        self.instructions_executed = 0
+        self.branches_executed = 0
+        self._sequence = start_sequence
+
+    def run(
+        self,
+        max_branches: Optional[int] = None,
+        max_instructions: Optional[int] = None,
+    ) -> Iterator[DynamicBranch]:
+        """Execute until a limit is reached; yields executed branches."""
+        if max_branches is None and max_instructions is None:
+            raise ValueError("a branch or instruction limit is required")
+        while True:
+            if max_branches is not None and self.branches_executed >= max_branches:
+                return
+            if (
+                max_instructions is not None
+                and self.instructions_executed >= max_instructions
+            ):
+                return
+            branch = self.step()
+            if branch is not None:
+                yield branch
+
+    def step(self) -> Optional[DynamicBranch]:
+        """Execute one instruction; returns the branch record if it was a
+        branch."""
+        instruction = self.program.at(self.pc)
+        self.instructions_executed += 1
+        if not instruction.is_branch:
+            self.pc = instruction.next_sequential
+            return None
+        behavior = self.program.behavior_of(instruction)
+        assert isinstance(behavior, BranchBehavior)
+        taken, target = behavior.resolve(instruction, self.exec_context)
+        if taken:
+            if target is None:
+                raise SimulationError(
+                    f"behaviour at {instruction.address:#x} returned taken "
+                    "without a target"
+                )
+            if (
+                instruction.static_target is not None
+                and target != instruction.static_target
+            ):
+                raise SimulationError(
+                    f"relative branch at {instruction.address:#x} cannot "
+                    f"retarget ({target:#x} != {instruction.static_target:#x})"
+                )
+            self.pc = target
+        else:
+            target = None
+            self.pc = instruction.next_sequential
+        self.exec_context.record_outcome(taken)
+        branch = DynamicBranch(
+            sequence=self._sequence,
+            instruction=instruction,
+            taken=taken,
+            target=target,
+            thread=self.thread,
+            context=self.context_id,
+        )
+        self._sequence += 1
+        self.branches_executed += 1
+        return branch
+
+    @property
+    def next_sequence(self) -> int:
+        return self._sequence

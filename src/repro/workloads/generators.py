@@ -1,0 +1,558 @@
+"""Parameterised program generators.
+
+These produce the synthetic equivalents of the paper's workload classes:
+compute-intensive loop kernels, call/return-heavy code, multi-target
+indirect dispatch, and the LSPR-like large-instruction-footprint
+transaction mixes the paper's design targets (branch roughly every 4
+instructions, ~5-byte average instruction length, large amounts of warm
+code — sections I-II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.common.rng import DeterministicRng
+from repro.isa.instructions import BranchKind
+from repro.workloads.behaviors import (
+    AlwaysTaken,
+    BiasedRandom,
+    Call,
+    Correlated,
+    IndirectCycle,
+    IndirectRandom,
+    Loop,
+    Pattern,
+    Return,
+)
+from repro.workloads.program import CodeBuilder, Program
+
+
+@dataclass
+class GeneratorReport:
+    """What a generator built (used by benchmark tables)."""
+
+    program: Program
+    description: str
+    static_branches: int
+    footprint_bytes: int
+
+
+def loop_nest_program(
+    depths: Sequence[int] = (100, 10),
+    body_instructions: int = 6,
+    start: int = 0x10000,
+    name: str = "loop-nest",
+) -> Program:
+    """Nested counted loops — the compute-intensive kernel shape.
+
+    ``depths`` gives trip counts outermost-first.  Every loop-closing
+    branch is a LOOP_RELATIVE branch with a :class:`Loop` behaviour, the
+    paper's quintessential PHT case (section V).
+    """
+    builder = CodeBuilder(start, name=name)
+    heads = []
+    for _ in depths:
+        heads.append(builder.label())
+        builder.straight(body_instructions)
+    # Close the loops innermost-first.
+    for trip_count, head in zip(reversed(depths), reversed(heads)):
+        builder.branch(
+            BranchKind.LOOP_RELATIVE,
+            target=head,
+            behavior=Loop(trip_count),
+        )
+    # Restart the whole nest so the program runs forever.
+    builder.branch(BranchKind.UNCONDITIONAL_RELATIVE, target=heads[0],
+                   behavior=AlwaysTaken())
+    return builder.build()
+
+
+def pattern_program(
+    patterns: Sequence[Sequence[bool]],
+    start: int = 0x20000,
+    filler: int = 4,
+    name: str = "patterns",
+) -> Program:
+    """A chain of pattern-driven conditional branches in one big loop.
+
+    Each conditional follows its own cyclic taken/not-taken pattern;
+    taken goes to a local skip target (if/then shape).  Exercises the
+    TAGE PHT's path-history learning.
+    """
+    builder = CodeBuilder(start, name=name)
+    top = builder.label("top")
+    for pattern in patterns:
+        skip = builder.forward_label("skip")
+        builder.branch(
+            BranchKind.CONDITIONAL_RELATIVE,
+            target=skip,
+            behavior=Pattern(pattern),
+        )
+        builder.straight(filler)
+        builder.bind(skip)
+        builder.straight(2)
+    builder.branch(
+        BranchKind.UNCONDITIONAL_RELATIVE, target=top, behavior=AlwaysTaken()
+    )
+    return builder.build()
+
+
+def call_return_program(
+    caller_count: int = 8,
+    functions: int = 2,
+    function_body: int = 8,
+    call_distance: int = 0x4000,
+    start: int = 0x30000,
+    name: str = "call-return",
+) -> Program:
+    """Call/return idioms without architected call/return instructions.
+
+    ``caller_count`` call sites share ``functions`` far-away functions
+    (farther than the CRS distance threshold), each ending in an
+    indirect return through the shadow stack.  The shared-function
+    return is the quintessential changing-target branch (section VI);
+    the distance makes the CRS heuristic applicable.
+    """
+    builder = CodeBuilder(start, name=name)
+    # Lay the functions out first, far from the callers.
+    function_labels = []
+    for index in range(functions):
+        label = builder.label(f"fn{index}")
+        function_labels.append(label)
+        builder.straight(function_body)
+        builder.branch(BranchKind.UNCONDITIONAL_INDIRECT, behavior=Return())
+        builder.gap(0x100)
+    builder.jump_to(start + call_distance)
+    top = builder.label("top")
+    for index in range(caller_count):
+        builder.straight(3)
+        builder.branch(
+            BranchKind.UNCONDITIONAL_RELATIVE,
+            target=function_labels[index % functions],
+            behavior=Call(),
+        )
+        builder.straight(2)
+    builder.branch(
+        BranchKind.UNCONDITIONAL_RELATIVE, target=top, behavior=AlwaysTaken()
+    )
+    return builder.build(entry_point=top.resolve())
+
+
+def noisy_call_return_program(
+    caller_count: int = 12,
+    functions: int = 2,
+    noise_branches: int = 6,
+    start: int = 0x30000,
+    name: str = "noisy-services",
+) -> Program:
+    """Call/return idioms with unpredictable noise inside the functions.
+
+    The 50/50 conditionals scramble the GPV between each call and its
+    return, so the GPV-indexed CTB cannot learn the return targets —
+    only the call/return stack (whose checkpointed NSIA survives the
+    noise mispredicts) can.  This is the CRS's unique niche; compare
+    :func:`call_return_program`, whose clean paths the CTB also covers.
+    """
+    builder = CodeBuilder(start, name=name)
+    function_labels = []
+    for index in range(functions):
+        label = builder.label(f"fn{index}")
+        function_labels.append(label)
+        for _ in range(noise_branches):
+            skip = builder.forward_label()
+            builder.branch(
+                BranchKind.CONDITIONAL_RELATIVE,
+                target=skip,
+                behavior=BiasedRandom(0.5),
+            )
+            builder.straight(1)
+            builder.bind(skip)
+        builder.branch(BranchKind.UNCONDITIONAL_INDIRECT, behavior=Return())
+        builder.gap(0x100)
+    builder.jump_to(start + 0x8000)
+    top = builder.label("top")
+    for index in range(caller_count):
+        builder.straight(2)
+        builder.branch(
+            BranchKind.UNCONDITIONAL_RELATIVE,
+            target=function_labels[index % functions],
+            behavior=Call(),
+        )
+        builder.straight(1)
+    builder.branch(
+        BranchKind.UNCONDITIONAL_RELATIVE, target=top, behavior=AlwaysTaken()
+    )
+    return builder.build(entry_point=top.resolve())
+
+
+def indirect_dispatch_program(
+    handler_count: int = 8,
+    handler_body: int = 6,
+    cycle: bool = True,
+    start: int = 0x40000,
+    name: str = "indirect-dispatch",
+) -> Program:
+    """A dispatcher loop with one multi-target indirect branch.
+
+    With ``cycle=True`` the targets rotate deterministically (path-
+    correlated — the CTB can learn them); with ``cycle=False`` they are
+    random (no predictor can)."""
+    builder = CodeBuilder(start, name=name)
+    top = builder.label("top")
+    builder.straight(4)
+    dispatch_site = builder.forward_label("dispatch")
+    builder.bind(dispatch_site)
+    # Handler addresses are only known after layout; patch afterwards.
+    placeholder = builder.branch(BranchKind.UNCONDITIONAL_INDIRECT, behavior=None)
+    handler_labels = []
+    for index in range(handler_count):
+        builder.gap(0x40)
+        handler_labels.append(builder.label(f"handler{index}"))
+        builder.straight(handler_body)
+        builder.branch(
+            BranchKind.UNCONDITIONAL_RELATIVE, target=top, behavior=AlwaysTaken()
+        )
+    program = builder.build()
+    targets = [label.resolve() for label in handler_labels]
+    behavior = IndirectCycle(targets) if cycle else IndirectRandom(targets)
+    program.behaviors[placeholder] = behavior
+    return program
+
+
+def correlated_program(
+    pair_count: int = 4,
+    start: int = 0x50000,
+    name: str = "correlated",
+) -> Program:
+    """Branches whose directions are pure functions of prior outcomes.
+
+    Each "consumer" conditional repeats the parity of recent history the
+    "producer" branches created — invisible to a per-branch BHT, visible
+    to GPV-indexed predictors.
+    """
+    builder = CodeBuilder(start, name=name)
+    top = builder.label("top")
+    for index in range(pair_count):
+        skip_a = builder.forward_label()
+        builder.branch(
+            BranchKind.CONDITIONAL_RELATIVE,
+            target=skip_a,
+            behavior=Pattern([True, False] if index % 2 else [True, True, False]),
+        )
+        builder.straight(2)
+        builder.bind(skip_a)
+        skip_b = builder.forward_label()
+        builder.branch(
+            BranchKind.CONDITIONAL_RELATIVE,
+            target=skip_b,
+            behavior=Correlated(history_bits=[0, 1]),
+        )
+        builder.straight(2)
+        builder.bind(skip_b)
+    builder.branch(
+        BranchKind.UNCONDITIONAL_RELATIVE, target=top, behavior=AlwaysTaken()
+    )
+    return builder.build()
+
+
+def _conditional_behavior(rng: DeterministicRng, taken_bias: float,
+                          deterministic_fraction: float) -> "object":
+    """A conditional-branch behaviour for generated code.
+
+    Real branch populations are dominated by *heavily biased* branches —
+    loop guards, error checks, mode tests — that go one way except for a
+    rare periodic exception; only a small fraction are data-dependent
+    noise.  ``taken_bias`` is the probability the dominant direction is
+    taken; ``deterministic_fraction`` of sites get the biased-with-
+    exception cyclic pattern (the BHT gets the dominant direction right,
+    path predictors can learn the exception), the rest are biased random.
+    """
+    dominant_taken = rng.chance(taken_bias)
+    if rng.chance(deterministic_fraction):
+        period = rng.randint(5, 12)
+        pattern = [dominant_taken] * (period - 1) + [not dominant_taken]
+        return Pattern(pattern)
+    probability = 0.85 if dominant_taken else 0.15
+    return BiasedRandom(probability)
+
+
+def deep_history_program(
+    noise_depth: int = 12,
+    pairs: int = 2,
+    start: int = 0x60000,
+    name: str = "deep-history",
+) -> Program:
+    """Branches whose correlation sits deeper than 9 taken branches.
+
+    A producer branch runs a [T, F] pattern; ``noise_depth`` always-taken
+    jumps execute before a consumer branch that repeats the producer's
+    outcome.  A 9-taken-branch history window (z13/z14 PHT) sees only the
+    noise jumps and cannot separate the phases; the z15 long TAGE table
+    (17 branches) and the perceptron (17 virtualised GPV weights) can.
+    """
+    if noise_depth < 1 or noise_depth > 15:
+        raise ValueError("noise_depth must be in [1, 15]")
+    builder = CodeBuilder(start, name=name)
+    top = builder.label("top")
+    for pair in range(pairs):
+        skip_producer = builder.forward_label()
+        builder.branch(
+            BranchKind.CONDITIONAL_RELATIVE,
+            target=skip_producer,
+            behavior=Pattern([True, False]),
+        )
+        builder.straight(1)
+        builder.bind(skip_producer)
+        # Noise: a chain of always-taken jumps filling the short history.
+        for _ in range(noise_depth):
+            next_link = builder.forward_label()
+            builder.branch(
+                BranchKind.UNCONDITIONAL_RELATIVE,
+                target=next_link,
+                behavior=AlwaysTaken(),
+            )
+            builder.gap(0x20)
+            builder.bind(next_link)
+            builder.straight(1)
+        skip_consumer = builder.forward_label()
+        builder.branch(
+            BranchKind.CONDITIONAL_RELATIVE,
+            target=skip_consumer,
+            behavior=Correlated(history_bits=[noise_depth]),
+        )
+        builder.straight(1)
+        builder.bind(skip_consumer)
+    builder.branch(
+        BranchKind.UNCONDITIONAL_RELATIVE, target=top, behavior=AlwaysTaken()
+    )
+    return builder.build(entry_point=top.resolve())
+
+
+def deep_xor_program(
+    noise_depth: int = 10,
+    start: int = 0x70000,
+    name: str = "deep-xor",
+) -> Program:
+    """A deep, linearly-inseparable correlation: XOR of two producers.
+
+    Two producer branches run offset [T, F] patterns; after a chain of
+    always-taken noise jumps a consumer branch takes the XOR of the two
+    producer outcomes.  A perceptron (linear in GPV bits) cannot learn
+    XOR; a long-history *tagged table* (the z15 long TAGE PHT) can,
+    because each joint producer phase maps to a distinct GPV context.
+    """
+    builder = CodeBuilder(start, name=name)
+    top = builder.label("top")
+    skip_a = builder.forward_label()
+    builder.branch(
+        BranchKind.CONDITIONAL_RELATIVE,
+        target=skip_a,
+        behavior=Pattern([True, False]),
+    )
+    builder.straight(1)
+    builder.bind(skip_a)
+    skip_b = builder.forward_label()
+    builder.branch(
+        BranchKind.CONDITIONAL_RELATIVE,
+        target=skip_b,
+        behavior=Pattern([True, True, False, False]),
+    )
+    builder.straight(1)
+    builder.bind(skip_b)
+    for _ in range(noise_depth):
+        next_link = builder.forward_label()
+        builder.branch(
+            BranchKind.UNCONDITIONAL_RELATIVE,
+            target=next_link,
+            behavior=AlwaysTaken(),
+        )
+        builder.gap(0x20)
+        builder.bind(next_link)
+        builder.straight(1)
+    skip_consumer = builder.forward_label()
+    builder.branch(
+        BranchKind.CONDITIONAL_RELATIVE,
+        target=skip_consumer,
+        # XOR of the two producers, noise_depth and noise_depth+1 back.
+        behavior=Correlated(history_bits=[noise_depth, noise_depth + 1]),
+    )
+    builder.straight(1)
+    builder.bind(skip_consumer)
+    builder.branch(
+        BranchKind.UNCONDITIONAL_RELATIVE, target=top, behavior=AlwaysTaken()
+    )
+    return builder.build(entry_point=top.resolve())
+
+
+def large_footprint_program(
+    block_count: int = 2048,
+    seed: int = 7,
+    taken_bias: float = 0.25,
+    block_spread_bytes: int = 0,
+    loop_fraction: float = 0.1,
+    deterministic_fraction: float = 0.8,
+    start: int = 0x100000,
+    name: str = "large-footprint",
+) -> Program:
+    """The LSPR-like shape: a large ring of basic blocks.
+
+    Each block is ~12 instructions of mixed length with two conditional
+    branches (if/then skips, mostly not taken) and an unconditional jump
+    to the next block in a shuffled order, producing far jumps across a
+    footprint of roughly ``block_count * 64`` bytes (plus optional
+    spread).  ``loop_fraction`` of the blocks self-loop a few times
+    before moving on, creating warm inner code.
+
+    The resulting statistics match the paper's workload sketch: a branch
+    every ~4 instructions, average instruction length ~5 bytes, about
+    half the installed branches predicted taken.
+    """
+    rng = DeterministicRng(seed).fork(name)
+    builder = CodeBuilder(start, name=name)
+    entries: List = []
+    bodies: List[dict] = []
+    for index in range(block_count):
+        entry = builder.label(f"block{index}")
+        entries.append(entry)
+        body: dict = {"entry": entry}
+        builder.straight_mixed(3, rng)
+        skip_one = builder.forward_label()
+        builder.branch(
+            BranchKind.CONDITIONAL_RELATIVE,
+            target=skip_one,
+            behavior=_conditional_behavior(rng, taken_bias,
+                                           deterministic_fraction),
+        )
+        builder.straight_mixed(2, rng)
+        builder.bind(skip_one)
+        builder.straight_mixed(2, rng)
+        skip_two = builder.forward_label()
+        builder.branch(
+            BranchKind.CONDITIONAL_RELATIVE,
+            target=skip_two,
+            behavior=_conditional_behavior(rng, taken_bias / 2,
+                                           deterministic_fraction),
+        )
+        builder.straight_mixed(1, rng)
+        builder.bind(skip_two)
+        if rng.chance(loop_fraction):
+            builder.branch(
+                BranchKind.LOOP_RELATIVE,
+                target=entry,
+                behavior=Loop(rng.randint(2, 6)),
+            )
+        body["exit_site"] = builder.branch(
+            BranchKind.UNCONDITIONAL_RELATIVE,
+            target=entry,  # placeholder, rewired below
+            behavior=AlwaysTaken(),
+        )
+        bodies.append(body)
+        if block_spread_bytes:
+            builder.gap(block_spread_bytes)
+    program = builder.build()
+    # Rewire the exits into one shuffled ring covering every block.
+    order = list(range(block_count))
+    rng.shuffle(order)
+    successor = {}
+    for position, block in enumerate(order):
+        successor[block] = order[(position + 1) % block_count]
+    for index, body in enumerate(bodies):
+        exit_address = body["exit_site"]
+        next_entry = entries[successor[index]].resolve()
+        old = program.instructions[exit_address]
+        program.instructions[exit_address] = old.__class__(
+            address=old.address,
+            length=old.length,
+            kind=old.kind,
+            static_target=next_entry,
+        )
+    program.entry_point = entries[order[0]].resolve()
+    program.validate()
+    return program
+
+
+def transaction_workload(
+    transaction_types: int = 8,
+    blocks_per_transaction: int = 32,
+    shared_helpers: int = 4,
+    seed: int = 11,
+    start: int = 0x200000,
+    name: str = "transactions",
+) -> Program:
+    """An LSPR-flavoured online-transaction mix.
+
+    A dispatcher loop indirect-branches to one of ``transaction_types``
+    handlers (deterministic rotation — a learnable changing-target
+    branch); each handler walks its own run of basic blocks with
+    biased conditionals and calls far-away shared helper functions
+    (call/return idioms + multi-target returns), then jumps back to the
+    dispatcher.
+    """
+    rng = DeterministicRng(seed).fork(name)
+    builder = CodeBuilder(start, name=name)
+
+    # Shared helpers, laid out first (far from everything else).
+    helper_labels = []
+    for index in range(shared_helpers):
+        label = builder.label(f"helper{index}")
+        helper_labels.append(label)
+        builder.straight_mixed(6, rng)
+        skip = builder.forward_label()
+        builder.branch(
+            BranchKind.CONDITIONAL_RELATIVE,
+            target=skip,
+            behavior=BiasedRandom(0.2),
+        )
+        builder.straight_mixed(2, rng)
+        builder.bind(skip)
+        builder.branch(BranchKind.UNCONDITIONAL_INDIRECT, behavior=Return())
+        builder.gap(0x200)
+
+    builder.gap(0x2000)
+    dispatcher = builder.label("dispatcher")
+    builder.straight_mixed(4, rng)
+    dispatch_site = builder.branch(BranchKind.UNCONDITIONAL_INDIRECT, behavior=None)
+
+    handler_labels = []
+    for txn in range(transaction_types):
+        builder.gap(0x800)
+        handler_labels.append(builder.label(f"txn{txn}"))
+        for block in range(blocks_per_transaction):
+            builder.straight_mixed(3, rng)
+            skip = builder.forward_label()
+            builder.branch(
+                BranchKind.CONDITIONAL_RELATIVE,
+                target=skip,
+                behavior=_conditional_behavior(rng, rng.random() * 0.4, 0.8),
+            )
+            builder.straight_mixed(2, rng)
+            builder.bind(skip)
+            if block % 8 == 3:
+                builder.branch(
+                    BranchKind.UNCONDITIONAL_RELATIVE,
+                    target=helper_labels[(txn + block) % shared_helpers],
+                    behavior=Call(),
+                )
+                builder.straight_mixed(1, rng)
+            if block % 8 == 6:
+                loop_head = builder.label()
+                builder.straight_mixed(2, rng)
+                builder.branch(
+                    BranchKind.LOOP_RELATIVE,
+                    target=loop_head,
+                    behavior=Loop(rng.randint(2, 8)),
+                )
+        builder.branch(
+            BranchKind.UNCONDITIONAL_RELATIVE,
+            target=dispatcher,
+            behavior=AlwaysTaken(),
+        )
+    program = builder.build()
+    program.behaviors[dispatch_site] = IndirectCycle(
+        [label.resolve() for label in handler_labels]
+    )
+    program.entry_point = dispatcher.resolve()
+    program.validate()
+    return program

@@ -1,0 +1,229 @@
+"""Static program images.
+
+A :class:`Program` is a set of instructions laid out at concrete
+addresses plus, for each branch, a *behaviour* object that decides its
+dynamic outcome at execution time.  Programs are built either directly
+or through :class:`CodeBuilder`, a tiny assembler with labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.isa.instructions import BranchKind, Instruction
+
+
+class Label:
+    """A forward-referencable code position."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.address: Optional[int] = None
+
+    def bind(self, address: int) -> None:
+        if self.address is not None:
+            raise SimulationError(f"label {self.name!r} bound twice")
+        self.address = address
+
+    def resolve(self) -> int:
+        if self.address is None:
+            raise SimulationError(f"label {self.name!r} was never bound")
+        return self.address
+
+    def __repr__(self) -> str:
+        return f"Label({self.name!r}, address={self.address})"
+
+
+@dataclass
+class Program:
+    """An executable image: instructions by address plus branch behaviours."""
+
+    instructions: Dict[int, Instruction] = field(default_factory=dict)
+    behaviors: Dict[int, object] = field(default_factory=dict)
+    entry_point: int = 0
+    name: str = "program"
+
+    def add(self, instruction: Instruction, behavior: object = None) -> Instruction:
+        if instruction.address in self.instructions:
+            raise SimulationError(
+                f"two instructions at {instruction.address:#x} in {self.name}"
+            )
+        self.instructions[instruction.address] = instruction
+        if behavior is not None:
+            if not instruction.is_branch:
+                raise SimulationError("behaviour attached to a non-branch")
+            self.behaviors[instruction.address] = behavior
+        return instruction
+
+    def at(self, address: int) -> Instruction:
+        try:
+            return self.instructions[address]
+        except KeyError:
+            raise SimulationError(
+                f"{self.name}: no instruction at {address:#x} "
+                "(bad control transfer)"
+            ) from None
+
+    def has_instruction_at(self, address: int) -> bool:
+        return address in self.instructions
+
+    def behavior_of(self, instruction: Instruction) -> object:
+        behavior = self.behaviors.get(instruction.address)
+        if behavior is None and instruction.is_branch:
+            raise SimulationError(
+                f"{self.name}: branch at {instruction.address:#x} has no behaviour"
+            )
+        return behavior
+
+    @property
+    def instruction_count(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def branch_count(self) -> int:
+        return sum(1 for insn in self.instructions.values() if insn.is_branch)
+
+    def footprint_bytes(self) -> int:
+        """Bytes spanned from the lowest to highest instruction."""
+        if not self.instructions:
+            return 0
+        lowest = min(self.instructions)
+        highest_insn = self.instructions[max(self.instructions)]
+        return highest_insn.end_address - lowest
+
+    def validate(self) -> None:
+        """Check layout sanity: no overlapping instructions."""
+        addresses = sorted(self.instructions)
+        for earlier, later in zip(addresses, addresses[1:]):
+            if self.instructions[earlier].end_address > later:
+                raise SimulationError(
+                    f"{self.name}: instructions at {earlier:#x} and "
+                    f"{later:#x} overlap"
+                )
+
+
+class CodeBuilder:
+    """Sequentially lays out instructions, with labels and gaps.
+
+    The builder keeps a byte cursor; ``straight`` emits filler (non-
+    branch) instructions, ``branch`` emits a branch (optionally to a
+    not-yet-bound label, fixed up at :meth:`build` time), ``gap`` skips
+    address space (cold bytes / padding) and ``align`` rounds the cursor
+    up.
+    """
+
+    def __init__(self, start: int = 0x1000, name: str = "program"):
+        if start % 2:
+            raise ValueError("start address must be halfword aligned")
+        self.cursor = start
+        self.start = start
+        self._placed: List[dict] = []
+        self.name = name
+
+    def here(self) -> int:
+        return self.cursor
+
+    def label(self, name: str = "") -> Label:
+        """Create and immediately bind a label at the cursor."""
+        label = Label(name)
+        label.bind(self.cursor)
+        return label
+
+    def forward_label(self, name: str = "") -> Label:
+        """Create an unbound label to be bound later via :meth:`bind`."""
+        return Label(name)
+
+    def bind(self, label: Label) -> Label:
+        label.bind(self.cursor)
+        return label
+
+    def straight(self, count: int, length: int = 4) -> "CodeBuilder":
+        """Emit *count* non-branch instructions of the given length."""
+        for _ in range(count):
+            self._placed.append(
+                {"address": self.cursor, "length": length, "kind": BranchKind.NONE}
+            )
+            self.cursor += length
+        return self
+
+    def straight_mixed(self, count: int, rng) -> "CodeBuilder":
+        """Emit filler with the z mix: 2/4/6-byte instructions averaging
+        ~5 bytes (weights chosen to match the paper's "average length of
+        approximately 5 bytes")."""
+        for _ in range(count):
+            length = rng.weighted_choice((2, 4, 6), (0.15, 0.35, 0.50))
+            self._placed.append(
+                {"address": self.cursor, "length": length, "kind": BranchKind.NONE}
+            )
+            self.cursor += length
+        return self
+
+    def branch(
+        self,
+        kind: BranchKind,
+        target=None,
+        behavior: object = None,
+        length: int = 4,
+    ) -> int:
+        """Emit a branch; returns its address.  *target* may be an int,
+        a (possibly unbound) :class:`Label`, or None for indirects."""
+        address = self.cursor
+        self._placed.append(
+            {
+                "address": address,
+                "length": length,
+                "kind": kind,
+                "target": target,
+                "behavior": behavior,
+            }
+        )
+        self.cursor += length
+        return address
+
+    def gap(self, size_bytes: int) -> "CodeBuilder":
+        """Skip cold address space."""
+        if size_bytes < 0 or size_bytes % 2:
+            raise ValueError("gap must be a non-negative even byte count")
+        self.cursor += size_bytes
+        return self
+
+    def align(self, alignment: int) -> "CodeBuilder":
+        remainder = self.cursor % alignment
+        if remainder:
+            self.cursor += alignment - remainder
+        return self
+
+    def jump_to(self, address: int) -> "CodeBuilder":
+        """Move the cursor to a fresh region (must not go backwards over
+        placed code; overlap is caught at build time anyway)."""
+        if address % 2:
+            raise ValueError("cursor address must be halfword aligned")
+        self.cursor = address
+        return self
+
+    def build(self, entry_point: Optional[int] = None) -> Program:
+        """Resolve labels and materialise the :class:`Program`."""
+        program = Program(entry_point=entry_point or self.start, name=self.name)
+        for item in self._placed:
+            kind = item["kind"]
+            if kind is BranchKind.NONE:
+                program.add(
+                    Instruction(address=item["address"], length=item["length"])
+                )
+                continue
+            target = item.get("target")
+            if isinstance(target, Label):
+                target = target.resolve()
+            program.add(
+                Instruction(
+                    address=item["address"],
+                    length=item["length"],
+                    kind=kind,
+                    static_target=target,
+                ),
+                behavior=item.get("behavior"),
+            )
+        program.validate()
+        return program

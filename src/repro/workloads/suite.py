@@ -1,0 +1,202 @@
+"""The standard workload suite used by tests, examples and benchmarks.
+
+Loosely mirrors the paper's workload taxonomy (section I-II): compute-
+intensive kernels, call/return-heavy service code, changing-target
+dispatch, and LSPR-like large-instruction-footprint transaction mixes at
+several footprint sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.workloads.generators import (
+    call_return_program,
+    correlated_program,
+    deep_history_program,
+    deep_xor_program,
+    indirect_dispatch_program,
+    large_footprint_program,
+    loop_nest_program,
+    noisy_call_return_program,
+    pattern_program,
+    transaction_workload,
+)
+from repro.workloads.program import Program
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named, reproducible workload."""
+
+    name: str
+    factory: Callable[[int], Program]
+    description: str
+    #: Suggested dynamic branch count for a representative run.
+    suggested_branches: int = 50_000
+
+
+def _compute_kernel(seed: int) -> Program:
+    return loop_nest_program(depths=(50, 20, 5), body_instructions=8)
+
+
+def _patterned(seed: int) -> Program:
+    return pattern_program(
+        patterns=[
+            [True, True, False],
+            [True, False],
+            [True, True, True, False],
+            [False, False, True],
+        ]
+    )
+
+
+def _services(seed: int) -> Program:
+    return call_return_program(caller_count=12, functions=3)
+
+
+def _services_noisy(seed: int) -> Program:
+    return noisy_call_return_program(caller_count=12, functions=2)
+
+
+def _dispatch(seed: int) -> Program:
+    return indirect_dispatch_program(handler_count=12, cycle=True)
+
+
+def _correlated(seed: int) -> Program:
+    return correlated_program(pair_count=6)
+
+
+def _deep_history(seed: int) -> Program:
+    return deep_history_program(noise_depth=12, pairs=2)
+
+
+def _deep_xor(seed: int) -> Program:
+    return deep_xor_program(noise_depth=10)
+
+
+def _footprint_small(seed: int) -> Program:
+    return large_footprint_program(block_count=256, seed=seed, name="footprint-small")
+
+
+def _footprint_medium(seed: int) -> Program:
+    return large_footprint_program(block_count=2048, seed=seed, name="footprint-medium")
+
+
+def _footprint_large(seed: int) -> Program:
+    return large_footprint_program(
+        block_count=8192, seed=seed, name="footprint-large"
+    )
+
+
+def _transactions(seed: int) -> Program:
+    return transaction_workload(
+        transaction_types=8, blocks_per_transaction=32, seed=seed
+    )
+
+
+def _transactions_large(seed: int) -> Program:
+    return transaction_workload(
+        transaction_types=24,
+        blocks_per_transaction=64,
+        shared_helpers=8,
+        seed=seed,
+        name="transactions-large",
+    )
+
+
+#: Every standard workload by name.
+STANDARD_WORKLOADS: Dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in [
+        WorkloadSpec(
+            "compute-kernel",
+            _compute_kernel,
+            "nested counted loops (compute intensive)",
+            suggested_branches=20_000,
+        ),
+        WorkloadSpec(
+            "patterned",
+            _patterned,
+            "cyclic taken/not-taken patterns (PHT food)",
+            suggested_branches=20_000,
+        ),
+        WorkloadSpec(
+            "services",
+            _services,
+            "call/return idioms over shared functions (CRS/CTB)",
+            suggested_branches=20_000,
+        ),
+        WorkloadSpec(
+            "services-noisy",
+            _services_noisy,
+            "call/return with noisy function bodies (CRS-only niche)",
+            suggested_branches=20_000,
+        ),
+        WorkloadSpec(
+            "dispatch",
+            _dispatch,
+            "multi-target indirect dispatch (CTB)",
+            suggested_branches=20_000,
+        ),
+        WorkloadSpec(
+            "correlated",
+            _correlated,
+            "outcome-correlated conditionals (TAGE/perceptron)",
+            suggested_branches=20_000,
+        ),
+        WorkloadSpec(
+            "deep-history",
+            _deep_history,
+            "correlations deeper than 9 taken branches (long TAGE / perceptron)",
+            suggested_branches=20_000,
+        ),
+        WorkloadSpec(
+            "deep-xor",
+            _deep_xor,
+            "XOR of two deep producers (linearly inseparable; long TAGE only)",
+            suggested_branches=20_000,
+        ),
+        WorkloadSpec(
+            "footprint-small",
+            _footprint_small,
+            "~256-block ring, fits the BTB1",
+            suggested_branches=40_000,
+        ),
+        WorkloadSpec(
+            "footprint-medium",
+            _footprint_medium,
+            "~2K-block ring, stresses BTB1 capacity",
+            suggested_branches=60_000,
+        ),
+        WorkloadSpec(
+            "footprint-large",
+            _footprint_large,
+            "~8K-block ring, needs the BTB2",
+            suggested_branches=100_000,
+        ),
+        WorkloadSpec(
+            "transactions",
+            _transactions,
+            "LSPR-like online transaction mix",
+            suggested_branches=60_000,
+        ),
+        WorkloadSpec(
+            "transactions-large",
+            _transactions_large,
+            "LSPR-like mix with a large instruction footprint",
+            suggested_branches=100_000,
+        ),
+    ]
+}
+
+
+def get_workload(name: str, seed: int = 1) -> Program:
+    """Build a standard workload by name."""
+    try:
+        spec = STANDARD_WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(STANDARD_WORKLOADS))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+    return spec.factory(seed)

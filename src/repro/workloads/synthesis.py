@@ -1,0 +1,290 @@
+"""Statistical workload cloning.
+
+The paper's performance model consumed "instruction traces of workloads
+that run on a mainframe system" (section VII).  Real traces are
+proprietary, but their *statistics* travel: this module measures the
+branch-level profile of any trace (branch density, kind mix, taken
+rates, footprint, working-set locality) and synthesises a program whose
+dynamic behaviour matches the profile — the standard workload-cloning
+technique for sharing proprietary workloads.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.common.rng import DeterministicRng
+from repro.isa.dynamic import DynamicBranch
+from repro.isa.instructions import BranchKind
+from repro.workloads.behaviors import (
+    AlwaysTaken,
+    BiasedRandom,
+    IndirectCycle,
+    Pattern,
+)
+from repro.workloads.program import CodeBuilder, Program
+
+
+@dataclass
+class BranchProfile:
+    """The shareable statistics of a branch trace."""
+
+    #: Dynamic branches measured.
+    dynamic_branches: int = 0
+    #: Distinct static branch addresses seen.
+    static_branches: int = 0
+    #: Bytes spanned by the static branches.
+    footprint_bytes: int = 0
+    #: Overall fraction of dynamic branches that were taken.
+    taken_rate: float = 0.0
+    #: Dynamic share of each branch kind.
+    kind_mix: Dict[BranchKind, float] = field(default_factory=dict)
+    #: Histogram of per-static-branch taken rates, bucketed by decile
+    #: (bucket i covers [i/10, (i+1)/10)).
+    bias_histogram: List[float] = field(default_factory=lambda: [0.0] * 10)
+    #: The same histogram weighted by dynamic execution counts (hot
+    #: branches dominate) — what the clone draws from.
+    dynamic_bias_histogram: List[float] = field(
+        default_factory=lambda: [0.0] * 10
+    )
+    #: Average distinct targets per taken indirect branch.
+    indirect_target_fanout: float = 1.0
+
+    def summary(self) -> str:
+        lines = [
+            f"dynamic branches:   {self.dynamic_branches}",
+            f"static branches:    {self.static_branches}",
+            f"footprint:          {self.footprint_bytes} bytes",
+            f"taken rate:         {self.taken_rate:.2%}",
+            "kind mix:           "
+            + ", ".join(
+                f"{kind.value}={share:.1%}"
+                for kind, share in sorted(
+                    self.kind_mix.items(), key=lambda kv: -kv[1]
+                )
+            ),
+            f"indirect fanout:    {self.indirect_target_fanout:.2f}",
+        ]
+        return "\n".join(lines)
+
+
+def profile_trace(branches: Iterable[DynamicBranch]) -> BranchProfile:
+    """Measure the branch statistics of a trace."""
+    profile = BranchProfile()
+    kind_counts: Counter = Counter()
+    per_address_total: Counter = Counter()
+    per_address_taken: Counter = Counter()
+    indirect_targets: Dict[int, set] = {}
+    addresses = set()
+    conditional_addresses = set()
+    lowest = None
+    highest = None
+    taken = 0
+    for branch in branches:
+        profile.dynamic_branches += 1
+        kind_counts[branch.kind] += 1
+        addresses.add(branch.address)
+        if branch.instruction.is_conditional:
+            conditional_addresses.add(branch.address)
+        per_address_total[branch.address] += 1
+        if branch.taken:
+            taken += 1
+            per_address_taken[branch.address] += 1
+            if branch.instruction.is_indirect:
+                indirect_targets.setdefault(branch.address, set()).add(
+                    branch.target
+                )
+        lowest = branch.address if lowest is None else min(lowest, branch.address)
+        highest = (
+            branch.instruction.end_address
+            if highest is None
+            else max(highest, branch.instruction.end_address)
+        )
+    if profile.dynamic_branches == 0:
+        return profile
+    profile.static_branches = len(addresses)
+    profile.footprint_bytes = (highest - lowest) if lowest is not None else 0
+    profile.taken_rate = taken / profile.dynamic_branches
+    profile.kind_mix = {
+        kind: count / profile.dynamic_branches
+        for kind, count in kind_counts.items()
+    }
+    histogram = [0] * 10
+    dynamic_histogram = [0] * 10
+    conditional_total = 0
+    for address, total in per_address_total.items():
+        if address not in conditional_addresses:
+            continue
+        rate = per_address_taken[address] / total
+        bucket = min(9, int(rate * 10))
+        histogram[bucket] += 1
+        dynamic_histogram[bucket] += total
+        conditional_total += total
+    denominator = max(1, len(conditional_addresses))
+    profile.bias_histogram = [count / denominator for count in histogram]
+    profile.dynamic_bias_histogram = [
+        count / max(1, conditional_total) for count in dynamic_histogram
+    ]
+    if indirect_targets:
+        profile.indirect_target_fanout = sum(
+            len(targets) for targets in indirect_targets.values()
+        ) / len(indirect_targets)
+    return profile
+
+
+def synthesize_program(
+    profile: BranchProfile,
+    seed: int = 1,
+    start: int = 0x400000,
+    name: str = "synthetic-clone",
+) -> Program:
+    """Build a program whose dynamic branch statistics approximate
+    *profile*.
+
+    The clone is a ring of blocks: each block carries one conditional
+    branch whose bias is drawn from the profile's bias histogram, plus
+    the ring's unconditional exit; indirect dispatch sites reproduce the
+    measured fanout.  Block count matches the measured static-branch
+    population; filler instruction counts reproduce the branch density.
+    """
+    if profile.static_branches == 0:
+        raise ValueError("cannot synthesise from an empty profile")
+    rng = DeterministicRng(seed).fork(name)
+    builder = CodeBuilder(start, name=name)
+
+    conditional_share = sum(
+        share
+        for kind, share in profile.kind_mix.items()
+        if kind in (BranchKind.CONDITIONAL_RELATIVE, BranchKind.LOOP_RELATIVE,
+                    BranchKind.CONDITIONAL_INDIRECT)
+    )
+    indirect_share = sum(
+        share
+        for kind, share in profile.kind_mix.items()
+        if kind in (BranchKind.CONDITIONAL_INDIRECT,
+                    BranchKind.UNCONDITIONAL_INDIRECT)
+    )
+    # Conditionals per block: match the measured conditional-to-
+    # control-transfer dynamic ratio (each block executes all its
+    # conditionals once plus one exit).
+    transfer_share = max(0.05, 1.0 - conditional_share)
+    conditionals_per_block = max(
+        1, min(8, int(round(conditional_share / transfer_share)))
+    )
+    branches_per_block = conditionals_per_block + 1
+    block_count = max(4, profile.static_branches // branches_per_block)
+    block_count = min(block_count, 8192)
+    # Indirect dispatch sites to reproduce the indirect share.
+    indirect_sites = max(0, int(round(block_count * indirect_share * 2)))
+    fanout = max(1, int(round(profile.indirect_target_fanout)))
+
+    # Pad blocks with gaps so the clone's footprint matches the
+    # original's (a block body is roughly 50 bytes).
+    body_estimate = 30 + 25 * conditionals_per_block
+    gap_per_block = max(
+        0,
+        (profile.footprint_bytes - block_count * body_estimate) // block_count,
+    )
+    gap_per_block -= gap_per_block % 2
+
+    entries = []
+    exits = []
+    dispatch_sites = []
+    for index in range(block_count):
+        if gap_per_block and index:
+            builder.gap(gap_per_block)
+        entry = builder.label(f"clone{index}")
+        entries.append(entry)
+        builder.straight_mixed(3, rng)
+        if conditional_share > 0:
+            for _ in range(conditionals_per_block):
+                skip = builder.forward_label()
+                bias = _draw_bias(rng, profile.dynamic_bias_histogram)
+                builder.branch(
+                    BranchKind.CONDITIONAL_RELATIVE,
+                    target=skip,
+                    behavior=_bias_behavior(rng, bias),
+                )
+                builder.straight_mixed(2, rng)
+                builder.bind(skip)
+        builder.straight_mixed(2, rng)
+        if indirect_sites > 0 and index % max(1, block_count // max(1, indirect_sites)) == 0:
+            dispatch_sites.append(
+                builder.branch(BranchKind.UNCONDITIONAL_INDIRECT, behavior=None)
+            )
+        else:
+            exits.append(
+                builder.branch(
+                    BranchKind.UNCONDITIONAL_RELATIVE,
+                    target=entry,  # rewired below
+                    behavior=AlwaysTaken(),
+                )
+            )
+    program = builder.build()
+
+    # Wire the ring: exits and dispatch sites both continue the tour.
+    order = list(range(block_count))
+    rng.shuffle(order)
+    successor = {}
+    for position, block in enumerate(order):
+        successor[block] = order[(position + 1) % block_count]
+    # Map each block to its exit site (one per block, in layout order).
+    per_block_sites = sorted(exits + dispatch_sites)
+    for index, site in enumerate(per_block_sites):
+        target = entries[successor[index]].resolve()
+        if site in dispatch_sites:
+            # Indirect: rotate over `fanout` successors.
+            targets = []
+            block = index
+            for _ in range(fanout):
+                block = successor[block]
+                targets.append(entries[block].resolve())
+            program.behaviors[site] = IndirectCycle(targets)
+        else:
+            old = program.instructions[site]
+            program.instructions[site] = old.__class__(
+                address=old.address,
+                length=old.length,
+                kind=old.kind,
+                static_target=target,
+            )
+    program.entry_point = entries[order[0]].resolve()
+    program.validate()
+    return program
+
+
+def _draw_bias(rng: DeterministicRng, histogram: List[float]) -> float:
+    """Sample a per-branch taken rate from the decile histogram."""
+    total = sum(histogram)
+    if total <= 0:
+        return 0.5
+    roll = rng.random() * total
+    cumulative = 0.0
+    for bucket, weight in enumerate(histogram):
+        cumulative += weight
+        if roll <= cumulative:
+            return min(0.95, max(0.05, (bucket + 0.5) / 10))
+    return 0.5
+
+
+def _bias_behavior(rng: DeterministicRng, bias: float):
+    """Mostly-deterministic behaviour matching a taken rate (see the
+    generator rationale in :mod:`repro.workloads.generators`)."""
+    if bias <= 0.08:
+        return BiasedRandom(bias)
+    if bias >= 0.92:
+        return BiasedRandom(bias)
+    period = max(2, int(round(1 / min(bias, 1 - bias))))
+    takens = max(1, int(round(period * bias)))
+    takens = min(takens, period - 1) if period > 1 else takens
+    pattern = [True] * takens + [False] * (period - takens)
+    return Pattern(pattern)
+
+
+def clone_trace(
+    branches: Iterable[DynamicBranch], seed: int = 1, name: str = "clone"
+) -> Program:
+    """Profile a trace and synthesise its statistical clone."""
+    return synthesize_program(profile_trace(branches), seed=seed, name=name)

@@ -1,0 +1,113 @@
+"""Branch-trace I/O.
+
+The paper's performance model consumed "instruction traces of workloads
+that run on a mainframe system" (section VII).  This module provides the
+equivalent: executed-branch traces can be saved to a compact text format
+and replayed later without the generating program.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from repro.common.errors import TraceFormatError
+from repro.isa.dynamic import DynamicBranch
+from repro.isa.instructions import BranchKind, Instruction
+
+#: Format marker written as the first line.
+TRACE_HEADER = "#repro-branch-trace-v1"
+
+_KIND_CODES = {
+    BranchKind.CONDITIONAL_RELATIVE: "cr",
+    BranchKind.UNCONDITIONAL_RELATIVE: "ur",
+    BranchKind.CONDITIONAL_INDIRECT: "ci",
+    BranchKind.UNCONDITIONAL_INDIRECT: "ui",
+    BranchKind.LOOP_RELATIVE: "lr",
+}
+_CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
+
+
+def format_record(branch: DynamicBranch) -> str:
+    """One branch per line:
+    ``seq kind address length static_target taken target thread context``.
+    Missing targets are written as ``-``."""
+    insn = branch.instruction
+    static_target = "-" if insn.static_target is None else f"{insn.static_target:x}"
+    target = "-" if branch.target is None else f"{branch.target:x}"
+    return (
+        f"{branch.sequence} {_KIND_CODES[insn.kind]} {insn.address:x} "
+        f"{insn.length} {static_target} {int(branch.taken)} {target} "
+        f"{branch.thread} {branch.context}"
+    )
+
+
+def parse_record(line: str) -> DynamicBranch:
+    """Inverse of :func:`format_record`."""
+    parts = line.split()
+    if len(parts) != 9:
+        raise TraceFormatError(f"malformed trace record: {line!r}")
+    try:
+        sequence = int(parts[0])
+        kind = _CODE_KINDS[parts[1]]
+        address = int(parts[2], 16)
+        length = int(parts[3])
+        static_target = None if parts[4] == "-" else int(parts[4], 16)
+        taken = bool(int(parts[5]))
+        target = None if parts[6] == "-" else int(parts[6], 16)
+        thread = int(parts[7])
+        context = int(parts[8])
+    except (KeyError, ValueError) as error:
+        raise TraceFormatError(f"malformed trace record: {line!r}") from error
+    instruction = Instruction(
+        address=address, length=length, kind=kind, static_target=static_target
+    )
+    return DynamicBranch(
+        sequence=sequence,
+        instruction=instruction,
+        taken=taken,
+        target=target,
+        thread=thread,
+        context=context,
+    )
+
+
+def _open_text(path: Union[str, Path], mode: str) -> io.TextIOBase:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")  # type: ignore[return-value]
+    return open(path, mode)  # noqa: SIM115 - caller closes via with
+
+
+def write_trace(path: Union[str, Path], branches: Iterable[DynamicBranch]) -> int:
+    """Write a trace file (gzip when the path ends in .gz); returns the
+    record count."""
+    count = 0
+    with _open_text(path, "w") as stream:
+        stream.write(TRACE_HEADER + "\n")
+        for branch in branches:
+            stream.write(format_record(branch) + "\n")
+            count += 1
+    return count
+
+
+def read_trace(path: Union[str, Path]) -> Iterator[DynamicBranch]:
+    """Stream branches back from a trace file."""
+    with _open_text(path, "r") as stream:
+        header = stream.readline().strip()
+        if header != TRACE_HEADER:
+            raise TraceFormatError(
+                f"{path}: missing trace header (got {header!r})"
+            )
+        for line in stream:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            yield parse_record(line)
+
+
+def load_trace(path: Union[str, Path]) -> List[DynamicBranch]:
+    """Read a whole trace into memory."""
+    return list(read_trace(path))

@@ -1,0 +1,109 @@
+"""Tests for the baseline predictors."""
+
+import pytest
+
+from repro.baselines import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    DirectMappedBtb,
+    GsharePredictor,
+    LTagePredictor,
+    StaticBtfntPredictor,
+)
+from repro.configs import z15_config
+from repro.core import LookaheadBranchPredictor
+from repro.engine import FunctionalEngine
+from repro.workloads import get_workload
+
+
+def accuracy(predictor, workload="patterned", branches=4000, warmup=1000):
+    engine = FunctionalEngine(predictor)
+    stats = engine.run_program(get_workload(workload), max_branches=branches,
+                               warmup_branches=warmup)
+    return stats
+
+
+class TestDirectMappedBtb:
+    def test_install_lookup(self):
+        btb = DirectMappedBtb(64)
+        assert btb.lookup(0x1000) is None
+        btb.install(0x1000, 0x2000)
+        assert btb.lookup(0x1000) == 0x2000
+
+    def test_conflict_overwrites(self):
+        btb = DirectMappedBtb(4)
+        btb.install(0x1000, 0x2000)
+        btb.install(0x1000 + 4 * 2, 0x3000)  # same index, different tag
+        assert btb.lookup(0x1000) is None
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            DirectMappedBtb(100)
+
+
+class TestProtocol:
+    @pytest.mark.parametrize(
+        "factory",
+        [AlwaysTakenPredictor, StaticBtfntPredictor, BimodalPredictor,
+         GsharePredictor, LTagePredictor],
+    )
+    def test_runs_through_engine(self, factory):
+        stats = accuracy(factory(), branches=1000, warmup=0)
+        assert stats.branches == 1000
+        assert 0 <= stats.direction_accuracy <= 1
+
+
+class TestRelativeStrength:
+    def test_bimodal_beats_static_on_biased_branches(self):
+        bimodal = accuracy(BimodalPredictor(), workload="compute-kernel")
+        static = accuracy(StaticBtfntPredictor(), workload="compute-kernel")
+        assert bimodal.direction_accuracy >= static.direction_accuracy
+
+    def test_gshare_beats_bimodal_on_patterns(self):
+        gshare = accuracy(GsharePredictor(), workload="patterned")
+        bimodal = accuracy(BimodalPredictor(), workload="patterned")
+        assert gshare.direction_accuracy > bimodal.direction_accuracy
+
+    def test_ltage_learns_patterns(self):
+        ltage = accuracy(LTagePredictor(), workload="patterned")
+        assert ltage.direction_accuracy > 0.99
+
+    def test_z15_model_at_least_matches_gshare_on_patterns(self):
+        z15 = accuracy(
+            LookaheadBranchPredictor(z15_config()), workload="patterned"
+        )
+        gshare = accuracy(GsharePredictor(), workload="patterned")
+        assert z15.direction_accuracy >= gshare.direction_accuracy - 0.01
+
+
+class TestBimodalBehaviour:
+    def test_learns_bias(self):
+        from repro.isa.dynamic import DynamicBranch
+        from repro.isa.instructions import BranchKind, Instruction
+
+        predictor = BimodalPredictor()
+        insn = Instruction(address=0x1000, length=4,
+                           kind=BranchKind.CONDITIONAL_RELATIVE,
+                           static_target=0x2000)
+        for sequence in range(4):
+            predictor.predict_and_resolve(
+                DynamicBranch(sequence=sequence, instruction=insn, taken=True,
+                              target=0x2000)
+            )
+        outcome = predictor.predict_and_resolve(
+            DynamicBranch(sequence=5, instruction=insn, taken=True,
+                          target=0x2000)
+        )
+        record = outcome.record
+        assert record.predicted_taken
+        assert record.predicted_target == 0x2000
+        assert not record.mispredicted
+
+
+class TestGshareBehaviour:
+    def test_history_disambiguates(self):
+        """gshare separates a branch's occurrences by history path."""
+        stats = accuracy(GsharePredictor(), workload="correlated")
+        bimodal = accuracy(BimodalPredictor(), workload="correlated")
+        assert stats.direction_accuracy > 0.9
+        assert stats.direction_accuracy > bimodal.direction_accuracy

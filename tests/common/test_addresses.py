@@ -1,0 +1,92 @@
+"""Tests for line/address arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import addresses
+
+
+def test_align_down_basic():
+    assert addresses.align_down(0) == 0
+    assert addresses.align_down(63) == 0
+    assert addresses.align_down(64) == 64
+    assert addresses.align_down(130, 64) == 128
+
+
+def test_align_up_basic():
+    assert addresses.align_up(0) == 0
+    assert addresses.align_up(1) == 64
+    assert addresses.align_up(64) == 64
+    assert addresses.align_up(65) == 128
+
+
+def test_align_rejects_bad_alignment():
+    with pytest.raises(ValueError):
+        addresses.align_down(10, 0)
+    with pytest.raises(ValueError):
+        addresses.align_up(10, -4)
+
+
+def test_line_of_and_offset():
+    assert addresses.line_of(0x1234) == 0x1200
+    assert addresses.line_offset(0x1234) == 0x34
+    assert addresses.line_index(0x1234) == 0x1234 // 64
+
+
+def test_next_line():
+    assert addresses.next_line(0) == 64
+    assert addresses.next_line(63) == 64
+    assert addresses.next_line(64) == 128
+
+
+def test_lines_between_same_line_is_zero():
+    assert addresses.lines_between(0x100, 0x13E) == 0
+
+
+def test_lines_between_adjacent():
+    assert addresses.lines_between(0x100, 0x140) == 1
+    assert addresses.lines_between(0x13E, 0x140) == 1
+
+
+def test_lines_between_rejects_backwards():
+    with pytest.raises(ValueError):
+        addresses.lines_between(0x200, 0x100)
+
+
+def test_halfword_alignment():
+    assert addresses.is_halfword_aligned(0x1000)
+    assert not addresses.is_halfword_aligned(0x1001)
+
+
+def test_normalize_wraps_to_64_bits():
+    assert addresses.normalize(1 << 64) == 0
+    assert addresses.normalize((1 << 64) + 5) == 5
+
+
+@given(st.integers(min_value=0, max_value=2**48))
+def test_align_down_le_address_lt_align_up(address):
+    down = addresses.align_down(address)
+    up = addresses.align_up(address)
+    assert down <= address <= up
+    assert down % addresses.LINE_SIZE == 0
+    assert up % addresses.LINE_SIZE == 0
+    assert up - down in (0, addresses.LINE_SIZE)
+
+
+@given(st.integers(min_value=0, max_value=2**48))
+def test_line_decomposition_roundtrip(address):
+    assert addresses.line_of(address) + addresses.line_offset(address) == address
+
+
+@given(
+    st.integers(min_value=0, max_value=2**32),
+    st.integers(min_value=0, max_value=2**16),
+)
+def test_lines_between_is_additive(start, delta):
+    end = start + delta
+    total = addresses.lines_between(start, end)
+    mid = start + delta // 2
+    assert total == addresses.lines_between(start, mid) + addresses.lines_between(
+        mid, end
+    )

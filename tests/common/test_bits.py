@@ -1,0 +1,76 @@
+"""Tests for bit-manipulation helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import bits
+
+
+def test_mask():
+    assert bits.mask(0) == 0
+    assert bits.mask(1) == 1
+    assert bits.mask(8) == 0xFF
+
+
+def test_mask_rejects_negative():
+    with pytest.raises(ValueError):
+        bits.mask(-1)
+
+
+def test_bit_select():
+    assert bits.bit_select(0b110100, 2, 3) == 0b101
+    assert bits.bit_select(0xFF00, 8, 8) == 0xFF
+    assert bits.bit_select(0xFF00, 0, 8) == 0
+
+
+def test_fold_xor_narrow_value_unchanged():
+    assert bits.fold_xor(0b101, 4) == 0b101
+
+
+def test_fold_xor_folds_chunks():
+    # 0xAB ^ 0xCD
+    assert bits.fold_xor(0xABCD, 8) == 0xAB ^ 0xCD
+
+
+def test_fold_xor_zero():
+    assert bits.fold_xor(0, 6) == 0
+
+
+def test_rotate_left():
+    assert bits.rotate_left(0b0001, 1, 4) == 0b0010
+    assert bits.rotate_left(0b1000, 1, 4) == 0b0001
+    assert bits.rotate_left(0b1010, 4, 4) == 0b1010
+
+
+def test_popcount():
+    assert bits.popcount(0) == 0
+    assert bits.popcount(0b1011) == 3
+
+
+def test_sign():
+    assert bits.sign(5) == 1
+    assert bits.sign(-2) == -1
+    assert bits.sign(0) == 0
+
+
+@given(st.integers(min_value=0, max_value=2**64), st.integers(min_value=1, max_value=24))
+def test_fold_xor_fits_in_width(value, width):
+    assert 0 <= bits.fold_xor(value, width) <= bits.mask(width)
+
+
+@given(
+    st.integers(min_value=0, max_value=2**16 - 1),
+    st.integers(min_value=0, max_value=64),
+)
+def test_rotate_left_is_invertible(value, amount):
+    width = 16
+    rotated = bits.rotate_left(value, amount, width)
+    back = bits.rotate_left(rotated, width - (amount % width), width)
+    assert back == value
+
+
+@given(st.integers(min_value=0, max_value=2**64))
+def test_fold_xor_xor_distributes(value):
+    # Folding the XOR of a value with itself is zero.
+    assert bits.fold_xor(value ^ value, 10) == 0

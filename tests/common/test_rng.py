@@ -1,0 +1,80 @@
+"""Tests for the deterministic RNG wrapper."""
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+
+
+def test_same_seed_same_stream():
+    a = DeterministicRng(42)
+    b = DeterministicRng(42)
+    assert [a.randint(0, 100) for _ in range(20)] == [
+        b.randint(0, 100) for _ in range(20)
+    ]
+
+
+def test_different_seed_different_stream():
+    a = DeterministicRng(1)
+    b = DeterministicRng(2)
+    assert [a.randint(0, 10**9) for _ in range(8)] != [
+        b.randint(0, 10**9) for _ in range(8)
+    ]
+
+
+def test_fork_is_stable_and_independent():
+    parent = DeterministicRng(7)
+    child1 = parent.fork("icache")
+    # Drawing from the parent must not change what a fresh fork produces.
+    parent.randint(0, 1000)
+    child2 = DeterministicRng(7).fork("icache")
+    assert [child1.randint(0, 100) for _ in range(10)] == [
+        child2.randint(0, 100) for _ in range(10)
+    ]
+
+
+def test_fork_labels_differ():
+    parent = DeterministicRng(7)
+    a = parent.fork("a")
+    b = parent.fork("b")
+    assert [a.randint(0, 10**9) for _ in range(8)] != [
+        b.randint(0, 10**9) for _ in range(8)
+    ]
+
+
+def test_chance_bounds():
+    rng = DeterministicRng(3)
+    assert not rng.chance(0.0)
+    assert rng.chance(1.0)
+    with pytest.raises(ValueError):
+        rng.chance(1.5)
+
+
+def test_weighted_choice_requires_matching_lengths():
+    rng = DeterministicRng(3)
+    with pytest.raises(ValueError):
+        rng.weighted_choice(["a", "b"], [1.0])
+
+
+def test_weighted_choice_heavy_weight_dominates():
+    rng = DeterministicRng(3)
+    picks = [rng.weighted_choice(["x", "y"], [0.999, 0.001]) for _ in range(200)]
+    assert picks.count("x") > 180
+
+
+def test_geometric_mean_reasonable():
+    rng = DeterministicRng(11)
+    draws = [rng.geometric(4.0) for _ in range(5000)]
+    mean = sum(draws) / len(draws)
+    assert 3.0 < mean < 5.0
+    assert min(draws) >= 1
+
+
+def test_geometric_respects_maximum():
+    rng = DeterministicRng(11)
+    assert all(rng.geometric(10.0, maximum=4) <= 4 for _ in range(200))
+
+
+def test_geometric_rejects_mean_below_one():
+    rng = DeterministicRng(11)
+    with pytest.raises(ValueError):
+        rng.geometric(0.5)

@@ -1,0 +1,166 @@
+"""Tests for configuration presets and validation."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.configs import (
+    GENERATIONS,
+    PredictorConfig,
+    TimingConfig,
+    z13_config,
+    z14_config,
+    z15_config,
+    zec12_config,
+)
+from repro.configs.predictor import (
+    Btb1Config,
+    Btb2Config,
+    CrsConfig,
+    PerceptronConfig,
+    PhtConfig,
+)
+
+
+class TestZ15Preset:
+    """Every number the paper states must be in the z15 preset."""
+
+    def test_btb1_geometry(self):
+        config = z15_config()
+        assert config.btb1.rows == 2048
+        assert config.btb1.ways == 8
+        assert config.btb1.capacity == 16 * 1024
+        assert config.btb1.line_size == 64
+
+    def test_btb2_geometry(self):
+        config = z15_config()
+        assert config.btb2.rows == 32768
+        assert config.btb2.ways == 4
+        assert config.btb2.capacity == 128 * 1024
+        assert config.btb2.empty_search_threshold == 3
+        # 32 lines x 4 ways = up to 128 branches per transfer.
+        assert config.btb2.transfer_lines * config.btb2.ways == 128
+        assert config.btb2.inclusive
+
+    def test_gpv_depth(self):
+        assert z15_config().gpv_depth == 17
+
+    def test_tage_arrangement(self):
+        config = z15_config()
+        assert config.pht.tage
+        assert config.pht.rows == 512
+        assert config.pht.short_history == 9
+        assert config.pht.long_history == 17
+        assert config.pht.capacity == 8192
+
+    def test_perceptron_geometry(self):
+        config = z15_config()
+        assert config.perceptron.capacity == 32
+        assert config.perceptron.rows == 16
+        assert config.perceptron.ways == 2
+        assert config.perceptron.weight_count == 17
+
+    def test_ctb_geometry(self):
+        config = z15_config()
+        assert config.ctb.capacity == 2048
+        assert config.ctb.history == 17
+
+    def test_features_enabled(self):
+        config = z15_config()
+        assert config.skoot_enabled
+        assert config.crs.enabled
+        assert config.cpred.enabled
+
+
+class TestGenerationOrdering:
+    def test_capacity_grows_monotonically(self):
+        configs = [zec12_config(), z13_config(), z14_config(), z15_config()]
+        btb1 = [c.btb1.capacity for c in configs]
+        btb2 = [c.btb2.capacity for c in configs]
+        assert btb1 == sorted(btb1)
+        assert btb2 == sorted(btb2)
+        assert btb1[0] < btb1[-1]
+
+    def test_feature_introduction_points(self):
+        assert not z13_config().perceptron.enabled
+        assert z14_config().perceptron.enabled
+        assert not z14_config().pht.tage
+        assert z15_config().pht.tage
+        assert not z14_config().skoot_enabled
+        assert z15_config().skoot_enabled
+        assert not z13_config().crs.enabled
+        assert z14_config().crs.enabled
+
+    def test_gpv_grows_at_z14(self):
+        assert z13_config().gpv_depth == 9
+        assert z14_config().gpv_depth == 17
+
+    def test_inclusivity_change_at_z15(self):
+        assert not z14_config().btb2.inclusive
+        assert z15_config().btb2.inclusive
+
+    def test_registry_metadata(self):
+        assert list(GENERATIONS) == ["zEC12", "z13", "z14", "z15"]
+        for name, (factory, info) in GENERATIONS.items():
+            assert info.name == name
+            assert factory().name == name
+        # Paper-stated sizes must not be marked approximate.
+        _, z15_info = GENERATIONS["z15"]
+        assert z15_info.btb1_branches == 16384
+        assert z15_info.btb2_branches == 131072
+        assert not z15_info.approximate_fields
+        _, zec12_info = GENERATIONS["zEC12"]
+        assert zec12_info.btb1_branches == 4096
+        assert zec12_info.btb2_branches == 24576
+
+
+class TestValidation:
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigError):
+            Btb1Config(rows=1000).validate()
+
+    def test_history_exceeding_gpv_rejected(self):
+        config = PredictorConfig(
+            pht=PhtConfig(long_history=17), gpv_depth=9
+        )
+        with pytest.raises(ConfigError):
+            config.validate()
+
+    def test_perceptron_weights_exceeding_gpv_rejected(self):
+        config = PredictorConfig(
+            perceptron=PerceptronConfig(weight_count=40)
+        )
+        with pytest.raises(ConfigError):
+            config.validate()
+
+    def test_completion_delay_vs_gpq(self):
+        config = PredictorConfig(completion_delay=200, gpq_capacity=128)
+        with pytest.raises(ConfigError):
+            config.validate()
+
+    def test_crs_threshold(self):
+        with pytest.raises(ConfigError):
+            CrsConfig(distance_threshold=1).validate()
+
+    def test_btb2_thresholds(self):
+        with pytest.raises(ConfigError):
+            Btb2Config(empty_search_threshold=0).validate()
+
+    def test_defaults_are_valid(self):
+        PredictorConfig().validate()
+        TimingConfig().validate()
+
+
+class TestTiming:
+    def test_paper_numbers(self):
+        timing = TimingConfig()
+        assert timing.bpl_pipeline_depth == 6
+        assert timing.taken_interval_st == 5
+        assert timing.taken_interval_smt2 == 6
+        assert timing.taken_interval_cpred == 2
+        assert timing.search_bytes_per_cycle == 64
+        assert timing.fetch_bytes_per_cycle == 32
+        assert timing.restart_penalty == 26
+        assert timing.statistical_restart_penalty == 35
+        assert timing.l2i_extra_latency == 8
+        assert timing.l3_extra_latency == 45
+        assert timing.dispatch_width == 6

@@ -1,0 +1,192 @@
+"""Tests for the level-1 BTB."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.configs.predictor import Btb1Config
+from repro.core.btb1 import Btb1
+from repro.core.entries import BtbEntry
+from repro.isa.instructions import BranchKind
+from repro.structures.saturating import TwoBitDirectionCounter
+
+
+def small_btb(rows=16, ways=4, tag_bits=8):
+    return Btb1(Btb1Config(rows=rows, ways=ways, tag_bits=tag_bits, policy="lru"))
+
+
+def entry_for(target=0x9000, kind=BranchKind.CONDITIONAL_RELATIVE, taken=True):
+    return BtbEntry(
+        tag=0,
+        offset=0,
+        length=4,
+        kind=kind,
+        target=target,
+        bht=TwoBitDirectionCounter.for_direction(taken),
+    )
+
+
+class TestIndexing:
+    def test_same_line_same_row(self):
+        btb = small_btb()
+        assert btb.row_of(0x1000) == btb.row_of(0x103E)
+
+    def test_adjacent_lines_different_rows(self):
+        btb = small_btb()
+        assert btb.row_of(0x1000) != btb.row_of(0x1040)
+
+    def test_context_changes_tag(self):
+        btb = small_btb()
+        assert btb.tag_of(0x1000, 0) != btb.tag_of(0x1000, 1)
+
+
+class TestInstallAndLookup:
+    def test_install_then_lookup(self):
+        btb = small_btb()
+        result = btb.install(0x1008, 0, entry_for())
+        assert result.installed and not result.duplicate
+        hit = btb.lookup(0x1008, 0)
+        assert hit is not None
+        assert hit.address == 0x1008
+        assert hit.entry.target == 0x9000
+        assert not hit.aliased
+
+    def test_lookup_miss(self):
+        btb = small_btb()
+        btb.install(0x1008, 0, entry_for())
+        assert btb.lookup(0x100A, 0) is None
+        assert btb.lookup(0x1008, 1) is None  # wrong context
+
+    def test_duplicate_install_rejected(self):
+        btb = small_btb()
+        assert btb.install(0x1008, 0, entry_for()).installed
+        second = btb.install(0x1008, 0, entry_for(target=0xAAAA))
+        assert not second.installed and second.duplicate
+        assert btb.duplicate_rejects == 1
+        # Original content survives.
+        assert btb.lookup(0x1008, 0).entry.target == 0x9000
+
+    def test_same_line_different_offsets_coexist(self):
+        btb = small_btb()
+        btb.install(0x1000, 0, entry_for())
+        btb.install(0x1008, 0, entry_for())
+        btb.install(0x1020, 0, entry_for())
+        hits = btb.search_line(0x1000, 0)
+        assert [hit.entry.offset for hit in hits] == [0, 8, 32]
+
+    def test_eviction_when_row_full(self):
+        btb = small_btb(rows=16, ways=2)
+        # Three branches in the same 64B line with only 2 ways.
+        btb.install(0x1000, 0, entry_for())
+        btb.install(0x1008, 0, entry_for())
+        result = btb.install(0x1010, 0, entry_for())
+        assert result.victim is not None
+        assert btb.evictions == 1
+        assert btb.occupancy == 2
+
+
+class TestSearchLine:
+    def test_ordered_by_offset(self):
+        btb = small_btb()
+        for offset in (0x20, 0x00, 0x10):
+            btb.install(0x2000 + offset, 0, entry_for())
+        hits = btb.search_line(0x2000, 0)
+        assert [h.entry.offset for h in hits] == [0x00, 0x10, 0x20]
+
+    def test_min_offset_filters(self):
+        btb = small_btb()
+        btb.install(0x2000, 0, entry_for())
+        btb.install(0x2020, 0, entry_for())
+        hits = btb.search_line(0x2000, 0, min_offset=0x10)
+        assert [h.entry.offset for h in hits] == [0x20]
+
+    def test_unaligned_search_address_uses_line(self):
+        btb = small_btb()
+        btb.install(0x2020, 0, entry_for())
+        hits = btb.search_line(0x2004, 0)
+        assert len(hits) == 1
+        assert hits[0].line_base == 0x2000
+
+    def test_search_counts(self):
+        btb = small_btb()
+        btb.search_line(0x3000, 0)
+        btb.install(0x3000, 0, entry_for())
+        btb.search_line(0x3000, 0)
+        assert btb.searches == 2
+        assert btb.hit_searches == 1
+
+
+class TestAliasing:
+    def test_partial_tags_alias(self):
+        """With a tiny tag, two distant lines can collide and report a
+        hit for an address where nothing was installed — the bad-branch
+        case of section IV."""
+        btb = small_btb(rows=4, ways=4, tag_bits=4)
+        # Find two different lines with the same row and tag.
+        base = 0x1000
+        alias = None
+        for candidate in range(0x2000, 0x400000, 0x40):
+            if candidate == base:
+                continue
+            if btb.row_of(candidate) == btb.row_of(base) and btb.tag_of(
+                candidate, 0
+            ) == btb.tag_of(base, 0):
+                alias = candidate
+                break
+        assert alias is not None, "no alias found (tag too wide for test)"
+        btb.install(base + 8, 0, entry_for())
+        hit = btb.lookup(alias + 8, 0)
+        assert hit is not None
+        assert hit.aliased
+        assert hit.address == alias + 8
+
+
+class TestRemove:
+    def test_remove_bad_entry(self):
+        btb = small_btb()
+        btb.install(0x1008, 0, entry_for())
+        hit = btb.lookup(0x1008, 0)
+        assert btb.remove(hit)
+        assert btb.lookup(0x1008, 0) is None
+        assert btb.removals == 1
+
+    def test_remove_is_idempotent_on_stale_hits(self):
+        btb = small_btb()
+        btb.install(0x1008, 0, entry_for())
+        hit = btb.lookup(0x1008, 0)
+        assert btb.remove(hit)
+        assert not btb.remove(hit)
+        assert btb.removals == 1
+
+
+class TestVictimPreview:
+    def test_partial_row_has_no_victim(self):
+        btb = small_btb(rows=16, ways=4)
+        btb.install(0x1000, 0, entry_for())
+        assert btb.victim_preview(btb.row_of(0x1000)) is None
+
+    def test_full_row_previews_lru(self):
+        btb = small_btb(rows=16, ways=2)
+        btb.install(0x1000, 0, entry_for(target=0x1111))
+        btb.install(0x1008, 0, entry_for(target=0x2222))
+        victim = btb.victim_preview(btb.row_of(0x1000))
+        assert victim is not None
+        assert victim.target == 0x1111  # least recently used
+
+
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=2**20).map(lambda a: a * 2),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_install_lookup_consistency(addresses):
+    """Whatever was installed most recently at an address must be found,
+    unless it was evicted; occupancy never exceeds capacity."""
+    btb = small_btb(rows=8, ways=2, tag_bits=16)
+    for address in addresses:
+        btb.install(address, 0, entry_for(target=address + 2))
+    assert btb.occupancy <= btb.capacity
+    hits = sum(1 for address in set(addresses) if btb.lookup(address, 0))
+    assert hits <= len(set(addresses))

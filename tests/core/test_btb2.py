@@ -1,0 +1,200 @@
+"""Tests for the BTB2 system: triggers, transfers, refresh."""
+
+import pytest
+
+from repro.configs.predictor import Btb1Config, Btb2Config
+from repro.core.btb1 import Btb1
+from repro.core.btb2 import Btb2System
+from repro.core.entries import BtbEntry
+from repro.isa.instructions import BranchKind
+from repro.structures.saturating import TwoBitDirectionCounter
+
+
+def make_system(inclusive=True, staging=8, threshold=3, transfer_lines=4,
+                refresh_threshold=4):
+    btb1 = Btb1(Btb1Config(rows=16, ways=2, policy="lru"))
+    config = Btb2Config(
+        rows=64,
+        ways=4,
+        empty_search_threshold=threshold,
+        transfer_lines=transfer_lines,
+        staging_capacity=staging,
+        refresh_threshold=refresh_threshold,
+        inclusive=inclusive,
+        surprise_trigger_count=3,
+        surprise_trigger_window=16,
+    )
+    return btb1, Btb2System(config, btb1)
+
+
+def entry_for(target=0x8000):
+    return BtbEntry(
+        tag=0,
+        offset=0,
+        length=4,
+        kind=BranchKind.CONDITIONAL_RELATIVE,
+        target=target,
+        bht=TwoBitDirectionCounter.for_direction(True),
+    )
+
+
+def prime_btb2(btb2, addresses, context=0):
+    """Put branches into the BTB2 directly (as if written back)."""
+    for address in addresses:
+        entry = entry_for(target=address + 0x100)
+        entry.line_base = address - address % 64
+        entry.offset = address % 64
+        entry.context = context
+        btb2.install_snapshot(address, context, entry)
+
+
+class TestEmptySearchTrigger:
+    def test_three_empty_searches_fire(self):
+        _, btb2 = make_system()
+        assert not btb2.note_search_outcome(0x1000, 0, hit=False)
+        assert not btb2.note_search_outcome(0x1040, 0, hit=False)
+        assert btb2.note_search_outcome(0x1080, 0, hit=False)
+        assert btb2.searches == 1
+        assert btb2.searches_empty_trigger == 1
+
+    def test_hit_resets_counter(self):
+        _, btb2 = make_system()
+        btb2.note_search_outcome(0x1000, 0, hit=False)
+        btb2.note_search_outcome(0x1040, 0, hit=False)
+        btb2.note_search_outcome(0x1080, 0, hit=True)
+        assert not btb2.note_search_outcome(0x10C0, 0, hit=False)
+        assert not btb2.note_search_outcome(0x1100, 0, hit=False)
+        assert btb2.searches == 0
+
+    def test_restart_reset(self):
+        _, btb2 = make_system()
+        btb2.note_search_outcome(0x1000, 0, hit=False)
+        btb2.note_search_outcome(0x1040, 0, hit=False)
+        btb2.reset_empty_counter()
+        assert not btb2.note_search_outcome(0x1080, 0, hit=False)
+
+
+class TestSurpriseTrigger:
+    def test_window_counts(self):
+        _, btb2 = make_system()
+        assert not btb2.note_surprise_branch(1, 0x1000, 0)
+        assert not btb2.note_surprise_branch(2, 0x1000, 0)
+        assert btb2.note_surprise_branch(3, 0x1000, 0)
+        assert btb2.searches_surprise_trigger == 1
+
+    def test_old_surprises_age_out(self):
+        _, btb2 = make_system()
+        btb2.note_surprise_branch(1, 0x1000, 0)
+        btb2.note_surprise_branch(2, 0x1000, 0)
+        # 100 is far outside the 16-branch window.
+        assert not btb2.note_surprise_branch(100, 0x1000, 0)
+
+
+class TestTransfers:
+    def test_search_stages_and_installs(self):
+        btb1, btb2 = make_system()
+        prime_btb2(btb2, [0x1008, 0x1040, 0x10C0])
+        staged = btb2.search(0x1000, 0)
+        assert staged == 3
+        installed = btb2.drain_staging()
+        assert installed == 3
+        assert btb1.lookup(0x1008, 0) is not None
+        assert btb1.lookup(0x1040, 0) is not None
+
+    def test_transfer_respects_line_window(self):
+        btb1, btb2 = make_system(transfer_lines=2)
+        prime_btb2(btb2, [0x1000, 0x1040, 0x1080])  # third is outside window
+        staged = btb2.search(0x1000, 0)
+        assert staged == 2
+
+    def test_staging_overflow_counted(self):
+        btb1, btb2 = make_system(staging=2)
+        prime_btb2(btb2, [0x1000, 0x1008, 0x1010, 0x1018])
+        staged = btb2.search(0x1000, 0)
+        assert staged == 2
+        assert btb2.staging_overflows == 2
+
+    def test_duplicate_transfer_filtered_at_btb1(self):
+        btb1, btb2 = make_system()
+        prime_btb2(btb2, [0x1008])
+        btb1.install(0x1008, 0, entry_for())
+        btb2.search(0x1000, 0)
+        installed = btb2.drain_staging()
+        assert installed == 0
+        assert btb1.duplicate_rejects == 1
+
+    def test_context_switch_trigger(self):
+        btb1, btb2 = make_system()
+        prime_btb2(btb2, [0x1008], context=5)
+        btb2.note_context_switch(0x1000, 5)
+        btb2.drain_staging()
+        assert btb1.lookup(0x1008, 5) is not None
+        assert btb2.searches_context_trigger == 1
+
+
+class TestPeriodicRefresh:
+    def test_refresh_writes_back_lru_victim(self):
+        btb1, btb2 = make_system(refresh_threshold=2)
+        # Fill one BTB1 row completely.
+        btb1.install(0x1000, 0, entry_for(target=0x1111))
+        btb1.install(0x1008, 0, entry_for(target=0x2222))
+        row_address = 0x1000
+        # Two no-hit searches of that row reach the refresh threshold.
+        btb2.note_search_outcome(row_address, 0, hit=False)
+        btb2.note_search_outcome(row_address, 0, hit=False)
+        assert btb2.refresh_writebacks == 1
+        assert btb2.contains(0x1000, 0)  # the LRU entry was written back
+
+    def test_refresh_skips_partially_filled_rows(self):
+        btb1, btb2 = make_system(refresh_threshold=1)
+        btb1.install(0x1000, 0, entry_for())
+        btb2.note_search_outcome(0x1000, 0, hit=False)
+        assert btb2.refresh_writebacks == 0
+
+    def test_exclusive_design_has_no_periodic_refresh(self):
+        btb1, btb2 = make_system(inclusive=False, refresh_threshold=1)
+        btb1.install(0x1000, 0, entry_for())
+        btb1.install(0x1008, 0, entry_for())
+        btb2.note_search_outcome(0x1000, 0, hit=False)
+        assert btb2.refresh_writebacks == 0
+
+
+class TestEvictionHandling:
+    def test_inclusive_eviction_is_silent(self):
+        btb1, btb2 = make_system(inclusive=True)
+        victim = entry_for()
+        victim.line_base = 0x1000
+        btb2.handle_btb1_eviction(victim)
+        assert btb2.writebacks == 0
+
+    def test_exclusive_eviction_writes_back(self):
+        btb1, btb2 = make_system(inclusive=False)
+        victim = entry_for()
+        victim.line_base = 0x1000
+        victim.offset = 8
+        btb2.handle_btb1_eviction(victim)
+        assert btb2.writebacks == 1
+        assert btb2.contains(0x1008, 0)
+
+
+class TestSnapshotRoundtrip:
+    def test_metadata_survives_transfer(self):
+        btb1, btb2 = make_system()
+        entry = entry_for(target=0x7777)
+        entry.bidirectional = True
+        entry.multi_target = True
+        entry.return_offset = 2
+        entry.skoot = 4
+        entry.line_base = 0x1000
+        entry.offset = 0x08
+        btb2.install_snapshot(0x1008, 0, entry)
+        btb2.search(0x1000, 0)
+        btb2.drain_staging()
+        hit = btb1.lookup(0x1008, 0)
+        assert hit is not None
+        restored = hit.entry
+        assert restored.bidirectional
+        assert restored.multi_target
+        assert restored.return_offset == 2
+        assert restored.skoot == 4
+        assert restored.target == 0x7777

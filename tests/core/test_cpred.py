@@ -1,0 +1,93 @@
+"""Tests for the column predictor (CPRED)."""
+
+from repro.configs.predictor import CpredConfig
+from repro.core.cpred import (
+    POWER_ALL,
+    POWER_CTB,
+    POWER_PERCEPTRON,
+    POWER_PHT,
+    ColumnPredictor,
+)
+
+
+def make_cpred(enabled=True, rows=16, ways=2):
+    return ColumnPredictor(CpredConfig(enabled=enabled, rows=rows, ways=ways))
+
+
+STREAM = 0x4000
+
+
+def test_cold_miss():
+    cpred = make_cpred()
+    assert not cpred.lookup(STREAM, 0).hit
+
+
+def test_train_then_hit():
+    cpred = make_cpred()
+    cpred.train(STREAM, 0, searches_to_taken=3, way=5,
+                redirect_address=0x9000, power_mask=POWER_PHT)
+    lookup = cpred.lookup(STREAM, 0)
+    assert lookup.hit
+    assert lookup.searches_to_taken == 3
+    assert lookup.way == 5
+    assert lookup.redirect_address == 0x9000
+    assert lookup.power_mask == POWER_PHT
+
+
+def test_context_mismatch_misses():
+    cpred = make_cpred()
+    cpred.train(STREAM, 0, 3, 5, 0x9000, POWER_ALL)
+    assert not cpred.lookup(STREAM, 7).hit
+
+
+def test_resolve_scores_correctness():
+    cpred = make_cpred()
+    cpred.train(STREAM, 0, 3, 5, 0x9000, POWER_ALL)
+    lookup = cpred.lookup(STREAM, 0)
+    assert cpred.resolve(lookup, actual_way=5, actual_redirect=0x9000)
+    assert not cpred.resolve(lookup, actual_way=5, actual_redirect=0x9040)
+    assert not cpred.resolve(lookup, actual_way=2, actual_redirect=0x9000)
+    assert cpred.correct == 1
+    assert cpred.wrong == 2
+
+
+def test_resolve_on_miss_is_false():
+    cpred = make_cpred()
+    assert not cpred.resolve(cpred.lookup(STREAM, 0), 1, 0x9000)
+
+
+def test_retrain_updates_entry():
+    cpred = make_cpred()
+    cpred.train(STREAM, 0, 3, 5, 0x9000, POWER_ALL)
+    cpred.train(STREAM, 0, 1, 2, 0x7000, POWER_CTB)
+    lookup = cpred.lookup(STREAM, 0)
+    assert lookup.searches_to_taken == 1
+    assert lookup.way == 2
+    assert cpred.occupancy == 1
+
+
+def test_power_gating_without_hit_allows_all():
+    cpred = make_cpred()
+    lookup = cpred.lookup(STREAM, 0)
+    assert cpred.allows_power(lookup, POWER_PHT)
+    assert cpred.allows_power(lookup, POWER_PERCEPTRON)
+    assert cpred.allows_power(lookup, POWER_CTB)
+
+
+def test_power_gating_with_hit_masks():
+    cpred = make_cpred()
+    cpred.train(STREAM, 0, 3, 5, 0x9000, POWER_PHT)
+    lookup = cpred.lookup(STREAM, 0)
+    assert cpred.allows_power(lookup, POWER_PHT)
+    assert not cpred.allows_power(lookup, POWER_PERCEPTRON)
+    assert not cpred.allows_power(lookup, POWER_CTB)
+    assert cpred.power_gated_lookups == 2
+
+
+def test_disabled_is_inert():
+    cpred = make_cpred(enabled=False)
+    cpred.train(STREAM, 0, 3, 5, 0x9000, POWER_ALL)
+    lookup = cpred.lookup(STREAM, 0)
+    assert not lookup.hit
+    assert cpred.allows_power(lookup, POWER_PHT)
+    assert cpred.trains == 0

@@ -1,0 +1,168 @@
+"""Tests for the call/return stack heuristic."""
+
+import pytest
+
+from repro.configs.predictor import CrsConfig
+from repro.core.crs import CallReturnStack
+
+
+def make_crs(threshold=1024, amnesty=4, enabled=True):
+    return CallReturnStack(
+        CrsConfig(
+            enabled=enabled, distance_threshold=threshold, amnesty_period=amnesty
+        )
+    )
+
+
+CALL_ADDRESS = 0x10000
+FAR_TARGET = 0x20000  # distance 0x10000 >= threshold
+NSIA = 0x10004
+
+
+class TestDetectionSide:
+    def test_far_taken_branch_pushes_stack(self):
+        crs = make_crs()
+        assert crs.observe_completed_taken(CALL_ADDRESS, FAR_TARGET, NSIA) is None
+        assert crs.detection_stack_valid
+
+    def test_near_branch_does_not_push(self):
+        crs = make_crs()
+        crs.observe_completed_taken(CALL_ADDRESS, CALL_ADDRESS + 0x10, NSIA)
+        assert not crs.detection_stack_valid
+
+    def test_return_detected_at_each_offset(self):
+        for offset in (0, 2, 4, 6, 8):
+            crs = make_crs()
+            crs.observe_completed_taken(CALL_ADDRESS, FAR_TARGET, NSIA)
+            matched = crs.observe_completed_taken(
+                FAR_TARGET + 0x40, NSIA + offset, FAR_TARGET + 0x44
+            )
+            assert matched == offset
+            assert not crs.detection_stack_valid  # consumed
+
+    def test_non_matching_offset_not_detected(self):
+        crs = make_crs()
+        crs.observe_completed_taken(CALL_ADDRESS, FAR_TARGET, NSIA)
+        matched = crs.observe_completed_taken(
+            FAR_TARGET + 0x40, NSIA + 10, FAR_TARGET + 0x44
+        )
+        assert matched is None
+
+    def test_stack_updated_by_second_call(self):
+        """A second call-like branch replaces the stack (paper: the stack
+        can continually be updated while valid)."""
+        crs = make_crs()
+        crs.observe_completed_taken(CALL_ADDRESS, FAR_TARGET, NSIA)
+        second_nsia = 0x30004
+        crs.observe_completed_taken(0x30000, 0x50000, second_nsia)
+        matched = crs.observe_completed_taken(0x50040, second_nsia, 0x50044)
+        assert matched == 0
+
+
+class TestPredictionSide:
+    def _primed(self):
+        crs = make_crs()
+        crs.note_predicted_taken(CALL_ADDRESS, FAR_TARGET, NSIA)
+        return crs
+
+    def test_marked_return_uses_stack(self):
+        crs = self._primed()
+        prediction = crs.predict_target(
+            is_marked_return=True, return_offset=4, blacklisted=False
+        )
+        assert prediction.used
+        assert prediction.target == NSIA + 4
+        assert not crs.prediction_stack_valid  # invalidated after use
+
+    def test_blacklisted_return_skipped(self):
+        crs = self._primed()
+        prediction = crs.predict_target(
+            is_marked_return=True, return_offset=0, blacklisted=True
+        )
+        assert not prediction.used
+        assert crs.prediction_stack_valid
+
+    def test_unmarked_branch_skipped(self):
+        crs = self._primed()
+        assert not crs.predict_target(False, None, False).used
+
+    def test_invalid_stack_skipped(self):
+        crs = make_crs()
+        assert not crs.predict_target(True, 0, False).used
+
+    def test_near_predicted_taken_does_not_push(self):
+        crs = make_crs()
+        crs.note_predicted_taken(CALL_ADDRESS, CALL_ADDRESS + 8, NSIA)
+        assert not crs.prediction_stack_valid
+
+    def test_restart_flushes_prediction_stack(self):
+        crs = self._primed()
+        crs.flush_prediction_stack()
+        assert not crs.prediction_stack_valid
+
+
+class TestBlacklistAmnesty:
+    def test_amnesty_every_nth_with_pair_match(self):
+        crs = make_crs(amnesty=3)
+        assert not crs.consider_amnesty(still_pair_matches=True)
+        assert not crs.consider_amnesty(still_pair_matches=True)
+        assert crs.consider_amnesty(still_pair_matches=True)
+        assert crs.amnesties == 1
+
+    def test_amnesty_denied_without_pair_match(self):
+        crs = make_crs(amnesty=2)
+        crs.consider_amnesty(still_pair_matches=False)
+        assert not crs.consider_amnesty(still_pair_matches=False)
+        assert crs.amnesties == 0
+
+    def test_counter_resets_after_amnesty_window(self):
+        crs = make_crs(amnesty=2)
+        crs.consider_amnesty(True)
+        assert crs.consider_amnesty(True)
+        crs.consider_amnesty(True)
+        assert crs.consider_amnesty(True)
+        assert crs.amnesties == 2
+
+
+class TestDisabled:
+    def test_disabled_crs_is_inert(self):
+        crs = make_crs(enabled=False)
+        crs.note_predicted_taken(CALL_ADDRESS, FAR_TARGET, NSIA)
+        assert not crs.prediction_stack_valid
+        assert crs.observe_completed_taken(CALL_ADDRESS, FAR_TARGET, NSIA) is None
+        assert not crs.predict_target(True, 0, False).used
+        assert not crs.consider_amnesty(True)
+
+
+class TestCheckpointRestore:
+    def test_snapshot_restore_roundtrip(self):
+        crs = make_crs()
+        crs.note_predicted_taken(CALL_ADDRESS, FAR_TARGET, NSIA)
+        snapshot = crs.snapshot_prediction_stack()
+        crs.flush_prediction_stack()
+        assert not crs.prediction_stack_valid
+        crs.restore_prediction_stack(snapshot)
+        assert crs.prediction_stack_valid
+        prediction = crs.predict_target(True, 0, False)
+        assert prediction.target == NSIA
+
+    def test_snapshot_is_per_thread(self):
+        crs = make_crs()
+        crs.note_predicted_taken(CALL_ADDRESS, FAR_TARGET, NSIA, thread=0)
+        snap0 = crs.snapshot_prediction_stack(thread=0)
+        snap1 = crs.snapshot_prediction_stack(thread=1)
+        assert snap0[0] and not snap1[0]
+
+    def test_restore_survives_noise_mispredicts(self):
+        """The predictor-level repair: a mispredicted branch between a
+        call and its return restores the stack to the call's push."""
+        crs = make_crs()
+        crs.note_predicted_taken(CALL_ADDRESS, FAR_TARGET, NSIA)
+        checkpoint = crs.snapshot_prediction_stack()
+        # A wrong-path consequence trashes the stack...
+        crs.note_predicted_taken(0x70000, 0x90000, 0x70004)
+        # ...the restart at the mispredicted branch repairs it.
+        crs.restore_prediction_stack(checkpoint)
+        prediction = crs.predict_target(True, 0, False)
+        assert prediction.used
+        assert prediction.target == NSIA

@@ -1,0 +1,90 @@
+"""Tests for the changing target buffer."""
+
+from repro.configs.predictor import CtbConfig
+from repro.core.ctb import ChangingTargetBuffer
+from repro.core.gpv import GlobalPathVector
+
+
+def make_ctb(**overrides):
+    defaults = dict(rows=32, ways=2, tag_bits=10, history=17)
+    defaults.update(overrides)
+    return ChangingTargetBuffer(CtbConfig(**defaults))
+
+
+def gpv_snapshot(addresses):
+    gpv = GlobalPathVector(depth=17)
+    for address in addresses:
+        gpv.record_taken(address)
+    return gpv.snapshot()
+
+
+ADDRESS = 0x8008
+PATH_A = gpv_snapshot([0x100, 0x204, 0x308])
+PATH_B = gpv_snapshot([0x900, 0xA04, 0xB08])
+
+
+def test_cold_miss():
+    ctb = make_ctb()
+    assert not ctb.lookup(ADDRESS, 0, PATH_A).hit
+
+
+def test_install_then_hit_same_path():
+    ctb = make_ctb()
+    ctb.install(ADDRESS, 0, PATH_A, target=0x5000)
+    lookup = ctb.lookup(ADDRESS, 0, PATH_A)
+    assert lookup.hit
+    assert lookup.target == 0x5000
+
+
+def test_per_path_targets():
+    """The same branch holds different targets under different paths —
+    the whole point of GPV indexing (section VI)."""
+    ctb = make_ctb()
+    ctb.install(ADDRESS, 0, PATH_A, target=0x5000)
+    ctb.install(ADDRESS, 0, PATH_B, target=0x6000)
+    assert ctb.lookup(ADDRESS, 0, PATH_A).target == 0x5000
+    assert ctb.lookup(ADDRESS, 0, PATH_B).target == 0x6000
+
+
+def test_context_tag_mismatch_misses():
+    """Virtual-address tagging: "a CTB entry can only be used if there is
+    a tag match for the current address space"."""
+    ctb = make_ctb()
+    ctb.install(ADDRESS, 0, PATH_A, target=0x5000)
+    assert not ctb.lookup(ADDRESS, 3, PATH_A).hit
+
+
+def test_reinstall_same_key_updates_target():
+    ctb = make_ctb()
+    ctb.install(ADDRESS, 0, PATH_A, target=0x5000)
+    ctb.install(ADDRESS, 0, PATH_A, target=0x7000)
+    assert ctb.lookup(ADDRESS, 0, PATH_A).target == 0x7000
+    assert ctb.occupancy == 1
+
+
+def test_correct_target_in_place():
+    ctb = make_ctb()
+    ctb.install(ADDRESS, 0, PATH_A, target=0x5000)
+    lookup = ctb.lookup(ADDRESS, 0, PATH_A)
+    assert ctb.correct_target(lookup, 0x9000)
+    assert ctb.lookup(ADDRESS, 0, PATH_A).target == 0x9000
+    assert ctb.target_updates == 1
+
+
+def test_correct_target_on_displaced_entry_fails_gracefully():
+    ctb = make_ctb(rows=1, ways=1)
+    ctb.install(ADDRESS, 0, PATH_A, target=0x5000)
+    lookup = ctb.lookup(ADDRESS, 0, PATH_A)
+    # Displace it (single slot) with another branch's entry.
+    ctb.install(0xFF08, 0, PATH_B, target=0x8888)
+    assert not ctb.correct_target(lookup, 0x9000)
+
+
+def test_stats():
+    ctb = make_ctb()
+    ctb.lookup(ADDRESS, 0, PATH_A)
+    ctb.install(ADDRESS, 0, PATH_A, target=0x5000)
+    ctb.lookup(ADDRESS, 0, PATH_A)
+    assert ctb.lookups == 2
+    assert ctb.hits == 1
+    assert ctb.installs == 1

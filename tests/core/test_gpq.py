@@ -1,0 +1,95 @@
+"""Tests for the global prediction queue and prediction records."""
+
+import pytest
+
+from repro.core.gpq import GlobalPredictionQueue, PredictionRecord
+from repro.core.providers import DirectionProvider, TargetProvider
+from repro.isa.instructions import BranchKind
+
+
+def make_record(sequence, taken=True, target=0x2000):
+    return PredictionRecord(
+        sequence=sequence,
+        address=0x1000,
+        context=0,
+        thread=0,
+        kind=BranchKind.CONDITIONAL_RELATIVE,
+        length=4,
+        dynamic=True,
+        predicted_taken=taken,
+        predicted_target=target if taken else None,
+        direction_provider=DirectionProvider.BHT,
+        target_provider=TargetProvider.BTB1 if taken else TargetProvider.NONE,
+    )
+
+
+class TestPredictionRecord:
+    def test_unresolved_flags(self):
+        record = make_record(0)
+        assert not record.resolved
+        assert not record.direction_wrong
+        assert not record.target_wrong
+        assert not record.mispredicted
+
+    def test_direction_wrong(self):
+        record = make_record(0, taken=True)
+        record.resolve(actual_taken=False, actual_target=None)
+        assert record.direction_wrong
+        assert not record.target_wrong
+        assert record.mispredicted
+
+    def test_target_wrong_requires_agreed_taken(self):
+        record = make_record(0, taken=True, target=0x2000)
+        record.resolve(actual_taken=True, actual_target=0x3000)
+        assert not record.direction_wrong
+        assert record.target_wrong
+
+    def test_correct_taken(self):
+        record = make_record(0, taken=True, target=0x2000)
+        record.resolve(actual_taken=True, actual_target=0x2000)
+        assert not record.mispredicted
+
+    def test_not_taken_never_target_wrong(self):
+        record = make_record(0, taken=False)
+        record.resolve(actual_taken=False, actual_target=None)
+        assert not record.mispredicted
+
+    def test_next_sequential(self):
+        assert make_record(0).next_sequential == 0x1004
+
+
+class TestGlobalPredictionQueue:
+    def test_completions_in_order(self):
+        gpq = GlobalPredictionQueue(capacity=8)
+        for sequence in range(4):
+            gpq.push(make_record(sequence))
+        due = gpq.completions_due(completed_sequence=1)
+        assert [record.sequence for record in due] == [0, 1]
+        assert len(gpq) == 2
+
+    def test_nothing_due(self):
+        gpq = GlobalPredictionQueue(capacity=8)
+        gpq.push(make_record(5))
+        assert gpq.completions_due(completed_sequence=4) == []
+
+    def test_full_queue_forces_oldest(self):
+        gpq = GlobalPredictionQueue(capacity=2)
+        assert gpq.push(make_record(0)) is None
+        assert gpq.push(make_record(1)) is None
+        forced = gpq.push(make_record(2))
+        assert forced is not None and forced.sequence == 0
+        assert gpq.forced_completions == 1
+
+    def test_drain(self):
+        gpq = GlobalPredictionQueue(capacity=8)
+        for sequence in range(3):
+            gpq.push(make_record(sequence))
+        drained = gpq.drain()
+        assert [record.sequence for record in drained] == [0, 1, 2]
+        assert len(gpq) == 0
+
+    def test_flush_discards(self):
+        gpq = GlobalPredictionQueue(capacity=8)
+        gpq.push(make_record(0))
+        gpq.flush()
+        assert gpq.drain() == []

@@ -1,0 +1,105 @@
+"""Tests for the Global Path Vector."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.gpv import GlobalPathVector
+
+
+def test_default_geometry_matches_z15():
+    gpv = GlobalPathVector()
+    assert gpv.depth == 17
+    assert gpv.bits_per_branch == 2
+    assert gpv.width == 34
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        GlobalPathVector(depth=0)
+    with pytest.raises(ValueError):
+        GlobalPathVector(depth=9, bits_per_branch=0)
+
+
+def test_starts_cleared():
+    assert GlobalPathVector().value() == 0
+
+
+def test_record_shifts_in_hash():
+    gpv = GlobalPathVector(depth=4, bits_per_branch=2)
+    gpv.record_taken(0x1000)
+    expected = gpv.branch_hash(0x1000)
+    assert gpv.value() == expected
+
+
+def test_oldest_branch_falls_out():
+    gpv = GlobalPathVector(depth=2, bits_per_branch=2)
+    gpv.record_taken(0x1000)
+    gpv.record_taken(0x2000)
+    gpv.record_taken(0x3000)
+    # Only the two youngest branches remain.
+    expected = (
+        (gpv.branch_hash(0x2000) << 2) | gpv.branch_hash(0x3000)
+    )
+    assert gpv.value() == expected
+
+
+def test_value_depth_slices_youngest():
+    gpv = GlobalPathVector(depth=17, bits_per_branch=2)
+    for address in range(0x1000, 0x1000 + 17 * 4, 4):
+        gpv.record_taken(address)
+    short = gpv.value(depth=9)
+    assert short == gpv.value() & ((1 << 18) - 1)
+
+
+def test_value_depth_bounds():
+    gpv = GlobalPathVector(depth=9)
+    with pytest.raises(ValueError):
+        gpv.value(depth=0)
+    with pytest.raises(ValueError):
+        gpv.value(depth=10)
+
+
+def test_bits_lsb_first():
+    gpv = GlobalPathVector(depth=2, bits_per_branch=2)
+    gpv.restore(0b1010)
+    assert gpv.bits() == (0, 1, 0, 1)
+
+
+def test_snapshot_restore_roundtrip():
+    gpv = GlobalPathVector(depth=9)
+    for address in (0x100, 0x204, 0x3F8):
+        gpv.record_taken(address)
+    saved = gpv.snapshot()
+    gpv.record_taken(0x999 * 2)
+    gpv.restore(saved)
+    assert gpv.snapshot() == saved
+
+
+def test_clear():
+    gpv = GlobalPathVector(depth=9)
+    gpv.record_taken(0x500)
+    gpv.clear()
+    assert gpv.value() == 0
+
+
+def test_different_addresses_usually_hash_differently():
+    gpv = GlobalPathVector()
+    hashes = {gpv.branch_hash(addr) for addr in range(0x1000, 0x1010, 2)}
+    assert len(hashes) > 1
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**40).map(lambda a: a * 2),
+                min_size=1, max_size=40))
+def test_width_invariant(addresses):
+    gpv = GlobalPathVector(depth=5, bits_per_branch=2)
+    for address in addresses:
+        gpv.record_taken(address)
+        assert 0 <= gpv.value() < (1 << gpv.width)
+
+
+@given(st.integers(min_value=0, max_value=2**34 - 1))
+def test_restore_masks_to_width(value):
+    gpv = GlobalPathVector(depth=9, bits_per_branch=2)  # 18-bit
+    gpv.restore(value)
+    assert gpv.value() == value & ((1 << 18) - 1)

@@ -1,0 +1,175 @@
+"""Tests for the perceptron auxiliary predictor."""
+
+import pytest
+
+from repro.configs.predictor import PerceptronConfig
+from repro.core.gpv import GlobalPathVector
+from repro.core.perceptron import Perceptron
+
+
+def make_perceptron(**overrides):
+    defaults = dict(
+        enabled=True,
+        rows=4,
+        ways=2,
+        weight_count=8,
+        weight_limit=31,
+        protection_limit=2,
+        provider_threshold=2,
+        learning_threshold=1,
+        virtualization_threshold=1,
+        virtualization_age=8,
+    )
+    defaults.update(overrides)
+    return Perceptron(PerceptronConfig(**defaults), gpv_width=16)
+
+
+def gpv_with_bits(bits):
+    """Build a GPV whose bit vector (LSB-first) starts with *bits*."""
+    gpv = GlobalPathVector(depth=8, bits_per_branch=2)
+    value = 0
+    for index, bit in enumerate(bits):
+        value |= bit << index
+    gpv.restore(value)
+    return gpv
+
+
+ADDRESS = 0x6010
+
+
+class TestLookup:
+    def test_cold_miss(self):
+        perceptron = make_perceptron()
+        lookup = perceptron.lookup(ADDRESS, gpv_with_bits([1, 0, 1]))
+        assert not lookup.hit
+
+    def test_install_then_hit_but_not_useful(self):
+        perceptron = make_perceptron()
+        assert perceptron.install(ADDRESS)
+        lookup = perceptron.lookup(ADDRESS, gpv_with_bits([1, 0, 1]))
+        assert lookup.hit
+        assert not lookup.useful  # usefulness starts at 0
+
+    def test_disabled_never_hits(self):
+        perceptron = make_perceptron(enabled=False)
+        assert not perceptron.install(ADDRESS)
+        assert not perceptron.lookup(ADDRESS, gpv_with_bits([1])).hit
+
+
+class TestTraining:
+    def test_learns_history_function(self):
+        """Direction = GPV bit 0 is learnable in a few updates."""
+        perceptron = make_perceptron()
+        perceptron.install(ADDRESS)
+        for _ in range(12):
+            for bit in (0, 1):
+                gpv = gpv_with_bits([bit] * 16)
+                lookup = perceptron.lookup(ADDRESS, gpv)
+                perceptron.update(lookup, actual_taken=bool(bit),
+                                  alternate_taken=not bool(bit))
+        for bit in (0, 1):
+            gpv = gpv_with_bits([bit] * 16)
+            lookup = perceptron.lookup(ADDRESS, gpv)
+            assert lookup.taken == bool(bit)
+
+    def test_usefulness_promotes_to_provider(self):
+        perceptron = make_perceptron(provider_threshold=2)
+        perceptron.install(ADDRESS)
+        gpv = gpv_with_bits([1] * 16)
+        for _ in range(3):
+            lookup = perceptron.lookup(ADDRESS, gpv)
+            # Perceptron correct (after first update), alternate wrong.
+            perceptron.update(lookup, actual_taken=True, alternate_taken=False)
+        lookup = perceptron.lookup(ADDRESS, gpv)
+        assert lookup.useful
+
+    def test_usefulness_decrements_when_alternate_wins(self):
+        perceptron = make_perceptron()
+        perceptron.install(ADDRESS)
+        gpv = gpv_with_bits([1] * 16)
+        lookup = perceptron.lookup(ADDRESS, gpv)
+        perceptron.update(lookup, actual_taken=True, alternate_taken=False)
+        lookup = perceptron.lookup(ADDRESS, gpv)
+        # Entry currently predicts taken; make it wrong with alt right.
+        perceptron.update(lookup, actual_taken=False, alternate_taken=False)
+        entry = perceptron._rows[perceptron.row_of(ADDRESS)]
+        values = [e.usefulness for e in entry if e is not None]
+        assert values[0] <= 1
+
+    def test_learning_phase_grows_on_shared_wrong(self):
+        perceptron = make_perceptron(learning_threshold=2)
+        perceptron.install(ADDRESS)
+        gpv = gpv_with_bits([1] * 16)
+        lookup = perceptron.lookup(ADDRESS, gpv)
+        taken = lookup.taken
+        # Both wrong: usefulness should still rise while learning.
+        perceptron.update(lookup, actual_taken=not taken, alternate_taken=taken)
+        row = perceptron._rows[perceptron.row_of(ADDRESS)]
+        entry = next(e for e in row if e is not None)
+        assert entry.usefulness == 1
+
+    def test_weights_saturate(self):
+        perceptron = make_perceptron(weight_limit=3)
+        perceptron.install(ADDRESS)
+        gpv = gpv_with_bits([1] * 16)
+        for _ in range(10):
+            lookup = perceptron.lookup(ADDRESS, gpv)
+            perceptron.update(lookup, actual_taken=True, alternate_taken=True)
+        row = perceptron._rows[perceptron.row_of(ADDRESS)]
+        entry = next(e for e in row if e is not None)
+        assert all(abs(w) <= 3 for w in entry.weights)
+
+
+class TestVirtualization:
+    def test_dead_weights_retarget(self):
+        perceptron = make_perceptron(
+            virtualization_age=4, virtualization_threshold=0
+        )
+        perceptron.install(ADDRESS)
+        # Alternate the observed bit so trained weights stay near zero.
+        for step in range(8):
+            gpv = gpv_with_bits([step % 2] * 16)
+            lookup = perceptron.lookup(ADDRESS, gpv)
+            perceptron.update(lookup, actual_taken=True, alternate_taken=True)
+        assert perceptron.virtualizations > 0
+
+    def test_correlated_weights_keep_their_bit(self):
+        perceptron = make_perceptron(
+            virtualization_age=4, virtualization_threshold=0
+        )
+        perceptron.install(ADDRESS)
+        initial = perceptron._rows[perceptron.row_of(ADDRESS)]
+        entry = next(e for e in initial if e is not None)
+        mapping_before = list(entry.mapping)
+        gpv = gpv_with_bits([1] * 16)
+        for _ in range(8):
+            lookup = perceptron.lookup(ADDRESS, gpv)
+            perceptron.update(lookup, actual_taken=True, alternate_taken=True)
+        # Weights grew strongly positive; no virtualisation happened.
+        assert entry.mapping == mapping_before
+
+
+class TestReplacement:
+    def test_protection_prevents_early_replacement(self):
+        perceptron = make_perceptron(rows=1, ways=1, protection_limit=2)
+        perceptron.install(ADDRESS)
+        assert not perceptron.install(0x7000)  # protection 2 -> denied
+        assert not perceptron.install(0x7000)  # protection 1 -> denied
+        assert perceptron.install(0x7000)  # protection 0 -> replaced
+        assert perceptron.install_rejects == 2
+
+    def test_least_useful_way_replaced(self):
+        perceptron = make_perceptron(rows=1, ways=2, protection_limit=0)
+        perceptron.install(0x1000)
+        perceptron.install(0x2000)
+        row = perceptron._rows[0]
+        row[0].usefulness = 3
+        row[1].usefulness = 1
+        assert perceptron.install(0x3000)
+        addresses = {entry.address for entry in row}
+        assert addresses == {0x1000, 0x3000}
+
+    def test_existing_address_not_reinstalled(self):
+        perceptron = make_perceptron()
+        assert perceptron.install(ADDRESS)
+        assert not perceptron.install(ADDRESS)

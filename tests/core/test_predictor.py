@@ -1,0 +1,362 @@
+"""Behavioural tests for the composed lookahead predictor.
+
+Each scenario drives `predict_and_resolve` with a hand-built branch
+sequence and checks the end-to-end behaviour the paper describes.
+"""
+
+import pytest
+
+from repro.configs.predictor import (
+    Btb1Config,
+    Btb2Config,
+    PredictorConfig,
+)
+from repro.configs import z15_config
+from repro.core.predictor import LookaheadBranchPredictor
+from repro.core.providers import DirectionProvider, TargetProvider
+from repro.isa.dynamic import DynamicBranch
+from repro.isa.instructions import BranchKind, Instruction
+
+
+def branch(address, taken, target=None, kind=BranchKind.CONDITIONAL_RELATIVE,
+           static_target=None, sequence=0, context=0, length=4):
+    if kind in (BranchKind.CONDITIONAL_INDIRECT, BranchKind.UNCONDITIONAL_INDIRECT):
+        static = None
+    else:
+        static = static_target if static_target is not None else (target or 0x2000)
+    instruction = Instruction(
+        address=address, length=length, kind=kind, static_target=static
+    )
+    return DynamicBranch(
+        sequence=sequence, instruction=instruction, taken=taken,
+        target=target if taken else None, context=context,
+    )
+
+
+def quick_config(**overrides):
+    """A small, fast config with immediate completion."""
+    defaults = dict(
+        btb1=Btb1Config(rows=64, ways=4, policy="lru"),
+        btb2=Btb2Config(rows=256, ways=4, staging_capacity=16),
+        completion_delay=0,
+        name="test",
+    )
+    defaults.update(overrides)
+    return PredictorConfig(**defaults).validate()
+
+
+def run_sequence(predictor, branches, start=None):
+    """Feed a list of (address, taken, target, kind) branch specs."""
+    outcomes = []
+    if start is None:
+        start = branches[0].address
+    predictor.restart(start)
+    for index, spec in enumerate(branches):
+        updated = DynamicBranch(
+            sequence=index,
+            instruction=spec.instruction,
+            taken=spec.taken,
+            target=spec.target,
+            context=spec.context,
+        )
+        outcomes.append(predictor.predict_and_resolve(updated))
+    predictor.finalize()
+    return outcomes
+
+
+class TestSurpriseAndInstall:
+    def test_first_encounter_is_surprise(self):
+        predictor = LookaheadBranchPredictor(quick_config())
+        out = run_sequence(predictor, [branch(0x1000, True, 0x2000)])
+        assert not out[0].dynamic
+        assert out[0].record.direction_provider is DirectionProvider.STATIC
+
+    def test_taken_surprise_installed_and_predicted_next_time(self):
+        predictor = LookaheadBranchPredictor(quick_config())
+        b1 = branch(0x1000, True, 0x2000)
+        back = branch(0x2008, True, 0x1000,
+                      kind=BranchKind.UNCONDITIONAL_RELATIVE)
+        out = run_sequence(predictor, [b1, back, b1, back, b1])
+        assert not out[0].dynamic
+        assert out[2].dynamic or out[4].dynamic
+
+    def test_not_taken_conditional_surprise_not_installed(self):
+        """Guessed-not-taken, resolved-not-taken surprises never enter
+        the BTB (section IV)."""
+        predictor = LookaheadBranchPredictor(quick_config())
+        b = branch(0x1000, False)
+        back = branch(0x1010, True, 0x1000,
+                      kind=BranchKind.UNCONDITIONAL_RELATIVE)
+        out = run_sequence(predictor, [b, back] * 4)
+        conditionals = out[::2]
+        assert all(not o.dynamic for o in conditionals)
+        assert predictor.btb1.lookup(0x1000, 0) is None
+
+    def test_guessed_taken_surprise_installed_even_if_not_taken(self):
+        """Loop branches are statically guessed taken; even resolving NT
+        they are installed."""
+        predictor = LookaheadBranchPredictor(quick_config())
+        b = branch(0x1000, False, kind=BranchKind.LOOP_RELATIVE,
+                   static_target=0x0F00)
+        run_sequence(predictor, [b])
+        assert predictor.btb1.occupancy == 1
+
+    def test_indirect_surprise_has_no_target(self):
+        predictor = LookaheadBranchPredictor(quick_config())
+        b = branch(0x1000, True, 0x2000, kind=BranchKind.UNCONDITIONAL_INDIRECT)
+        out = run_sequence(predictor, [b])
+        record = out[0].record
+        assert record.predicted_taken  # statically guessed taken
+        assert record.predicted_target is None
+        assert record.target_provider is TargetProvider.NONE
+
+
+class TestDynamicPrediction:
+    def _warm(self, predictor, b, times=3):
+        return run_sequence(predictor, [b] * times)
+
+    def test_unconditional_predicted_taken_with_target(self):
+        predictor = LookaheadBranchPredictor(quick_config())
+        b = branch(0x1000, True, 0x2000, kind=BranchKind.UNCONDITIONAL_RELATIVE)
+        back = branch(0x2008, True, 0x1000,
+                      kind=BranchKind.UNCONDITIONAL_RELATIVE)
+        out = run_sequence(predictor, [b, back] * 4)
+        final = out[-2].record  # the last instance of b
+        assert final.dynamic
+        assert final.direction_provider is DirectionProvider.UNCONDITIONAL
+        assert final.predicted_target == 0x2000
+        assert not final.mispredicted
+
+    def test_correct_taken_redirects_search(self):
+        """After a correct taken prediction the search continues at the
+        target: a branch there is found without restart."""
+        predictor = LookaheadBranchPredictor(quick_config())
+        a = branch(0x1000, True, 0x2000, kind=BranchKind.UNCONDITIONAL_RELATIVE)
+        c = branch(0x2008, True, 0x1000, kind=BranchKind.UNCONDITIONAL_RELATIVE)
+        sequence = [a, c] * 5
+        out = run_sequence(predictor, sequence)
+        # Steady state: both branches predicted dynamically.
+        assert out[-1].dynamic and out[-2].dynamic
+        assert not out[-1].mispredicted
+
+    def test_wrong_target_escalates_to_multi_target(self):
+        predictor = LookaheadBranchPredictor(quick_config())
+        targets = [0x2000, 0x3000]
+        backs = {
+            0x2000: branch(0x2008, True, 0x1000,
+                           kind=BranchKind.UNCONDITIONAL_RELATIVE),
+            0x3000: branch(0x3008, True, 0x1000,
+                           kind=BranchKind.UNCONDITIONAL_RELATIVE),
+        }
+        seq = []
+        for index in range(12):
+            target = targets[index % 2]
+            seq.append(branch(0x1000, True, target,
+                              kind=BranchKind.UNCONDITIONAL_INDIRECT))
+            seq.append(backs[target])
+        run_sequence(predictor, seq)
+        hit = predictor.btb1.lookup(0x1000, 0)
+        assert hit is not None
+        assert hit.entry.multi_target
+        assert predictor.ctb.installs >= 1
+
+
+class TestGpqDelay:
+    def test_updates_are_delayed(self):
+        """With a completion delay, the BHT state lags the resolutions."""
+        config = quick_config(completion_delay=4)
+        predictor = LookaheadBranchPredictor(config)
+        b = branch(0x1000, True, 0x2000, kind=BranchKind.LOOP_RELATIVE,
+                   static_target=0x2000)
+        predictor.restart(0x1000)
+        # First encounter: surprise; install happens 4 branches later.
+        for sequence in range(3):
+            updated = DynamicBranch(sequence=sequence, instruction=b.instruction,
+                                    taken=True, target=0x2000)
+            out = predictor.predict_and_resolve(updated)
+        assert predictor.btb1.occupancy == 0  # not yet completed
+        for sequence in range(3, 8):
+            updated = DynamicBranch(sequence=sequence, instruction=b.instruction,
+                                    taken=True, target=0x2000)
+            predictor.predict_and_resolve(updated)
+        assert predictor.btb1.occupancy == 1
+
+    def test_finalize_applies_everything(self):
+        config = quick_config(completion_delay=8)
+        predictor = LookaheadBranchPredictor(config)
+        b = branch(0x1000, True, 0x2000)
+        predictor.restart(0x1000)
+        predictor.predict_and_resolve(
+            DynamicBranch(sequence=0, instruction=b.instruction, taken=True,
+                          target=0x2000)
+        )
+        assert predictor.btb1.occupancy == 0
+        predictor.finalize()
+        assert predictor.btb1.occupancy == 1
+
+
+class TestSkoot:
+    def test_skoot_trains_to_gap(self):
+        """A taken branch whose target stream has empty lines learns the
+        skip amount."""
+        config = quick_config()
+        predictor = LookaheadBranchPredictor(config)
+        # a at 0x1000 jumps to 0x2000; next branch c at 0x2100 (4 lines on).
+        a = branch(0x1000, True, 0x2000, kind=BranchKind.UNCONDITIONAL_RELATIVE)
+        c = branch(0x2100, True, 0x1000, kind=BranchKind.UNCONDITIONAL_RELATIVE)
+        run_sequence(predictor, [a, c] * 4)
+        entry = predictor.btb1.lookup(0x1000, 0).entry
+        assert entry.skoot == 4
+
+    def test_skoot_skips_empty_searches(self):
+        config = quick_config()
+        predictor = LookaheadBranchPredictor(config)
+        a = branch(0x1000, True, 0x2000, kind=BranchKind.UNCONDITIONAL_RELATIVE)
+        c = branch(0x2100, True, 0x1000, kind=BranchKind.UNCONDITIONAL_RELATIVE)
+        out = run_sequence(predictor, [a, c] * 6)
+        # In steady state the walk to c skips the empty lines.
+        assert out[-1].trace.lines_skipped_by_skoot == 4
+        assert out[-1].trace.lines_searched == 1
+
+    def test_skoot_disabled_config_searches_everything(self):
+        config = quick_config(skoot_enabled=False)
+        predictor = LookaheadBranchPredictor(config)
+        a = branch(0x1000, True, 0x2000, kind=BranchKind.UNCONDITIONAL_RELATIVE)
+        c = branch(0x2100, True, 0x1000, kind=BranchKind.UNCONDITIONAL_RELATIVE)
+        out = run_sequence(predictor, [a, c] * 6)
+        assert out[-1].trace.lines_skipped_by_skoot == 0
+        assert out[-1].trace.lines_searched == 5
+
+    def test_skoot_overshoot_recovers(self):
+        """A new branch appearing inside the skipped region is first a
+        surprise, then the skip shrinks (only-decreasing rule)."""
+        config = quick_config()
+        predictor = LookaheadBranchPredictor(config)
+        a = branch(0x1000, True, 0x2000, kind=BranchKind.UNCONDITIONAL_RELATIVE)
+        c = branch(0x2100, True, 0x1000, kind=BranchKind.UNCONDITIONAL_RELATIVE)
+        run_sequence(predictor, [a, c] * 4)
+        assert predictor.btb1.lookup(0x1000, 0).entry.skoot == 4
+        # New branch at 0x2040 (1 line into the stream) starts executing.
+        d = branch(0x2040, True, 0x1000, kind=BranchKind.UNCONDITIONAL_RELATIVE)
+        out = run_sequence(predictor, [a, d] * 4)
+        entry = predictor.btb1.lookup(0x1000, 0).entry
+        assert entry.skoot == 1
+        # Steady state again: d predicted dynamically.
+        assert out[-1].dynamic
+
+
+class TestBtb2Flows:
+    def test_cold_btb1_refilled_from_btb2(self):
+        """Content evicted from a small BTB1 comes back from the BTB2
+        after empty searches trigger a transfer."""
+        config = quick_config(
+            btb1=Btb1Config(rows=2, ways=2, policy="lru"),
+            btb2=Btb2Config(
+                rows=256, ways=4, staging_capacity=32,
+                empty_search_threshold=3, transfer_lines=8,
+                refresh_threshold=2, inclusive=True,
+            ),
+        )
+        predictor = LookaheadBranchPredictor(config)
+        # More distinct taken branches than the 4-entry BTB1 can hold.
+        addresses = [0x1000 + i * 0x40 for i in range(12)]
+        seq = []
+        for _ in range(6):
+            for index, address in enumerate(addresses):
+                nxt = addresses[(index + 1) % len(addresses)]
+                seq.append(branch(address, True, nxt,
+                                  kind=BranchKind.UNCONDITIONAL_RELATIVE))
+        out = run_sequence(predictor, seq)
+        assert predictor.btb2 is not None
+        assert predictor.btb2.searches > 0
+        assert predictor.btb2.installs > 0
+
+    def test_context_switch_primes_new_context(self):
+        config = quick_config()
+        predictor = LookaheadBranchPredictor(config)
+        b_ctx1 = branch(0x1000, True, 0x2000,
+                        kind=BranchKind.UNCONDITIONAL_RELATIVE, context=1)
+        # Warm context 1 and let periodic state reach the BTB2 snapshot.
+        predictor.restart(0x1000, context=1)
+        for sequence in range(4):
+            predictor.predict_and_resolve(
+                DynamicBranch(sequence=sequence, instruction=b_ctx1.instruction,
+                              taken=True, target=0x2000, context=1)
+            )
+        predictor.finalize()
+        # Write the learned entry back (simulate refresh) then clear BTB1.
+        entry = predictor.btb1.lookup(0x1000, 1).entry
+        predictor.btb2.writeback_entry(entry)
+        predictor.btb1.clear()
+        # Context switch back into context 1 must prime the BTB1.
+        predictor.context_switch(0x1000, 1)
+        assert predictor.btb1.lookup(0x1000, 1) is not None
+
+
+class TestBadPredictions:
+    def test_aliased_entry_removed_on_walk(self):
+        config = quick_config(btb1=Btb1Config(rows=4, ways=4, tag_bits=4,
+                                              policy="lru"))
+        predictor = LookaheadBranchPredictor(config)
+        base = 0x1000
+        # Find an aliasing line.
+        alias = None
+        for candidate in range(0x2000, 0x800000, 0x40):
+            if predictor.btb1.row_of(candidate) == predictor.btb1.row_of(base) \
+                    and predictor.btb1.tag_of(candidate, 0) == \
+                    predictor.btb1.tag_of(base, 0):
+                alias = candidate
+                break
+        assert alias is not None
+        # Install a taken branch at base+8.
+        b = branch(base + 8, True, base, kind=BranchKind.UNCONDITIONAL_RELATIVE)
+        run_sequence(predictor, [b] * 3)
+        assert predictor.btb1.occupancy == 1
+        # Now walk through the aliased line: the entry matches at
+        # alias+8 where no branch exists -> removed as bad.
+        far = branch(alias + 0x20, True, base,
+                     kind=BranchKind.UNCONDITIONAL_RELATIVE)
+        predictor.restart(alias)
+        out = predictor.predict_and_resolve(
+            DynamicBranch(sequence=100, instruction=far.instruction,
+                          taken=True, target=base)
+        )
+        assert out.trace.bad_predictions_removed == 1
+        # The aliased entry is gone (the new surprise may have installed).
+        assert predictor.btb1.lookup(base + 8, 0) is None
+
+
+class TestCrsIntegration:
+    def test_call_return_learned_end_to_end(self):
+        config = quick_config()
+        predictor = LookaheadBranchPredictor(config)
+        call_a = branch(0x1000, True, 0x8000,
+                        kind=BranchKind.UNCONDITIONAL_RELATIVE)
+        call_b = branch(0x3000, True, 0x8000,
+                        kind=BranchKind.UNCONDITIONAL_RELATIVE)
+        ret_to_a = branch(0x8010, True, 0x1004,
+                          kind=BranchKind.UNCONDITIONAL_INDIRECT)
+        ret_to_b = branch(0x8010, True, 0x3004,
+                          kind=BranchKind.UNCONDITIONAL_INDIRECT)
+        jump_b = branch(0x1004 + 0x40, True, 0x3000,
+                        kind=BranchKind.UNCONDITIONAL_RELATIVE)
+        jump_a = branch(0x3004 + 0x40, True, 0x1000,
+                        kind=BranchKind.UNCONDITIONAL_RELATIVE)
+        # a calls f, f returns to a; hop to b; b calls f, returns to b...
+        pattern = [call_a, ret_to_a,
+                   branch(0x1044, True, 0x3000, kind=BranchKind.UNCONDITIONAL_RELATIVE),
+                   call_b, ret_to_b,
+                   branch(0x3044, True, 0x1000, kind=BranchKind.UNCONDITIONAL_RELATIVE)]
+        out = run_sequence(predictor, pattern * 12)
+        ret_entry = predictor.btb1.lookup(0x8010, 0)
+        assert ret_entry is not None
+        assert ret_entry.entry.multi_target
+        assert ret_entry.entry.return_offset == 0
+        # In steady state the CRS provides correct return targets.
+        crs_uses = [
+            o for o in out
+            if o.record.target_provider is TargetProvider.CRS
+        ]
+        assert crs_uses, "CRS never provided a target"
+        tail = crs_uses[len(crs_uses) // 2:]
+        assert all(not o.record.target_wrong for o in tail)

@@ -1,0 +1,86 @@
+"""Tests for the speculative BHT/PHT overlays."""
+
+from repro.configs.predictor import SpeculativeOverlayConfig
+from repro.core.spec import SpeculativeOverlay, sbht_key, spht_key
+
+
+def make_overlay(entries=4, enabled=True):
+    return SpeculativeOverlay(
+        SpeculativeOverlayConfig(enabled=enabled, entries=entries), "sbht"
+    )
+
+
+def test_miss_returns_none():
+    overlay = make_overlay()
+    assert overlay.lookup(("k", 1)) is None
+
+
+def test_install_then_override():
+    overlay = make_overlay()
+    overlay.install(("k", 1), taken=True, installer_sequence=10)
+    assert overlay.lookup(("k", 1)) is True
+    assert overlay.overrides == 1
+
+
+def test_reinstall_updates_direction():
+    overlay = make_overlay()
+    overlay.install(("k", 1), taken=True, installer_sequence=10)
+    overlay.install(("k", 1), taken=False, installer_sequence=12)
+    assert overlay.lookup(("k", 1)) is False
+    assert len(overlay) == 1
+
+
+def test_capacity_fifo_eviction():
+    overlay = make_overlay(entries=2)
+    overlay.install(("k", 1), True, 1)
+    overlay.install(("k", 2), True, 2)
+    overlay.install(("k", 3), True, 3)
+    assert overlay.lookup(("k", 1)) is None
+    assert overlay.lookup(("k", 2)) is True
+    assert overlay.lookup(("k", 3)) is True
+
+
+def test_retire_removes_completed_installers():
+    overlay = make_overlay()
+    overlay.install(("k", 1), True, 5)
+    overlay.install(("k", 2), True, 9)
+    removed = overlay.retire(sequence=5)
+    assert removed == 1
+    assert overlay.lookup(("k", 1)) is None
+    assert overlay.lookup(("k", 2)) is True
+
+
+def test_retire_is_inclusive_of_sequence():
+    overlay = make_overlay()
+    overlay.install(("k", 1), True, 5)
+    assert overlay.retire(sequence=4) == 0
+    assert overlay.retire(sequence=5) == 1
+
+
+def test_flush_clears_everything():
+    overlay = make_overlay()
+    overlay.install(("k", 1), True, 5)
+    overlay.install(("k", 2), False, 6)
+    overlay.flush()
+    assert len(overlay) == 0
+
+
+def test_disabled_overlay_is_inert():
+    overlay = make_overlay(enabled=False)
+    overlay.install(("k", 1), True, 5)
+    assert overlay.lookup(("k", 1)) is None
+    assert overlay.installs == 0
+
+
+def test_reinstall_then_retire_uses_new_sequence():
+    overlay = make_overlay()
+    overlay.install(("k", 1), True, 5)
+    overlay.install(("k", 1), True, 20)  # refreshed by a younger branch
+    assert overlay.retire(sequence=5) == 0
+    assert overlay.lookup(("k", 1)) is True
+
+
+def test_key_helpers_are_distinct():
+    assert sbht_key(1, 2, 3, 4) != spht_key("short", 1, 3)
+    assert sbht_key(1, 2, 3, 4) == sbht_key(1, 2, 3, 4)
+    assert spht_key("short", 1, 3) != spht_key("long", 1, 3)

@@ -1,0 +1,102 @@
+"""Tests for predictor-state save/restore."""
+
+import pytest
+
+from repro.configs import z15_config
+from repro.configs.predictor import Btb1Config, PredictorConfig
+from repro.core import LookaheadBranchPredictor, load_state, save_state
+from repro.engine import FunctionalEngine
+from repro.workloads import get_workload
+
+
+def warmed_predictor(branches=4000):
+    predictor = LookaheadBranchPredictor(z15_config())
+    engine = FunctionalEngine(predictor)
+    engine.run_program(get_workload("transactions"), max_branches=branches,
+                       warmup_branches=0)
+    return predictor
+
+
+def test_roundtrip_counts(tmp_path):
+    predictor = warmed_predictor()
+    path = tmp_path / "state.json"
+    saved = save_state(predictor, path)
+    assert saved["btb1"] == predictor.btb1.occupancy
+    fresh = LookaheadBranchPredictor(z15_config())
+    loaded = load_state(fresh, path)
+    assert loaded["btb1"] == saved["btb1"]
+    assert fresh.btb1.occupancy == predictor.btb1.occupancy
+
+
+def test_restored_entries_preserve_metadata(tmp_path):
+    predictor = warmed_predictor()
+    path = tmp_path / "state.json"
+    save_state(predictor, path)
+    fresh = LookaheadBranchPredictor(z15_config())
+    load_state(fresh, path)
+    for _row, _way, entry in predictor.btb1.entries():
+        address = entry.line_base + entry.offset
+        restored = fresh.btb1.lookup(address, entry.context)
+        assert restored is not None
+        assert restored.entry.target == entry.target
+        assert restored.entry.kind == entry.kind
+        assert restored.entry.bht.value == entry.bht.value
+        assert restored.entry.bidirectional == entry.bidirectional
+        assert restored.entry.multi_target == entry.multi_target
+        assert restored.entry.return_offset == entry.return_offset
+        assert restored.entry.skoot == entry.skoot
+
+
+def test_warm_start_beats_cold_start(tmp_path):
+    predictor = warmed_predictor(branches=6000)
+    path = tmp_path / "state.json"
+    save_state(predictor, path)
+
+    def run(preload):
+        fresh = LookaheadBranchPredictor(z15_config())
+        if preload:
+            load_state(fresh, path)
+        engine = FunctionalEngine(fresh)
+        return engine.run_program(get_workload("transactions"),
+                                  max_branches=2000, warmup_branches=0)
+
+    warm = run(True)
+    cold = run(False)
+    assert warm.dynamic_coverage > cold.dynamic_coverage
+    assert warm.mpki <= cold.mpki
+
+
+def test_restore_into_smaller_geometry(tmp_path):
+    """Restoring into a smaller BTB1 just evicts; no errors."""
+    predictor = warmed_predictor()
+    path = tmp_path / "state.json"
+    save_state(predictor, path)
+    small = LookaheadBranchPredictor(
+        PredictorConfig(btb1=Btb1Config(rows=16, ways=2, policy="lru"),
+                        btb2=None, name="small").validate()
+    )
+    load_state(small, path)
+    assert small.btb1.occupancy <= small.btb1.capacity
+
+
+def test_bad_format_rejected(tmp_path):
+    path = tmp_path / "bogus.json"
+    path.write_text('{"format": "something-else"}')
+    with pytest.raises(ValueError):
+        load_state(LookaheadBranchPredictor(z15_config()), path)
+
+
+def test_btb2_state_roundtrips(tmp_path):
+    predictor = warmed_predictor(branches=6000)
+    # Push some learning into the BTB2 via explicit writebacks.
+    count = 0
+    for _row, _way, entry in list(predictor.btb1.entries())[:20]:
+        predictor.btb2.writeback_entry(entry)
+        count += 1
+    path = tmp_path / "state.json"
+    saved = save_state(predictor, path)
+    assert saved["btb2"] >= count
+    fresh = LookaheadBranchPredictor(z15_config())
+    loaded = load_state(fresh, path)
+    assert loaded["btb2"] == saved["btb2"]
+    assert fresh.btb2.occupancy > 0

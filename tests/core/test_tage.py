@@ -1,0 +1,218 @@
+"""Tests for the TAGE PHT subsystem."""
+
+import pytest
+
+from repro.configs.predictor import PhtConfig
+from repro.core.gpv import GlobalPathVector
+from repro.core.tage import LONG, SHORT, TageLookupSnapshot, TagePht
+
+
+def make_tage(**overrides):
+    defaults = dict(tage=True, rows=64, ways=4, short_history=9, long_history=17)
+    defaults.update(overrides)
+    return TagePht(PhtConfig(**defaults))
+
+
+def gpv_with(addresses):
+    gpv = GlobalPathVector(depth=17)
+    for address in addresses:
+        gpv.record_taken(address)
+    return gpv
+
+
+ADDRESS = 0x4008
+PATH = [0x100, 0x204, 0x308, 0x40C, 0x510]
+
+
+class TestLookupAndInstall:
+    def test_cold_lookup_misses(self):
+        tage = make_tage()
+        lookup = tage.lookup(ADDRESS, gpv_with(PATH))
+        assert lookup.short_hit is None
+        assert lookup.long_hit is None
+        assert lookup.provider is None
+
+    def test_install_then_hit(self):
+        tage = make_tage()
+        gpv = gpv_with(PATH)
+        installed = tage.install_on_mispredict(
+            ADDRESS, gpv.snapshot(), actual_taken=True, mispredicting_provider=None
+        )
+        assert installed in (SHORT, LONG)
+        lookup = tage.lookup(ADDRESS, gpv)
+        assert lookup.hit_for(installed) is not None
+
+    def test_different_path_misses(self):
+        tage = make_tage()
+        gpv = gpv_with(PATH)
+        tage.install_on_mispredict(ADDRESS, gpv.snapshot(), True, None)
+        other = gpv_with([0x999 * 2, 0x555 * 2, 0x777 * 2])
+        lookup = tage.lookup(ADDRESS, other)
+        assert lookup.provider is None
+
+    def test_short_mispredict_escalates_to_long(self):
+        tage = make_tage()
+        gpv = gpv_with(PATH)
+        table = tage.install_on_mispredict(
+            ADDRESS, gpv.snapshot(), True, mispredicting_provider=SHORT
+        )
+        assert table == LONG
+
+    def test_long_mispredict_does_not_allocate(self):
+        tage = make_tage()
+        gpv = gpv_with(PATH)
+        table = tage.install_on_mispredict(
+            ADDRESS, gpv.snapshot(), True, mispredicting_provider=LONG
+        )
+        assert table is None
+
+    def test_short_favoured_two_to_one(self):
+        tage = make_tage()
+        choices = []
+        for index in range(30):
+            gpv = gpv_with(PATH + [0x2000 + index * 2])
+            table = tage.install_on_mispredict(
+                0x8000 + index * 64, gpv.snapshot(), True, None
+            )
+            if table is not None:
+                choices.append(table)
+        shorts = choices.count(SHORT)
+        longs = choices.count(LONG)
+        assert shorts > longs
+        assert longs > 0
+
+    def test_single_table_mode(self):
+        tage = make_tage(tage=False, short_history=9, long_history=9)
+        assert tage.long_table is None
+        gpv = gpv_with(PATH)
+        table = tage.install_on_mispredict(ADDRESS, gpv.snapshot(), True, None)
+        assert table == SHORT
+
+
+class TestUsefulnessProtection:
+    def _force_install(self, tage, address, gpv):
+        return tage.install_on_mispredict(address, gpv.snapshot(), True, None)
+
+    def test_useful_entry_not_displaced(self):
+        tage = make_tage(rows=1, ways=1)  # single slot per table
+        gpv = gpv_with(PATH)
+        table_name = self._force_install(tage, ADDRESS, gpv)
+        table = tage._table_by_name(table_name)
+        lookup = tage.lookup(ADDRESS, gpv)
+        hit = lookup.hit_for(table_name)
+        hit.entry.usefulness.increment()
+        # Installing a different branch on the same row must fail in this
+        # table (usefulness nonzero) and decrement usefulness.
+        before = hit.entry.usefulness.value
+        table.install(0x5008, gpv.snapshot(), True)
+        assert tage.lookup(ADDRESS, gpv).hit_for(table_name) is not None
+        assert hit.entry.usefulness.value == before - 1
+
+    def test_usefulness_zero_entry_displaced(self):
+        tage = make_tage(rows=1, ways=1)
+        gpv = gpv_with(PATH)
+        name = self._force_install(tage, ADDRESS, gpv)
+        table = tage._table_by_name(name)
+        assert table.install(0x5008, gpv.snapshot(), True)
+
+
+class TestUpdate:
+    def _predict(self, tage, gpv):
+        lookup = tage.lookup(ADDRESS, gpv)
+        return lookup, TageLookupSnapshot.from_lookup(lookup)
+
+    def test_counter_moves_toward_outcome(self):
+        tage = make_tage()
+        gpv = gpv_with(PATH)
+        tage.install_on_mispredict(ADDRESS, gpv.snapshot(), True, None)
+        lookup, snapshot = self._predict(tage, gpv)
+        provider_hit = lookup.provider_hit
+        before = provider_hit.entry.counter.value
+        tage.update(snapshot, actual_taken=True, alternate_taken=None)
+        assert provider_hit.entry.counter.value == before + 1
+
+    def test_usefulness_up_when_beating_alternate(self):
+        tage = make_tage()
+        gpv = gpv_with(PATH)
+        tage.install_on_mispredict(ADDRESS, gpv.snapshot(), True, None)
+        lookup, snapshot = self._predict(tage, gpv)
+        entry = lookup.provider_hit.entry
+        assert entry.usefulness.value == 0
+        # Provider says taken; alternate said not taken; outcome taken.
+        tage.update(snapshot, actual_taken=True, alternate_taken=False)
+        assert entry.usefulness.value == 1
+
+    def test_usefulness_down_when_losing_to_alternate(self):
+        tage = make_tage()
+        gpv = gpv_with(PATH)
+        tage.install_on_mispredict(ADDRESS, gpv.snapshot(), True, None)
+        lookup, snapshot = self._predict(tage, gpv)
+        entry = lookup.provider_hit.entry
+        entry.usefulness.increment()
+        tage.update(snapshot, actual_taken=False, alternate_taken=False)
+        assert entry.usefulness.value == 0
+
+    def test_usefulness_neutral_when_agreeing(self):
+        tage = make_tage()
+        gpv = gpv_with(PATH)
+        tage.install_on_mispredict(ADDRESS, gpv.snapshot(), True, None)
+        lookup, snapshot = self._predict(tage, gpv)
+        entry = lookup.provider_hit.entry
+        tage.update(snapshot, actual_taken=True, alternate_taken=True)
+        assert entry.usefulness.value == 0
+
+
+class TestWeakFiltering:
+    def _weak_entry_setup(self):
+        """Install an entry and leave it weak (fresh installs are weak)."""
+        tage = make_tage()
+        gpv = gpv_with(PATH)
+        tage.install_on_mispredict(ADDRESS, gpv.snapshot(), True, None)
+        return tage, gpv
+
+    def test_weak_allowed_initially(self):
+        tage, gpv = self._weak_entry_setup()
+        lookup = tage.lookup(ADDRESS, gpv)
+        assert lookup.provider is not None
+        assert lookup.provider_weak
+
+    def test_weak_suppressed_after_bad_weak_record(self):
+        tage, gpv = self._weak_entry_setup()
+        # Drive the weak-confidence counter for that table to zero.
+        lookup = tage.lookup(ADDRESS, gpv)
+        table = lookup.provider
+        for _ in range(10):
+            snapshot = TageLookupSnapshot.from_lookup(lookup)
+            # Weak prediction says taken; outcome not-taken: confidence--.
+            tage.update(snapshot, actual_taken=False, alternate_taken=None)
+            # Re-prime the entry back to a weak-taken state so it stays weak.
+            hit = lookup.hit_for(table)
+            midpoint = (hit.entry.counter.maximum + 1) // 2
+            hit.entry.counter.value = midpoint
+        assert not tage.weak_allowed(table)
+        suppressed = tage.lookup(ADDRESS, gpv)
+        assert suppressed.provider is None
+        assert suppressed.weak_filtered
+
+    def test_strong_predictions_never_filtered(self):
+        tage, gpv = self._weak_entry_setup()
+        lookup = tage.lookup(ADDRESS, gpv)
+        table = lookup.provider
+        hit = lookup.hit_for(table)
+        hit.entry.counter.value = hit.entry.counter.maximum  # strong taken
+        tage._weak_confidence[table].value = 0  # filtering active
+        strong_lookup = tage.lookup(ADDRESS, gpv)
+        assert strong_lookup.provider == table
+        assert not strong_lookup.provider_weak
+
+    def test_weak_long_defers_to_strong_short(self):
+        tage = make_tage()
+        gpv = gpv_with(PATH)
+        # Install into both tables.
+        tage.short_table.install(ADDRESS, gpv.snapshot(), True)
+        tage.long_table.install(ADDRESS, gpv.snapshot(), False)
+        short_hit = tage.short_table.lookup(ADDRESS, gpv.snapshot())
+        short_hit.entry.counter.value = short_hit.entry.counter.maximum
+        lookup = tage.lookup(ADDRESS, gpv)
+        assert lookup.provider == SHORT
+        assert lookup.provider_taken is True

@@ -1,0 +1,125 @@
+"""Tests for figure-9 target provider selection."""
+
+from repro.configs.predictor import CpredConfig, CrsConfig, CtbConfig
+from repro.core.btb1 import BtbHit
+from repro.core.cpred import POWER_ALL, POWER_PHT, ColumnPredictor, CpredLookup
+from repro.core.crs import CallReturnStack
+from repro.core.ctb import ChangingTargetBuffer
+from repro.core.entries import BtbEntry
+from repro.core.gpv import GlobalPathVector
+from repro.core.providers import TargetProvider
+from repro.core.target import TargetLogic
+from repro.isa.instructions import BranchKind
+from repro.structures.saturating import TwoBitDirectionCounter
+
+
+def make_logic():
+    ctb = ChangingTargetBuffer(CtbConfig(rows=32, ways=2))
+    crs = CallReturnStack(CrsConfig(distance_threshold=1024))
+    cpred = ColumnPredictor(CpredConfig(rows=16))
+    return TargetLogic(ctb, crs, cpred)
+
+
+def make_hit(multi_target=False, return_offset=None, blacklisted=False,
+             target=0x9000):
+    entry = BtbEntry(
+        tag=0x11,
+        offset=8,
+        length=4,
+        kind=BranchKind.UNCONDITIONAL_INDIRECT,
+        target=target,
+        bht=TwoBitDirectionCounter(3),
+        multi_target=multi_target,
+        return_offset=return_offset,
+        crs_blacklisted=blacklisted,
+        line_base=0x1000,
+    )
+    return BtbHit(row=3, way=1, entry=entry, line_base=0x1000)
+
+
+def gpv_snapshot():
+    gpv = GlobalPathVector(depth=17)
+    for address in (0x100, 0x204):
+        gpv.record_taken(address)
+    return gpv.snapshot()
+
+
+MISS_CPRED = CpredLookup(hit=False)
+
+
+def test_single_target_uses_btb1():
+    logic = make_logic()
+    hit = make_hit(multi_target=False)
+    decision = logic.decide(hit, 0, gpv_snapshot(), MISS_CPRED)
+    assert decision.provider is TargetProvider.BTB1
+    assert decision.target == 0x9000
+    assert decision.ctb_lookup is None  # CTB not even consulted
+
+
+def test_multi_target_ctb_hit_wins():
+    logic = make_logic()
+    snapshot = gpv_snapshot()
+    hit = make_hit(multi_target=True)
+    logic.ctb.install(hit.address, 0, snapshot, target=0x7000)
+    decision = logic.decide(hit, 0, snapshot, MISS_CPRED)
+    assert decision.provider is TargetProvider.CTB
+    assert decision.target == 0x7000
+
+
+def test_multi_target_ctb_miss_falls_to_btb1():
+    logic = make_logic()
+    hit = make_hit(multi_target=True)
+    decision = logic.decide(hit, 0, gpv_snapshot(), MISS_CPRED)
+    assert decision.provider is TargetProvider.BTB1
+    assert decision.ctb_lookup is not None
+    assert not decision.ctb_lookup.hit
+
+
+def test_marked_return_uses_crs_before_ctb():
+    logic = make_logic()
+    snapshot = gpv_snapshot()
+    hit = make_hit(multi_target=True, return_offset=4)
+    logic.ctb.install(hit.address, 0, snapshot, target=0x7000)
+    logic.crs.note_predicted_taken(0x10000, 0x20000, 0x10004)
+    decision = logic.decide(hit, 0, snapshot, MISS_CPRED)
+    assert decision.provider is TargetProvider.CRS
+    assert decision.target == 0x10004 + 4
+
+
+def test_blacklisted_return_uses_ctb():
+    logic = make_logic()
+    snapshot = gpv_snapshot()
+    hit = make_hit(multi_target=True, return_offset=4, blacklisted=True)
+    logic.ctb.install(hit.address, 0, snapshot, target=0x7000)
+    logic.crs.note_predicted_taken(0x10000, 0x20000, 0x10004)
+    decision = logic.decide(hit, 0, snapshot, MISS_CPRED)
+    assert decision.provider is TargetProvider.CTB
+    assert decision.target == 0x7000
+
+
+def test_invalid_stack_falls_through():
+    logic = make_logic()
+    hit = make_hit(multi_target=True, return_offset=0)
+    decision = logic.decide(hit, 0, gpv_snapshot(), MISS_CPRED)
+    assert decision.provider is TargetProvider.BTB1
+
+
+def test_power_gated_ctb_falls_to_btb1():
+    logic = make_logic()
+    snapshot = gpv_snapshot()
+    hit = make_hit(multi_target=True)
+    logic.ctb.install(hit.address, 0, snapshot, target=0x7000)
+    gated = CpredLookup(hit=True, power_mask=POWER_PHT)  # CTB bit off
+    decision = logic.decide(hit, 0, snapshot, gated)
+    assert decision.provider is TargetProvider.BTB1
+    assert not decision.ctb_powered
+    assert logic.cpred.power_gate_misses == 1
+
+
+def test_crs_not_subject_to_ctb_power_gate():
+    logic = make_logic()
+    hit = make_hit(multi_target=True, return_offset=0)
+    logic.crs.note_predicted_taken(0x10000, 0x20000, 0x10004)
+    gated = CpredLookup(hit=True, power_mask=POWER_PHT)
+    decision = logic.decide(hit, 0, gpv_snapshot(), gated)
+    assert decision.provider is TargetProvider.CRS

@@ -1,0 +1,107 @@
+"""Tests for the cycle-level engine."""
+
+import pytest
+
+from repro.configs import TimingConfig, z15_config
+from repro.core import LookaheadBranchPredictor
+from repro.engine import CycleEngine
+from repro.frontend.icache import CacheLevelConfig, InstructionCacheHierarchy
+from repro.workloads import get_workload
+from repro.workloads.generators import loop_nest_program
+
+
+def run_cycle(name="compute-kernel", branches=3000, smt2=False,
+              prefetch=True, seed=1):
+    engine = CycleEngine(
+        LookaheadBranchPredictor(z15_config()),
+        smt2=smt2,
+        lookahead_prefetch=prefetch,
+    )
+    stats = engine.run_program(get_workload(name, seed), max_branches=branches,
+                               seed=seed)
+    return stats
+
+
+def test_basic_accounting():
+    stats = run_cycle()
+    assert stats.cycles > 0
+    assert stats.instructions > 0
+    assert stats.branches == 3000
+    assert stats.cpi > 0
+    assert stats.ipc == pytest.approx(1.0 / stats.cpi, rel=1e-6)
+
+
+def test_mispredictions_cost_restart_cycles():
+    stats = run_cycle("footprint-small")
+    assert stats.restarts > 0
+    assert stats.restart_cycles >= stats.restarts * 8
+
+
+def test_timing_validation():
+    with pytest.raises(Exception):
+        TimingConfig(taken_interval_cpred=10, taken_interval_st=5).validate()
+    with pytest.raises(Exception):
+        TimingConfig(search_bytes_per_cycle=16,
+                     fetch_bytes_per_cycle=32).validate()
+
+
+def test_smt2_is_slower_than_st():
+    st = run_cycle("compute-kernel", branches=2000, smt2=False)
+    smt = run_cycle("compute-kernel", branches=2000, smt2=True)
+    assert smt.cycles > st.cycles
+
+
+def test_cpred_accelerates_redirects():
+    stats = run_cycle("compute-kernel", branches=3000)
+    assert stats.taken_redirects > 0
+    assert stats.cpred_redirects > 0
+    assert stats.cpred_redirects <= stats.taken_redirects
+
+
+def test_accuracy_stats_embedded():
+    stats = run_cycle("patterned", branches=2000)
+    assert stats.accuracy.branches == 2000
+    assert stats.accuracy.instructions == stats.instructions
+
+
+def test_cache_level_stats_present():
+    stats = run_cycle()
+    assert "L1I" in stats.cache_levels
+    assert stats.cache_levels["L1I"]["accesses"] > 0
+
+
+def test_prefetch_hides_miss_latency():
+    """With lookahead prefetch, exposed I-miss cycles shrink on a
+    footprint that misses the L1I."""
+    def run(prefetch):
+        icache = InstructionCacheHierarchy(
+            levels=[
+                CacheLevelConfig("L1I", 4 * 1024, line_size=128,
+                                 associativity=2, latency=4),
+                CacheLevelConfig("L2I", 512 * 1024, line_size=128,
+                                 associativity=8, latency=12),
+            ],
+            memory_latency=100,
+        )
+        engine = CycleEngine(
+            LookaheadBranchPredictor(z15_config()),
+            icache=icache,
+            lookahead_prefetch=prefetch,
+        )
+        return engine.run_program(get_workload("footprint-medium"),
+                                  max_branches=4000)
+
+    with_prefetch = run(True)
+    without_prefetch = run(False)
+    assert with_prefetch.hidden_miss_cycles > 0
+    assert (
+        with_prefetch.exposed_miss_cycles
+        < without_prefetch.exposed_miss_cycles
+    )
+
+
+def test_report_renders():
+    stats = run_cycle(branches=500)
+    text = stats.report("test")
+    assert "CPI" in text
+    assert "restart cycles" in text

@@ -1,0 +1,56 @@
+"""Tests for the cycle engine's two-thread SMT2 mode."""
+
+import pytest
+
+from repro.configs import z15_config
+from repro.core import LookaheadBranchPredictor
+from repro.engine import CycleEngine
+from repro.workloads import get_workload
+from repro.workloads.generators import loop_nest_program, pattern_program
+
+
+def run_smt2(branches=4000, **engine_kwargs):
+    engine = CycleEngine(LookaheadBranchPredictor(z15_config()), smt2=True,
+                         **engine_kwargs)
+    stats = engine.run_smt2(
+        loop_nest_program(depths=(8, 4), start=0x20000),
+        pattern_program([[True, False]], start=0x90000),
+        max_branches=branches,
+    )
+    return stats, engine
+
+
+def test_basic_accounting():
+    stats, engine = run_smt2()
+    assert stats.branches == 4000
+    assert stats.instructions > stats.branches
+    assert stats.cycles > 0
+    assert stats.accuracy.branches == 4000
+
+
+def test_cycles_track_slower_thread():
+    stats, engine = run_smt2()
+    clocks = list(engine._clocks.values())
+    assert len(clocks) == 2
+    assert stats.cycles == int(max(clock.now for clock in clocks))
+
+
+def test_both_threads_make_progress():
+    _, engine = run_smt2()
+    for clock in engine._clocks.values():
+        assert clock.now > 0
+
+
+def test_smt2_combined_throughput_beats_one_thread():
+    single_engine = CycleEngine(LookaheadBranchPredictor(z15_config()),
+                                smt2=False)
+    single = single_engine.run_program(
+        loop_nest_program(depths=(8, 4), start=0x20000), max_branches=2000
+    )
+    smt2, _ = run_smt2(branches=4000)
+    assert smt2.ipc > single.ipc
+
+
+def test_accuracy_remains_high_for_predictable_threads():
+    stats, _ = run_smt2()
+    assert stats.accuracy.direction_accuracy > 0.95

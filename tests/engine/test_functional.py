@@ -1,0 +1,74 @@
+"""Tests for the functional engine."""
+
+import pytest
+
+from repro.configs import z15_config
+from repro.core import LookaheadBranchPredictor
+from repro.engine import FunctionalEngine
+from repro.workloads import InterleavedRun, get_workload
+from repro.workloads.executor import Executor
+from repro.workloads.generators import loop_nest_program, pattern_program
+
+
+def run(name, branches=4000, warmup=1000, seed=1):
+    engine = FunctionalEngine(LookaheadBranchPredictor(z15_config()))
+    return engine.run_program(get_workload(name, seed), max_branches=branches,
+                              warmup_branches=warmup)
+
+
+def test_stats_accounting_consistent():
+    stats = run("compute-kernel")
+    assert stats.branches == 4000
+    assert stats.dynamic_predictions + stats.surprise_branches == stats.branches
+    assert stats.instructions > stats.branches
+    assert 0 <= stats.direction_accuracy <= 1.0
+    assert stats.mpki >= 0
+
+
+def test_predictable_workload_converges():
+    stats = run("patterned")
+    assert stats.direction_accuracy > 0.99
+    assert stats.mpki < 1.0
+
+
+def test_warmup_excluded_from_counts():
+    engine = FunctionalEngine(LookaheadBranchPredictor(z15_config()))
+    stats = engine.run_program(
+        get_workload("compute-kernel"), max_branches=1000, warmup_branches=500
+    )
+    assert stats.branches == 1000
+
+
+def test_run_branches_from_list():
+    program = loop_nest_program(depths=(5, 3))
+    branches = list(Executor(program).run(max_branches=500))
+    engine = FunctionalEngine(LookaheadBranchPredictor(z15_config()))
+    stats = engine.run_branches(branches, instructions=2000)
+    assert stats.branches == 500
+    assert stats.instructions == 2000
+
+
+def test_run_branches_estimates_instructions():
+    program = loop_nest_program(depths=(5, 3))
+    branches = list(Executor(program).run(max_branches=100))
+    engine = FunctionalEngine(LookaheadBranchPredictor(z15_config()))
+    stats = engine.run_branches(branches)
+    assert stats.instructions == 400  # 1-in-4 density assumption
+
+
+def test_run_interleaved_multi_context():
+    programs = [loop_nest_program(depths=(5, 3)),
+                pattern_program([[True, False]])]
+    run_obj = InterleavedRun(programs, quantum_branches=100, seed=2)
+    engine = FunctionalEngine(LookaheadBranchPredictor(z15_config()))
+    stats = engine.run_interleaved(run_obj, total_branches=800)
+    assert stats.branches == 800
+    assert engine.predictor.context_switches == 8
+    assert stats.instructions == run_obj.instructions_executed
+
+
+def test_report_renders():
+    stats = run("patterned", branches=500, warmup=100)
+    text = stats.report("patterned")
+    assert "MPKI" in text
+    assert "direction providers" in text

@@ -1,0 +1,119 @@
+"""Tests for the instruction-cache hierarchy."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.configs.timing import TimingConfig
+from repro.frontend.icache import (
+    CacheLevel,
+    CacheLevelConfig,
+    InstructionCacheHierarchy,
+    z15_hierarchy_configs,
+)
+
+
+def tiny_hierarchy():
+    return InstructionCacheHierarchy(
+        levels=[
+            CacheLevelConfig("L1I", 2048, line_size=128, associativity=2,
+                             latency=4),
+            CacheLevelConfig("L2I", 8192, line_size=128, associativity=2,
+                             latency=12),
+        ],
+        memory_latency=100,
+    )
+
+
+class TestCacheLevel:
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigError):
+            CacheLevel(CacheLevelConfig("bad", 1000, line_size=128,
+                                        associativity=3))
+
+    def test_miss_then_hit(self):
+        level = CacheLevel(CacheLevelConfig("L1", 2048, line_size=128,
+                                            associativity=2))
+        assert not level.access(0x1000)
+        level.fill(0x1000)
+        assert level.access(0x1000)
+        assert level.access(0x1040)  # same 128B line
+
+    def test_lru_eviction(self):
+        config = CacheLevelConfig("L1", 512, line_size=128, associativity=2)
+        level = CacheLevel(config)  # 2 sets x 2 ways
+        sets = config.sets
+        stride = 128 * sets  # same set
+        level.fill(0x0)
+        level.fill(stride)
+        level.fill(2 * stride)  # evicts 0x0
+        assert not level.access(0x0)
+        assert level.access(stride)
+
+    def test_probe_does_not_count(self):
+        level = CacheLevel(CacheLevelConfig("L1", 2048, line_size=128,
+                                            associativity=2))
+        level.probe(0x1000)
+        assert level.accesses == 0
+
+
+class TestHierarchy:
+    def test_miss_goes_to_memory(self):
+        hierarchy = tiny_hierarchy()
+        result = hierarchy.access(0x1000)
+        assert result.level == "memory"
+        assert result.latency == 100
+
+    def test_fill_propagates_inclusively(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0x1000)
+        result = hierarchy.access(0x1000)
+        assert result.level == "L1I"
+        assert result.latency == 4
+
+    def test_l2_hit_fills_l1(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0x1000)
+        # Evict from tiny L1 with conflicting lines, keep in larger L2.
+        for address in range(0x10000, 0x10000 + 16 * 2048, 2048):
+            hierarchy.access(address)
+        result = hierarchy.access(0x1000)
+        assert result.level in ("L2I", "memory")
+        if result.level == "L2I":
+            assert hierarchy.access(0x1000).level == "L1I"
+
+    def test_prefetch_fills_toward_l1(self):
+        hierarchy = tiny_hierarchy()
+        fill = hierarchy.prefetch(0x2000)
+        assert fill is not None and fill.level == "memory"
+        assert hierarchy.access(0x2000).level == "L1I"
+
+    def test_prefetch_of_resident_line_is_noop(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0x2000)
+        assert hierarchy.prefetch(0x2000) is None
+        assert hierarchy.useless_prefetch_filter == 1
+
+    def test_level_stats(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0x1000)
+        hierarchy.access(0x1000)
+        stats = dict(
+            (name, (accesses, hits))
+            for name, accesses, hits in hierarchy.level_stats()
+        )
+        assert stats["L1I"] == (2, 1)
+
+
+class TestZ15Configs:
+    def test_latencies_match_paper(self):
+        timing = TimingConfig()
+        configs = z15_hierarchy_configs(timing=timing)
+        by_name = {config.name: config for config in configs}
+        assert by_name["L2I"].latency - by_name["L1I"].latency == 8
+        assert by_name["L3"].latency - by_name["L1I"].latency == 45
+
+    def test_z15_sizes(self):
+        configs = z15_hierarchy_configs(l1i_kib=128, l2i_kib=4096)
+        by_name = {config.name: config for config in configs}
+        assert by_name["L1I"].size_bytes == 128 * 1024
+        assert by_name["L2I"].size_bytes == 4 * 1024 * 1024

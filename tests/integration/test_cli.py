@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    main(list(argv))
+    return capsys.readouterr().out
+
+
+def test_workloads_lists_suite(capsys):
+    out = run_cli(capsys, "workloads")
+    assert "transactions" in out
+    assert "compute-kernel" in out
+
+
+def test_run_default(capsys):
+    out = run_cli(capsys, "run", "patterned", "--branches", "2000",
+                  "--warmup", "500")
+    assert "MPKI" in out
+    assert "direction providers" in out
+
+
+def test_run_with_profile(capsys):
+    out = run_cli(capsys, "run", "transactions", "--branches", "2000",
+                  "--warmup", "500", "--profile")
+    assert "hot branches" in out
+    assert "concentration" in out
+
+
+def test_run_baseline_predictor(capsys):
+    out = run_cli(capsys, "run", "patterned", "--predictor", "gshare",
+                  "--branches", "1500", "--warmup", "0")
+    assert "gshare / patterned" in out
+
+
+def test_compare(capsys):
+    out = run_cli(capsys, "compare", "patterned", "--predictors", "z13",
+                  "z15", "--branches", "1500", "--warmup", "500")
+    assert "z13" in out and "z15" in out
+
+
+def test_cycles(capsys):
+    out = run_cli(capsys, "cycles", "compute-kernel", "--branches", "1500")
+    assert "CPI" in out
+
+
+def test_cycles_rejects_baseline(capsys):
+    with pytest.raises(SystemExit):
+        run_cli(capsys, "cycles", "patterned", "--predictor", "gshare")
+
+
+def test_verify_clean(capsys):
+    out = run_cli(capsys, "verify", "--branches", "800", "--preload", "50")
+    assert "CLEAN" in out
+
+
+def test_unknown_predictor(capsys):
+    with pytest.raises(SystemExit):
+        run_cli(capsys, "run", "patterned", "--predictor", "bogus")
+
+
+def test_parser_structure():
+    parser = build_parser()
+    for command in ("run", "compare", "cycles", "verify", "workloads"):
+        args = parser.parse_args([command] if command != "run"
+                                 else ["run", "patterned"])
+        assert args.command == command
+
+
+def test_state_save_and_load_roundtrip(capsys, tmp_path):
+    state_path = str(tmp_path / "state.json")
+    out = run_cli(capsys, "run", "patterned", "--branches", "1500",
+                  "--warmup", "0", "--save-state", state_path)
+    assert "saved state" in out
+    out = run_cli(capsys, "run", "patterned", "--branches", "800",
+                  "--warmup", "0", "--load-state", state_path)
+    assert "restored state" in out
+
+
+def test_state_options_reject_baselines(capsys, tmp_path):
+    with pytest.raises(SystemExit):
+        run_cli(capsys, "run", "patterned", "--predictor", "gshare",
+                "--branches", "500", "--load-state",
+                str(tmp_path / "x.json"))

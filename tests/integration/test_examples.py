@@ -1,0 +1,72 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each runs as a subprocess with small work budgets.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py", "patterned", "2000")
+    assert "MPKI" in out
+    assert "structure occupancy" in out
+
+
+def test_quickstart_rejects_unknown_workload():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py"), "nope"],
+        capture_output=True, text=True, timeout=60,
+    )
+    assert result.returncode != 0
+
+
+def test_generation_comparison():
+    out = run_example("generation_comparison.py", "1500")
+    for name in ("zEC12", "z13", "z14", "z15"):
+        assert name in out
+
+
+def test_lookahead_prefetch():
+    out = run_example("lookahead_prefetch.py", "2500")
+    assert "prefetching saved" in out
+
+
+def test_verification_demo():
+    out = run_example("verification_demo.py", "1200")
+    assert "CLEAN" in out
+    assert "FAILURES" in out  # the injected-defect campaign
+
+
+def test_custom_workload():
+    out = run_example("custom_workload.py", "1500")
+    assert "matches live run" in out
+
+
+def test_smt2_interference():
+    out = run_example("smt2_interference.py", "3000")
+    assert "SMT2 interleaved" in out
+    assert "cycles/taken" in out
+
+
+def test_workload_cloning():
+    out = run_example("workload_cloning.py", "2500")
+    assert "clone profile" in out
+    assert "MPKI" in out

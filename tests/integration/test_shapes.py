@@ -1,0 +1,236 @@
+"""Integration tests: the paper's qualitative claims, end to end.
+
+Each test is a miniature of one benchmark: it checks the *shape* the
+paper reports (who wins, in which direction a mechanism moves the
+metric), not absolute numbers.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.configs import z13_config, z14_config, z15_config, zec12_config
+from repro.configs.predictor import (
+    CpredConfig,
+    CrsConfig,
+    CtbConfig,
+    PerceptronConfig,
+    PhtConfig,
+)
+from repro.core import LookaheadBranchPredictor
+from repro.core.providers import DirectionProvider, TargetProvider
+from repro.engine import FunctionalEngine
+from repro.workloads import get_workload
+
+
+def run_config(config, workload, branches=6000, warmup=3000, seed=1):
+    engine = FunctionalEngine(LookaheadBranchPredictor(config))
+    return engine.run_program(get_workload(workload, seed),
+                              max_branches=branches, warmup_branches=warmup)
+
+
+def z15_variant(**overrides):
+    config = z15_config()
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config.validate()
+
+
+class TestGenerationShape:
+    """Conclusion: MPKI decreases z13 -> z14 -> z15 on LSPR workloads."""
+
+    def test_mpki_improves_across_generations(self):
+        """Average over a small LSPR-like suite (the conclusion's claim
+        is about workload averages, not any single program)."""
+        suite = ["transactions", "correlated", "footprint-medium"]
+        results = {}
+        for factory in (z13_config, z14_config, z15_config):
+            total = 0.0
+            for workload in suite:
+                config = factory()
+                stats = run_config(config, workload, branches=8000,
+                                   warmup=4000)
+                total += stats.mpki
+            results[factory().name] = total / len(suite)
+        assert results["z14"] < results["z13"]
+        assert results["z15"] < results["z14"]
+
+    def test_zec12_worst_on_large_footprint(self):
+        from repro.workloads.generators import large_footprint_program
+
+        def ring():
+            return large_footprint_program(block_count=2048, taken_bias=0.4,
+                                           seed=7, name="gen-ring")
+
+        old_engine = FunctionalEngine(LookaheadBranchPredictor(zec12_config()))
+        old = old_engine.run_program(ring(), max_branches=12000,
+                                     warmup_branches=12000)
+        new_engine = FunctionalEngine(LookaheadBranchPredictor(z15_config()))
+        new = new_engine.run_program(ring(), max_branches=12000,
+                                     warmup_branches=12000)
+        assert new.mpki < old.mpki
+        assert new.dynamic_coverage > old.dynamic_coverage
+
+
+class TestTageShape:
+    """Section V: the TAGE PHT learns path-dependent directions."""
+
+    def test_tage_beats_bht_only_on_patterns(self):
+        with_tage = run_config(z15_config(), "patterned")
+        no_pht = z15_config()
+        no_pht.pht = PhtConfig(tage=True, rows=512, ways=8)
+        # Disable by never allowing aux: emulate with bidirectional off is
+        # intrusive; instead compare against the z13-era single PHT with
+        # tiny capacity.
+        small = z15_config()
+        small.pht = PhtConfig(tage=False, rows=8, ways=1, short_history=9,
+                              long_history=9)
+        small.validate()
+        with_small = run_config(small, "patterned")
+        assert with_tage.mpki <= with_small.mpki
+
+    def test_pht_becomes_provider_for_loops(self):
+        stats = run_config(z15_config(), "compute-kernel")
+        pht_share = (
+            stats.provider_share(DirectionProvider.PHT_SHORT)
+            + stats.provider_share(DirectionProvider.PHT_LONG)
+            + stats.provider_share(DirectionProvider.SPHT)
+        )
+        assert pht_share > 0.05
+
+
+class TestPerceptronShape:
+    def test_perceptron_disabled_is_not_better(self):
+        enabled = run_config(z15_config(), "correlated")
+        disabled = z15_variant(
+            perceptron=PerceptronConfig(enabled=False)
+        )
+        without = run_config(disabled, "correlated")
+        assert enabled.mpki <= without.mpki + 0.5
+
+
+class TestBtb2Shape:
+    """Sections II.A/III: the BTB2 recovers large-footprint coverage."""
+
+    def test_btb2_improves_coverage_under_capacity_pressure(self):
+        """A BTB1 too small for the footprint is backfilled from the
+        BTB2; both coverage and MPKI improve."""
+        from repro.configs.predictor import Btb1Config
+        from repro.workloads.generators import large_footprint_program
+
+        def ring():
+            return large_footprint_program(block_count=256, taken_bias=0.4,
+                                           seed=7, name="btb2-ring")
+
+        def tiny_btb1_config(with_btb2):
+            config = z15_config()
+            config.btb1 = Btb1Config(rows=64, ways=4, policy="lru")
+            if not with_btb2:
+                config.btb2 = None
+            return config.validate()
+
+        with_engine = FunctionalEngine(
+            LookaheadBranchPredictor(tiny_btb1_config(True))
+        )
+        with_btb2 = with_engine.run_program(ring(), max_branches=8000,
+                                            warmup_branches=4000)
+        without_engine = FunctionalEngine(
+            LookaheadBranchPredictor(tiny_btb1_config(False))
+        )
+        without = without_engine.run_program(ring(), max_branches=8000,
+                                             warmup_branches=4000)
+        assert with_btb2.dynamic_coverage > without.dynamic_coverage
+        assert with_btb2.mpki < without.mpki
+
+    def test_btb2_irrelevant_when_footprint_fits(self):
+        with_btb2 = run_config(z15_config(), "compute-kernel")
+        without = run_config(z15_variant(btb2=None), "compute-kernel")
+        assert abs(with_btb2.mpki - without.mpki) < 0.5
+
+
+class TestSkootShape:
+    """Section IV: SKOOT removes empty sequential searches."""
+
+    def test_skoot_reduces_searches(self):
+        with_skoot = run_config(z15_config(), "transactions")
+        without = run_config(z15_variant(skoot_enabled=False), "transactions")
+        assert with_skoot.lines_searched < without.lines_searched
+        assert with_skoot.lines_skipped_by_skoot > 0
+
+    def test_skoot_does_not_hurt_accuracy(self):
+        with_skoot = run_config(z15_config(), "transactions")
+        without = run_config(z15_variant(skoot_enabled=False), "transactions")
+        assert with_skoot.mpki <= without.mpki * 1.1 + 0.5
+
+
+class TestCrsShape:
+    """Section VI: the CRS predicts call/return targets."""
+
+    def test_crs_provides_correct_return_targets(self):
+        stats = run_config(z15_config(), "services")
+        crs_accuracy = stats.target_provider_accuracy(TargetProvider.CRS)
+        assert crs_accuracy is not None, "CRS never used"
+        assert crs_accuracy > 0.9
+
+    def test_crs_disabled_falls_to_ctb_or_btb(self):
+        without = run_config(z15_variant(crs=CrsConfig(enabled=False)),
+                             "services")
+        assert without.target_provider_accuracy(TargetProvider.CRS) is None
+        with_crs = run_config(z15_config(), "services")
+        assert with_crs.mpki <= without.mpki + 0.5
+
+
+class TestCtbShape:
+    """Section VI: the CTB predicts path-correlated changing targets."""
+
+    def test_ctb_carries_dispatch_targets(self):
+        stats = run_config(z15_config(), "dispatch")
+        ctb_accuracy = stats.target_provider_accuracy(TargetProvider.CTB)
+        assert ctb_accuracy is not None, "CTB never used"
+        assert ctb_accuracy > 0.8
+
+    def test_tiny_ctb_hurts_dispatch(self):
+        tiny = z15_variant(ctb=CtbConfig(rows=1, ways=1, history=17))
+        small_stats = run_config(tiny, "dispatch")
+        full_stats = run_config(z15_config(), "dispatch")
+        assert full_stats.mpki <= small_stats.mpki
+
+
+class TestCpredShape:
+    def test_cpred_accelerates_steady_streams(self):
+        stats = run_config(z15_config(), "compute-kernel")
+        assert stats.cpred_accelerated_streams > 0
+
+    def test_cpred_disabled_removes_acceleration(self):
+        stats = run_config(z15_variant(cpred=CpredConfig(enabled=False)),
+                           "compute-kernel")
+        assert stats.cpred_accelerated_streams == 0
+
+
+class TestSpeculativeOverlayShape:
+    """Section IV: SBHT/SPHT stop weak-state flutter under delayed
+    updates."""
+
+    def test_overlays_cut_flip_window_mispredicts(self):
+        """A branch flipping direction with a long in-flight window: the
+        corrected SBHT/SPHT entry stops the repeat mispredicts."""
+        from repro.configs.predictor import SpeculativeOverlayConfig
+        from repro.workloads.generators import pattern_program
+
+        def flip_program():
+            return pattern_program([[True] * 30 + [False] * 30])
+
+        def run(enabled):
+            config = z15_config()
+            config.completion_delay = 24
+            if not enabled:
+                config.speculative = SpeculativeOverlayConfig(enabled=False)
+            config.validate()
+            engine = FunctionalEngine(LookaheadBranchPredictor(config))
+            return engine.run_program(flip_program(), max_branches=3000,
+                                      warmup_branches=0)
+
+        with_overlays = run(True)
+        without = run(False)
+        assert with_overlays.mispredicted_branches < \
+            without.mispredicted_branches

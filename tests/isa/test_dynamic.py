@@ -1,0 +1,66 @@
+"""Tests for dynamic instruction/branch records."""
+
+import pytest
+
+from repro.isa.dynamic import DynamicBranch, DynamicInstruction
+from repro.isa.instructions import BranchKind, Instruction
+
+
+def relative_branch(address=0x1000, target=0x2000, kind=BranchKind.CONDITIONAL_RELATIVE):
+    return Instruction(address=address, length=4, kind=kind, static_target=target)
+
+
+def test_dynamic_instruction_basics():
+    insn = Instruction(address=0x500, length=2)
+    dyn = DynamicInstruction(sequence=7, instruction=insn, thread=1, context=3)
+    assert dyn.address == 0x500
+    assert not dyn.is_branch
+    assert dyn.thread == 1
+
+
+def test_taken_branch_requires_target():
+    with pytest.raises(ValueError):
+        DynamicBranch(sequence=0, instruction=relative_branch(), taken=True, target=None)
+
+
+def test_not_taken_branch_rejects_target():
+    with pytest.raises(ValueError):
+        DynamicBranch(
+            sequence=0, instruction=relative_branch(), taken=False, target=0x2000
+        )
+
+
+def test_non_branch_rejected():
+    insn = Instruction(address=0x500, length=2)
+    with pytest.raises(ValueError):
+        DynamicBranch(sequence=0, instruction=insn, taken=False, target=None)
+
+
+def test_next_address_taken():
+    branch = DynamicBranch(
+        sequence=0, instruction=relative_branch(), taken=True, target=0x2000
+    )
+    assert branch.next_address == 0x2000
+    assert branch.next_sequential == 0x1004
+
+
+def test_next_address_not_taken():
+    branch = DynamicBranch(
+        sequence=0, instruction=relative_branch(), taken=False, target=None
+    )
+    assert branch.next_address == 0x1004
+
+
+def test_kind_passthrough():
+    branch = DynamicBranch(
+        sequence=0, instruction=relative_branch(), taken=False, target=None
+    )
+    assert branch.kind is BranchKind.CONDITIONAL_RELATIVE
+
+
+def test_records_are_immutable():
+    branch = DynamicBranch(
+        sequence=0, instruction=relative_branch(), taken=False, target=None
+    )
+    with pytest.raises(AttributeError):
+        branch.taken = True

@@ -1,0 +1,107 @@
+"""Tests for the static instruction model."""
+
+import pytest
+
+from repro.isa.instructions import (
+    BranchKind,
+    Instruction,
+    static_guess_taken,
+    static_target_known,
+)
+
+
+def make_branch(kind, address=0x1000, length=4, target=0x2000):
+    if kind in (BranchKind.CONDITIONAL_INDIRECT, BranchKind.UNCONDITIONAL_INDIRECT):
+        target = None
+    return Instruction(address=address, length=length, kind=kind, static_target=target)
+
+
+class TestConstruction:
+    def test_plain_instruction(self):
+        insn = Instruction(address=0x100, length=2)
+        assert not insn.is_branch
+        assert insn.next_sequential == 0x102
+
+    @pytest.mark.parametrize("length", (2, 4, 6))
+    def test_valid_lengths(self, length):
+        Instruction(address=0, length=length)
+
+    @pytest.mark.parametrize("length", (0, 1, 3, 5, 8))
+    def test_invalid_lengths(self, length):
+        with pytest.raises(ValueError):
+            Instruction(address=0, length=length)
+
+    def test_misaligned_address_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(address=0x101, length=2)
+
+    def test_relative_branch_requires_target(self):
+        with pytest.raises(ValueError):
+            Instruction(address=0, length=4, kind=BranchKind.CONDITIONAL_RELATIVE)
+
+    def test_indirect_branch_rejects_static_target(self):
+        with pytest.raises(ValueError):
+            Instruction(
+                address=0,
+                length=4,
+                kind=BranchKind.UNCONDITIONAL_INDIRECT,
+                static_target=0x100,
+            )
+
+    def test_misaligned_target_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(
+                address=0,
+                length=4,
+                kind=BranchKind.UNCONDITIONAL_RELATIVE,
+                static_target=0x101,
+            )
+
+
+class TestProperties:
+    def test_conditionality(self):
+        assert make_branch(BranchKind.CONDITIONAL_RELATIVE).is_conditional
+        assert make_branch(BranchKind.CONDITIONAL_INDIRECT).is_conditional
+        assert make_branch(BranchKind.LOOP_RELATIVE).is_conditional
+        assert not make_branch(BranchKind.UNCONDITIONAL_RELATIVE).is_conditional
+        assert not make_branch(BranchKind.UNCONDITIONAL_INDIRECT).is_conditional
+
+    def test_indirection(self):
+        assert make_branch(BranchKind.CONDITIONAL_INDIRECT).is_indirect
+        assert make_branch(BranchKind.UNCONDITIONAL_INDIRECT).is_indirect
+        assert not make_branch(BranchKind.CONDITIONAL_RELATIVE).is_indirect
+
+    def test_next_sequential(self):
+        insn = make_branch(BranchKind.CONDITIONAL_RELATIVE, address=0x100, length=6)
+        assert insn.next_sequential == 0x106
+        assert insn.end_address == 0x106
+
+
+class TestStaticGuess:
+    def test_unconditional_guessed_taken(self):
+        assert static_guess_taken(make_branch(BranchKind.UNCONDITIONAL_RELATIVE))
+        assert static_guess_taken(make_branch(BranchKind.UNCONDITIONAL_INDIRECT))
+
+    def test_loop_guessed_taken(self):
+        assert static_guess_taken(make_branch(BranchKind.LOOP_RELATIVE))
+
+    def test_conditional_guessed_not_taken(self):
+        assert not static_guess_taken(make_branch(BranchKind.CONDITIONAL_RELATIVE))
+        assert not static_guess_taken(make_branch(BranchKind.CONDITIONAL_INDIRECT))
+
+    def test_non_branch_rejected(self):
+        with pytest.raises(ValueError):
+            static_guess_taken(Instruction(address=0, length=2))
+
+
+class TestStaticTargetKnown:
+    def test_relative_targets_front_end_computable(self):
+        assert static_target_known(make_branch(BranchKind.UNCONDITIONAL_RELATIVE))
+        assert static_target_known(make_branch(BranchKind.LOOP_RELATIVE))
+
+    def test_indirect_targets_unknown(self):
+        assert not static_target_known(make_branch(BranchKind.UNCONDITIONAL_INDIRECT))
+
+    def test_non_branch_rejected(self):
+        with pytest.raises(ValueError):
+            static_target_known(Instruction(address=0, length=2))

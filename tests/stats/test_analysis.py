@@ -1,0 +1,86 @@
+"""Tests for the per-branch misprediction profile."""
+
+import pytest
+
+from repro.core.gpq import PredictionRecord
+from repro.core.predictor import PredictionOutcome, SearchTrace
+from repro.core.providers import DirectionProvider, TargetProvider
+from repro.isa.instructions import BranchKind
+from repro.stats.analysis import MispredictProfile
+
+
+def outcome(address, mispredicted):
+    record = PredictionRecord(
+        sequence=0, address=address, context=0, thread=0,
+        kind=BranchKind.CONDITIONAL_RELATIVE, length=4, dynamic=True,
+        predicted_taken=True, predicted_target=0x2000,
+        direction_provider=DirectionProvider.BHT,
+        target_provider=TargetProvider.BTB1,
+    )
+    if mispredicted:
+        record.resolve(False, None)
+    else:
+        record.resolve(True, 0x2000)
+    return PredictionOutcome(record=record, trace=SearchTrace())
+
+
+def build_profile(spec):
+    """spec: {address: (executions, mispredicts)}"""
+    profile = MispredictProfile()
+    for address, (executions, mispredicts) in spec.items():
+        for index in range(executions):
+            profile.record(outcome(address, index < mispredicts))
+    return profile
+
+
+def test_counting():
+    profile = build_profile({0x100: (10, 3), 0x200: (5, 0)})
+    assert profile.total_branches == 15
+    assert profile.total_mispredicts == 3
+    assert profile.distinct_addresses == 2
+    assert profile.mispredicting_addresses == 1
+
+
+def test_top_ordering():
+    profile = build_profile({0x100: (10, 2), 0x200: (10, 7), 0x300: (10, 4)})
+    top = profile.top(2)
+    assert [hot.address for hot in top] == [0x200, 0x300]
+    assert top[0].mispredicts == 7
+    assert top[0].executions == 10
+    assert top[0].mispredict_rate == pytest.approx(0.7)
+
+
+def test_concentration():
+    # 10 addresses; one causes 90 of 99 mispredicts.
+    spec = {0x1000 + i * 4: (100, 1) for i in range(9)}
+    spec[0x2000] = (100, 90)
+    profile = build_profile(spec)
+    assert profile.concentration(0.1) == pytest.approx(90 / 99)
+    assert profile.concentration(1.0) == pytest.approx(1.0)
+
+
+def test_concentration_bounds():
+    profile = build_profile({0x100: (5, 1)})
+    with pytest.raises(ValueError):
+        profile.concentration(0.0)
+    with pytest.raises(ValueError):
+        profile.concentration(1.5)
+
+
+def test_concentration_empty():
+    assert MispredictProfile().concentration(0.5) == 0.0
+
+
+def test_concentration_monotone():
+    spec = {0x1000 + i * 4: (50, i) for i in range(10)}
+    profile = build_profile(spec)
+    curve = profile.concentration_curve((0.1, 0.25, 0.5, 1.0))
+    shares = [share for _, share in curve]
+    assert shares == sorted(shares)
+
+
+def test_report_renders():
+    profile = build_profile({0x100: (10, 3)})
+    text = profile.report("unit")
+    assert "concentration" in text
+    assert "0x00000100" in text

@@ -1,0 +1,137 @@
+"""Tests for statistics and mispredict classification."""
+
+import pytest
+
+from repro.core.gpq import PredictionRecord
+from repro.core.predictor import PredictionOutcome, SearchTrace
+from repro.core.providers import DirectionProvider, TargetProvider
+from repro.isa.instructions import BranchKind
+from repro.stats.metrics import (
+    MISPREDICT_CLASSES,
+    MispredictClass,
+    RunStats,
+    classify,
+)
+
+
+def outcome(dynamic=True, predicted_taken=True, predicted_target=0x2000,
+            actual_taken=True, actual_target=0x2000,
+            provider=DirectionProvider.BHT, kind=BranchKind.CONDITIONAL_RELATIVE,
+            trace=None):
+    record = PredictionRecord(
+        sequence=0, address=0x1000, context=0, thread=0, kind=kind, length=4,
+        dynamic=dynamic, predicted_taken=predicted_taken,
+        predicted_target=predicted_target if predicted_taken else None,
+        direction_provider=provider,
+        target_provider=TargetProvider.BTB1 if predicted_taken else TargetProvider.NONE,
+    )
+    record.resolve(actual_taken, actual_target if actual_taken else None)
+    return PredictionOutcome(record=record, trace=trace or SearchTrace())
+
+
+class TestClassification:
+    def test_correct_dynamic(self):
+        assert classify(outcome()) is MispredictClass.NONE
+
+    def test_direction_wrong(self):
+        assert classify(outcome(actual_taken=False)) is \
+            MispredictClass.DIRECTION_WRONG
+
+    def test_target_wrong(self):
+        assert classify(outcome(actual_target=0x3000)) is \
+            MispredictClass.TARGET_WRONG
+
+    def test_surprise_taken(self):
+        result = classify(outcome(dynamic=False, predicted_taken=False,
+                                  actual_taken=True))
+        assert result is MispredictClass.SURPRISE_TAKEN
+
+    def test_surprise_correct_not_taken(self):
+        result = classify(outcome(dynamic=False, predicted_taken=False,
+                                  actual_taken=False))
+        assert result is MispredictClass.NONE
+
+    def test_surprise_guessed_taken_relative(self):
+        result = classify(outcome(dynamic=False, predicted_taken=True,
+                                  predicted_target=0x2000, actual_taken=True,
+                                  provider=DirectionProvider.STATIC))
+        assert result is MispredictClass.SURPRISE_GUESSED_TAKEN_RELATIVE
+
+    def test_surprise_guessed_taken_indirect(self):
+        record = PredictionRecord(
+            sequence=0, address=0x1000, context=0, thread=0,
+            kind=BranchKind.UNCONDITIONAL_INDIRECT, length=4, dynamic=False,
+            predicted_taken=True, predicted_target=None,
+            direction_provider=DirectionProvider.STATIC,
+            target_provider=TargetProvider.NONE,
+        )
+        record.resolve(True, 0x2000)
+        result = classify(PredictionOutcome(record=record, trace=SearchTrace()))
+        assert result is MispredictClass.SURPRISE_GUESSED_TAKEN_INDIRECT
+
+    def test_surprise_guess_wrong(self):
+        result = classify(outcome(dynamic=False, predicted_taken=True,
+                                  actual_taken=False))
+        assert result is MispredictClass.SURPRISE_GUESS_WRONG
+
+    def test_mpki_membership(self):
+        assert MispredictClass.DIRECTION_WRONG in MISPREDICT_CLASSES
+        assert MispredictClass.SURPRISE_GUESSED_TAKEN_RELATIVE not in \
+            MISPREDICT_CLASSES
+        assert MispredictClass.NONE not in MISPREDICT_CLASSES
+
+
+class TestRunStats:
+    def test_mpki_computation(self):
+        stats = RunStats()
+        stats.record(outcome(actual_taken=False))  # direction wrong
+        stats.record(outcome())
+        stats.instructions = 1000
+        assert stats.mpki == pytest.approx(1.0)
+        assert stats.branch_mpki == pytest.approx(500.0)
+
+    def test_zero_division_guards(self):
+        stats = RunStats()
+        assert stats.mpki == 0.0
+        assert stats.direction_accuracy == 0.0
+        assert stats.dynamic_coverage == 0.0
+
+    def test_provider_breakdown(self):
+        stats = RunStats()
+        stats.record(outcome(provider=DirectionProvider.PHT_LONG))
+        stats.record(outcome(provider=DirectionProvider.PHT_LONG,
+                             actual_taken=False))
+        stats.record(outcome(provider=DirectionProvider.BHT))
+        assert stats.provider_share(DirectionProvider.PHT_LONG) == \
+            pytest.approx(2 / 3)
+        assert stats.provider_accuracy(DirectionProvider.PHT_LONG) == \
+            pytest.approx(0.5)
+        assert stats.provider_accuracy(DirectionProvider.PERCEPTRON) is None
+
+    def test_target_provider_tracking(self):
+        stats = RunStats()
+        stats.record(outcome())  # BTB1 target, correct
+        stats.record(outcome(actual_target=0x3000))  # BTB1 target, wrong
+        assert stats.target_provider_accuracy(TargetProvider.BTB1) == \
+            pytest.approx(0.5)
+
+    def test_trace_aggregation(self):
+        trace = SearchTrace(lines_searched=4, empty_searches=2,
+                            lines_skipped_by_skoot=3, btb2_triggers=1,
+                            bad_predictions_removed=1, skoot_overshoot=True,
+                            cpred_accelerated=True)
+        stats = RunStats()
+        stats.record(outcome(trace=trace))
+        assert stats.lines_searched == 4
+        assert stats.empty_searches == 2
+        assert stats.lines_skipped_by_skoot == 3
+        assert stats.btb2_triggers == 1
+        assert stats.skoot_overshoots == 1
+        assert stats.cpred_accelerated_streams == 1
+
+    def test_dynamic_coverage(self):
+        stats = RunStats()
+        stats.record(outcome(dynamic=True))
+        stats.record(outcome(dynamic=False, predicted_taken=False,
+                             actual_taken=False))
+        assert stats.dynamic_coverage == pytest.approx(0.5)

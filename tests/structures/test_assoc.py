@@ -1,0 +1,147 @@
+"""Tests for the generic set-associative table."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.structures.assoc import SetAssociativeTable
+
+
+def tag_match(tag):
+    return lambda entry: entry["tag"] == tag
+
+
+def make_entry(tag, payload=None):
+    return {"tag": tag, "payload": payload}
+
+
+class TestBasics:
+    def test_capacity(self):
+        table = SetAssociativeTable(rows=4, ways=2)
+        assert table.capacity == 8
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SetAssociativeTable(rows=0, ways=2)
+        with pytest.raises(ValueError):
+            SetAssociativeTable(rows=2, ways=0)
+        with pytest.raises(ValueError):
+            SetAssociativeTable(rows=2, ways=2, policy="bogus")
+
+    def test_empty_lookup(self):
+        table = SetAssociativeTable(rows=4, ways=2)
+        assert table.find(0, tag_match(1)) is None
+        assert table.find_all(0, tag_match(1)) == []
+        assert table.occupancy() == 0
+
+    def test_install_and_find(self):
+        table = SetAssociativeTable(rows=4, ways=2)
+        way, evicted = table.install(1, make_entry(0xA))
+        assert evicted is None
+        found = table.find(1, tag_match(0xA))
+        assert found is not None
+        assert found[0] == way
+
+    def test_row_bounds_checked(self):
+        table = SetAssociativeTable(rows=4, ways=2)
+        with pytest.raises(ValueError):
+            table.find(4, tag_match(1))
+        with pytest.raises(ValueError):
+            table.read(0, 2)
+
+
+class TestInstallSemantics:
+    def test_install_fills_empty_ways_before_evicting(self):
+        table = SetAssociativeTable(rows=2, ways=4)
+        evictions = [table.install(0, make_entry(tag))[1] for tag in range(4)]
+        assert evictions == [None] * 4
+        assert table.occupancy() == 4
+
+    def test_install_evicts_lru_when_full(self):
+        table = SetAssociativeTable(rows=1, ways=2)
+        table.install(0, make_entry(1))
+        table.install(0, make_entry(2))
+        way, evicted = table.install(0, make_entry(3))
+        assert evicted == make_entry(1)
+        assert table.find(0, tag_match(1)) is None
+        assert table.find(0, tag_match(2)) is not None
+        assert table.find(0, tag_match(3)) is not None
+
+    def test_install_with_match_updates_in_place(self):
+        table = SetAssociativeTable(rows=1, ways=2)
+        table.install(0, make_entry(1, "old"))
+        table.install(0, make_entry(2))
+        way, displaced = table.install(0, make_entry(1, "new"), match=tag_match(1))
+        assert displaced == make_entry(1, "old")
+        assert table.occupancy() == 2
+        assert table.find(0, tag_match(1))[1]["payload"] == "new"
+
+    def test_touch_protects_from_eviction(self):
+        table = SetAssociativeTable(rows=1, ways=2)
+        way_a, _ = table.install(0, make_entry("a"))
+        table.install(0, make_entry("b"))
+        table.touch(0, way_a)  # make "a" most recent; "b" is now LRU
+        _, evicted = table.install(0, make_entry("c"))
+        assert evicted == make_entry("b")
+
+
+class TestFindAll:
+    def test_multiple_matches_in_one_row(self):
+        table = SetAssociativeTable(rows=1, ways=8)
+        for offset in range(5):
+            table.install(0, {"tag": 7, "offset": offset})
+        matches = table.find_all(0, lambda entry: entry["tag"] == 7)
+        assert len(matches) == 5
+        offsets = sorted(entry["offset"] for _, entry in matches)
+        assert offsets == list(range(5))
+
+
+class TestInvalidation:
+    def test_invalidate_single(self):
+        table = SetAssociativeTable(rows=2, ways=2)
+        way, _ = table.install(0, make_entry(1))
+        removed = table.invalidate(0, way)
+        assert removed == make_entry(1)
+        assert table.occupancy() == 0
+        assert table.invalidate(0, way) is None
+
+    def test_invalidate_where(self):
+        table = SetAssociativeTable(rows=2, ways=2)
+        table.install(0, make_entry(1))
+        table.install(0, make_entry(2))
+        table.install(1, make_entry(1))
+        removed = table.invalidate_where(lambda entry: entry["tag"] == 1)
+        assert removed == 2
+        assert table.occupancy() == 1
+
+    def test_clear(self):
+        table = SetAssociativeTable(rows=2, ways=2)
+        table.install(0, make_entry(1))
+        table.clear()
+        assert table.occupancy() == 0
+
+
+class TestIteration:
+    def test_iterates_valid_entries(self):
+        table = SetAssociativeTable(rows=3, ways=2)
+        table.install(0, make_entry("x"))
+        table.install(2, make_entry("y"))
+        contents = {(row, entry["tag"]) for row, _, entry in table}
+        assert contents == {(0, "x"), (2, "y")}
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=7), st.integers(0, 30)),
+        max_size=80,
+    )
+)
+def test_occupancy_never_exceeds_capacity(installs):
+    table = SetAssociativeTable(rows=8, ways=4)
+    for row, tag in installs:
+        table.install(row, make_entry(tag), match=tag_match(tag))
+    assert table.occupancy() <= table.capacity
+    # install-with-match keeps tags unique per row
+    for row in range(8):
+        tags = [e["tag"] for e in table.row_entries(row) if e is not None]
+        assert len(tags) == len(set(tags))

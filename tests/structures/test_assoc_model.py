@@ -1,0 +1,91 @@
+"""Model-based testing of the set-associative table.
+
+A dict-backed reference model executes the same random operation
+sequence as the real table; contents must agree after every step (the
+same spirit as the paper's hardware-signal-driven reference models,
+applied to our own building block).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.structures.assoc import SetAssociativeTable
+
+ROWS = 4
+WAYS = 2
+
+
+class AssocTableMachine(RuleBasedStateMachine):
+    """Random install/touch/invalidate sequences against a mirror."""
+
+    def __init__(self):
+        super().__init__()
+        self.table = SetAssociativeTable(rows=ROWS, ways=WAYS, policy="lru")
+        # Mirror: (row, way) -> entry
+        self.mirror = {}
+
+    # -- operations -----------------------------------------------------
+
+    @rule(row=st.integers(0, ROWS - 1), tag=st.integers(0, 6),
+          payload=st.integers(0, 100))
+    def install_with_match(self, row, tag, payload):
+        entry = {"tag": tag, "payload": payload}
+        way, displaced = self.table.install(
+            row, entry, match=lambda e: e["tag"] == tag
+        )
+        self.mirror[(row, way)] = entry
+
+    @rule(row=st.integers(0, ROWS - 1), tag=st.integers(0, 6))
+    def install_plain(self, row, tag):
+        entry = {"tag": tag, "payload": None}
+        way, _ = self.table.install(row, entry)
+        self.mirror[(row, way)] = entry
+
+    @rule(row=st.integers(0, ROWS - 1), way=st.integers(0, WAYS - 1))
+    def invalidate(self, row, way):
+        removed = self.table.invalidate(row, way)
+        mirrored = self.mirror.pop((row, way), None)
+        assert removed == mirrored
+
+    @rule(row=st.integers(0, ROWS - 1), way=st.integers(0, WAYS - 1))
+    def touch_valid(self, row, way):
+        if self.table.read(row, way) is not None:
+            self.table.touch(row, way)
+
+    @rule(row=st.integers(0, ROWS - 1), tag=st.integers(0, 6))
+    def find_agrees(self, row, tag):
+        found = self.table.find(row, lambda e: e["tag"] == tag)
+        mirror_hits = [
+            (way, entry)
+            for (mrow, way), entry in self.mirror.items()
+            if mrow == row and entry["tag"] == tag
+        ]
+        if found is None:
+            assert not mirror_hits
+        else:
+            way, entry = found
+            assert self.mirror.get((row, way)) == entry
+
+    # -- invariants -------------------------------------------------------
+
+    @invariant()
+    def contents_match(self):
+        actual = {
+            (row, way): entry for row, way, entry in self.table
+        }
+        assert actual == self.mirror
+
+    @invariant()
+    def occupancy_matches(self):
+        assert self.table.occupancy() == len(self.mirror)
+
+
+TestAssocTableModel = AssocTableMachine.TestCase
+TestAssocTableModel.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,74 @@
+"""Tests for replacement policies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.structures.lru import PseudoLruTree, TrueLru
+
+
+class TestTrueLru:
+    def test_initial_victim_is_way_zero(self):
+        assert TrueLru(4).victim() == 0
+
+    def test_touch_moves_to_back(self):
+        lru = TrueLru(4)
+        lru.touch(0)
+        assert lru.victim() == 1
+
+    def test_full_ordering(self):
+        lru = TrueLru(4)
+        for way in (2, 0, 3, 1):
+            lru.touch(way)
+        assert lru.recency_order() == [2, 0, 3, 1]
+        assert lru.victim() == 2
+
+    def test_touch_out_of_range(self):
+        with pytest.raises(ValueError):
+            TrueLru(4).touch(4)
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=40))
+    def test_victim_is_never_most_recent(self, touches):
+        lru = TrueLru(8)
+        for way in touches:
+            lru.touch(way)
+        assert lru.victim() != touches[-1]
+
+
+class TestPseudoLruTree:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            PseudoLruTree(6)
+
+    def test_two_way_behaves_like_lru(self):
+        plru = PseudoLruTree(2)
+        plru.touch(0)
+        assert plru.victim() == 1
+        plru.touch(1)
+        assert plru.victim() == 0
+
+    def test_recent_touch_is_protected(self):
+        plru = PseudoLruTree(8)
+        for way in range(8):
+            plru.touch(way)
+        # Most recently touched way is never the victim.
+        assert plru.victim() != 7
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=60))
+    def test_victim_never_most_recent(self, touches):
+        plru = PseudoLruTree(8)
+        for way in touches:
+            plru.touch(way)
+        assert plru.victim() != touches[-1]
+
+    @given(st.integers(min_value=1, max_value=4))
+    def test_round_robin_touch_cycles_victims(self, log_ways):
+        ways = 2**log_ways
+        plru = PseudoLruTree(ways)
+        seen = set()
+        for _ in range(ways):
+            victim = plru.victim()
+            seen.add(victim)
+            plru.touch(victim)
+        # Touching each victim in turn must visit every way exactly once.
+        assert seen == set(range(ways))

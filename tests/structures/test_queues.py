@@ -1,0 +1,105 @@
+"""Tests for bounded queues."""
+
+import pytest
+
+from repro.structures.queues import BoundedQueue, QueueFullError
+
+
+def test_fifo_order():
+    queue = BoundedQueue(4)
+    for item in "abc":
+        queue.push(item)
+    assert [queue.pop() for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_capacity_enforced():
+    queue = BoundedQueue(2, name="staging")
+    queue.push(1)
+    queue.push(2)
+    with pytest.raises(QueueFullError):
+        queue.push(3)
+    assert queue.rejects == 1
+
+
+def test_try_push_reports_room():
+    queue = BoundedQueue(1)
+    assert queue.try_push("x")
+    assert not queue.try_push("y")
+    assert queue.rejects == 1
+    assert len(queue) == 1
+
+
+def test_try_pop():
+    queue = BoundedQueue(2)
+    assert queue.try_pop() is None
+    queue.push("a")
+    assert queue.try_pop() == "a"
+
+
+def test_pop_empty_raises():
+    with pytest.raises(IndexError):
+        BoundedQueue(1).pop()
+
+
+def test_peek_does_not_remove():
+    queue = BoundedQueue(2)
+    queue.push("a")
+    assert queue.peek() == "a"
+    assert len(queue) == 1
+    assert BoundedQueue(1).peek() is None
+
+
+def test_drain_returns_all_in_order():
+    queue = BoundedQueue(4)
+    for item in range(3):
+        queue.push(item)
+    assert queue.drain() == [0, 1, 2]
+    assert queue.empty
+    assert queue.pops == 3
+
+
+def test_clear_is_a_flush_not_a_pop():
+    queue = BoundedQueue(4)
+    queue.push(1)
+    queue.clear()
+    assert queue.empty
+    assert queue.pops == 0
+
+
+def test_high_watermark():
+    queue = BoundedQueue(4)
+    queue.push(1)
+    queue.push(2)
+    queue.pop()
+    queue.push(3)
+    assert queue.high_watermark == 2
+
+
+def test_stats_counting():
+    queue = BoundedQueue(4)
+    queue.push(1)
+    queue.push(2)
+    queue.pop()
+    assert queue.pushes == 2
+    assert queue.pops == 1
+
+
+def test_bool_and_full_empty():
+    queue = BoundedQueue(1)
+    assert not queue
+    assert queue.empty
+    queue.push(1)
+    assert queue
+    assert queue.full
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        BoundedQueue(0)
+
+
+def test_iteration_preserves_order():
+    queue = BoundedQueue(4)
+    for item in range(3):
+        queue.push(item)
+    assert list(queue) == [0, 1, 2]

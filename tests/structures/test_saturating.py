@@ -1,0 +1,105 @@
+"""Tests for saturating counters."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.structures.saturating import SaturatingCounter, TwoBitDirectionCounter
+
+
+class TestSaturatingCounter:
+    def test_bounds(self):
+        counter = SaturatingCounter(bits=2)
+        assert counter.maximum == 3
+        counter.decrement()
+        assert counter.value == 0
+        for _ in range(10):
+            counter.increment()
+        assert counter.value == 3
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=2, value=4)
+
+    def test_saturation_flags(self):
+        counter = SaturatingCounter(bits=3, value=0)
+        assert counter.is_saturated_low()
+        counter.increment(7)
+        assert counter.is_saturated_high()
+
+    @given(st.integers(min_value=1, max_value=8), st.lists(st.booleans(), max_size=50))
+    def test_always_in_range(self, bits, moves):
+        counter = SaturatingCounter(bits=bits)
+        for up in moves:
+            if up:
+                counter.increment()
+            else:
+                counter.decrement()
+            assert 0 <= counter.value <= counter.maximum
+
+
+class TestTwoBitDirectionCounter:
+    def test_state_names(self):
+        assert TwoBitDirectionCounter(0).taken is False
+        assert TwoBitDirectionCounter(1).taken is False
+        assert TwoBitDirectionCounter(2).taken is True
+        assert TwoBitDirectionCounter(3).taken is True
+
+    def test_strength(self):
+        assert TwoBitDirectionCounter(0).strong
+        assert TwoBitDirectionCounter(1).weak
+        assert TwoBitDirectionCounter(2).weak
+        assert TwoBitDirectionCounter(3).strong
+
+    def test_for_direction(self):
+        assert TwoBitDirectionCounter.for_direction(True).value == 2
+        assert TwoBitDirectionCounter.for_direction(True, strong=True).value == 3
+        assert TwoBitDirectionCounter.for_direction(False).value == 1
+        assert TwoBitDirectionCounter.for_direction(False, strong=True).value == 0
+
+    def test_update_walks_states(self):
+        counter = TwoBitDirectionCounter(TwoBitDirectionCounter.WEAK_NOT_TAKEN)
+        counter.update(taken=True)
+        assert counter.value == TwoBitDirectionCounter.WEAK_TAKEN
+        counter.update(taken=True)
+        assert counter.value == TwoBitDirectionCounter.STRONG_TAKEN
+        counter.update(taken=True)
+        assert counter.value == TwoBitDirectionCounter.STRONG_TAKEN
+        counter.update(taken=False)
+        assert counter.value == TwoBitDirectionCounter.WEAK_TAKEN
+
+    def test_strong_state_survives_one_contrary_outcome(self):
+        counter = TwoBitDirectionCounter(TwoBitDirectionCounter.STRONG_TAKEN)
+        counter.update(taken=False)
+        assert counter.taken  # still predicts taken (weak)
+
+    def test_strengthen(self):
+        counter = TwoBitDirectionCounter(TwoBitDirectionCounter.WEAK_TAKEN)
+        counter.strengthen()
+        assert counter.value == TwoBitDirectionCounter.STRONG_TAKEN
+        counter = TwoBitDirectionCounter(TwoBitDirectionCounter.WEAK_NOT_TAKEN)
+        counter.strengthen()
+        assert counter.value == TwoBitDirectionCounter.STRONG_NOT_TAKEN
+
+    def test_copy_is_independent(self):
+        original = TwoBitDirectionCounter(2)
+        clone = original.copy()
+        clone.update(taken=True)
+        assert original.value == 2
+        assert clone.value == 3
+
+    def test_equality(self):
+        assert TwoBitDirectionCounter(2) == TwoBitDirectionCounter(2)
+        assert TwoBitDirectionCounter(2) != TwoBitDirectionCounter(3)
+
+    @given(st.lists(st.booleans(), min_size=2, max_size=2))
+    def test_two_same_outcomes_align_prediction(self, outcomes):
+        # After two identical outcomes from any state, prediction matches.
+        if outcomes[0] == outcomes[1]:
+            for start in range(4):
+                counter = TwoBitDirectionCounter(start)
+                counter.update(outcomes[0])
+                counter.update(outcomes[1])
+                assert counter.taken == outcomes[0]

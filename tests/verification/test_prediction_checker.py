@@ -1,0 +1,146 @@
+"""Tests for the figure-8/figure-9 prediction-rule checker."""
+
+import pytest
+
+from repro.configs import z15_config
+from repro.core import LookaheadBranchPredictor
+from repro.core.gpq import PredictionRecord
+from repro.core.predictor import PredictionOutcome, SearchTrace
+from repro.core.providers import DirectionProvider, TargetProvider
+from repro.isa.instructions import BranchKind
+from repro.verification import PredictionRuleChecker
+from repro.workloads import get_workload
+from repro.workloads.executor import Executor
+
+
+def make_outcome(**overrides):
+    defaults = dict(
+        sequence=0,
+        address=0x1000,
+        context=0,
+        thread=0,
+        kind=BranchKind.CONDITIONAL_RELATIVE,
+        length=4,
+        dynamic=True,
+        predicted_taken=True,
+        predicted_target=0x2000,
+        direction_provider=DirectionProvider.BHT,
+        target_provider=TargetProvider.BTB1,
+    )
+    defaults.update(overrides)
+    record = PredictionRecord(**defaults)
+    record.resolve(record.predicted_taken, record.predicted_target)
+    return PredictionOutcome(record=record, trace=SearchTrace())
+
+
+class TestCleanPredictions:
+    def test_plain_dynamic(self):
+        checker = PredictionRuleChecker()
+        checker.check(make_outcome())
+        assert not checker.failures
+
+    def test_full_workload_sweep_clean(self):
+        """The real predictor never violates the selection rules."""
+        checker = PredictionRuleChecker()
+        for name in ("patterned", "services", "dispatch", "transactions"):
+            predictor = LookaheadBranchPredictor(z15_config())
+            program = get_workload(name)
+            predictor.restart(program.entry_point)
+            for branch in Executor(program).run(max_branches=2000):
+                checker.check(predictor.predict_and_resolve(branch))
+            predictor.finalize()
+        assert not checker.failures
+        checker.assert_clean()
+
+
+class TestViolationsDetected:
+    def _violations(self, **overrides):
+        checker = PredictionRuleChecker()
+        checker.check(make_outcome(**overrides))
+        return checker.failures
+
+    def test_dynamic_with_static_provider(self):
+        assert self._violations(direction_provider=DirectionProvider.STATIC)
+
+    def test_unconditional_not_taken(self):
+        assert self._violations(
+            direction_provider=DirectionProvider.UNCONDITIONAL,
+            predicted_taken=False, predicted_target=None,
+            target_provider=TargetProvider.NONE,
+        )
+
+    def test_aux_without_bidirectional(self):
+        assert self._violations(
+            direction_provider=DirectionProvider.PHT_LONG,
+            bidirectional_at_prediction=False,
+        )
+
+    def test_aux_with_bidirectional_is_clean(self):
+        checker = PredictionRuleChecker()
+        checker.check(make_outcome(
+            direction_provider=DirectionProvider.PHT_LONG,
+            bidirectional_at_prediction=True,
+        ))
+        assert not checker.failures
+
+    def test_taken_without_target(self):
+        assert self._violations(predicted_target=None,
+                                target_provider=TargetProvider.NONE)
+
+    def test_ctb_without_multi_target(self):
+        assert self._violations(
+            target_provider=TargetProvider.CTB,
+            multi_target_at_prediction=False,
+        )
+
+    def test_crs_without_return_marking(self):
+        assert self._violations(
+            target_provider=TargetProvider.CRS,
+            multi_target_at_prediction=True,
+            marked_return_at_prediction=False,
+        )
+
+    def test_crs_on_blacklisted_branch(self):
+        assert self._violations(
+            target_provider=TargetProvider.CRS,
+            multi_target_at_prediction=True,
+            marked_return_at_prediction=True,
+            blacklisted_at_prediction=True,
+        )
+
+    def test_surprise_with_dynamic_provider(self):
+        assert self._violations(
+            dynamic=False,
+            direction_provider=DirectionProvider.BHT,
+            predicted_taken=False,
+            predicted_target=None,
+            target_provider=TargetProvider.NONE,
+        )
+
+    def test_unconditional_surprise_guessed_not_taken(self):
+        assert self._violations(
+            dynamic=False,
+            kind=BranchKind.UNCONDITIONAL_RELATIVE,
+            direction_provider=DirectionProvider.STATIC,
+            predicted_taken=False,
+            predicted_target=None,
+            target_provider=TargetProvider.NONE,
+        )
+
+    def test_assert_clean_raises(self):
+        checker = PredictionRuleChecker()
+        checker.check(make_outcome(
+            direction_provider=DirectionProvider.STATIC))
+        with pytest.raises(AssertionError):
+            checker.assert_clean()
+
+
+class TestEnvironmentIntegration:
+    def test_environment_runs_rule_checker(self):
+        from repro.verification import StimulusConstraints, VerificationEnvironment
+
+        dut = LookaheadBranchPredictor(z15_config())
+        env = VerificationEnvironment(dut, StimulusConstraints(seed=31))
+        report = env.run(branches=1000)
+        assert env.rule_checker.checked == 1000
+        assert report.clean, report.summary()

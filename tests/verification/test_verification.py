@@ -1,0 +1,206 @@
+"""Tests for the white-box verification environment."""
+
+import pytest
+
+from repro.common.errors import VerificationError
+from repro.configs import z15_config
+from repro.configs.predictor import Btb1Config, PredictorConfig
+from repro.core import LookaheadBranchPredictor
+from repro.core.entries import BtbEntry
+from repro.isa.instructions import BranchKind
+from repro.structures.saturating import TwoBitDirectionCounter
+from repro.verification import (
+    BtbInterfaceMonitor,
+    StimulusConstraints,
+    VerificationEnvironment,
+    preload_from_branches,
+    preload_random,
+)
+from repro.workloads.executor import Executor
+from repro.workloads.generators import loop_nest_program
+
+
+def small_dut():
+    return LookaheadBranchPredictor(
+        PredictorConfig(btb1=Btb1Config(rows=64, ways=4, policy="lru"),
+                        name="dut").validate()
+    )
+
+
+def entry_for(target=0x9000):
+    return BtbEntry(tag=0, offset=0, length=4,
+                    kind=BranchKind.CONDITIONAL_RELATIVE, target=target,
+                    bht=TwoBitDirectionCounter(2))
+
+
+class TestMonitorTracking:
+    def test_mirror_follows_installs(self):
+        dut = small_dut()
+        monitor = BtbInterfaceMonitor(dut.btb1)
+        dut.btb1.install(0x1000, 0, entry_for())
+        dut.btb1.install(0x2000, 0, entry_for())
+        assert monitor.mirror.occupancy() == 2
+        assert monitor.install_transactions == 2
+
+    def test_mirror_follows_removals(self):
+        dut = small_dut()
+        monitor = BtbInterfaceMonitor(dut.btb1)
+        dut.btb1.install(0x1000, 0, entry_for())
+        hit = dut.btb1.lookup(0x1000, 0)
+        dut.btb1.remove(hit)
+        assert monitor.mirror.occupancy() == 0
+
+    def test_clean_traffic_produces_no_failures(self):
+        dut = small_dut()
+        monitor = BtbInterfaceMonitor(dut.btb1)
+        for index in range(50):
+            dut.btb1.install(0x1000 + index * 8, 0, entry_for())
+            dut.btb1.search_line(0x1000 + index * 8, 0)
+        monitor.checkpoint()
+        assert not monitor.failures
+        monitor.assert_clean()
+
+    def test_detach_stops_tracking(self):
+        dut = small_dut()
+        monitor = BtbInterfaceMonitor(dut.btb1)
+        monitor.detach()
+        dut.btb1.install(0x1000, 0, entry_for())
+        assert monitor.install_transactions == 0
+
+
+class TestFaultDetection:
+    """Inject real defects and prove the checkers catch them — the point
+    of white-box verification."""
+
+    def test_checkpoint_catches_silent_corruption(self):
+        dut = small_dut()
+        monitor = BtbInterfaceMonitor(dut.btb1)
+        result = dut.btb1.install(0x1000, 0, entry_for())
+        # Corrupt the array behind the monitor's back (a "hardware bug").
+        dut.btb1._table.invalidate(result.row, result.way)
+        monitor.checkpoint()
+        assert monitor.failures
+        with pytest.raises(VerificationError):
+            monitor.assert_clean()
+
+    def test_read_side_catches_phantom_hits(self):
+        dut = small_dut()
+        monitor = BtbInterfaceMonitor(dut.btb1)
+        result = dut.btb1.install(0x1000, 0, entry_for())
+        # Corrupt the stored tag so searches report a mismatching hit.
+        entry = dut.btb1.entry_at(result.row, result.way)
+        entry.offset = 62  # silently moved
+        dut.btb1.search_line(0x1000, 0)
+        assert any(f.checker == "read-side" for f in monitor.failures)
+
+    def test_write_side_catches_duplicates(self):
+        dut = small_dut()
+        monitor = BtbInterfaceMonitor(dut.btb1)
+        dut.btb1.install(0x1000, 0, entry_for())
+        # Bypass the dedup port to force a duplicate (defect injection).
+        dup = entry_for()
+        dup.tag = dut.btb1.tag_of(0x1000, 0)
+        dup.offset = 0
+        dup.line_base = 0x1000
+        row = dut.btb1.row_of(0x1000)
+        dut.btb1._table.write(row, 3, dup)
+        # The next legitimate install attempt on that address must be
+        # flagged: the mirror sees one copy, the hardware has two.
+        monitor.checkpoint()
+        assert monitor.failures
+
+    def test_checkers_can_be_disabled(self):
+        dut = small_dut()
+        monitor = BtbInterfaceMonitor(dut.btb1, enabled_checkers=set())
+        result = dut.btb1.install(0x1000, 0, entry_for())
+        entry = dut.btb1.entry_at(result.row, result.way)
+        entry.offset = 62
+        dut.btb1.search_line(0x1000, 0)
+        assert not monitor.failures
+
+
+class TestPreload:
+    def test_random_preload_populates(self):
+        dut = small_dut()
+        addresses = preload_random(dut, 50, seed=3, prime_btb2=False)
+        assert len(addresses) >= 40
+        # Row-conflict evictions are possible but rare at this density.
+        assert dut.btb1.occupancy >= len(addresses) - 3
+        present = sum(
+            1 for address in addresses if dut.btb1.lookup(address, 0)
+        )
+        assert present >= len(addresses) - 3
+
+    def test_preload_from_branch_stream(self):
+        dut = LookaheadBranchPredictor(z15_config())
+        program = loop_nest_program(depths=(5, 3))
+        branches = list(Executor(program).run(max_branches=100))
+        installed = preload_from_branches(dut, branches)
+        assert installed >= 1
+        # The preloaded branch predicts dynamically on first encounter.
+        dut.restart(program.entry_point)
+        outcome = dut.predict_and_resolve(branches[0])
+        assert outcome.dynamic
+
+
+class TestEnvironment:
+    def test_clean_run_on_healthy_dut(self):
+        dut = LookaheadBranchPredictor(z15_config())
+        env = VerificationEnvironment(
+            dut, StimulusConstraints(seed=11), checkpoint_interval=200
+        )
+        report = env.run(branches=1500, preload_entries=100)
+        assert report.clean, report.summary()
+        assert report.branches_driven == 1500
+        assert report.checkpoints >= 7
+        assert report.search_transactions > 0
+
+    def test_summary_renders(self):
+        dut = LookaheadBranchPredictor(z15_config())
+        env = VerificationEnvironment(dut, StimulusConstraints(seed=5))
+        report = env.run(branches=200)
+        assert "verification run" in report.summary()
+
+    def test_constraints_validation(self):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            StimulusConstraints(locality=1.5).validate()
+
+    def test_environment_catches_injected_dut_bug(self):
+        """Break the DUT's dedup port and let random stimulus find it."""
+        dut = LookaheadBranchPredictor(z15_config())
+        original_install = dut.btb1.install
+
+        def broken_install(address, context, entry):
+            # Defect: skip the read-before-write duplicate check by
+            # writing straight into the array every 7th call.
+            broken_install.calls += 1
+            if broken_install.calls % 7 == 0:
+                base = address - address % 64
+                entry.tag = dut.btb1.tag_of(base, context)
+                entry.offset = address - base
+                entry.line_base = base
+                row = dut.btb1.row_of(base)
+                way = dut.btb1._table.victim_way(row)
+                dut.btb1._table.write(row, way, entry)
+                from repro.core.btb1 import InstallResult
+
+                result = InstallResult(installed=True, duplicate=False,
+                                       row=row, way=way)
+                if dut.btb1.on_install is not None:
+                    dut.btb1.on_install(address=address, context=context,
+                                        entry=entry, result=result)
+                return result
+            return original_install(address, context, entry)
+
+        broken_install.calls = 0
+        dut.btb1.install = broken_install
+        env = VerificationEnvironment(
+            dut,
+            StimulusConstraints(seed=21, revisit_rate=0.9,
+                                address_span=0x2000),
+            checkpoint_interval=100,
+        )
+        report = env.run(branches=2000)
+        assert not report.clean

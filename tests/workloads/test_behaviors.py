@@ -1,0 +1,158 @@
+"""Tests for branch behaviours."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.rng import DeterministicRng
+from repro.isa.instructions import BranchKind, Instruction
+from repro.workloads.behaviors import (
+    AlwaysTaken,
+    BiasedRandom,
+    Call,
+    Correlated,
+    ExecutionContext,
+    IndirectCycle,
+    IndirectRandom,
+    Loop,
+    NeverTaken,
+    Pattern,
+    Return,
+)
+
+
+def relative(address=0x1000, target=0x2000):
+    return Instruction(
+        address=address, length=4, kind=BranchKind.CONDITIONAL_RELATIVE,
+        static_target=target,
+    )
+
+
+def indirect(address=0x1000):
+    return Instruction(
+        address=address, length=4, kind=BranchKind.UNCONDITIONAL_INDIRECT
+    )
+
+
+def context():
+    return ExecutionContext(DeterministicRng(3))
+
+
+class TestSimpleBehaviors:
+    def test_always_taken(self):
+        taken, target = AlwaysTaken().resolve(relative(), context())
+        assert taken and target == 0x2000
+
+    def test_never_taken(self):
+        taken, target = NeverTaken().resolve(relative(), context())
+        assert not taken and target is None
+
+    def test_loop_trip_count(self):
+        loop = Loop(trip_count=4)
+        ctx = context()
+        outcomes = [loop.resolve(relative(), ctx)[0] for _ in range(8)]
+        assert outcomes == [True, True, True, False] * 2
+
+    def test_loop_invalid(self):
+        with pytest.raises(ValueError):
+            Loop(0)
+
+    def test_pattern_cycles(self):
+        pattern = Pattern([True, False, False])
+        ctx = context()
+        outcomes = [pattern.resolve(relative(), ctx)[0] for _ in range(6)]
+        assert outcomes == [True, False, False, True, False, False]
+
+    def test_biased_random_rate(self):
+        behavior = BiasedRandom(0.25)
+        ctx = context()
+        outcomes = [behavior.resolve(relative(), ctx)[0] for _ in range(2000)]
+        rate = sum(outcomes) / len(outcomes)
+        assert 0.2 < rate < 0.3
+
+    def test_behavior_requires_target(self):
+        with pytest.raises(SimulationError):
+            AlwaysTaken().resolve(indirect(), context())
+
+
+class TestCorrelated:
+    def test_direction_is_parity_of_history(self):
+        behavior = Correlated(history_bits=[0])
+        ctx = context()
+        ctx.record_outcome(True)
+        taken, _ = behavior.resolve(relative(), ctx)
+        assert taken  # last outcome True -> parity 1
+        ctx.record_outcome(False)
+        taken, _ = behavior.resolve(relative(), ctx)
+        assert not taken
+
+    def test_invert(self):
+        behavior = Correlated(history_bits=[0], invert=True)
+        ctx = context()
+        ctx.record_outcome(True)
+        taken, _ = behavior.resolve(relative(), ctx)
+        assert not taken
+
+
+class TestCallReturn:
+    def test_call_pushes_nsia(self):
+        ctx = context()
+        call_insn = Instruction(
+            address=0x1000, length=4, kind=BranchKind.UNCONDITIONAL_RELATIVE,
+            static_target=0x8000,
+        )
+        taken, target = Call().resolve(call_insn, ctx)
+        assert taken and target == 0x8000
+        assert ctx.call_stack == [0x1004]
+
+    def test_return_pops(self):
+        ctx = context()
+        ctx.call_stack.append(0x1004)
+        taken, target = Return().resolve(indirect(0x8010), ctx)
+        assert taken and target == 0x1004
+        assert ctx.call_stack == []
+
+    def test_return_with_offset(self):
+        ctx = context()
+        ctx.call_stack.append(0x1004)
+        _, target = Return(landing_offset=4).resolve(indirect(0x8010), ctx)
+        assert target == 0x1008
+
+    def test_return_empty_stack_without_fallback(self):
+        with pytest.raises(SimulationError):
+            Return().resolve(indirect(0x8010), context())
+
+    def test_return_fallback(self):
+        _, target = Return(fallback=0x4000).resolve(indirect(0x8010), context())
+        assert target == 0x4000
+
+    def test_call_depth_limit(self):
+        ctx = context()
+        behavior = Call(max_depth=1)
+        call_insn = Instruction(
+            address=0x1000, length=4, kind=BranchKind.UNCONDITIONAL_RELATIVE,
+            static_target=0x8000,
+        )
+        behavior.resolve(call_insn, ctx)
+        with pytest.raises(SimulationError):
+            behavior.resolve(call_insn, ctx)
+
+
+class TestIndirects:
+    def test_cycle_rotates(self):
+        behavior = IndirectCycle([0x100, 0x200, 0x300])
+        ctx = context()
+        targets = [behavior.resolve(indirect(), ctx)[1] for _ in range(6)]
+        assert targets == [0x100, 0x200, 0x300, 0x100, 0x200, 0x300]
+
+    def test_random_stays_in_set(self):
+        behavior = IndirectRandom([0x100, 0x200])
+        ctx = context()
+        targets = {behavior.resolve(indirect(), ctx)[1] for _ in range(50)}
+        assert targets <= {0x100, 0x200}
+        assert len(targets) == 2
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ValueError):
+            IndirectCycle([])
+        with pytest.raises(ValueError):
+            IndirectRandom([])

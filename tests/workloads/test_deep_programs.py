@@ -1,0 +1,68 @@
+"""Tests for the deep-history / deep-xor differentiator workloads."""
+
+import pytest
+
+from repro.configs import z13_config, z14_config, z15_config
+from repro.core import LookaheadBranchPredictor
+from repro.engine import FunctionalEngine
+from repro.workloads.executor import Executor
+from repro.workloads.generators import deep_history_program, deep_xor_program
+
+
+def mpki(config_factory, program, branches=6000, warmup=3000):
+    engine = FunctionalEngine(LookaheadBranchPredictor(config_factory()))
+    stats = engine.run_program(program, max_branches=branches,
+                               warmup_branches=warmup)
+    return stats.mpki
+
+
+class TestDeepHistory:
+    def test_runs(self):
+        program = deep_history_program()
+        branches = list(Executor(program).run(max_branches=500))
+        assert len(branches) == 500
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            deep_history_program(noise_depth=0)
+        with pytest.raises(ValueError):
+            deep_history_program(noise_depth=16)
+
+    def test_consumer_depends_on_producer(self):
+        """The consumer's outcome equals the producer's, noise_depth
+        branches later."""
+        program = deep_history_program(noise_depth=4, pairs=1)
+        branches = list(Executor(program).run(max_branches=400))
+        conditionals = [b for b in branches
+                        if b.kind.value in ("cond-rel",)]
+        # conditionals alternate producer, consumer, producer, ...
+        producers = conditionals[0::2]
+        consumers = conditionals[1::2]
+        for producer, consumer in zip(producers, consumers):
+            assert consumer.taken == producer.taken
+
+    def test_generation_differentiation(self):
+        """z13 cannot learn it; z14 (perceptron) and z15 (long TAGE) can."""
+        z13 = mpki(z13_config, deep_history_program())
+        z14 = mpki(z14_config, deep_history_program())
+        z15 = mpki(z15_config, deep_history_program())
+        assert z13 > 10
+        assert z14 < 1
+        assert z15 < 1
+
+
+class TestDeepXor:
+    def test_runs(self):
+        program = deep_xor_program()
+        branches = list(Executor(program).run(max_branches=500))
+        assert len(branches) == 500
+
+    def test_linear_inseparability(self):
+        """z14's linear perceptron only partially learns the XOR; z15's
+        tagged long-history table learns it fully."""
+        z13 = mpki(z13_config, deep_xor_program())
+        z14 = mpki(z14_config, deep_xor_program())
+        z15 = mpki(z15_config, deep_xor_program())
+        assert z15 < z14 < z13
+        assert z15 < 1
+        assert z14 > 5

@@ -1,0 +1,122 @@
+"""Tests for the program executor."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.isa.instructions import BranchKind
+from repro.workloads.behaviors import AlwaysTaken, Loop, NeverTaken
+from repro.workloads.executor import Executor
+from repro.workloads.program import CodeBuilder
+
+
+def simple_loop_program(trip_count=3):
+    builder = CodeBuilder(0x1000)
+    head = builder.label("head")
+    builder.straight(2)
+    builder.branch(BranchKind.LOOP_RELATIVE, target=head,
+                   behavior=Loop(trip_count))
+    builder.branch(BranchKind.UNCONDITIONAL_RELATIVE, target=head,
+                   behavior=AlwaysTaken())
+    return builder.build()
+
+
+def test_executes_in_program_order():
+    program = simple_loop_program()
+    executor = Executor(program)
+    branches = list(executor.run(max_branches=4))
+    # Loop taken twice, then not taken, then restart jump.
+    assert [b.taken for b in branches] == [True, True, False, True]
+    assert branches[0].address == 0x1008
+
+
+def test_sequences_monotonic():
+    program = simple_loop_program()
+    executor = Executor(program)
+    branches = list(executor.run(max_branches=10))
+    assert [b.sequence for b in branches] == list(range(10))
+
+
+def test_instruction_counting():
+    program = simple_loop_program()
+    executor = Executor(program)
+    list(executor.run(max_branches=4))
+    # Each loop iteration: 2 straight + 1 branch; final: +1 jump.
+    assert executor.instructions_executed == 3 * 3 + 1
+
+
+def test_max_instructions_limit():
+    program = simple_loop_program()
+    executor = Executor(program)
+    list(executor.run(max_instructions=7))
+    assert executor.instructions_executed >= 7
+
+
+def test_requires_a_limit():
+    executor = Executor(simple_loop_program())
+    with pytest.raises(ValueError):
+        list(executor.run())
+
+
+def test_not_taken_falls_through():
+    builder = CodeBuilder(0x1000)
+    skip = builder.forward_label()
+    builder.branch(BranchKind.CONDITIONAL_RELATIVE, target=skip,
+                   behavior=NeverTaken())
+    builder.straight(1)
+    builder.bind(skip)
+    builder.branch(BranchKind.UNCONDITIONAL_RELATIVE, target=0x1000,
+                   behavior=AlwaysTaken())
+    program = builder.build()
+    executor = Executor(program)
+    branches = list(executor.run(max_branches=2))
+    assert not branches[0].taken
+    assert branches[0].target is None
+    assert branches[1].address == skip.resolve()
+
+
+def test_bad_control_transfer_detected():
+    builder = CodeBuilder(0x1000)
+    builder.branch(BranchKind.UNCONDITIONAL_RELATIVE, target=0x9998,
+                   behavior=AlwaysTaken())
+    program = builder.build()
+    executor = Executor(program)
+    with pytest.raises(SimulationError):
+        list(executor.run(max_branches=2))
+
+
+def test_deterministic_replay():
+    from repro.workloads.generators import large_footprint_program
+
+    # Behaviours hold per-run state, so each run gets a fresh program.
+    first = [
+        (b.address, b.taken, b.target)
+        for b in Executor(
+            large_footprint_program(block_count=16, seed=3), seed=9
+        ).run(max_branches=200)
+    ]
+    second = [
+        (b.address, b.taken, b.target)
+        for b in Executor(
+            large_footprint_program(block_count=16, seed=3), seed=9
+        ).run(max_branches=200)
+    ]
+    assert first == second
+
+
+def test_different_seed_differs():
+    from repro.workloads.generators import large_footprint_program
+
+    program = large_footprint_program(block_count=16, seed=3)
+    first = [b.taken for b in Executor(program, seed=9).run(max_branches=300)]
+    # A fresh program instance is needed (behaviours hold state).
+    program2 = large_footprint_program(block_count=16, seed=3)
+    second = [b.taken for b in Executor(program2, seed=10).run(max_branches=300)]
+    assert first != second
+
+
+def test_context_and_thread_stamped():
+    program = simple_loop_program()
+    executor = Executor(program, context_id=5, thread=1)
+    branch = next(iter(executor.run(max_branches=1)))
+    assert branch.context == 5
+    assert branch.thread == 1

@@ -1,0 +1,126 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.workloads.executor import Executor
+from repro.workloads.generators import (
+    call_return_program,
+    correlated_program,
+    indirect_dispatch_program,
+    large_footprint_program,
+    loop_nest_program,
+    pattern_program,
+    transaction_workload,
+)
+from repro.workloads.suite import STANDARD_WORKLOADS, get_workload
+
+
+def run_branches(program, count=2000, seed=1):
+    executor = Executor(program, seed=seed)
+    branches = list(executor.run(max_branches=count))
+    return executor, branches
+
+
+class TestGeneratorsExecute:
+    """Every generator must produce a program that runs indefinitely."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: loop_nest_program(depths=(5, 3)),
+            lambda: pattern_program([[True, False]]),
+            lambda: call_return_program(caller_count=4, functions=2),
+            lambda: indirect_dispatch_program(handler_count=4),
+            lambda: correlated_program(pair_count=2),
+            lambda: large_footprint_program(block_count=32, seed=2),
+            lambda: transaction_workload(transaction_types=3,
+                                         blocks_per_transaction=8),
+        ],
+    )
+    def test_runs_without_error(self, factory):
+        program = factory()
+        _, branches = run_branches(program, count=1000)
+        assert len(branches) == 1000
+
+
+class TestStatisticalShape:
+    def test_branch_density_matches_paper(self):
+        """LSPR-like: roughly a branch every 4 instructions."""
+        program = large_footprint_program(block_count=128, seed=5)
+        executor, branches = run_branches(program, count=4000)
+        density = executor.instructions_executed / len(branches)
+        assert 3.0 < density < 6.0
+
+    def test_taken_rate_reasonable(self):
+        program = large_footprint_program(block_count=128, seed=5)
+        _, branches = run_branches(program, count=4000)
+        taken_rate = sum(b.taken for b in branches) / len(branches)
+        assert 0.25 < taken_rate < 0.75
+
+    def test_footprint_scales_with_blocks(self):
+        small = large_footprint_program(block_count=64, seed=5)
+        large = large_footprint_program(block_count=512, seed=5,
+                                        name="bigger")
+        assert large.footprint_bytes() > 4 * small.footprint_bytes()
+
+    def test_ring_covers_every_block(self):
+        """The shuffled exits form one ring visiting all blocks."""
+        program = large_footprint_program(block_count=48, seed=5)
+        _, branches = run_branches(program, count=6000)
+        exits = {b.address for b in branches
+                 if b.taken and b.kind.value == "uncond-rel"}
+        # 48 block exits (plus maybe loop-back branches); at least the
+        # ring's 48 unconditional exits must all appear.
+        assert len(exits) >= 48
+
+
+class TestCallReturnShape:
+    def test_calls_are_far(self):
+        """The call distance must exceed the CRS threshold (1024)."""
+        program = call_return_program()
+        _, branches = run_branches(program, count=500)
+        calls = [b for b in branches
+                 if b.taken and b.kind.value == "uncond-rel"
+                 and abs(b.target - b.address) >= 1024]
+        assert calls
+
+    def test_returns_are_multi_target(self):
+        program = call_return_program(caller_count=8, functions=2)
+        _, branches = run_branches(program, count=800)
+        by_address = {}
+        for b in branches:
+            if b.kind.value == "uncond-ind" and b.taken:
+                by_address.setdefault(b.address, set()).add(b.target)
+        assert any(len(targets) > 1 for targets in by_address.values())
+
+
+class TestDispatchShape:
+    def test_dispatch_visits_all_handlers(self):
+        program = indirect_dispatch_program(handler_count=6)
+        _, branches = run_branches(program, count=600)
+        dispatch_targets = {
+            b.target for b in branches if b.kind.value == "uncond-ind"
+        }
+        assert len(dispatch_targets) == 6
+
+
+class TestSuite:
+    def test_registry_complete(self):
+        assert len(STANDARD_WORKLOADS) >= 8
+        for spec in STANDARD_WORKLOADS.values():
+            assert spec.description
+            assert spec.suggested_branches > 0
+
+    def test_get_workload_builds(self):
+        program = get_workload("compute-kernel")
+        assert program.instruction_count > 0
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("nope")
+
+    @pytest.mark.parametrize("name", sorted(STANDARD_WORKLOADS))
+    def test_every_standard_workload_runs(self, name):
+        program = get_workload(name, seed=2)
+        _, branches = run_branches(program, count=300)
+        assert len(branches) == 300

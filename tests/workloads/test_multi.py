@@ -1,0 +1,71 @@
+"""Tests for interleaved multi-context runs."""
+
+import pytest
+
+from repro.isa.dynamic import DynamicBranch
+from repro.workloads.generators import loop_nest_program, pattern_program
+from repro.workloads.multi import ContextSwitch, InterleavedRun
+
+
+def make_run(quantum=50):
+    programs = [
+        loop_nest_program(depths=(5, 3)),
+        pattern_program([[True, False]]),
+    ]
+    return InterleavedRun(programs, quantum_branches=quantum, seed=3)
+
+
+def test_yields_requested_branch_count():
+    run = make_run()
+    events = list(run.run(total_branches=300))
+    branches = [e for e in events if isinstance(e, DynamicBranch)]
+    assert len(branches) == 300
+
+
+def test_context_switch_markers_precede_quanta():
+    run = make_run(quantum=50)
+    events = list(run.run(total_branches=200))
+    switches = [e for e in events if isinstance(e, ContextSwitch)]
+    assert len(switches) == 4
+    assert events[0] == switches[0]
+
+
+def test_contexts_alternate():
+    run = make_run(quantum=10)
+    events = list(run.run(total_branches=40))
+    switch_contexts = [e.context for e in events if isinstance(e, ContextSwitch)]
+    assert switch_contexts == [0, 1, 0, 1]
+
+
+def test_sequences_globally_monotonic():
+    run = make_run(quantum=25)
+    branches = [
+        e for e in run.run(total_branches=100) if isinstance(e, DynamicBranch)
+    ]
+    sequences = [b.sequence for b in branches]
+    assert sequences == sorted(sequences)
+    assert len(set(sequences)) == len(sequences)
+
+
+def test_branches_carry_their_context():
+    run = make_run(quantum=10)
+    current = None
+    for event in run.run(total_branches=60):
+        if isinstance(event, ContextSwitch):
+            current = event.context
+        else:
+            assert event.context == current
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        InterleavedRun([], quantum_branches=10)
+    with pytest.raises(ValueError):
+        InterleavedRun([loop_nest_program()], quantum_branches=0)
+
+
+def test_instruction_accounting():
+    run = make_run()
+    list(run.run(total_branches=100))
+    assert run.instructions_executed > 100
+    assert run.branches_executed == 100

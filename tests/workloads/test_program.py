@@ -1,0 +1,134 @@
+"""Tests for programs, labels and the code builder."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.rng import DeterministicRng
+from repro.isa.instructions import BranchKind, Instruction
+from repro.workloads.behaviors import AlwaysTaken
+from repro.workloads.program import CodeBuilder, Label, Program
+
+
+class TestLabel:
+    def test_bind_resolve(self):
+        label = Label("x")
+        label.bind(0x100)
+        assert label.resolve() == 0x100
+
+    def test_double_bind_rejected(self):
+        label = Label("x")
+        label.bind(0x100)
+        with pytest.raises(SimulationError):
+            label.bind(0x200)
+
+    def test_unbound_resolve_rejected(self):
+        with pytest.raises(SimulationError):
+            Label("x").resolve()
+
+
+class TestProgram:
+    def test_add_and_at(self):
+        program = Program()
+        insn = Instruction(address=0x100, length=4)
+        program.add(insn)
+        assert program.at(0x100) is insn
+
+    def test_duplicate_address_rejected(self):
+        program = Program()
+        program.add(Instruction(address=0x100, length=4))
+        with pytest.raises(SimulationError):
+            program.add(Instruction(address=0x100, length=2))
+
+    def test_missing_address_raises(self):
+        with pytest.raises(SimulationError):
+            Program().at(0x500)
+
+    def test_behavior_on_non_branch_rejected(self):
+        program = Program()
+        with pytest.raises(SimulationError):
+            program.add(Instruction(address=0x100, length=4), behavior=AlwaysTaken())
+
+    def test_branch_without_behavior_raises_on_query(self):
+        program = Program()
+        insn = Instruction(
+            address=0x100, length=4, kind=BranchKind.UNCONDITIONAL_RELATIVE,
+            static_target=0x200,
+        )
+        program.add(insn)
+        with pytest.raises(SimulationError):
+            program.behavior_of(insn)
+
+    def test_counts_and_footprint(self):
+        program = Program()
+        program.add(Instruction(address=0x100, length=4))
+        program.add(
+            Instruction(address=0x104, length=2,
+                        kind=BranchKind.UNCONDITIONAL_RELATIVE,
+                        static_target=0x100),
+            behavior=AlwaysTaken(),
+        )
+        assert program.instruction_count == 2
+        assert program.branch_count == 1
+        assert program.footprint_bytes() == 6
+
+    def test_overlap_detected(self):
+        program = Program()
+        program.add(Instruction(address=0x100, length=6))
+        program.add(Instruction(address=0x104, length=2))
+        with pytest.raises(SimulationError):
+            program.validate()
+
+
+class TestCodeBuilder:
+    def test_straight_lays_out_sequentially(self):
+        builder = CodeBuilder(0x1000)
+        builder.straight(3, length=4)
+        program = builder.build()
+        assert sorted(program.instructions) == [0x1000, 0x1004, 0x1008]
+
+    def test_branch_to_forward_label(self):
+        builder = CodeBuilder(0x1000)
+        skip = builder.forward_label("skip")
+        builder.branch(BranchKind.CONDITIONAL_RELATIVE, target=skip,
+                       behavior=AlwaysTaken())
+        builder.straight(2)
+        builder.bind(skip)
+        builder.straight(1)
+        program = builder.build()
+        assert program.at(0x1000).static_target == skip.resolve()
+
+    def test_gap_and_align(self):
+        builder = CodeBuilder(0x1000)
+        builder.straight(1)
+        builder.gap(0x20)
+        assert builder.here() == 0x1024
+        builder.align(0x100)
+        assert builder.here() == 0x1100
+
+    def test_gap_rejects_odd(self):
+        with pytest.raises(ValueError):
+            CodeBuilder(0x1000).gap(3)
+
+    def test_straight_mixed_average_length(self):
+        builder = CodeBuilder(0x1000)
+        rng = DeterministicRng(5)
+        builder.straight_mixed(1000, rng)
+        program = builder.build()
+        lengths = [insn.length for insn in program.instructions.values()]
+        average = sum(lengths) / len(lengths)
+        # The z mix averages ~4.7 bytes (paper: "approximately 5 bytes").
+        assert 4.2 < average < 5.2
+
+    def test_entry_point_override(self):
+        builder = CodeBuilder(0x1000)
+        builder.straight(2)
+        program = builder.build(entry_point=0x1004)
+        assert program.entry_point == 0x1004
+
+    def test_jump_to_fresh_region(self):
+        builder = CodeBuilder(0x1000)
+        builder.straight(1)
+        builder.jump_to(0x8000)
+        builder.straight(1)
+        program = builder.build()
+        assert 0x8000 in program.instructions

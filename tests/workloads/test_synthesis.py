@@ -1,0 +1,121 @@
+"""Tests for statistical workload cloning."""
+
+import pytest
+
+from repro.configs import z15_config
+from repro.core import LookaheadBranchPredictor
+from repro.engine import FunctionalEngine
+from repro.isa.instructions import BranchKind
+from repro.workloads.executor import Executor
+from repro.workloads.generators import (
+    large_footprint_program,
+    transaction_workload,
+)
+from repro.workloads.synthesis import (
+    BranchProfile,
+    clone_trace,
+    profile_trace,
+    synthesize_program,
+)
+
+
+def sample_trace(count=6000, seed=4):
+    program = transaction_workload(seed=seed)
+    return list(Executor(program, seed=seed).run(max_branches=count))
+
+
+class TestProfiling:
+    def test_empty_trace(self):
+        profile = profile_trace([])
+        assert profile.dynamic_branches == 0
+        assert profile.static_branches == 0
+
+    def test_counts(self):
+        trace = sample_trace(2000)
+        profile = profile_trace(trace)
+        assert profile.dynamic_branches == 2000
+        assert profile.static_branches == len({b.address for b in trace})
+        assert 0 < profile.taken_rate < 1
+
+    def test_kind_mix_sums_to_one(self):
+        profile = profile_trace(sample_trace(2000))
+        assert sum(profile.kind_mix.values()) == pytest.approx(1.0)
+
+    def test_bias_histograms_sum_to_one(self):
+        profile = profile_trace(sample_trace(2000))
+        assert sum(profile.bias_histogram) == pytest.approx(1.0, abs=1e-6)
+        assert sum(profile.dynamic_bias_histogram) == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+    def test_indirect_fanout(self):
+        profile = profile_trace(sample_trace(4000))
+        # The transaction dispatcher rotates over 8 handlers.
+        assert profile.indirect_target_fanout == pytest.approx(8.0, abs=0.5)
+
+    def test_summary_renders(self):
+        assert "taken rate" in profile_trace(sample_trace(500)).summary()
+
+
+class TestSynthesis:
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_program(BranchProfile())
+
+    def test_clone_runs(self):
+        clone = clone_trace(sample_trace(4000), seed=2)
+        branches = list(Executor(clone, seed=2).run(max_branches=1000))
+        assert len(branches) == 1000
+
+    def test_clone_matches_statistics(self):
+        trace = sample_trace(8000)
+        original = profile_trace(trace)
+        clone = clone_trace(trace, seed=2)
+        cloned = profile_trace(
+            list(Executor(clone, seed=2).run(max_branches=8000))
+        )
+        assert cloned.static_branches == pytest.approx(
+            original.static_branches, rel=0.1
+        )
+        assert cloned.taken_rate == pytest.approx(original.taken_rate,
+                                                  abs=0.08)
+        assert cloned.footprint_bytes == pytest.approx(
+            original.footprint_bytes, rel=0.35
+        )
+        assert cloned.indirect_target_fanout == pytest.approx(
+            original.indirect_target_fanout, abs=1.0
+        )
+
+    def test_clone_without_indirects(self):
+        program = large_footprint_program(block_count=64, seed=3)
+        trace = list(Executor(program, seed=3).run(max_branches=3000))
+        clone = clone_trace(trace, seed=5)
+        cloned_kinds = {
+            insn.kind
+            for insn in clone.instructions.values()
+            if insn.is_branch
+        }
+        assert BranchKind.UNCONDITIONAL_INDIRECT not in cloned_kinds
+
+    def test_clone_predictor_behaviour_comparable(self):
+        """The clone should stress the predictor about as hard as the
+        original (that is the point of workload cloning)."""
+        trace = sample_trace(8000)
+
+        def mpki_of(program, seed):
+            engine = FunctionalEngine(LookaheadBranchPredictor(z15_config()))
+            stats = engine.run_program(program, max_branches=6000,
+                                       warmup_branches=3000, seed=seed)
+            return stats.mpki
+
+        original_mpki = mpki_of(transaction_workload(seed=4), 4)
+        clone_mpki = mpki_of(clone_trace(trace, seed=2), 2)
+        # Same ballpark: within a factor of ~2.5 either way.
+        assert clone_mpki < original_mpki * 2.5 + 5
+        assert clone_mpki > original_mpki / 2.5 - 5
+
+    def test_clone_deterministic(self):
+        trace = sample_trace(2000)
+        a = clone_trace(trace, seed=7)
+        b = clone_trace(trace, seed=7)
+        assert sorted(a.instructions) == sorted(b.instructions)

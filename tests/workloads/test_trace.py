@@ -1,0 +1,96 @@
+"""Tests for trace I/O."""
+
+import pytest
+
+from repro.common.errors import TraceFormatError
+from repro.workloads.executor import Executor
+from repro.workloads.generators import large_footprint_program
+from repro.workloads.trace import (
+    format_record,
+    load_trace,
+    parse_record,
+    read_trace,
+    write_trace,
+)
+
+
+def sample_branches(count=100):
+    program = large_footprint_program(block_count=16, seed=4)
+    return list(Executor(program, seed=4).run(max_branches=count))
+
+
+def test_format_parse_roundtrip():
+    for branch in sample_branches(50):
+        parsed = parse_record(format_record(branch))
+        assert parsed.sequence == branch.sequence
+        assert parsed.address == branch.address
+        assert parsed.taken == branch.taken
+        assert parsed.target == branch.target
+        assert parsed.kind == branch.kind
+        assert parsed.instruction.length == branch.instruction.length
+        assert parsed.instruction.static_target == branch.instruction.static_target
+
+
+def test_write_read_roundtrip(tmp_path):
+    branches = sample_branches(200)
+    path = tmp_path / "trace.txt"
+    count = write_trace(path, branches)
+    assert count == 200
+    loaded = load_trace(path)
+    assert len(loaded) == 200
+    assert loaded[0].address == branches[0].address
+    assert loaded[-1].taken == branches[-1].taken
+
+
+def test_gzip_roundtrip(tmp_path):
+    branches = sample_branches(50)
+    path = tmp_path / "trace.txt.gz"
+    write_trace(path, branches)
+    loaded = load_trace(path)
+    assert len(loaded) == 50
+
+
+def test_missing_header_rejected(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("not a trace\n")
+    with pytest.raises(TraceFormatError):
+        list(read_trace(path))
+
+
+def test_malformed_record_rejected():
+    with pytest.raises(TraceFormatError):
+        parse_record("1 2 3")
+    with pytest.raises(TraceFormatError):
+        parse_record("x cr 1000 4 - 1 2000 0 0")
+    with pytest.raises(TraceFormatError):
+        parse_record("0 zz 1000 4 - 1 2000 0 0")
+
+
+def test_comments_and_blanks_skipped(tmp_path):
+    branches = sample_branches(3)
+    path = tmp_path / "trace.txt"
+    lines = ["#repro-branch-trace-v1"]
+    for branch in branches:
+        lines.append(format_record(branch))
+        lines.append("# comment")
+        lines.append("")
+    path.write_text("\n".join(lines) + "\n")
+    assert len(load_trace(path)) == 3
+
+
+def test_replay_through_engine(tmp_path):
+    """A saved trace replays to identical accuracy stats."""
+    from repro.configs import z15_config
+    from repro.core import LookaheadBranchPredictor
+    from repro.engine import FunctionalEngine
+
+    branches = sample_branches(500)
+    path = tmp_path / "trace.txt"
+    write_trace(path, branches)
+
+    direct = FunctionalEngine(LookaheadBranchPredictor(z15_config()))
+    direct_stats = direct.run_branches(branches)
+    replayed = FunctionalEngine(LookaheadBranchPredictor(z15_config()))
+    replay_stats = replayed.run_branches(load_trace(path))
+    assert direct_stats.mispredicted_branches == replay_stats.mispredicted_branches
+    assert direct_stats.dynamic_predictions == replay_stats.dynamic_predictions
