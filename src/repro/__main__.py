@@ -8,6 +8,8 @@ Commands:
   workload.
 * ``cycles`` — run the cycle-level engine and print the timing report.
 * ``verify`` — run the white-box verification environment.
+* ``verify-diff`` — run the differential verification suite (cross-
+  engine equivalence, deterministic replay, baseline cross-validation).
 * ``workloads`` — list the standard workloads.
 """
 
@@ -28,6 +30,10 @@ from repro.core import LookaheadBranchPredictor, load_state, save_state
 from repro.engine import CycleEngine, FunctionalEngine
 from repro.stats import MispredictProfile
 from repro.verification import StimulusConstraints, VerificationEnvironment
+from repro.verification.differential import (
+    DEFAULT_WORKLOAD_FAMILIES,
+    run_differential_suite,
+)
 from repro.workloads import STANDARD_WORKLOADS, get_workload
 
 BASELINES = {
@@ -120,6 +126,17 @@ def cmd_verify(args: argparse.Namespace) -> None:
         sys.exit(1)
 
 
+def cmd_verify_diff(args: argparse.Namespace) -> None:
+    result = run_differential_suite(
+        seed=args.seed,
+        branches=args.branches,
+        workloads=args.workloads or DEFAULT_WORKLOAD_FAMILIES,
+    )
+    print(result.summary())
+    if not result.clean:
+        sys.exit(1)
+
+
 def cmd_workloads(_args: argparse.Namespace) -> None:
     for spec in STANDARD_WORKLOADS.values():
         print(f"{spec.name:<20} {spec.description}")
@@ -172,6 +189,17 @@ def build_parser() -> argparse.ArgumentParser:
     verify_parser.add_argument("--seed", type=int, default=1234)
     verify_parser.add_argument("--checkpoint-interval", type=int, default=500)
     verify_parser.set_defaults(func=cmd_verify)
+
+    diff_parser = sub.add_parser(
+        "verify-diff",
+        help="differential verification: engines, replay, baselines")
+    diff_parser.add_argument("--branches", type=int, default=3_000)
+    diff_parser.add_argument("--seed", type=int, default=1234)
+    diff_parser.add_argument(
+        "--workloads", nargs="*", metavar="NAME",
+        help=f"workload families to cross-check "
+             f"(default: {' '.join(DEFAULT_WORKLOAD_FAMILIES)})")
+    diff_parser.set_defaults(func=cmd_verify_diff)
 
     workloads_parser = sub.add_parser("workloads",
                                       help="list standard workloads")

@@ -97,7 +97,11 @@ def save_state(
         "btb1": btb1_entries,
         "btb2": btb2_entries,
     }
-    Path(path).write_text(json.dumps(payload))
+    # Canonical form (sorted keys, no whitespace): a save -> load -> save
+    # round-trip of the same state is byte-identical, which the
+    # differential harness relies on to detect lossy persistence.
+    Path(path).write_text(json.dumps(payload, sort_keys=True,
+                                     separators=(",", ":")))
     return {"btb1": len(btb1_entries), "btb2": len(btb2_entries)}
 
 
@@ -110,8 +114,12 @@ def load_state(
     Returns the counts actually installed.
     """
     payload = json.loads(Path(path).read_text())
-    if payload.get("format") != STATE_FORMAT:
-        raise ValueError(f"{path}: not a predictor state file")
+    found = payload.get("format")
+    if found != STATE_FORMAT:
+        raise ValueError(
+            f"{path}: unknown state format {found!r} "
+            f"(expected {STATE_FORMAT!r})"
+        )
     installed_btb1 = 0
     for data in payload["btb1"]:
         entry = _entry_from_dict(data)

@@ -101,12 +101,16 @@ class CycleEngine:
         timing: Optional[TimingConfig] = None,
         smt2: bool = False,
         lookahead_prefetch: bool = True,
+        observer=None,
     ):
         self.predictor = predictor
         self.icache = icache if icache is not None else InstructionCacheHierarchy()
         self.timing = (timing if timing is not None else TimingConfig()).validate()
         self.smt2 = smt2
         self.lookahead_prefetch = lookahead_prefetch
+        #: Optional callable receiving every PredictionOutcome in
+        #: prediction order (differential cross-engine checking).
+        self.observer = observer
         self.stats = CycleStats()
         # Per-thread clocks (thread 0 for single-thread runs).
         self._clocks: Dict[int, _Clocks] = {}
@@ -152,6 +156,8 @@ class CycleEngine:
             gap = executor.instructions_executed - instructions_before - 1
             instructions_before = executor.instructions_executed
             outcome = self.predictor.predict_and_resolve(branch)
+            if self.observer is not None:
+                self.observer(outcome)
             self.stats.accuracy.record(outcome)
             self._advance(clocks, branch, outcome, gap)
         self.predictor.finalize()
@@ -190,6 +196,8 @@ class CycleEngine:
                    - instructions_before[thread] - 1)
             instructions_before[thread] = executor.instructions_executed
             outcome = self.predictor.predict_and_resolve(event)
+            if self.observer is not None:
+                self.observer(outcome)
             self.stats.accuracy.record(outcome)
             self._advance(self._clocks_for(thread), event, outcome, max(0, gap))
         self.predictor.finalize()

@@ -23,13 +23,18 @@ class FunctionalEngine:
     """Feeds executed branches to a predictor and aggregates statistics.
 
     An optional *profile* (:class:`repro.stats.analysis.MispredictProfile`)
-    receives every counted outcome for per-address analysis.
+    receives every counted outcome for per-address analysis.  An optional
+    *observer* callable receives every :class:`PredictionOutcome` —
+    including warmup branches — in prediction order; the differential
+    verification harness uses it to compare engines branch by branch.
     """
 
-    def __init__(self, predictor: LookaheadBranchPredictor, profile=None):
+    def __init__(self, predictor: LookaheadBranchPredictor, profile=None,
+                 observer=None):
         self.predictor = predictor
         self.stats = RunStats()
         self.profile = profile
+        self.observer = observer
 
     def _record(self, outcome) -> None:
         self.stats.record(outcome)
@@ -55,6 +60,8 @@ class FunctionalEngine:
             executor.run(max_branches=warmup_branches + max_branches)
         ):
             outcome = self.predictor.predict_and_resolve(branch)
+            if self.observer is not None:
+                self.observer(outcome)
             if index == warmup_branches - 1:
                 counted_instructions_start = executor.instructions_executed
             if index >= warmup_branches:
@@ -80,6 +87,8 @@ class FunctionalEngine:
                 self.predictor.restart(start, context=branch.context)
                 first = False
             outcome = self.predictor.predict_and_resolve(branch)
+            if self.observer is not None:
+                self.observer(outcome)
             self._record(outcome)
             count += 1
         self.predictor.finalize()
@@ -104,6 +113,8 @@ class FunctionalEngine:
                 )
                 continue
             outcome = self.predictor.predict_and_resolve(event)
+            if self.observer is not None:
+                self.observer(outcome)
             self._record(outcome)
             count += 1
         self.predictor.finalize()

@@ -5,6 +5,20 @@ decoupled read-side/write-side checking, constrained-random stimulus
 from a parameter file, array preloading, and checkpoint crosschecks.
 """
 
+from repro.verification.differential import (
+    BaselineCheck,
+    BranchObservation,
+    DifferentialResult,
+    Divergence,
+    DivergenceReport,
+    cross_engine_report,
+    cross_validate_baselines,
+    predictor_fingerprint,
+    replay_report,
+    run_differential_suite,
+    state_roundtrip_report,
+    stats_fingerprint,
+)
 from repro.verification.environment import (
     VerificationEnvironment,
     VerificationReport,
@@ -22,6 +36,18 @@ from repro.verification.transactions import (
 )
 
 __all__ = [
+    "BaselineCheck",
+    "BranchObservation",
+    "DifferentialResult",
+    "Divergence",
+    "DivergenceReport",
+    "cross_engine_report",
+    "cross_validate_baselines",
+    "predictor_fingerprint",
+    "replay_report",
+    "run_differential_suite",
+    "state_roundtrip_report",
+    "stats_fingerprint",
     "VerificationEnvironment",
     "VerificationReport",
     "BtbInterfaceMonitor",

@@ -6,6 +6,8 @@ from hypothesis import strategies as st
 
 from repro.common import addresses
 
+from tests.conftest import branch_addresses
+
 
 def test_align_down_basic():
     assert addresses.align_down(0) == 0
@@ -74,13 +76,19 @@ def test_align_down_le_address_lt_align_up(address):
     assert up - down in (0, addresses.LINE_SIZE)
 
 
-@given(st.integers(min_value=0, max_value=2**48))
+@given(branch_addresses(max_address=2**48))
 def test_line_decomposition_roundtrip(address):
     assert addresses.line_of(address) + addresses.line_offset(address) == address
 
 
+@given(branch_addresses(max_address=2**48))
+def test_halfword_alignment_of_branch_addresses(address):
+    # The shared strategy only ever yields legal (even) branch addresses.
+    assert addresses.is_halfword_aligned(address)
+
+
 @given(
-    st.integers(min_value=0, max_value=2**32),
+    branch_addresses(max_address=2**32),
     st.integers(min_value=0, max_value=2**16),
 )
 def test_lines_between_is_additive(start, delta):

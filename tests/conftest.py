@@ -1,0 +1,180 @@
+"""Shared fixtures and hypothesis strategies for the whole test suite.
+
+Individual test modules used to duplicate small predictor configs,
+branch-event strategies and seeded RNGs; they now come from here.
+Strategies are plain module-level functions (hypothesis strategies are
+not fixtures) — import them with ``from tests.conftest import ...``.
+"""
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.common.rng import DeterministicRng
+from repro.configs import z15_config
+from repro.configs.predictor import Btb1Config, Btb2Config, PredictorConfig
+from repro.isa.dynamic import DynamicBranch
+from repro.isa.instructions import BranchKind, Instruction
+from repro.workloads.generators import (
+    loop_nest_program,
+    pattern_program,
+    transaction_workload,
+)
+
+#: The suite-wide default seed for deterministic components.
+DEFAULT_TEST_SEED = 1234
+
+#: Branch kinds the randomized strategies draw from.
+BRANCH_KINDS = [
+    BranchKind.CONDITIONAL_RELATIVE,
+    BranchKind.UNCONDITIONAL_RELATIVE,
+    BranchKind.LOOP_RELATIVE,
+    BranchKind.CONDITIONAL_INDIRECT,
+    BranchKind.UNCONDITIONAL_INDIRECT,
+]
+
+INDIRECT_KINDS = (BranchKind.CONDITIONAL_INDIRECT,
+                  BranchKind.UNCONDITIONAL_INDIRECT)
+UNCONDITIONAL_TEST_KINDS = (BranchKind.UNCONDITIONAL_RELATIVE,
+                            BranchKind.UNCONDITIONAL_INDIRECT)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+
+
+def branch_addresses(max_address: int = 2**20) -> st.SearchStrategy:
+    """Halfword-aligned instruction addresses, as the ISA requires."""
+    return st.integers(min_value=0, max_value=max_address // 2).map(
+        lambda value: value * 2
+    )
+
+
+@st.composite
+def branch_events(draw, max_address: int = 2**20, max_thread: int = 1,
+                  max_context: int = 2):
+    """One raw branch event tuple: ``(address, length, kind,
+    static_target, taken, target, thread, context)``.
+
+    Events are individually legal (DynamicBranch constraints hold) but
+    deliberately stream-incoherent — robustness tests feed them to the
+    predictor directly.
+    """
+    address = draw(branch_addresses(max_address))
+    kind = draw(st.sampled_from(BRANCH_KINDS))
+    length = draw(st.sampled_from((2, 4, 6)))
+    indirect = kind in INDIRECT_KINDS
+    static_target = (
+        None if indirect else draw(branch_addresses(max_address))
+    )
+    unconditional = kind in UNCONDITIONAL_TEST_KINDS
+    taken = True if unconditional else draw(st.booleans())
+    if taken:
+        target = (
+            static_target
+            if static_target is not None
+            else draw(branch_addresses(max_address))
+        )
+    else:
+        target = None
+    thread = draw(st.integers(min_value=0, max_value=max_thread))
+    context = draw(st.integers(min_value=0, max_value=max_context))
+    return (address, length, kind, static_target, taken, target, thread,
+            context)
+
+
+def dynamic_branch_from_event(sequence: int, event) -> DynamicBranch:
+    """Materialise one :func:`branch_events` tuple as a DynamicBranch."""
+    (address, length, kind, static_target, taken, target, thread,
+     context) = event
+    instruction = Instruction(address=address, length=length, kind=kind,
+                              static_target=static_target)
+    return DynamicBranch(sequence=sequence, instruction=instruction,
+                         taken=taken, target=target, thread=thread,
+                         context=context)
+
+
+@st.composite
+def program_shapes(draw):
+    """A small, always-runnable Program of a randomly drawn shape.
+
+    Covers the two structural extremes the engines care about: counted
+    loop nests (dense back-branches) and pattern chains (conditional
+    forward branches); both run forever, so any branch budget is safe.
+    """
+    shape = draw(st.sampled_from(("loop-nest", "patterns")))
+    if shape == "loop-nest":
+        depths = draw(
+            st.lists(st.integers(min_value=2, max_value=12),
+                     min_size=1, max_size=3)
+        )
+        body = draw(st.integers(min_value=1, max_value=8))
+        return loop_nest_program(depths=tuple(depths),
+                                 body_instructions=body)
+    patterns = draw(
+        st.lists(
+            st.lists(st.booleans(), min_size=1, max_size=6).filter(any),
+            min_size=1, max_size=4,
+        )
+    )
+    return pattern_program(patterns=patterns)
+
+
+# ----------------------------------------------------------------------
+# Shared plain builders (importable without fixture machinery)
+# ----------------------------------------------------------------------
+
+
+def small_predictor_config() -> PredictorConfig:
+    """A tiny two-level predictor config: fast to run, easy to fill."""
+    return PredictorConfig(
+        btb1=Btb1Config(rows=16, ways=2, tag_bits=6, policy="lru"),
+        btb2=Btb2Config(rows=64, ways=2, staging_capacity=8,
+                        transfer_lines=4),
+        completion_delay=4,
+        name="tiny",
+    ).validate()
+
+
+def build_small_program():
+    """A small loop-nest program (a few hundred instructions/iteration)."""
+    return loop_nest_program(depths=(8, 4), body_instructions=4)
+
+
+def build_medium_program(seed: int = DEFAULT_TEST_SEED):
+    """A transaction-mix program large enough to churn the BTB1."""
+    return transaction_workload(
+        transaction_types=4, blocks_per_transaction=8, seed=seed
+    )
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def rng() -> DeterministicRng:
+    """A fresh suite-seeded deterministic RNG."""
+    return DeterministicRng(DEFAULT_TEST_SEED)
+
+
+@pytest.fixture
+def default_config() -> PredictorConfig:
+    """The full z15 generation preset."""
+    return z15_config()
+
+
+@pytest.fixture
+def small_config() -> PredictorConfig:
+    return small_predictor_config()
+
+
+@pytest.fixture
+def small_program():
+    return build_small_program()
+
+
+@pytest.fixture
+def medium_program():
+    return build_medium_program()

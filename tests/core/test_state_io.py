@@ -1,11 +1,17 @@
 """Tests for predictor-state save/restore."""
 
+import json
+
 import pytest
 
 from repro.configs import z15_config
 from repro.configs.predictor import Btb1Config, PredictorConfig
 from repro.core import LookaheadBranchPredictor, load_state, save_state
+from repro.core.entries import BtbEntry
+from repro.core.state_io import STATE_FORMAT
 from repro.engine import FunctionalEngine
+from repro.isa.instructions import BranchKind
+from repro.structures.saturating import TwoBitDirectionCounter
 from repro.workloads import get_workload
 
 
@@ -84,6 +90,91 @@ def test_bad_format_rejected(tmp_path):
     path.write_text('{"format": "something-else"}')
     with pytest.raises(ValueError):
         load_state(LookaheadBranchPredictor(z15_config()), path)
+
+
+def test_unknown_format_error_names_both_formats(tmp_path):
+    """The rejection must say what was found and what was expected."""
+    path = tmp_path / "bogus.json"
+    path.write_text('{"format": "repro-predictor-state-v99"}')
+    with pytest.raises(ValueError) as excinfo:
+        load_state(LookaheadBranchPredictor(z15_config()), path)
+    message = str(excinfo.value)
+    assert "repro-predictor-state-v99" in message
+    assert STATE_FORMAT in message
+
+
+def test_missing_format_error_is_clear(tmp_path):
+    path = tmp_path / "noformat.json"
+    path.write_text('{"btb1": []}')
+    with pytest.raises(ValueError) as excinfo:
+        load_state(LookaheadBranchPredictor(z15_config()), path)
+    assert "unknown state format" in str(excinfo.value)
+
+
+def _entry_with_every_field(target, skoot):
+    """A BtbEntry with every persisted optional field set non-default."""
+    return BtbEntry(
+        tag=0,  # recomputed at install
+        offset=0,
+        length=6,
+        kind=BranchKind.CONDITIONAL_INDIRECT,
+        target=target,
+        bht=TwoBitDirectionCounter(TwoBitDirectionCounter.STRONG_TAKEN),
+        bidirectional=True,
+        multi_target=True,
+        return_offset=4,
+        skoot=skoot,
+    )
+
+
+def test_save_load_save_is_byte_identical_with_all_fields(tmp_path):
+    """Every persisted BtbEntry field — including skoot, multi_target,
+    return_offset and context — must survive save -> load -> save with
+    byte-identical JSON."""
+    predictor = LookaheadBranchPredictor(z15_config())
+    for index in range(12):
+        address = 0x8000 + index * 0x140
+        context = index % 3
+        entry = _entry_with_every_field(
+            target=0x2000 + index * 64, skoot=index % 4
+        )
+        predictor.btb1.install(address, context, entry)
+        predictor.btb2.writeback_entry(entry)
+
+    first = tmp_path / "first.json"
+    second = tmp_path / "second.json"
+    save_state(predictor, first)
+    fresh = LookaheadBranchPredictor(z15_config())
+    load_state(fresh, first)
+    save_state(fresh, second)
+    assert first.read_bytes() == second.read_bytes()
+
+    # Field-level check on the decoded payload, not just the bytes.
+    payload = json.loads(first.read_text())
+    assert payload["format"] == STATE_FORMAT
+    assert len(payload["btb1"]) == 12
+    for data in payload["btb1"]:
+        assert data["length"] == 6
+        assert data["kind"] == BranchKind.CONDITIONAL_INDIRECT.value
+        assert data["bht"] == TwoBitDirectionCounter.STRONG_TAKEN
+        assert data["bidirectional"] is True
+        assert data["multi_target"] is True
+        assert data["return_offset"] == 4
+        assert data["skoot"] in (0, 1, 2, 3)
+        assert data["context"] in (0, 1, 2)
+
+
+def test_warmed_state_roundtrip_is_byte_identical(tmp_path):
+    """The byte-identity guarantee holds for organically learned state,
+    not just synthetic entries."""
+    predictor = warmed_predictor(branches=3000)
+    first = tmp_path / "first.json"
+    second = tmp_path / "second.json"
+    save_state(predictor, first)
+    fresh = LookaheadBranchPredictor(z15_config())
+    load_state(fresh, first)
+    save_state(fresh, second)
+    assert first.read_bytes() == second.read_bytes()
 
 
 def test_btb2_state_roundtrips(tmp_path):

@@ -4,63 +4,25 @@ its invariants.
 
 The constrained-random verification driver exists for exactly this
 reason; these tests add hypothesis-generated adversarial streams and
-check structural invariants after every run.
+check structural invariants after every run.  The event strategy and
+the small predictor config come from the shared fixture layer in
+``tests/conftest.py``.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.configs import z15_config
-from repro.configs.predictor import Btb1Config, Btb2Config, PredictorConfig
 from repro.core import LookaheadBranchPredictor
 from repro.isa.dynamic import DynamicBranch
 from repro.isa.instructions import BranchKind, Instruction
 
-KINDS = [
-    BranchKind.CONDITIONAL_RELATIVE,
-    BranchKind.UNCONDITIONAL_RELATIVE,
-    BranchKind.LOOP_RELATIVE,
-    BranchKind.CONDITIONAL_INDIRECT,
-    BranchKind.UNCONDITIONAL_INDIRECT,
-]
-
-
-@st.composite
-def branch_events(draw):
-    address = draw(st.integers(min_value=0, max_value=2**20)) * 2
-    kind = draw(st.sampled_from(KINDS))
-    length = draw(st.sampled_from((2, 4, 6)))
-    indirect = kind in (BranchKind.CONDITIONAL_INDIRECT,
-                        BranchKind.UNCONDITIONAL_INDIRECT)
-    static_target = (
-        None if indirect else draw(st.integers(min_value=0, max_value=2**20)) * 2
-    )
-    unconditional = kind in (BranchKind.UNCONDITIONAL_RELATIVE,
-                             BranchKind.UNCONDITIONAL_INDIRECT)
-    taken = True if unconditional else draw(st.booleans())
-    if taken:
-        target = (
-            static_target
-            if static_target is not None
-            else draw(st.integers(min_value=0, max_value=2**20)) * 2
-        )
-    else:
-        target = None
-    thread = draw(st.integers(min_value=0, max_value=1))
-    context = draw(st.integers(min_value=0, max_value=2))
-    return (address, length, kind, static_target, taken, target, thread,
-            context)
-
-
-def small_config():
-    return PredictorConfig(
-        btb1=Btb1Config(rows=16, ways=2, tag_bits=6, policy="lru"),
-        btb2=Btb2Config(rows=64, ways=2, staging_capacity=8,
-                        transfer_lines=4),
-        completion_delay=4,
-        name="tiny",
-    ).validate()
+from tests.conftest import (
+    BRANCH_KINDS,
+    branch_events,
+    dynamic_branch_from_event,
+    small_predictor_config,
+)
 
 
 def check_invariants(predictor):
@@ -85,17 +47,11 @@ def check_invariants(predictor):
           suppress_health_check=[HealthCheck.too_slow])
 @given(st.lists(branch_events(), min_size=1, max_size=120))
 def test_random_streams_never_corrupt_state(events):
-    predictor = LookaheadBranchPredictor(small_config())
+    predictor = LookaheadBranchPredictor(small_predictor_config())
     predictor.restart(events[0][0], context=events[0][7],
                       thread=events[0][6])
     for sequence, event in enumerate(events):
-        (address, length, kind, static_target, taken, target, thread,
-         context) = event
-        instruction = Instruction(address=address, length=length, kind=kind,
-                                  static_target=static_target)
-        branch = DynamicBranch(sequence=sequence, instruction=instruction,
-                               taken=taken, target=target, thread=thread,
-                               context=context)
+        branch = dynamic_branch_from_event(sequence, event)
         outcome = predictor.predict_and_resolve(branch)
         assert outcome.record.resolved
     predictor.finalize()
@@ -107,19 +63,16 @@ def test_random_streams_never_corrupt_state(events):
 @given(st.lists(branch_events(), min_size=1, max_size=60),
        st.integers(min_value=0, max_value=2))
 def test_random_streams_with_context_switches(events, switch_every):
-    predictor = LookaheadBranchPredictor(small_config())
+    predictor = LookaheadBranchPredictor(small_predictor_config())
     predictor.restart(0)
     for sequence, event in enumerate(events):
-        (address, length, kind, static_target, taken, target, thread,
+        (address, _length, _kind, _static_target, _taken, _target, thread,
          context) = event
         if switch_every and sequence % (switch_every + 2) == 0:
             predictor.context_switch(address, context, thread)
-        instruction = Instruction(address=address, length=length, kind=kind,
-                                  static_target=static_target)
-        branch = DynamicBranch(sequence=sequence, instruction=instruction,
-                               taken=taken, target=target, thread=thread,
-                               context=context)
-        predictor.predict_and_resolve(branch)
+        predictor.predict_and_resolve(
+            dynamic_branch_from_event(sequence, event)
+        )
     predictor.finalize()
     check_invariants(predictor)
 
@@ -131,7 +84,7 @@ def test_full_z15_config_on_adversarial_burst():
     predictor.restart(0x1000)
     sequence = 0
     for repeat in range(200):
-        kind = KINDS[repeat % len(KINDS)]
+        kind = BRANCH_KINDS[repeat % len(BRANCH_KINDS)]
         indirect = kind in (BranchKind.CONDITIONAL_INDIRECT,
                             BranchKind.UNCONDITIONAL_INDIRECT)
         instruction = Instruction(
