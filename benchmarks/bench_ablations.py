@@ -13,90 +13,84 @@ import dataclasses
 from repro.configs import z15_config
 from repro.configs.predictor import PerceptronConfig, PhtConfig
 
-from common import fmt, print_table, run_functional
+from common import fmt, print_table, sweep_functional
 from repro.workloads.generators import deep_history_program, pattern_program
 
 
-def _weak_filter_ablation():
+def _weak_filter_config(filtered):
     """Weak filtering guards against cold/thrashy weak entries."""
-    results = {}
-    for filtered in (True, False):
-        config = z15_config()
-        pht = dataclasses.replace(config.pht)
-        if not filtered:
-            # A permanently confident weak counter disables filtering.
-            pht.weak_threshold = 0
-        config.pht = pht
-        config.validate()
-        stats = run_functional(config, "transactions", branches=8000,
-                               warmup=4000)
-        results[filtered] = stats.mpki
-    return results
+    config = z15_config()
+    pht = dataclasses.replace(config.pht)
+    if not filtered:
+        # A permanently confident weak counter disables filtering.
+        pht.weak_threshold = 0
+    config.pht = pht
+    return config.validate()
 
 
-def _gpv_depth_ablation():
+def _gpv_depth_config(depth):
     """The z14 depth change: 9 -> 17 taken branches of history."""
-    results = {}
-    for depth in (9, 17):
-        config = z15_config()
-        config.gpv_depth = depth
-        if depth < 17:
-            config.pht = PhtConfig(tage=True, rows=512, ways=8,
-                                   short_history=5, long_history=9)
-            config.ctb = dataclasses.replace(config.ctb, history=9)
-            config.perceptron = dataclasses.replace(
-                config.perceptron, weight_count=9
-            )
-        config.validate()
-        stats = run_functional(config, deep_history_program(noise_depth=12),
-                               branches=8000, warmup=4000)
-        results[depth] = stats.mpki
-    return results
-
-
-def _virtualization_ablation():
-    """2:1 virtualisation retargets dead perceptron weights."""
-    results = {}
-    for virtualized in (True, False):
-        config = z15_config()
-        perceptron = dataclasses.replace(config.perceptron)
-        if not virtualized:
-            perceptron.virtualization_age = 10**9  # never retarget
-        # Make the perceptron the only deep predictor so its quality
-        # shows: shrink the PHT out of relevance.
-        config.perceptron = perceptron
-        config.pht = PhtConfig(tage=False, rows=8, ways=1, short_history=9,
-                               long_history=9)
-        config.validate()
-        stats = run_functional(config, deep_history_program(noise_depth=12),
-                               branches=8000, warmup=4000)
-        results[virtualized] = stats.mpki
-    return results
-
-
-def _completion_delay_sweep():
-    results = {}
-    for delay in (0, 12, 32, 64):
-        config = z15_config()
-        config.completion_delay = delay
-        config.validate()
-        stats = run_functional(
-            config, pattern_program([[True] * 20 + [False] * 20]),
-            branches=6000, warmup=0,
+    config = z15_config()
+    config.gpv_depth = depth
+    if depth < 17:
+        config.pht = PhtConfig(tage=True, rows=512, ways=8,
+                               short_history=5, long_history=9)
+        config.ctb = dataclasses.replace(config.ctb, history=9)
+        config.perceptron = dataclasses.replace(
+            config.perceptron, weight_count=9
         )
-        results[delay] = stats.mispredicted_branches
-    return results
+    return config.validate()
+
+
+def _virtualization_config(virtualized):
+    """2:1 virtualisation retargets dead perceptron weights."""
+    config = z15_config()
+    perceptron = dataclasses.replace(config.perceptron)
+    if not virtualized:
+        perceptron.virtualization_age = 10**9  # never retarget
+    # Make the perceptron the only deep predictor so its quality
+    # shows: shrink the PHT out of relevance.
+    config.perceptron = perceptron
+    config.pht = PhtConfig(tage=False, rows=8, ways=1, short_history=9,
+                           long_history=9)
+    return config.validate()
+
+
+def _completion_delay_config(delay):
+    config = z15_config()
+    config.completion_delay = delay
+    return config.validate()
+
+
+def _run_all():
+    # Every ablation point is one independent cell; the whole design
+    # sweep fans out at once over worker processes.
+    jobs = []
+    for filtered in (True, False):
+        jobs.append((f"weak/{filtered}", _weak_filter_config(filtered),
+                     "transactions"))
+    for depth in (9, 17):
+        jobs.append((f"gpv/{depth}", _gpv_depth_config(depth),
+                     deep_history_program(noise_depth=12)))
+    for virtualized in (True, False):
+        jobs.append((f"virt/{virtualized}",
+                     _virtualization_config(virtualized),
+                     deep_history_program(noise_depth=12)))
+    for delay in (0, 12, 32, 64):
+        jobs.append((f"delay/{delay}", _completion_delay_config(delay),
+                     pattern_program([[True] * 20 + [False] * 20]),
+                     {"branches": 6000, "warmup": 0}))
+    stats = sweep_functional(jobs, branches=8000, warmup=4000)
+    weak = {f: stats[f"weak/{f}"].mpki for f in (True, False)}
+    gpv = {d: stats[f"gpv/{d}"].mpki for d in (9, 17)}
+    virtualization = {v: stats[f"virt/{v}"].mpki for v in (True, False)}
+    delays = {
+        d: stats[f"delay/{d}"].mispredicted_branches for d in (0, 12, 32, 64)
+    }
+    return weak, gpv, virtualization, delays
 
 
 def test_design_choice_ablations(benchmark):
-    def _run_all():
-        return (
-            _weak_filter_ablation(),
-            _gpv_depth_ablation(),
-            _virtualization_ablation(),
-            _completion_delay_sweep(),
-        )
-
     weak, gpv, virtualization, delays = benchmark.pedantic(
         _run_all, rounds=1, iterations=1
     )

@@ -16,7 +16,7 @@ from repro.configs.predictor import (
     PhtConfig,
 )
 
-from common import fmt, print_table, run_functional
+from common import fmt, print_table, sweep_functional
 from repro.workloads.generators import large_footprint_program
 
 
@@ -32,57 +32,73 @@ def _tiny_pht():
                      long_history=9)
 
 
-def _run_all():
-    results = {}
+#: (component, niche workload builder) — each contributes a with/without
+#: job pair to the fan-out.
+def _jobs():
+    jobs = []
 
     # TAGE PHT: pattern-dependent directions.
-    results["tage-pht"] = (
-        "patterned",
-        run_functional(z15_config(), "patterned").mpki,
-        run_functional(_variant(pht=_tiny_pht()), "patterned").mpki,
-    )
+    jobs.append(("tage-pht/with", z15_config(), "patterned"))
+    jobs.append(("tage-pht/without", _variant(pht=_tiny_pht()), "patterned"))
     # Perceptron: outcome-correlated branches.
-    results["perceptron"] = (
-        "correlated",
-        run_functional(z15_config(), "correlated").mpki,
-        run_functional(
-            _variant(perceptron=PerceptronConfig(enabled=False)), "correlated"
-        ).mpki,
+    jobs.append(("perceptron/with", z15_config(), "correlated"))
+    jobs.append(
+        ("perceptron/without",
+         _variant(perceptron=PerceptronConfig(enabled=False)), "correlated")
     )
     # CTB: multi-target dispatch.
-    results["ctb"] = (
-        "dispatch",
-        run_functional(z15_config(), "dispatch").mpki,
-        run_functional(
-            _variant(ctb=CtbConfig(rows=1, ways=1, history=17)), "dispatch"
-        ).mpki,
+    jobs.append(("ctb/with", z15_config(), "dispatch"))
+    jobs.append(
+        ("ctb/without", _variant(ctb=CtbConfig(rows=1, ways=1, history=17)),
+         "dispatch")
     )
     # CRS: call/return idioms with noisy bodies (the CTB cannot cover
     # these — the CRS's unique niche).
-    results["crs"] = (
-        "services-noisy",
-        run_functional(z15_config(), "services-noisy").mpki,
-        run_functional(
-            _variant(crs=CrsConfig(enabled=False)), "services-noisy"
-        ).mpki,
+    jobs.append(("crs/with", z15_config(), "services-noisy"))
+    jobs.append(
+        ("crs/without", _variant(crs=CrsConfig(enabled=False)),
+         "services-noisy")
     )
     # BTB2: capacity beyond the BTB1 (shrink the BTB1 to expose it;
     # CRS disabled in both variants so ring jumps that alias as
     # call/return pairs don't blur the capacity signal).
     ring = large_footprint_program(block_count=256, taken_bias=0.4, seed=7,
                                    name="capacity-ring")
-    small_btb1 = Btb1Config(rows=64, ways=4, policy="lru")
-    with_btb2 = _variant(btb1=small_btb1, crs=CrsConfig(enabled=False))
-    without_btb2 = _variant(btb1=Btb1Config(rows=64, ways=4, policy="lru"),
-                            btb2=None, crs=CrsConfig(enabled=False))
     ring2 = large_footprint_program(block_count=256, taken_bias=0.4, seed=7,
                                     name="capacity-ring")
-    results["btb2"] = (
-        "footprint(tiny BTB1)",
-        run_functional(with_btb2, ring).mpki,
-        run_functional(without_btb2, ring2).mpki,
+    small_btb1 = Btb1Config(rows=64, ways=4, policy="lru")
+    jobs.append(
+        ("btb2/with",
+         _variant(btb1=small_btb1, crs=CrsConfig(enabled=False)), ring)
     )
-    return results
+    jobs.append(
+        ("btb2/without",
+         _variant(btb1=Btb1Config(rows=64, ways=4, policy="lru"), btb2=None,
+                  crs=CrsConfig(enabled=False)), ring2)
+    )
+    return jobs
+
+
+_NICHES = {
+    "tage-pht": "patterned",
+    "perceptron": "correlated",
+    "ctb": "dispatch",
+    "crs": "services-noisy",
+    "btb2": "footprint(tiny BTB1)",
+}
+
+
+def _run_all():
+    # Ten independent cells (five with/without pairs) fanned over worker
+    # processes; per-cell stats are identical to the sequential loop.
+    mpki = {
+        label: stats.mpki for label, stats in sweep_functional(_jobs()).items()
+    }
+    return {
+        component: (niche, mpki[f"{component}/with"],
+                    mpki[f"{component}/without"])
+        for component, niche in _NICHES.items()
+    }
 
 
 def test_component_ablation(benchmark):

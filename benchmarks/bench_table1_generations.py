@@ -9,7 +9,7 @@ with the structure sizes.
 
 from repro.configs import GENERATIONS
 
-from common import fmt, pct, print_table, run_functional
+from common import fmt, pct, print_table, sweep_functional
 from repro.workloads.generators import large_footprint_program
 
 
@@ -19,12 +19,15 @@ def _capacity_ring():
 
 
 def _run_all():
-    results = {}
-    for name, (factory, info) in GENERATIONS.items():
-        stats = run_functional(factory(), _capacity_ring(), branches=10000,
-                               warmup=10000)
-        results[name] = (info, stats)
-    return results
+    # One independent cell per generation — fanned over worker processes.
+    jobs = [
+        (name, factory(), _capacity_ring())
+        for name, (factory, _info) in GENERATIONS.items()
+    ]
+    stats = sweep_functional(jobs, branches=10000, warmup=10000)
+    return {
+        name: (GENERATIONS[name][1], stats[name]) for name in stats
+    }
 
 
 def test_table1_structure_sizes(benchmark):

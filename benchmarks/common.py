@@ -10,18 +10,24 @@ claim, and asserts that shape.
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.configs import PredictorConfig
-
-#: Every reproduced table is also appended here (pytest capture hides
-#: stdout unless -s is passed); truncated at session start by conftest.
-RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results", "latest.txt")
 from repro.core import LookaheadBranchPredictor
 from repro.engine import CycleEngine, CycleStats, FunctionalEngine
+from repro.engine.parallel import SweepCell, run_cells
 from repro.stats import RunStats
 from repro.workloads import get_workload
 from repro.workloads.program import Program
+
+#: Every reproduced table is also appended here (pytest capture hides
+#: stdout unless -s is passed); truncated at session start by conftest.
+#: Overridable so CI can collect the file as an artifact from a
+#: writable scratch path.
+RESULTS_PATH = os.environ.get(
+    "REPRO_BENCH_RESULTS",
+    os.path.join(os.path.dirname(__file__), "results", "latest.txt"),
+)
 
 
 def run_functional(
@@ -38,6 +44,46 @@ def run_functional(
     engine = FunctionalEngine(LookaheadBranchPredictor(config))
     return engine.run_program(program, max_branches=branches,
                               warmup_branches=warmup, seed=seed)
+
+
+def sweep_functional(
+    jobs: Sequence[Tuple],
+    branches: int = 8000,
+    warmup: int = 4000,
+    seed: int = 1,
+    workers: Optional[int] = None,
+) -> Dict[str, RunStats]:
+    """Fan independent ``(label, config, workload)`` jobs over worker
+    processes; returns ``{label: RunStats}`` in job order.
+
+    A job may carry a fourth element — a dict overriding ``branches``,
+    ``warmup`` or ``seed`` for that job.  The parallel runner's
+    determinism contract makes this a drop-in for a sequential
+    :func:`run_functional` loop: per-job stats are byte-identical at any
+    worker count.  ``REPRO_BENCH_WORKERS`` (or ``workers=``) sets the
+    fan-out; 1 keeps everything in-process.
+    """
+    if workers is None:
+        workers = int(
+            os.environ.get("REPRO_BENCH_WORKERS", min(4, os.cpu_count() or 1))
+        )
+    cells = []
+    for job in jobs:
+        label, config, workload = job[:3]
+        overrides = job[3] if len(job) > 3 else {}
+        cells.append(
+            SweepCell(
+                label=label,
+                config=config,
+                workload=workload,
+                seed=overrides.get("seed", seed),
+                branches=overrides.get("branches", branches),
+                warmup=overrides.get("warmup", warmup),
+            )
+        )
+    return {
+        result.label: result.stats for result in run_cells(cells, workers=workers)
+    }
 
 
 def run_cycle(

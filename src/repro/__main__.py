@@ -10,13 +10,19 @@ Commands:
 * ``verify`` — run the white-box verification environment.
 * ``verify-diff`` — run the differential verification suite (cross-
   engine equivalence, deterministic replay, baseline cross-validation).
+* ``sweep`` — fan a (config × workload × seed) grid over worker
+  processes; optionally record a machine-readable throughput report and
+  compare it against a committed baseline.
 * ``workloads`` — list the standard workloads.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+import time
 
 from repro.baselines import (
     AlwaysTakenPredictor,
@@ -27,7 +33,7 @@ from repro.baselines import (
 )
 from repro.configs import GENERATIONS, z15_config
 from repro.core import LookaheadBranchPredictor, load_state, save_state
-from repro.engine import CycleEngine, FunctionalEngine
+from repro.engine import CycleEngine, FunctionalEngine, make_grid, run_cells
 from repro.stats import MispredictProfile
 from repro.verification import StimulusConstraints, VerificationEnvironment
 from repro.verification.differential import (
@@ -137,6 +143,182 @@ def cmd_verify_diff(args: argparse.Namespace) -> None:
         sys.exit(1)
 
 
+def _single_run_bps(workload: str, branches: int = 3000, repeats: int = 3) -> float:
+    """Best-of-N single-engine throughput, benchmark-style: predictor
+    construction and workload build sit inside the timed region, exactly
+    like ``benchmarks/bench_simulator_throughput.py``."""
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        engine = FunctionalEngine(LookaheadBranchPredictor(z15_config()))
+        program = get_workload(workload)
+        engine.run_program(program, max_branches=branches, warmup_branches=0)
+        best = max(best, branches / (time.perf_counter() - start))
+    return best
+
+
+def _throughput_payload(cells, workers, seq_results, seq_wall, par_results,
+                        par_wall, workload_names, args):
+    """Assemble the BENCH_throughput.json document."""
+    total_branches = sum(result.branches for result in seq_results)
+    equivalent = [r.fingerprint for r in seq_results] == [
+        r.fingerprint for r in par_results
+    ]
+    per_workload = {}
+    for name in workload_names:
+        seq_cells = [r for r in seq_results if r.workload == name]
+        par_cells = [r for r in par_results if r.workload == name]
+        branches = sum(r.branches for r in seq_cells)
+        seq_seconds = sum(r.elapsed for r in seq_cells)
+        par_seconds = sum(r.elapsed for r in par_cells)
+        per_workload[name] = {
+            "branches": branches,
+            "sequential_bps": branches / seq_seconds if seq_seconds else 0.0,
+            # In-worker throughput: per-cell wall time measured inside
+            # the worker process (pool overhead excluded).
+            "parallel_worker_bps": branches / par_seconds if par_seconds else 0.0,
+        }
+    return {
+        "schema": "repro-throughput/v1",
+        #: Interprets the speedup: on a single-CPU box the pool can only
+        #: add overhead, so speedup <= 1 is expected there.
+        "cpu_count": os.cpu_count(),
+        "grid": {
+            "configs": list(args.configs),
+            "workloads": list(workload_names),
+            "seeds": list(args.seeds),
+            "branches_per_cell": args.branches,
+            "warmup_per_cell": args.warmup,
+            "cells": len(cells),
+        },
+        "sequential": {
+            "wall_seconds": seq_wall,
+            "branches_per_second": total_branches / seq_wall,
+        },
+        "parallel": {
+            "workers": workers,
+            "wall_seconds": par_wall,
+            "branches_per_second": total_branches / par_wall,
+        },
+        "speedup": seq_wall / par_wall if par_wall else 0.0,
+        "equivalent": equivalent,
+        "workloads": per_workload,
+        "single_run": {
+            name: {"branches_per_second": _single_run_bps(name)}
+            for name in ("compute-kernel", "transactions")
+        },
+    }
+
+
+def _check_baseline(payload, baseline_path, max_regression):
+    """Compare a throughput payload against a committed baseline; returns
+    the list of regression messages (empty when healthy)."""
+    with open(baseline_path) as stream:
+        baseline = json.load(stream)
+    floor_ratio = 1.0 - max_regression
+    failures = []
+    for name, entry in baseline.get("single_run", {}).items():
+        current = payload["single_run"].get(name)
+        if current is None:
+            continue
+        floor = entry["branches_per_second"] * floor_ratio
+        if current["branches_per_second"] < floor:
+            failures.append(
+                f"single-run {name}: {current['branches_per_second']:,.0f} "
+                f"branches/s < floor {floor:,.0f} "
+                f"(baseline {entry['branches_per_second']:,.0f}, "
+                f"max regression {max_regression:.0%})"
+            )
+    base_seq = baseline.get("sequential", {}).get("branches_per_second")
+    if base_seq:
+        floor = base_seq * floor_ratio
+        current = payload["sequential"]["branches_per_second"]
+        if current < floor:
+            failures.append(
+                f"sequential sweep: {current:,.0f} branches/s < floor "
+                f"{floor:,.0f} (baseline {base_seq:,.0f})"
+            )
+    return failures
+
+
+def cmd_sweep(args: argparse.Namespace) -> None:
+    configs = []
+    for name in args.configs:
+        if name not in GENERATIONS:
+            known = ", ".join(GENERATIONS)
+            raise SystemExit(f"unknown config {name!r}; known: {known}")
+        factory, _ = GENERATIONS[name]
+        configs.append((name, factory()))
+    for name in args.workloads:
+        if name not in STANDARD_WORKLOADS:
+            known = ", ".join(sorted(STANDARD_WORKLOADS))
+            raise SystemExit(f"unknown workload {name!r}; known: {known}")
+    cells = make_grid(configs, args.workloads, args.seeds,
+                      branches=args.branches, warmup=args.warmup)
+
+    throughput_mode = bool(args.throughput or args.json or args.baseline)
+    if throughput_mode:
+        # Time the same grid both ways; the fingerprint comparison below
+        # doubles as a determinism check on every CI run.
+        start = time.perf_counter()
+        results = run_cells(cells, workers=1)
+        seq_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        par_results = run_cells(cells, workers=args.workers)
+        par_wall = time.perf_counter() - start
+    else:
+        start = time.perf_counter()
+        results = run_cells(cells, workers=args.workers)
+        seq_wall = time.perf_counter() - start
+
+    header = (f"{'config':<8} {'workload':<18} {'seed':>4} {'coverage':>9} "
+              f"{'accuracy':>9} {'MPKI':>8}  fingerprint")
+    print(header)
+    print("-" * len(header))
+    for result in results:
+        stats = result.stats
+        print(
+            f"{result.label:<8} {result.workload:<18} {result.seed:>4} "
+            f"{stats.dynamic_coverage:>8.2%} {stats.direction_accuracy:>8.2%} "
+            f"{stats.mpki:>8.3f}  {result.fingerprint[:12]}"
+        )
+    total_branches = sum(result.branches for result in results)
+    print(
+        f"\n{len(results)} cells, {total_branches} branches: "
+        f"{seq_wall:.2f}s ({total_branches / seq_wall:,.0f} branches/s, "
+        f"workers={1 if throughput_mode else args.workers})"
+    )
+
+    if not throughput_mode:
+        return
+    payload = _throughput_payload(cells, args.workers, results, seq_wall,
+                                  par_results, par_wall, args.workloads, args)
+    print(
+        f"parallel (workers={args.workers}): {par_wall:.2f}s "
+        f"({payload['parallel']['branches_per_second']:,.0f} branches/s, "
+        f"speedup {payload['speedup']:.2f}x, "
+        f"equivalent={payload['equivalent']})"
+    )
+    for name, entry in payload["single_run"].items():
+        print(f"single-run {name}: {entry['branches_per_second']:,.0f} branches/s")
+    if not payload["equivalent"]:
+        print("FAIL: parallel results diverge from sequential")
+        sys.exit(1)
+    if args.json:
+        with open(args.json, "w") as stream:
+            json.dump(payload, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"wrote {args.json}")
+    if args.baseline:
+        failures = _check_baseline(payload, args.baseline, args.max_regression)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}")
+            sys.exit(1)
+        print(f"throughput within {args.max_regression:.0%} of baseline "
+              f"{args.baseline}")
+
+
 def cmd_workloads(_args: argparse.Namespace) -> None:
     for spec in STANDARD_WORKLOADS.values():
         print(f"{spec.name:<20} {spec.description}")
@@ -200,6 +382,33 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"workload families to cross-check "
              f"(default: {' '.join(DEFAULT_WORKLOAD_FAMILIES)})")
     diff_parser.set_defaults(func=cmd_verify_diff)
+
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="parallel (config x workload x seed) sweep with optional "
+             "throughput report")
+    sweep_parser.add_argument("--configs", nargs="*", metavar="GEN",
+                              default=list(GENERATIONS),
+                              help="generation presets (default: all four)")
+    sweep_parser.add_argument("--workloads", nargs="*", metavar="NAME",
+                              default=["compute-kernel", "transactions"])
+    sweep_parser.add_argument("--seeds", nargs="*", type=int, default=[1])
+    sweep_parser.add_argument("--branches", type=int, default=6_000)
+    sweep_parser.add_argument("--warmup", type=int, default=2_000)
+    sweep_parser.add_argument("--workers", type=int, default=1)
+    sweep_parser.add_argument("--throughput", action="store_true",
+                              help="also time the grid sequentially vs "
+                                   "parallel and print single-run numbers")
+    sweep_parser.add_argument("--json", metavar="PATH",
+                              help="write the throughput report (implies "
+                                   "--throughput)")
+    sweep_parser.add_argument("--baseline", metavar="PATH",
+                              help="committed throughput baseline to compare "
+                                   "against (implies --throughput)")
+    sweep_parser.add_argument("--max-regression", type=float, default=0.30,
+                              help="fail if throughput drops more than this "
+                                   "fraction below the baseline (default 0.30)")
+    sweep_parser.set_defaults(func=cmd_sweep)
 
     workloads_parser = sub.add_parser("workloads",
                                       help="list standard workloads")

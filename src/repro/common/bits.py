@@ -38,6 +38,28 @@ def fold_xor(value: int, width: int) -> int:
     return folded
 
 
+def bit_folder(width: int):
+    """A precompiled :func:`fold_xor` for one fixed *width*.
+
+    The prediction tables fold on every search with a table-constant
+    width; binding the width (and its chunk mask) once at
+    config-bind time keeps the per-lookup work to the XOR loop alone.
+    The returned callable is exactly ``lambda v: fold_xor(v, width)``.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    chunk_mask = (1 << width) - 1
+
+    def fold(value: int) -> int:
+        folded = 0
+        while value:
+            folded ^= value & chunk_mask
+            value >>= width
+        return folded
+
+    return fold
+
+
 def rotate_left(value: int, amount: int, width: int) -> int:
     """Rotate the low *width* bits of *value* left by *amount*."""
     if width <= 0:

@@ -1,0 +1,58 @@
+"""``__slots__`` for dataclasses on every supported Python version.
+
+The per-branch hot path allocates thousands of small record objects per
+simulated second (:class:`~repro.isa.dynamic.DynamicBranch`,
+:class:`~repro.core.gpq.PredictionRecord`, search traces, table lookup
+snapshots).  Giving those classes ``__slots__`` removes the per-instance
+``__dict__``, which both shrinks them and makes attribute access faster.
+
+``@dataclass(slots=True)`` only exists on Python 3.10+; this module
+backports the same transformation (CPython's ``dataclasses._add_slots``)
+so the package keeps its 3.9 floor.  Apply :func:`add_slots` *below* the
+``@dataclass`` decorator:
+
+    @add_slots
+    @dataclass
+    class Hot:
+        field: int = 0
+
+The decorator rebuilds the class with ``__slots__`` set to its field
+names, so instances can never grow ad-hoc attributes — a deliberate
+invariant for the hot records (see INTERNALS.md §9).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+def _frozen_getstate(self):
+    return [getattr(self, f.name) for f in dataclasses.fields(self)]
+
+
+def _frozen_setstate(self, state):
+    for field, value in zip(dataclasses.fields(self), state):
+        object.__setattr__(self, field.name, value)
+
+
+def add_slots(cls):
+    """Rebuild dataclass *cls* with ``__slots__`` over its fields."""
+    if "__slots__" in cls.__dict__:
+        raise TypeError(f"{cls.__name__} already specifies __slots__")
+    cls_dict = dict(cls.__dict__)
+    field_names = tuple(f.name for f in dataclasses.fields(cls))
+    cls_dict["__slots__"] = field_names
+    for field_name in field_names:
+        # Field defaults live inside the generated __init__; the class
+        # attributes would shadow the slot descriptors.
+        cls_dict.pop(field_name, None)
+    cls_dict.pop("__dict__", None)
+    cls_dict.pop("__weakref__", None)
+    new_cls = type(cls)(cls.__name__, cls.__bases__, cls_dict)
+    new_cls.__qualname__ = getattr(cls, "__qualname__", cls.__name__)
+    if cls.__dataclass_params__.frozen and "__getstate__" not in cls_dict:
+        # Default pickling restores slot state via setattr, which a
+        # frozen dataclass forbids; route it through object.__setattr__.
+        new_cls.__getstate__ = _frozen_getstate
+        new_cls.__setstate__ = _frozen_setstate
+    return new_cls

@@ -18,30 +18,34 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-from repro.common.addresses import line_index, line_of
-from repro.common.bits import fold_xor, mask
+from repro.common.addresses import line_of
+from repro.common.bits import bit_folder, mask
+from repro.common.slots import add_slots
 from repro.configs.predictor import Btb1Config
 from repro.core.entries import BtbEntry
 from repro.structures.assoc import SetAssociativeTable
 
 
-@dataclass(frozen=True)
 class BtbHit:
     """A search hit: where the entry lives and the line it matched in.
 
     ``address`` is the branch address the hit *implies* — the searched
     line base plus the entry's stored offset.  For an aliased entry this
-    differs from the address the entry was installed for.
+    differs from the address the entry was installed for.  (A plain
+    slotted class rather than a dataclass: one instance is built per
+    matching way per search, and the hand-written ``__init__`` computes
+    ``address`` eagerly in the same call — the walk/direction/target
+    paths read it several times per hit.  Treat instances as read-only.)
     """
 
-    row: int
-    way: int
-    entry: BtbEntry
-    line_base: int
+    __slots__ = ("row", "way", "entry", "line_base", "address")
 
-    @property
-    def address(self) -> int:
-        return self.entry.address_in(self.line_base)
+    def __init__(self, row: int, way: int, entry: BtbEntry, line_base: int):
+        self.row = row
+        self.way = way
+        self.entry = entry
+        self.line_base = line_base
+        self.address = line_base + entry.offset
 
     @property
     def aliased(self) -> bool:
@@ -50,6 +54,7 @@ class BtbHit:
         return self.entry.line_base != self.line_base
 
 
+@add_slots
 @dataclass
 class InstallResult:
     """Outcome of an install attempt through the write port."""
@@ -61,6 +66,12 @@ class InstallResult:
     victim: Optional[BtbEntry] = None
 
 
+def _hit_offset(hit: BtbHit) -> int:
+    """Sort key for the b3 in-line ordering stage (module level so the
+    hot search loop does not rebuild a closure per call)."""
+    return hit.entry.offset
+
+
 class Btb1:
     """The level-1 BTB array plus index/tag math and install filtering."""
 
@@ -68,6 +79,14 @@ class Btb1:
         config.validate()
         self.config = config
         self._row_bits = config.rows.bit_length() - 1
+        # Index/tag constants, bound once (line_size and rows are
+        # validated powers of two).
+        self._line_shift = config.line_size.bit_length() - 1
+        self._row_mask = mask(self._row_bits)
+        self._tag_fold = bit_folder(config.tag_bits)
+        # Fold constants for the fully-inlined search_line() XOR loop.
+        self._tag_bits = config.tag_bits
+        self._tag_fold_mask = mask(config.tag_bits)
         self._table: SetAssociativeTable[BtbEntry] = SetAssociativeTable(
             rows=config.rows, ways=config.ways, policy=config.policy
         )
@@ -91,13 +110,13 @@ class Btb1:
 
     def row_of(self, address: int) -> int:
         """Row selected by an address: low line-index bits."""
-        return line_index(address, self.config.line_size) & mask(self._row_bits)
+        return (address >> self._line_shift) & self._row_mask
 
     def tag_of(self, address: int, context: int) -> int:
         """Partial tag: line-index bits above the row index, folded with
         the address-space context."""
-        high_bits = line_index(address, self.config.line_size) >> self._row_bits
-        return fold_xor(high_bits ^ (context * 0x9E37), self.config.tag_bits)
+        high_bits = (address >> self._line_shift) >> self._row_bits
+        return self._tag_fold(high_bits ^ (context * 0x9E37))
 
     # ------------------------------------------------------------------
     # Search (read) port
@@ -109,23 +128,37 @@ class Btb1:
         """Search one 64-byte line: all tag-matching entries at or beyond
         *min_offset*, ordered by their in-line offset (the b3 ordering
         stage of the pipeline)."""
-        base = line_of(line_base, self.config.line_size)
-        row = self.row_of(base)
-        tag = self.tag_of(base, context)
+        line_shift = self._line_shift
+        base = (line_base >> line_shift) << line_shift
+        line_number = base >> line_shift
+        row = line_number & self._row_mask
+        # tag_of inlined down to the XOR-fold loop (one search per
+        # predicted line; no fold-closure call).
+        value = (line_number >> self._row_bits) ^ (context * 0x9E37)
+        tag = 0
+        tag_bits = self._tag_bits
+        fold_mask = self._tag_fold_mask
+        while value:
+            tag ^= value & fold_mask
+            value >>= tag_bits
         self.searches += 1
-        # Hot path: inline the row scan (called once per searched line).
+        # Hot path: inline the row scan over the live row list (called
+        # once per searched line; row/tag math is inlined from
+        # row_of/tag_of with the precomputed constants).
         hits = [
             BtbHit(row=row, way=way, entry=entry, line_base=base)
-            for way, entry in enumerate(self._table.row_entries(row))
+            for way, entry in enumerate(self._table.row_ref(row))
             if entry is not None
             and entry.tag == tag
             and entry.offset >= min_offset
         ]
-        hits.sort(key=lambda hit: hit.entry.offset)
         if hits:
+            if len(hits) > 1:
+                hits.sort(key=_hit_offset)
             self.hit_searches += 1
+            touch = self._table.policy(row).touch
             for hit in hits:
-                self._table.touch(hit.row, hit.way)
+                touch(hit.way)
         if self.on_search is not None:
             self.on_search(
                 line_base=base, context=context, min_offset=min_offset, hits=hits

@@ -24,8 +24,9 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.common.addresses import line_of
-from repro.common.bits import fold_xor, mask
+from repro.common.bits import bit_folder, mask
 from repro.common.errors import ConfigError
+from repro.common.slots import add_slots
 from repro.configs.predictor import Btb2Config
 from repro.core.btb1 import Btb1
 from repro.core.entries import Btb2Entry, BtbEntry
@@ -33,6 +34,7 @@ from repro.structures.assoc import SetAssociativeTable
 from repro.structures.queues import BoundedQueue
 
 
+@add_slots
 @dataclass
 class StagedTransfer:
     """One BTB2 hit waiting in the staging queue for a BTB1 install."""
@@ -50,6 +52,11 @@ class Btb2System:
         self.config = config
         self.btb1 = btb1
         self._row_bits = config.rows.bit_length() - 1
+        # Index/tag constants, bound once (line_size and rows are
+        # validated powers of two).
+        self._line_shift = config.line_size.bit_length() - 1
+        self._row_mask = mask(self._row_bits)
+        self._tag_fold = bit_folder(config.tag_bits)
         self._table: SetAssociativeTable[Btb2Entry] = SetAssociativeTable(
             rows=config.rows, ways=config.ways, policy=config.policy
         )
@@ -77,11 +84,11 @@ class Btb2System:
     # ------------------------------------------------------------------
 
     def row_of(self, address: int) -> int:
-        return (address // self.config.line_size) & mask(self._row_bits)
+        return (address >> self._line_shift) & self._row_mask
 
     def tag_of(self, address: int, context: int) -> int:
-        high_bits = (address // self.config.line_size) >> self._row_bits
-        return fold_xor(high_bits ^ (context * 0x9E37), self.config.tag_bits)
+        high_bits = (address >> self._line_shift) >> self._row_bits
+        return self._tag_fold(high_bits ^ (context * 0x9E37))
 
     # ------------------------------------------------------------------
     # Trigger bookkeeping (driven by the search pipeline)

@@ -17,7 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.common.bits import fold_xor
+from repro.common.bits import bit_folder
+from repro.common.slots import add_slots
 from repro.configs.predictor import CpredConfig
 from repro.structures.assoc import SetAssociativeTable
 
@@ -28,6 +29,7 @@ POWER_CTB = 4
 POWER_ALL = POWER_PHT | POWER_PERCEPTRON | POWER_CTB
 
 
+@add_slots
 @dataclass
 class CpredEntry:
     """One stream's learned exit: search count, way, redirect, power."""
@@ -39,6 +41,7 @@ class CpredEntry:
     power_mask: int = POWER_ALL
 
 
+@add_slots
 @dataclass
 class CpredLookup:
     """Prediction-time snapshot of a CPRED probe for one stream."""
@@ -58,7 +61,16 @@ class ColumnPredictor:
     def __init__(self, config: CpredConfig):
         config.validate()
         self.config = config
+        #: Bound once at construction; the config is never toggled live.
+        self.enabled = config.enabled
         self._row_bits = max(1, config.rows.bit_length() - 1)
+        self._row_fold = bit_folder(self._row_bits)
+        self._tag_fold = bit_folder(config.tag_bits)
+        # Fold constants for the inlined lookup()/train() XOR loops.
+        self._row_count = config.rows
+        self._row_fold_mask = (1 << self._row_bits) - 1
+        self._tag_bits = config.tag_bits
+        self._tag_fold_mask = (1 << config.tag_bits) - 1
         self._table: SetAssociativeTable[CpredEntry] = SetAssociativeTable(
             rows=config.rows, ways=config.ways, policy="lru"
         )
@@ -70,30 +82,49 @@ class ColumnPredictor:
         self.power_gated_lookups = 0
         self.power_gate_misses = 0
 
-    @property
-    def enabled(self) -> bool:
-        return self.config.enabled
-
     def row_of(self, stream_start: int) -> int:
-        return fold_xor(stream_start >> 1, self._row_bits) % self.config.rows
+        return self._row_fold(stream_start >> 1) % self.config.rows
 
     def tag_of(self, stream_start: int, context: int) -> int:
-        return fold_xor(
-            (stream_start >> 4) ^ (context * 0x1F7B), self.config.tag_bits
-        )
+        return self._tag_fold((stream_start >> 4) ^ (context * 0x1F7B))
+
+    def _index_and_tag(self, stream_start: int, context: int):
+        """row_of + tag_of in one call with the XOR folds inlined (the
+        lookup/train hot paths run this once per stream)."""
+        row_bits = self._row_bits
+        fold_mask = self._row_fold_mask
+        value = stream_start >> 1
+        row = 0
+        while value:
+            row ^= value & fold_mask
+            value >>= row_bits
+        row %= self._row_count
+        tag_bits = self._tag_bits
+        fold_mask = self._tag_fold_mask
+        value = (stream_start >> 4) ^ (context * 0x1F7B)
+        tag = 0
+        while value:
+            tag ^= value & fold_mask
+            value >>= tag_bits
+        return row, tag
 
     def lookup(self, stream_start: int, context: int) -> CpredLookup:
         """Probe on stream entry."""
         if not self.enabled:
             return CpredLookup(hit=False)
         self.lookups += 1
-        row = self.row_of(stream_start)
-        tag = self.tag_of(stream_start, context)
-        found = self._table.find(row, lambda entry: entry.tag == tag)
+        row, tag = self._index_and_tag(stream_start, context)
+        # Hot path (once per stream): scan the live row directly instead
+        # of building a per-call match closure.
+        found = None
+        for way, entry in enumerate(self._table.row_ref(row)):
+            if entry is not None and entry.tag == tag:
+                found = (way, entry)
+                break
         if found is None:
             return CpredLookup(hit=False, row=row, tag=tag)
         way, entry = found
-        self._table.touch(row, way)
+        self._table.policy(row).touch(way)
         self.hits += 1
         return CpredLookup(
             hit=True,
@@ -135,8 +166,7 @@ class ColumnPredictor:
         """Learn/refresh a stream exit when its taken branch is found."""
         if not self.enabled:
             return
-        row = self.row_of(stream_start)
-        tag = self.tag_of(stream_start, context)
+        row, tag = self._index_and_tag(stream_start, context)
         self._table.install(
             row,
             CpredEntry(

@@ -12,8 +12,9 @@ updates compare the two (section V).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional
 
+from repro.common.slots import add_slots
 from repro.core.btb1 import BtbHit
 from repro.core.cpred import (
     POWER_PERCEPTRON,
@@ -25,9 +26,10 @@ from repro.core.gpv import GlobalPathVector
 from repro.core.perceptron import Perceptron, PerceptronLookup
 from repro.core.providers import DirectionProvider
 from repro.core.spec import SpeculativeOverlay, sbht_key, spht_key
-from repro.core.tage import LONG, TageLookup, TageLookupSnapshot, TagePht
+from repro.core.tage import LONG, TageLookupSnapshot, TagePht
 
 
+@add_slots
 @dataclass
 class DirectionDecision:
     """The selected direction plus everything the GPQ must remember."""
@@ -80,34 +82,77 @@ class DirectionLogic:
                 perceptron_lookup=None,
             )
 
-        candidates: List[Tuple[DirectionProvider, bool]] = []
+        # Figure 8 considers the candidates in a fixed priority order and
+        # only ever consumes the first two (provider + alternate), so the
+        # chain below fills two slots directly instead of building a
+        # candidate list.  Every lookup still runs under the original
+        # conditions — the probes have observable side effects (counters,
+        # replacement state) that must stay identical.
+        provider: Optional[DirectionProvider] = None
+        taken = False
+        alternate_provider: Optional[DirectionProvider] = None
+        alternate_taken: Optional[bool] = None
         tage_snapshot: Optional[TageLookupSnapshot] = None
         perceptron_lookup: Optional[PerceptronLookup] = None
         pht_powered = True
         perceptron_powered = True
 
         if entry.may_use_direction_aux:
-            perceptron_powered = self.cpred.allows_power(
+            cpred = self.cpred
+            perceptron_powered = cpred.allows_power(
                 cpred_lookup, POWER_PERCEPTRON
             )
-            pht_powered = self.cpred.allows_power(cpred_lookup, POWER_PHT)
+            pht_powered = cpred.allows_power(cpred_lookup, POWER_PHT)
 
             if perceptron_powered:
                 perceptron_lookup = self.perceptron.lookup(hit.address, gpv)
                 if perceptron_lookup.hit and perceptron_lookup.useful:
-                    assert perceptron_lookup.taken is not None
-                    candidates.append(
-                        (DirectionProvider.PERCEPTRON, perceptron_lookup.taken)
-                    )
+                    provider = DirectionProvider.PERCEPTRON
+                    taken = perceptron_lookup.taken
             else:
-                self.cpred.note_power_gate_miss()
+                cpred.note_power_gate_miss()
 
             if pht_powered:
                 tage_lookup = self.tage.lookup(hit.address, gpv)
                 tage_snapshot = TageLookupSnapshot.from_lookup(tage_lookup)
-                self._append_pht_candidates(candidates, tage_lookup)
+                # SPHT overlay first (probing long then short until one
+                # table hit yields an override), then the main-table
+                # provider, then the TAGE-internal alternate (long's alt
+                # is short).
+                spht = self.spht
+                for pht_hit in (tage_lookup.long_hit, tage_lookup.short_hit):
+                    if pht_hit is None:
+                        continue
+                    override = spht.lookup(
+                        spht_key(pht_hit.table, pht_hit.row, pht_hit.tag)
+                    )
+                    if override is not None:
+                        if provider is None:
+                            provider = DirectionProvider.SPHT
+                            taken = override
+                        elif alternate_provider is None:
+                            alternate_provider = DirectionProvider.SPHT
+                            alternate_taken = override
+                        break
+                tage_provider = tage_lookup.provider
+                if tage_provider is not None:
+                    provider_id = (
+                        DirectionProvider.PHT_LONG
+                        if tage_provider == LONG
+                        else DirectionProvider.PHT_SHORT
+                    )
+                    if provider is None:
+                        provider = provider_id
+                        taken = tage_lookup.provider_taken
+                    elif alternate_provider is None:
+                        alternate_provider = provider_id
+                        alternate_taken = tage_lookup.provider_taken
+                    if tage_provider == LONG and tage_lookup.short_hit is not None:
+                        if alternate_provider is None:
+                            alternate_provider = DirectionProvider.PHT_SHORT
+                            alternate_taken = tage_lookup.short_hit.taken
             else:
-                self.cpred.note_power_gate_miss()
+                cpred.note_power_gate_miss()
 
         # BHT leg, with its speculative overlay.
         bht_taken = entry.bht.taken
@@ -115,14 +160,18 @@ class DirectionLogic:
             sbht_key(hit.row, hit.way, entry.tag, entry.offset)
         )
         if sbht_override is not None:
-            candidates.append((DirectionProvider.SBHT, sbht_override))
-        candidates.append((DirectionProvider.BHT, bht_taken))
-
-        provider, taken = candidates[0]
-        if len(candidates) > 1:
-            alternate_provider, alternate_taken = candidates[1]
-        else:
-            alternate_provider, alternate_taken = None, None
+            if provider is None:
+                provider = DirectionProvider.SBHT
+                taken = sbht_override
+            elif alternate_provider is None:
+                alternate_provider = DirectionProvider.SBHT
+                alternate_taken = sbht_override
+        if provider is None:
+            provider = DirectionProvider.BHT
+            taken = bht_taken
+        elif alternate_provider is None:
+            alternate_provider = DirectionProvider.BHT
+            alternate_taken = bht_taken
 
         # "Upon a weak prediction, a new entry is written into the SBHT
         # or SPHT" — assume it correct and strengthen speculatively.
@@ -141,33 +190,6 @@ class DirectionLogic:
             pht_powered=pht_powered,
             perceptron_powered=perceptron_powered,
         )
-
-    def _append_pht_candidates(
-        self,
-        candidates: List[Tuple[DirectionProvider, bool]],
-        lookup: TageLookup,
-    ) -> None:
-        """SPHT overlay first, then the main-table provider selection,
-        then the TAGE-internal alternate (long's alt is short)."""
-        for hit in (lookup.long_hit, lookup.short_hit):
-            if hit is None:
-                continue
-            override = self.spht.lookup(spht_key(hit.table, hit.row, hit.tag))
-            if override is not None:
-                candidates.append((DirectionProvider.SPHT, override))
-                break
-        if lookup.provider is not None:
-            assert lookup.provider_taken is not None
-            provider_id = (
-                DirectionProvider.PHT_LONG
-                if lookup.provider == LONG
-                else DirectionProvider.PHT_SHORT
-            )
-            candidates.append((provider_id, lookup.provider_taken))
-            if lookup.provider == LONG and lookup.short_hit is not None:
-                candidates.append(
-                    (DirectionProvider.PHT_SHORT, lookup.short_hit.taken)
-                )
 
     def _install_weak_overlays(
         self,

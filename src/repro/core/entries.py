@@ -18,10 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.common.slots import add_slots
 from repro.isa.instructions import BranchKind, UNCONDITIONAL_KINDS
 from repro.structures.saturating import TwoBitDirectionCounter
 
 
+@add_slots
 @dataclass
 class BtbEntry:
     """One BTB1 entry: a branch the predictor has learned about."""
@@ -62,11 +64,14 @@ class BtbEntry:
     line_base: int = 0
     #: Address-space identifier at install time (model bookkeeping).
     context: int = 0
+    #: Cached ``kind in UNCONDITIONAL_KINDS`` (figure 8: unconditional
+    #: entries always predict taken).  ``kind`` is fixed at install
+    #: time, and this is read several times per predicted branch, so a
+    #: plain slot beats re-hashing the enum per access.
+    is_unconditional: bool = field(init=False)
 
-    @property
-    def is_unconditional(self) -> bool:
-        """Entries marked unconditional always predict taken (figure 8)."""
-        return self.kind in UNCONDITIONAL_KINDS
+    def __post_init__(self) -> None:
+        self.is_unconditional = self.kind in UNCONDITIONAL_KINDS
 
     @property
     def may_use_direction_aux(self) -> bool:
@@ -96,6 +101,7 @@ class BtbEntry:
             self.skoot = min(self.skoot, clamped)
 
 
+@add_slots
 @dataclass
 class Btb2Entry:
     """One BTB2 entry: a reduced snapshot sufficient to re-prime the BTB1.

@@ -11,9 +11,11 @@ completes.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.common.slots import add_slots
 from repro.core.cpred import CpredLookup
 from repro.core.crs import CrsPrediction
 from repro.core.ctb import CtbLookup
@@ -21,9 +23,9 @@ from repro.core.perceptron import PerceptronLookup
 from repro.core.providers import DirectionProvider, TargetProvider
 from repro.core.tage import TageLookupSnapshot
 from repro.isa.instructions import BranchKind
-from repro.structures.queues import BoundedQueue
 
 
+@add_slots
 @dataclass
 class PredictionRecord:
     """Everything the update pipeline needs about one predicted branch."""
@@ -106,50 +108,55 @@ class GlobalPredictionQueue:
 
     The functional engine uses it to delay non-speculative updates by the
     configured completion latency — the property that makes the SBHT/SPHT
-    overlays observable.
+    overlays observable.  Implemented directly over a deque (push and
+    completion-popping run once per predicted branch).
     """
 
     def __init__(self, capacity: int):
-        self._queue: BoundedQueue[PredictionRecord] = BoundedQueue(
-            capacity, name="gpq"
-        )
+        if capacity <= 0:
+            raise ValueError(f"gpq capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._items: "deque[PredictionRecord]" = deque()
         self.forced_completions = 0
 
     def __len__(self) -> int:
-        return len(self._queue)
+        return len(self._items)
 
     @property
     def full(self) -> bool:
-        return self._queue.full
+        return len(self._items) >= self.capacity
 
     def push(self, record: PredictionRecord) -> Optional[PredictionRecord]:
         """Enqueue a new prediction.  When the queue is full the oldest
         record is force-completed first (modelling the stall that would
         otherwise throttle the search pipeline); it is returned so the
         caller can run its update immediately."""
+        items = self._items
         forced = None
-        if self._queue.full:
-            forced = self._queue.pop()
+        if len(items) >= self.capacity:
+            forced = items.popleft()
             self.forced_completions += 1
-        self._queue.push(record)
+        items.append(record)
         return forced
 
     def completions_due(self, completed_sequence: int) -> List[PredictionRecord]:
         """Pop every record whose branch has completed (sequence <=
         *completed_sequence*), oldest first."""
+        items = self._items
+        if not items or items[0].sequence > completed_sequence:
+            return []
         due: List[PredictionRecord] = []
-        while self._queue:
-            oldest = self._queue.peek()
-            assert oldest is not None
-            if oldest.sequence > completed_sequence:
-                break
-            due.append(self._queue.pop())
+        popleft = items.popleft
+        while items and items[0].sequence <= completed_sequence:
+            due.append(popleft())
         return due
 
     def drain(self) -> List[PredictionRecord]:
         """Complete everything (end of run)."""
-        return self._queue.drain()
+        due = list(self._items)
+        self._items.clear()
+        return due
 
     def flush(self) -> None:
         """Pipeline flush: discard in-flight records without updates."""
-        self._queue.clear()
+        self._items.clear()

@@ -12,11 +12,28 @@ z13 and earlier tracked 9 taken branches (18 bits); z14/z15 track 17
 
 from __future__ import annotations
 
-from repro.common.bits import fold_xor, mask
+from repro.common.bits import bit_folder, mask
+
+#: Entries kept in the per-instance branch-hash memo before it is reset
+#: (the hash is a pure function of the address, so resetting only costs
+#: recomputation, never correctness).
+_HASH_CACHE_LIMIT = 1 << 16
 
 
 class GlobalPathVector:
     """A shift register of per-taken-branch address hashes."""
+
+    __slots__ = (
+        "depth",
+        "bits_per_branch",
+        "width",
+        "_value",
+        "_width_mask",
+        "_hash_fold",
+        "_hash_cache",
+        "_bits_value",
+        "_bits_tuple",
+    )
 
     def __init__(self, depth: int = 17, bits_per_branch: int = 2):
         if depth < 1:
@@ -27,6 +44,12 @@ class GlobalPathVector:
         self.bits_per_branch = bits_per_branch
         self.width = depth * bits_per_branch
         self._value = 0
+        # Hot-path constants and memos, bound once per instance.
+        self._width_mask = mask(self.width)
+        self._hash_fold = bit_folder(bits_per_branch)
+        self._hash_cache: dict = {}
+        self._bits_value = -1
+        self._bits_tuple: tuple = ()
 
     def branch_hash(self, address: int) -> int:
         """Hash a taken branch's instruction address down to the per-branch
@@ -34,15 +57,22 @@ class GlobalPathVector:
         hashed down to a smaller 2-bit vector", section V).
 
         Instruction addresses are halfword aligned, so bit 0 carries no
-        information; the hash folds the address above it.
+        information; the hash folds the address above it.  The hash is a
+        pure function of the address, so it is memoized per address.
         """
-        return fold_xor(address >> 1, self.bits_per_branch)
+        cache = self._hash_cache
+        cached = cache.get(address)
+        if cached is None:
+            if len(cache) >= _HASH_CACHE_LIMIT:
+                cache.clear()
+            cached = cache[address] = self._hash_fold(address >> 1)
+        return cached
 
     def record_taken(self, address: int) -> None:
         """Shift the hash of a newly taken branch into the vector."""
         self._value = (
             (self._value << self.bits_per_branch) | self.branch_hash(address)
-        ) & mask(self.width)
+        ) & self._width_mask
 
     def value(self, depth: int | None = None) -> int:
         """The packed history.
@@ -63,8 +93,21 @@ class GlobalPathVector:
         """The vector as a tuple of 0/1 ints, LSB (youngest) first.
 
         The perceptron weights each consume one GPV bit (section V).
+        The expansion goes through ``bin()`` (one C-level pass instead
+        of a per-bit shift loop) and the result is memoized against the
+        current packed value.
         """
-        return tuple((self._value >> i) & 1 for i in range(self.width))
+        value = self._value
+        if value != self._bits_value:
+            # ``value | (1 << width)`` plants a sentinel bit above the
+            # vector so bin() always yields exactly ``width`` digits
+            # after the '0b' prefix; reversing the slice makes it
+            # LSB-first.
+            self._bits_tuple = tuple(
+                map(int, bin(value | (1 << self.width))[:2:-1])
+            )
+            self._bits_value = value
+        return self._bits_tuple
 
     def snapshot(self) -> int:
         """The raw value, for storing in a prediction record."""
@@ -72,7 +115,7 @@ class GlobalPathVector:
 
     def restore(self, snapshot: int) -> None:
         """Reset the vector to a previously captured snapshot."""
-        self._value = snapshot & mask(self.width)
+        self._value = snapshot & self._width_mask
 
     def clear(self) -> None:
         self._value = 0

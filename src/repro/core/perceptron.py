@@ -19,14 +19,16 @@ structures".  Faithfully modelled behaviours:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.common.bits import fold_xor
+from repro.common.bits import bit_folder
+from repro.common.slots import add_slots
 from repro.configs.predictor import PerceptronConfig
 from repro.core.gpv import GlobalPathVector
 
 
+@add_slots
 @dataclass
 class PerceptronEntry:
     """One perceptron: a tagged weight vector with replacement metadata."""
@@ -39,24 +41,31 @@ class PerceptronEntry:
     protection: int = 0
     updates_seen: int = 0
 
-    def selected_bits(self, gpv_bits: Tuple[int, ...]) -> Tuple[int, ...]:
-        """The GPV bits this entry's weights currently observe."""
-        return tuple(gpv_bits[index] for index in self.mapping)
+    def selected_bits(self, gpv_value: int) -> Tuple[int, ...]:
+        """The GPV bits this entry's weights currently observe.
 
-    def weight_sum(self, gpv_bits: Tuple[int, ...]) -> int:
+        *gpv_value* is the raw path-vector integer (LSB = bit 0), the
+        hot-path representation used instead of a materialised tuple.
+        """
+        return tuple((gpv_value >> index) & 1 for index in self.mapping)
+
+    def weight_sum(self, gpv_value: int) -> int:
         """Signed sum: each weight contributes +w when its GPV bit is 1
         and -w when it is 0 (the bit supplies the sign, section V)."""
         total = 0
         for weight, bit_index in zip(self.weights, self.mapping):
-            bit = gpv_bits[bit_index]
-            total += weight if bit else -weight
+            if (gpv_value >> bit_index) & 1:
+                total += weight
+            else:
+                total -= weight
         return total
 
-    def predict(self, gpv_bits: Tuple[int, ...]) -> bool:
+    def predict(self, gpv_value: int) -> bool:
         """Direction = sign of the weight sum (>= 0 predicts taken)."""
-        return self.weight_sum(gpv_bits) >= 0
+        return self.weight_sum(gpv_value) >= 0
 
 
+@add_slots
 @dataclass
 class PerceptronLookup:
     """Prediction-time snapshot stored in the GPQ."""
@@ -68,9 +77,10 @@ class PerceptronLookup:
     taken: Optional[bool] = None
     #: True when usefulness clears the provider threshold.
     useful: bool = False
-    #: GPV bits at prediction time (the whole vector; training re-selects
-    #: through the possibly-updated mapping).
-    gpv_bits: Tuple[int, ...] = field(default_factory=tuple)
+    #: GPV value at prediction time (the whole vector as a raw integer,
+    #: LSB = bit 0; training re-selects through the possibly-updated
+    #: mapping).
+    gpv_bits: int = 0
 
 
 class Perceptron:
@@ -79,8 +89,11 @@ class Perceptron:
     def __init__(self, config: PerceptronConfig, gpv_width: int):
         config.validate()
         self.config = config
+        #: Bound once at construction; the config is never toggled live.
+        self.enabled = config.enabled
         self.gpv_width = gpv_width
         self._row_bits = max(1, config.rows.bit_length() - 1)
+        self._row_fold = bit_folder(self._row_bits)
         self._rows: List[List[Optional[PerceptronEntry]]] = [
             [None] * config.ways for _ in range(config.rows)
         ]
@@ -91,17 +104,13 @@ class Perceptron:
         self.install_rejects = 0
         self.virtualizations = 0
 
-    @property
-    def enabled(self) -> bool:
-        return self.config.enabled
-
     # ------------------------------------------------------------------
     # Index math and virtualisation map
     # ------------------------------------------------------------------
 
     def row_of(self, address: int) -> int:
         """Indexed as a function of the BPL search address (section V)."""
-        return fold_xor(address >> 1, self._row_bits) % self.config.rows
+        return self._row_fold(address >> 1) % self.config.rows
 
     def _initial_mapping(self) -> List[int]:
         """Primary GPV bit per weight: with 2:1 virtualisation weight *i*
@@ -126,20 +135,28 @@ class Perceptron:
         if not self.enabled:
             return PerceptronLookup(hit=False)
         self.lookups += 1
-        row = self.row_of(address)
-        gpv_bits = gpv.bits()
+        # row_of inlined (one probe per predicted branch).
+        row = self._row_fold(address >> 1) % self.config.rows
+        gpv_bits = gpv.snapshot()
         for way, entry in enumerate(self._rows[row]):
             if entry is not None and entry.address == address:
                 self.hits += 1
                 useful = entry.usefulness >= self.config.provider_threshold
                 if useful:
                     self.provider_hits += 1
+                # entry.predict() inlined (one signed sum per probe hit).
+                total = 0
+                for weight, bit_index in zip(entry.weights, entry.mapping):
+                    if (gpv_bits >> bit_index) & 1:
+                        total += weight
+                    else:
+                        total -= weight
                 return PerceptronLookup(
                     hit=True,
                     row=row,
                     way=way,
                     address=address,
-                    taken=entry.predict(gpv_bits),
+                    taken=total >= 0,
                     useful=useful,
                     gpv_bits=gpv_bits,
                 )
@@ -168,8 +185,31 @@ class Perceptron:
         entry = self._entry_at(lookup.row, lookup.way, lookup.address)
         if entry is None:
             return
-        perceptron_taken = entry.predict(lookup.gpv_bits)
-        self._train_weights(entry, lookup.gpv_bits, actual_taken)
+        # Fused predict + train pass: the sum is accumulated from the
+        # *pre-training* weight values while each weight is adjusted in
+        # the same loop, which is exactly entry.predict() followed by
+        # _train_weights() but with one iteration instead of two.
+        gpv_value = lookup.gpv_bits
+        limit = self.config.weight_limit
+        floor = -limit
+        weights = entry.weights
+        total = 0
+        for index, bit_index in enumerate(entry.mapping):
+            weight = weights[index]
+            # The extracted bit is exactly 0/1, so ==-comparing it with
+            # *taken* (False==0, True==1) matches bool() coercion.
+            if (gpv_value >> bit_index) & 1:
+                total += weight
+                strengthen = actual_taken
+            else:
+                total -= weight
+                strengthen = not actual_taken
+            if strengthen:
+                if weight < limit:
+                    weights[index] = weight + 1
+            elif weight > floor:
+                weights[index] = weight - 1
+        perceptron_taken = total >= 0
         entry.updates_seen += 1
         perceptron_correct = perceptron_taken == actual_taken
         if alternate_taken is None:
@@ -190,17 +230,6 @@ class Perceptron:
             ):
                 entry.usefulness += 1
         self._maybe_virtualize(entry)
-
-    def _train_weights(
-        self, entry: PerceptronEntry, gpv_bits: Tuple[int, ...], taken: bool
-    ) -> None:
-        limit = self.config.weight_limit
-        for index, bit_index in enumerate(entry.mapping):
-            bit = gpv_bits[bit_index]
-            if taken == bool(bit):
-                entry.weights[index] = min(limit, entry.weights[index] + 1)
-            else:
-                entry.weights[index] = max(-limit, entry.weights[index] - 1)
 
     def _maybe_virtualize(self, entry: PerceptronEntry) -> None:
         """Retarget near-zero weights to their alternate GPV bit."""

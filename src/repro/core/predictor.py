@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.common.addresses import line_of, lines_between
+from repro.common.slots import add_slots
 from repro.configs.predictor import PredictorConfig
 from repro.core.btb1 import Btb1, BtbHit
 from repro.core.btb2 import Btb2System
@@ -57,6 +58,7 @@ from repro.structures.queues import BoundedQueue
 from repro.structures.saturating import TwoBitDirectionCounter
 
 
+@add_slots
 @dataclass
 class SearchTrace:
     """Search-pipeline events observed while reaching one branch."""
@@ -73,6 +75,7 @@ class SearchTrace:
     stream_searches: int = 0
 
 
+@add_slots
 @dataclass
 class PredictionOutcome:
     """Per-branch result handed back to the driving engine."""
@@ -89,6 +92,7 @@ class PredictionOutcome:
         return self.record.mispredicted
 
 
+@add_slots
 @dataclass
 class _Stream:
     """State of the instruction stream currently being searched."""
@@ -105,6 +109,7 @@ class _Stream:
     cpred_lookup: CpredLookup = field(default_factory=lambda: CpredLookup(hit=False))
 
 
+@add_slots
 @dataclass
 class _ThreadState:
     """Per-SMT-thread front-end state (search point, path history)."""
@@ -115,6 +120,7 @@ class _ThreadState:
     gpv: GlobalPathVector
 
 
+@add_slots
 @dataclass
 class _InstallCommand:
     """One write-queue item: a pending BTB1 install."""
@@ -241,12 +247,21 @@ class LookaheadBranchPredictor:
         completions.  The engine guarantees per-thread program order and
         globally monotonic sequence numbers."""
         self.predictions += 1
-        state = self._thread_state(branch.thread)
+        state = self._threads.get(branch.thread)
+        if state is None:
+            state = self._thread_state(branch.thread)
         trace = SearchTrace()
         # The staging queue drains through the write port continuously
         # (up to one entry per cycle; several cycles pass per branch).
-        if self.btb2 is not None and self._staging_drain_countdown is None:
-            self.btb2.drain_staging(limit=2 * self.config.write_drain_per_step)
+        # The queue is empty for most branches; the truthiness guard
+        # skips the no-op drain call on the hot path.
+        btb2 = self.btb2
+        if (
+            btb2 is not None
+            and self._staging_drain_countdown is None
+            and btb2.staging
+        ):
+            btb2.drain_staging(limit=2 * self.config.write_drain_per_step)
         hit = self._walk_to(state, branch.address, branch.context, trace)
         trace.stream_searches = state.stream.searches_done
 
@@ -255,7 +270,9 @@ class LookaheadBranchPredictor:
         else:
             record = self._predict_surprise(state, branch, trace)
 
-        record.resolve(branch.taken, branch.target)
+        # record.resolve() inlined (two plain stores, once per branch).
+        record.actual_taken = branch.taken
+        record.actual_target = branch.target
         self._after_resolution(state, branch, record, hit)
 
         forced = self.gpq.push(record)
@@ -330,25 +347,41 @@ class LookaheadBranchPredictor:
             )
 
         target_line = line_of(branch_address, line_size)
+        btb2 = self.btb2
+        search_line = self.btb1.search_line
         result: Optional[BtbHit] = None
         while True:
-            line_base = line_of(state.search_address, line_size)
-            min_offset = state.search_address - line_base
-            hits = self.btb1.search_line(line_base, context, min_offset)
+            search_address = state.search_address
+            line_base = search_address - (search_address % line_size)
+            min_offset = search_address - line_base
+            hits = search_line(line_base, context, min_offset)
             trace.lines_searched += 1
             stream.searches_done += 1
 
-            relevant = [h for h in hits if h.address <= branch_address]
-            for bad in [h for h in relevant if h.address < branch_address]:
-                self._handle_bad_prediction(bad, trace)
-            if line_base == target_line:
-                for candidate in relevant:
-                    if candidate.address == branch_address:
-                        result = candidate
-                        break
+            if hits:
+                if line_base == target_line:
+                    # Hits are offset-ordered: everything before the
+                    # branch is bad, an exact match is the prediction,
+                    # later offsets stay for the redirected next search.
+                    for candidate in hits:
+                        hit_address = candidate.address
+                        if hit_address < branch_address:
+                            self._handle_bad_prediction(candidate, trace)
+                        elif hit_address == branch_address:
+                            result = candidate
+                            break
+                        else:
+                            break
+                else:
+                    # A line strictly before the target line: every hit
+                    # precedes the branch, so all are bad predictions.
+                    for bad in hits:
+                        self._handle_bad_prediction(bad, trace)
+            else:
+                trace.empty_searches += 1
 
-            if self.btb2 is not None:
-                fired = self.btb2.note_search_outcome(
+            if btb2 is not None:
+                fired = btb2.note_search_outcome(
                     line_base, context, hit=bool(hits)
                 )
                 if fired:
@@ -356,12 +389,10 @@ class LookaheadBranchPredictor:
                     self._staging_drain_countdown = self.config.btb2_visibility_lines
                 if self._staging_drain_countdown is not None:
                     if self._staging_drain_countdown <= 0:
-                        self.btb2.drain_staging()
+                        btb2.drain_staging()
                         self._staging_drain_countdown = None
                     else:
                         self._staging_drain_countdown -= 1
-            if not hits:
-                trace.empty_searches += 1
 
             if line_base == target_line:
                 break
@@ -643,10 +674,13 @@ class LookaheadBranchPredictor:
     # ------------------------------------------------------------------
 
     def _apply_update(self, record: PredictionRecord) -> None:
-        """Non-speculative updates for one completed branch."""
-        assert record.resolved
-        self.sbht.retire(record.sequence)
-        self.spht.retire(record.sequence)
+        """Non-speculative updates for one completed (resolved) branch."""
+        # The overlays are empty for most branches; the truthiness guard
+        # skips two no-op retire calls per completion on the hot path.
+        if self.sbht._entries:
+            self.sbht.retire(record.sequence)
+        if self.spht._entries:
+            self.spht.retire(record.sequence)
         if record.dynamic:
             self._update_dynamic(record)
         else:
@@ -656,10 +690,11 @@ class LookaheadBranchPredictor:
     def _update_dynamic(self, record: PredictionRecord) -> None:
         entry = self._refind_entry(record)
         actual_taken = bool(record.actual_taken)
+        direction_wrong = record.predicted_taken != record.actual_taken
 
         if entry is not None:
             entry.bht.update(actual_taken)
-            if record.direction_wrong and not entry.is_unconditional:
+            if direction_wrong and not entry.is_unconditional:
                 entry.bidirectional = True
 
         # TAGE: provider-entry direction/usefulness update plus the
@@ -670,7 +705,7 @@ class LookaheadBranchPredictor:
                 record.tage, actual_taken, self._tage_alternate(record)
             )
         unconditional = entry is not None and entry.is_unconditional
-        if record.direction_wrong and not unconditional:
+        if direction_wrong and not unconditional:
             mispredicting = None
             if record.direction_provider is DirectionProvider.PHT_SHORT:
                 mispredicting = SHORT

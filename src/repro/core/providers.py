@@ -13,6 +13,11 @@ import enum
 class DirectionProvider(enum.Enum):
     """Who supplied the direction of a prediction."""
 
+    # Identity hash (a C-level slot) instead of Enum's Python-level
+    # name hash: provider-keyed stats dicts hash these once per
+    # predicted branch.  Member equality is identity either way.
+    __hash__ = object.__hash__
+
     #: BTB1 entry marked unconditional — always taken.
     UNCONDITIONAL = "unconditional"
     #: The 2-bit BHT embedded in the BTB1.
@@ -33,6 +38,8 @@ class DirectionProvider(enum.Enum):
 
 class TargetProvider(enum.Enum):
     """Who supplied the target of a taken prediction."""
+
+    __hash__ = object.__hash__
 
     #: Target field of the BTB1 entry.
     BTB1 = "btb1"

@@ -40,16 +40,14 @@ class SpeculativeOverlay:
     def __init__(self, config: SpeculativeOverlayConfig, name: str):
         config.validate()
         self.config = config
+        #: Bound once at construction; the config is never toggled live.
+        self.enabled = config.enabled
         self.name = name
         self._entries: Dict[Hashable, OverlayEntry] = {}
         self._insertion_order: list = []
         self.installs = 0
         self.overrides = 0
         self.removals = 0
-
-    @property
-    def enabled(self) -> bool:
-        return self.config.enabled
 
     def lookup(self, key: Hashable) -> Optional[bool]:
         """The overridden direction for *key*, or None."""
@@ -81,6 +79,8 @@ class SpeculativeOverlay:
 
     def retire(self, sequence: int) -> int:
         """Remove entries whose installer has completed; returns count."""
+        if not self._entries:
+            return 0
         stale = [
             key
             for key, entry in self._entries.items()

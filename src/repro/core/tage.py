@@ -26,7 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.common.bits import fold_xor, mask
+from repro.common.bits import bit_folder, mask
+from repro.common.slots import add_slots
 from repro.configs.predictor import PhtConfig
 from repro.core.gpv import GlobalPathVector
 from repro.structures.assoc import SetAssociativeTable
@@ -36,6 +37,7 @@ SHORT = "short"
 LONG = "long"
 
 
+@add_slots
 @dataclass
 class TageEntry:
     """One tagged-PHT entry."""
@@ -61,6 +63,7 @@ class TageEntry:
             self.counter.decrement()
 
 
+@add_slots
 @dataclass
 class TableLookup:
     """Result of probing one table for one branch."""
@@ -70,16 +73,15 @@ class TableLookup:
     way: int
     tag: int
     entry: TageEntry
-
-    @property
-    def taken(self) -> bool:
-        return self.entry.taken
-
-    @property
-    def weak(self) -> bool:
-        return self.entry.weak
+    #: Direction/strength captured at probe time.  Plain fields, not
+    #: entry properties: the selection chain re-reads them several
+    #: times per branch, and nothing trains the entry between the probe
+    #: and selection (updates happen at completion time).
+    taken: bool = False
+    weak: bool = False
 
 
+@add_slots
 @dataclass
 class TageLookup:
     """Combined two-table lookup plus provider selection outcome."""
@@ -113,6 +115,16 @@ class _TageTable:
         self.history = history
         self._gpv_bits_per_branch = gpv_bits
         self._row_bits = config.rows.bit_length() - 1
+        # Index/tag constants, bound once per table.
+        self._history_mask = mask(history * gpv_bits)
+        self._index_fold = (
+            bit_folder(self._row_bits) if self._row_bits > 0 else None
+        )
+        self._tag_fold = bit_folder(config.tag_bits)
+        # Fold constants for the fully-inlined lookup() XOR loops.
+        self._row_fold_mask = mask(self._row_bits)
+        self._tag_bits = config.tag_bits
+        self._tag_fold_mask = mask(config.tag_bits)
         self._table: SetAssociativeTable[TageEntry] = SetAssociativeTable(
             rows=config.rows, ways=config.ways, policy="lru"
         )
@@ -121,30 +133,54 @@ class _TageTable:
         self.install_failures = 0
 
     def _history_value(self, gpv_snapshot: int) -> int:
-        return gpv_snapshot & mask(self.history * self._gpv_bits_per_branch)
+        return gpv_snapshot & self._history_mask
 
     def index_of(self, address: int, gpv_snapshot: int) -> int:
-        if self._row_bits == 0:
+        if self._index_fold is None:
             return 0
-        history = self._history_value(gpv_snapshot)
+        history = gpv_snapshot & self._history_mask
         mixed = (address >> 1) ^ (history * 0x5BD1) ^ (history >> self._row_bits)
-        return fold_xor(mixed, self._row_bits)
+        return self._index_fold(mixed)
 
     def tag_of(self, address: int, gpv_snapshot: int) -> int:
-        history = self._history_value(gpv_snapshot)
+        history = gpv_snapshot & self._history_mask
         mixed = (address >> 3) ^ (history * 0xC2B2) ^ (address << 2)
-        return fold_xor(mixed, self.config.tag_bits)
+        return self._tag_fold(mixed)
 
     def lookup(self, address: int, gpv_snapshot: int) -> Optional[TableLookup]:
-        row = self.index_of(address, gpv_snapshot)
-        tag = self.tag_of(address, gpv_snapshot)
-        found = self._table.find(row, lambda entry: entry.tag == tag)
-        if found is None:
-            return None
-        self.hits += 1
-        way, entry = found
-        self._table.touch(row, way)
-        return TableLookup(table=self.name, row=row, way=way, tag=tag, entry=entry)
+        # Hot path: index_of/tag_of inlined down to the XOR-fold loops
+        # (shared history extraction, no wrapper or fold-closure calls),
+        # and the live row scanned directly instead of building a
+        # per-call match closure for find().
+        history = gpv_snapshot & self._history_mask
+        row_bits = self._row_bits
+        row = 0
+        if row_bits:
+            value = (address >> 1) ^ (history * 0x5BD1) ^ (history >> row_bits)
+            fold_mask = self._row_fold_mask
+            while value:
+                row ^= value & fold_mask
+                value >>= row_bits
+        value = (address >> 3) ^ (history * 0xC2B2) ^ (address << 2)
+        tag = 0
+        tag_bits = self._tag_bits
+        fold_mask = self._tag_fold_mask
+        while value:
+            tag ^= value & fold_mask
+            value >>= tag_bits
+        for way, entry in enumerate(self._table.row_ref(row)):
+            if entry is not None and entry.tag == tag:
+                self.hits += 1
+                self._table.policy(row).touch(way)
+                counter = entry.counter
+                midpoint = (counter.maximum + 1) // 2
+                value = counter.value
+                return TableLookup(
+                    table=self.name, row=row, way=way, tag=tag, entry=entry,
+                    taken=value >= midpoint,
+                    weak=value in (midpoint - 1, midpoint),
+                )
+        return None
 
     def can_install(self, address: int, gpv_snapshot: int) -> bool:
         """True when the indexed row holds an empty or usefulness-0 way."""
@@ -374,6 +410,7 @@ class TagePht:
         raise ValueError(f"unknown TAGE table {name!r}")
 
 
+@add_slots
 @dataclass
 class TageLookupSnapshot:
     """What the GPQ stores about a TAGE lookup for completion-time update."""

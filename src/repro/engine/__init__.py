@@ -1,6 +1,16 @@
-"""Simulation engines: functional (accuracy) and cycle-level (timing)."""
+"""Simulation engines: functional (accuracy), cycle-level (timing), and
+the deterministic parallel sweep runner."""
 
 from repro.engine.cycle import CycleEngine, CycleStats
 from repro.engine.functional import FunctionalEngine
+from repro.engine.parallel import SweepCell, SweepResult, make_grid, run_cells
 
-__all__ = ["CycleEngine", "CycleStats", "FunctionalEngine"]
+__all__ = [
+    "CycleEngine",
+    "CycleStats",
+    "FunctionalEngine",
+    "SweepCell",
+    "SweepResult",
+    "make_grid",
+    "run_cells",
+]

@@ -18,6 +18,16 @@ from repro.workloads.executor import Executor
 from repro.workloads.multi import ContextSwitch, InterleavedRun
 from repro.workloads.program import Program
 
+#: Instructions assumed per executed branch when a branch stream carries
+#: no real instruction counts: the classic ~1-branch-in-4 dynamic
+#: density of the branch-heavy commercial footprints the paper's
+#: predictor targets.  MPKI derived through this approximation is
+#: exactly ``branch_mpki / INSTRUCTIONS_PER_BRANCH`` and is flagged via
+#: ``RunStats.instructions_approximate``; prefer real instruction counts
+#: (``run_program`` / the ``instructions=`` argument) whenever the
+#: workload provides them.
+INSTRUCTIONS_PER_BRANCH = 4
+
 
 class FunctionalEngine:
     """Feeds executed branches to a predictor and aggregates statistics.
@@ -55,16 +65,32 @@ class FunctionalEngine:
         """
         executor = Executor(program, seed=seed)
         self.predictor.restart(program.entry_point, context=0)
+        predict = self.predictor.predict_and_resolve
+        observer = self.observer
+        profile = self.profile
         counted_instructions_start = 0
-        for index, branch in enumerate(
-            executor.run(max_branches=warmup_branches + max_branches)
-        ):
-            outcome = self.predictor.predict_and_resolve(branch)
-            if self.observer is not None:
-                self.observer(outcome)
-            if index == warmup_branches - 1:
-                counted_instructions_start = executor.instructions_executed
-            if index >= warmup_branches:
+        stream = executor.run(max_branches=warmup_branches + max_branches)
+        if warmup_branches > 0:
+            consumed = 0
+            for branch in stream:
+                outcome = predict(branch)
+                if observer is not None:
+                    observer(outcome)
+                consumed += 1
+                if consumed == warmup_branches:
+                    counted_instructions_start = executor.instructions_executed
+                    break
+        # Counted phase, specialized on the attached consumers so the
+        # per-branch loop carries no invariant is-None checks.
+        if observer is None and profile is None:
+            record = self.stats.record
+            for branch in stream:
+                record(predict(branch))
+        else:
+            for branch in stream:
+                outcome = predict(branch)
+                if observer is not None:
+                    observer(outcome)
                 self._record(outcome)
         self.predictor.finalize()
         self.stats.instructions = (
@@ -79,6 +105,11 @@ class FunctionalEngine:
         restart_at: Optional[int] = None,
     ) -> RunStats:
         """Predict a pre-recorded branch stream (e.g. a loaded trace)."""
+        predict = self.predictor.predict_and_resolve
+        observer = self.observer
+        profile = self.profile
+        record = self.stats.record
+        fast = observer is None and profile is None
         first = True
         count = 0
         for branch in branches:
@@ -86,17 +117,22 @@ class FunctionalEngine:
                 start = restart_at if restart_at is not None else branch.address
                 self.predictor.restart(start, context=branch.context)
                 first = False
-            outcome = self.predictor.predict_and_resolve(branch)
-            if self.observer is not None:
-                self.observer(outcome)
-            self._record(outcome)
+            outcome = predict(branch)
+            if fast:
+                record(outcome)
+            else:
+                if observer is not None:
+                    observer(outcome)
+                self._record(outcome)
             count += 1
         self.predictor.finalize()
-        # Without real instruction counts, approximate with the paper's
-        # 1-branch-in-4 density.
-        self.stats.instructions = (
-            instructions if instructions is not None else count * 4
-        )
+        if instructions is not None:
+            self.stats.instructions = instructions
+        else:
+            # Without real instruction counts, approximate with the
+            # paper's branch density and flag the derived MPKI.
+            self.stats.instructions = count * INSTRUCTIONS_PER_BRANCH
+            self.stats.instructions_approximate = True
         return self.stats
 
     def run_events(
@@ -105,6 +141,11 @@ class FunctionalEngine:
         instructions: Optional[int] = None,
     ) -> RunStats:
         """Drive an interleaved multi-context event stream."""
+        predict = self.predictor.predict_and_resolve
+        observer = self.observer
+        profile = self.profile
+        record = self.stats.record
+        fast = observer is None and profile is None
         count = 0
         for event in events:
             if isinstance(event, ContextSwitch):
@@ -112,15 +153,20 @@ class FunctionalEngine:
                     event.entry_point, event.context, event.thread
                 )
                 continue
-            outcome = self.predictor.predict_and_resolve(event)
-            if self.observer is not None:
-                self.observer(outcome)
-            self._record(outcome)
+            outcome = predict(event)
+            if fast:
+                record(outcome)
+            else:
+                if observer is not None:
+                    observer(outcome)
+                self._record(outcome)
             count += 1
         self.predictor.finalize()
-        self.stats.instructions = (
-            instructions if instructions is not None else count * 4
-        )
+        if instructions is not None:
+            self.stats.instructions = instructions
+        else:
+            self.stats.instructions = count * INSTRUCTIONS_PER_BRANCH
+            self.stats.instructions_approximate = True
         return self.stats
 
     def run_interleaved(
@@ -129,4 +175,5 @@ class FunctionalEngine:
         """Convenience wrapper for :class:`InterleavedRun`."""
         stats = self.run_events(run.run(total_branches))
         stats.instructions = run.instructions_executed
+        stats.instructions_approximate = False
         return stats

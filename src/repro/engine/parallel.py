@@ -1,0 +1,169 @@
+"""Parallel sweep runner: deterministic fan-out over simulation cells.
+
+The multi-config experiments (Table 1 generations, Figure 3 ablations,
+design-choice sweeps) are embarrassingly parallel: every (config,
+workload, seed) cell is an independent simulation.  This module fans a
+list of :class:`SweepCell` over a :class:`~concurrent.futures.
+ProcessPoolExecutor` and merges the results back **in submission
+order**, so a parallel sweep is byte-identical to a sequential one.
+
+Determinism contract:
+
+* ``_run_cell`` is the single worker body.  The sequential path
+  (``workers <= 1``) calls it in-process; the parallel path ships it to
+  worker processes.  Both paths therefore execute identical code.
+* :class:`~repro.workloads.program.Program` inputs are deep-copied
+  inside the worker before running — behaviours are stateful, and the
+  parallel path's pickle round-trip already isolates each cell, so the
+  sequential path must copy too or the two would diverge.
+* ``ProcessPoolExecutor.map`` preserves input order, so results line up
+  with cells regardless of which worker finished first.
+* Every result carries the :func:`~repro.verification.differential.
+  stats_fingerprint` of its :class:`~repro.stats.metrics.RunStats`, so
+  equivalence between worker counts is a string comparison.
+
+``python -m repro sweep`` is the CLI front end.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from repro.configs.predictor import PredictorConfig
+from repro.core.predictor import LookaheadBranchPredictor
+from repro.engine.functional import FunctionalEngine
+from repro.workloads.program import Program
+from repro.workloads.suite import get_workload
+
+
+@dataclass
+class SweepCell:
+    """One independent (config, workload, seed) simulation.
+
+    ``workload`` is either a standard-suite name (resolved per cell with
+    the cell's seed) or a concrete :class:`Program` (deep-copied before
+    running).  Cells must pickle: configs are plain dataclasses and
+    programs carry only deterministic state, so both ship to worker
+    processes unchanged.
+    """
+
+    label: str
+    config: PredictorConfig
+    workload: Union[str, Program]
+    seed: int = 1
+    branches: int = 8000
+    warmup: int = 4000
+    #: "functional" (RunStats) or "cycle" (CycleStats; warmup ignored —
+    #: the cycle engine has no warmup phase).
+    engine: str = "functional"
+
+    @property
+    def workload_name(self) -> str:
+        if isinstance(self.workload, Program):
+            return self.workload.name
+        return self.workload
+
+
+@dataclass
+class SweepResult:
+    """Stats for one completed cell, in the cell's submission slot."""
+
+    label: str
+    workload: str
+    seed: int
+    branches: int
+    warmup: int
+    #: RunStats for functional cells; CycleStats for cycle cells.
+    stats: object
+    #: ``stats_fingerprint`` of the cell's accuracy RunStats — two
+    #: sweeps agree iff these do.
+    fingerprint: str
+    #: Wall-clock seconds inside the worker (construction + run).
+    elapsed: float
+
+
+def _run_cell(cell: SweepCell) -> SweepResult:
+    """Run one cell.  Module-level so it pickles to worker processes;
+    the sequential path calls the same function for path parity."""
+    from repro.verification.differential import stats_fingerprint
+
+    workload = cell.workload
+    if isinstance(workload, Program):
+        # Behaviours are stateful — every cell starts from a pristine
+        # copy.  (The parallel path's pickle round-trip already copies;
+        # copying here keeps the sequential path identical to it.)
+        program = copy.deepcopy(workload)
+    else:
+        program = get_workload(workload, cell.seed)
+    start = time.perf_counter()
+    if cell.engine == "cycle":
+        from repro.engine.cycle import CycleEngine
+
+        engine = CycleEngine(LookaheadBranchPredictor(cell.config))
+        stats = engine.run_program(
+            program, max_branches=cell.branches, seed=cell.seed
+        )
+        accuracy = stats.accuracy
+    else:
+        engine = FunctionalEngine(LookaheadBranchPredictor(cell.config))
+        stats = engine.run_program(
+            program,
+            max_branches=cell.branches,
+            warmup_branches=cell.warmup,
+            seed=cell.seed,
+        )
+        accuracy = stats
+    elapsed = time.perf_counter() - start
+    return SweepResult(
+        label=cell.label,
+        workload=cell.workload_name,
+        seed=cell.seed,
+        branches=cell.branches,
+        warmup=cell.warmup,
+        stats=stats,
+        fingerprint=stats_fingerprint(accuracy),
+        elapsed=elapsed,
+    )
+
+
+def run_cells(
+    cells: Iterable[SweepCell], workers: int = 1, chunksize: int = 1
+) -> List[SweepResult]:
+    """Run every cell; results are returned in cell order.
+
+    ``workers <= 1`` runs in-process.  Either way the per-cell stats
+    (and their fingerprints) are identical — only wall-clock changes.
+    """
+    cells = list(cells)
+    if workers <= 1 or len(cells) <= 1:
+        return [_run_cell(cell) for cell in cells]
+    with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
+        # map() yields results in input order, not completion order.
+        return list(pool.map(_run_cell, cells, chunksize=chunksize))
+
+
+def make_grid(
+    configs: Sequence[Tuple[str, PredictorConfig]],
+    workloads: Sequence[Union[str, Program]],
+    seeds: Sequence[int] = (1,),
+    branches: int = 8000,
+    warmup: int = 4000,
+) -> List[SweepCell]:
+    """Cross (config × workload × seed) into cells, config-major order."""
+    return [
+        SweepCell(
+            label=label,
+            config=config,
+            workload=workload,
+            seed=seed,
+            branches=branches,
+            warmup=warmup,
+        )
+        for label, config in configs
+        for workload in workloads
+        for seed in seeds
+    ]

@@ -8,12 +8,14 @@ freely.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.common.slots import add_slots
 from repro.isa.instructions import BranchKind, Instruction
 
 
+@add_slots
 @dataclass(frozen=True)
 class DynamicInstruction:
     """One executed instruction instance.
@@ -39,6 +41,7 @@ class DynamicInstruction:
         return self.instruction.is_branch
 
 
+@add_slots
 @dataclass(frozen=True)
 class DynamicBranch:
     """One executed branch instance with its resolved outcome."""
@@ -49,32 +52,34 @@ class DynamicBranch:
     target: Optional[int]
     thread: int = 0
     context: int = 0
+    # Eagerly-derived views of the instruction (computed once in
+    # __post_init__): the prediction chain reads each of these several
+    # times per branch, so plain slots beat per-access properties.
+    #: The branch's instruction address.
+    address: int = field(init=False)
+    #: The branch kind bits.
+    kind: BranchKind = field(init=False)
+    #: The fall-through address (NSIA).
+    next_sequential: int = field(init=False)
+    #: Where control actually went: target if taken, else NSIA.
+    next_address: int = field(init=False)
 
     def __post_init__(self) -> None:
-        if not self.instruction.is_branch:
+        instruction = self.instruction
+        if instruction.kind is BranchKind.NONE:
             raise ValueError("DynamicBranch requires a branch instruction")
-        if self.taken and self.target is None:
-            raise ValueError("a taken branch must carry a target")
-        if not self.taken and self.target is not None:
-            raise ValueError("a not-taken branch carries no target")
-
-    @property
-    def address(self) -> int:
-        return self.instruction.address
-
-    @property
-    def kind(self) -> BranchKind:
-        return self.instruction.kind
-
-    @property
-    def next_sequential(self) -> int:
-        """The fall-through address (NSIA)."""
-        return self.instruction.next_sequential
-
-    @property
-    def next_address(self) -> int:
-        """Where control actually went: target if taken, else NSIA."""
+        target = self.target
         if self.taken:
-            assert self.target is not None
-            return self.target
-        return self.instruction.next_sequential
+            if target is None:
+                raise ValueError("a taken branch must carry a target")
+        elif target is not None:
+            raise ValueError("a not-taken branch carries no target")
+        set_attr = object.__setattr__
+        address = instruction.address
+        next_sequential = address + instruction.length
+        set_attr(self, "address", address)
+        set_attr(self, "kind", instruction.kind)
+        set_attr(self, "next_sequential", next_sequential)
+        set_attr(
+            self, "next_address", target if self.taken else next_sequential
+        )

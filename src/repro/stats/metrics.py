@@ -23,6 +23,10 @@ from repro.core.providers import DirectionProvider, TargetProvider
 class MispredictClass(enum.Enum):
     """Why (or whether) a branch disrupted the pipeline."""
 
+    # Identity hash (a C-level slot) instead of Enum's Python-level
+    # name hash: the per-branch class Counter hashes these constantly.
+    __hash__ = object.__hash__
+
     #: Correct dynamic prediction, or a correctly-ignored surprise.
     NONE = "none"
     #: Dynamic prediction, wrong direction — full restart.
@@ -42,15 +46,19 @@ class MispredictClass(enum.Enum):
 def classify(outcome: PredictionOutcome) -> MispredictClass:
     """Classify one prediction outcome for penalty accounting."""
     record = outcome.record
+    actual = record.actual_taken
     if record.dynamic:
-        if record.direction_wrong:
-            return MispredictClass.DIRECTION_WRONG
-        if record.target_wrong:
-            return MispredictClass.TARGET_WRONG
+        # Field-level restatement of record.direction_wrong /
+        # record.target_wrong (both gate on the branch being resolved).
+        if actual is not None:
+            if record.predicted_taken != actual:
+                return MispredictClass.DIRECTION_WRONG
+            if actual and record.predicted_target != record.actual_target:
+                return MispredictClass.TARGET_WRONG
         return MispredictClass.NONE
     # Surprise branch.
     guessed_taken = record.predicted_taken
-    actual_taken = bool(record.actual_taken)
+    actual_taken = bool(actual)
     if not guessed_taken:
         if actual_taken:
             return MispredictClass.SURPRISE_TAKEN
@@ -81,6 +89,10 @@ class RunStats:
 
     branches: int = 0
     instructions: int = 0
+    #: True when ``instructions`` was derived from the branch count via
+    #: :data:`repro.engine.functional.INSTRUCTIONS_PER_BRANCH` rather
+    #: than actually counted — MPKI is then an approximation too.
+    instructions_approximate: bool = False
     dynamic_predictions: int = 0
     surprise_branches: int = 0
     taken_branches: int = 0
@@ -107,36 +119,59 @@ class RunStats:
         """Fold one prediction outcome in."""
         record = outcome.record
         trace = outcome.trace
+        dynamic = record.dynamic
+        predicted_taken = record.predicted_taken
+        actual_taken = record.actual_taken
         self.branches += 1
-        if record.dynamic:
+        if dynamic:
             self.dynamic_predictions += 1
         else:
             self.surprise_branches += 1
-        if record.actual_taken:
+        if actual_taken:
             self.taken_branches += 1
 
-        klass = classify(outcome)
+        # classify() inlined for the dominant dynamic case; the
+        # mispredict-set membership test becomes an identity chain
+        # (MISPREDICT_CLASSES restated branch by branch).
+        if dynamic:
+            if actual_taken is None:
+                klass = MispredictClass.NONE
+            elif predicted_taken != actual_taken:
+                klass = MispredictClass.DIRECTION_WRONG
+            elif actual_taken and record.predicted_target != record.actual_target:
+                klass = MispredictClass.TARGET_WRONG
+            else:
+                klass = MispredictClass.NONE
+        else:
+            klass = classify(outcome)
         self.classes[klass] += 1
-        if klass in MISPREDICT_CLASSES:
-            self.mispredicted_branches += 1
         if klass is MispredictClass.DIRECTION_WRONG:
+            self.mispredicted_branches += 1
             self.direction_wrong += 1
         elif klass is MispredictClass.TARGET_WRONG:
+            self.mispredicted_branches += 1
             self.target_wrong += 1
+        elif (
+            klass is MispredictClass.SURPRISE_TAKEN
+            or klass is MispredictClass.SURPRISE_GUESS_WRONG
+        ):
+            self.mispredicted_branches += 1
 
-        provider_stats = self.direction_providers.setdefault(
-            record.direction_provider, [0, 0]
-        )
+        providers = self.direction_providers
+        provider_stats = providers.get(record.direction_provider)
+        if provider_stats is None:
+            provider_stats = providers[record.direction_provider] = [0, 0]
         provider_stats[0] += 1
-        if record.predicted_taken == record.actual_taken:
+        if predicted_taken == actual_taken:
             provider_stats[1] += 1
 
-        if record.dynamic and record.predicted_taken:
+        if dynamic and predicted_taken:
             self.predicted_taken_dynamic += 1
-            if record.actual_taken:
-                target_stats = self.target_providers.setdefault(
-                    record.target_provider, [0, 0]
-                )
+            if actual_taken:
+                targets = self.target_providers
+                target_stats = targets.get(record.target_provider)
+                if target_stats is None:
+                    target_stats = targets[record.target_provider] = [0, 0]
                 target_stats[0] += 1
                 if record.predicted_target == record.actual_target:
                     target_stats[1] += 1
@@ -211,15 +246,16 @@ class RunStats:
 
     def report(self, title: str = "run") -> str:
         """A human-readable multi-line summary."""
+        approx = " (approximate)" if self.instructions_approximate else ""
         lines = [
             f"== {title} ==",
             f"branches:            {self.branches}",
-            f"instructions:        {self.instructions}",
+            f"instructions:        {self.instructions}{approx}",
             f"dynamic coverage:    {self.dynamic_coverage:6.2%}",
             f"direction accuracy:  {self.direction_accuracy:6.2%}",
             f"mispredicts:         {self.mispredicted_branches}"
             f"  (direction {self.direction_wrong}, target {self.target_wrong})",
-            f"MPKI:                {self.mpki:8.3f}",
+            f"MPKI:                {self.mpki:8.3f}{approx}",
         ]
         lines.append("direction providers:")
         for provider, (count, correct) in sorted(

@@ -5,6 +5,11 @@ TAGE PHT tables (512 x 8), the CTB (512 x 4) and the perceptron array
 (16 x 2) — is a set-associative structure.  This class provides the row /
 way / replacement mechanics; the tables in :mod:`repro.core` supply the
 index and tag functions and the entry types.
+
+Rows and their replacement-policy state are materialised lazily on
+first access: a z15-sized BTB2 has 32K rows, and eagerly building a
+list and an LRU object per row dominates predictor construction time
+while short runs touch only a tiny fraction of them.
 """
 
 from __future__ import annotations
@@ -36,9 +41,10 @@ class SetAssociativeTable(Generic[E]):
         self.rows = rows
         self.ways = ways
         self.policy_name = policy
-        factory = _POLICY_FACTORIES[policy]
-        self._data: List[List[Optional[E]]] = [[None] * ways for _ in range(rows)]
-        self._policies: List[ReplacementPolicy] = [factory(ways) for _ in range(rows)]
+        self._policy_factory: PolicyFactory = _POLICY_FACTORIES[policy]
+        # Lazily-materialised per-row storage: None until first access.
+        self._data: List[Optional[List[Optional[E]]]] = [None] * rows
+        self._policies: List[Optional[ReplacementPolicy]] = [None] * rows
 
     @property
     def capacity(self) -> int:
@@ -51,23 +57,60 @@ class SetAssociativeTable(Generic[E]):
 
     def _check_way(self, way: int) -> None:
         if not 0 <= way < self.ways:
-            raise ValueError(f"way {way} out of range for {self.ways}-way table")
+            raise ValueError(f"way {way} out of range for {self.ways}-way row")
+
+    def _row(self, row: int) -> List[Optional[E]]:
+        """The backing list of *row*, materialising it on first use."""
+        data = self._data[row]
+        if data is None:
+            data = self._data[row] = [None] * self.ways
+        return data
 
     def row_entries(self, row: int) -> List[Optional[E]]:
         """A copy of the row's contents indexed by way."""
         self._check_row(row)
-        return list(self._data[row])
+        return list(self._row(row))
+
+    def row_ref(self, row: int) -> List[Optional[E]]:
+        """The live backing list of *row*, indexed by way — no copy.
+
+        Hot-path read accessor for per-search row scans; callers must
+        not mutate the returned list (use :meth:`write` /
+        :meth:`invalidate`) and must pass an in-range row.  Use
+        :meth:`row_entries` when a safe copy is wanted.
+        """
+        data = self._data[row]
+        if data is None:
+            data = self._data[row] = [None] * self.ways
+        return data
+
+    def policy(self, row: int) -> ReplacementPolicy:
+        """The live replacement-policy object of *row* — no range check.
+
+        Hot-path accessor pairing with :meth:`row_ref`: a search that
+        already validated the row can touch several ways through the
+        returned policy without re-validating per touch.  Materialises
+        the policy on first use.
+        """
+        policy = self._policies[row]
+        if policy is None:
+            policy = self._policies[row] = self._policy_factory(self.ways)
+        return policy
 
     def read(self, row: int, way: int) -> Optional[E]:
         """The entry at (row, way), or None; does not touch replacement."""
         self._check_row(row)
         self._check_way(way)
-        return self._data[row][way]
+        data = self._data[row]
+        return None if data is None else data[way]
 
     def find(self, row: int, match: Callable[[E], bool]) -> Optional[Tuple[int, E]]:
         """First (way, entry) in *row* whose entry satisfies *match*."""
         self._check_row(row)
-        for way, entry in enumerate(self._data[row]):
+        data = self._data[row]
+        if data is None:
+            return None
+        for way, entry in enumerate(data):
             if entry is not None and match(entry):
                 return way, entry
         return None
@@ -79,9 +122,12 @@ class SetAssociativeTable(Generic[E]):
         64-byte line at once (up to 8 predictions per cycle, section IV).
         """
         self._check_row(row)
+        data = self._data[row]
+        if data is None:
+            return []
         return [
             (way, entry)
-            for way, entry in enumerate(self._data[row])
+            for way, entry in enumerate(data)
             if entry is not None and match(entry)
         ]
 
@@ -89,25 +135,26 @@ class SetAssociativeTable(Generic[E]):
         """Mark (row, way) most recently used."""
         self._check_row(row)
         self._check_way(way)
-        self._policies[row].touch(way)
+        self.policy(row).touch(way)
 
     def victim_way(self, row: int) -> int:
         """The way a new install would displace: an empty way if one
         exists, otherwise the replacement policy's choice."""
         self._check_row(row)
-        for way, entry in enumerate(self._data[row]):
+        for way, entry in enumerate(self._row(row)):
             if entry is None:
                 return way
-        return self._policies[row].victim()
+        return self.policy(row).victim()
 
     def write(self, row: int, way: int, entry: E, touch: bool = True) -> Optional[E]:
         """Overwrite (row, way) with *entry*; returns the displaced entry."""
         self._check_row(row)
         self._check_way(way)
-        displaced = self._data[row][way]
-        self._data[row][way] = entry
+        data = self._row(row)
+        displaced = data[way]
+        data[way] = entry
         if touch:
-            self._policies[row].touch(way)
+            self.policy(row).touch(way)
         return displaced
 
     def install(
@@ -135,35 +182,48 @@ class SetAssociativeTable(Generic[E]):
         """Remove and return the entry at (row, way)."""
         self._check_row(row)
         self._check_way(way)
-        removed = self._data[row][way]
-        self._data[row][way] = None
+        data = self._data[row]
+        if data is None:
+            return None
+        removed = data[way]
+        data[way] = None
         return removed
 
     def invalidate_where(self, match: Callable[[E], bool]) -> int:
         """Remove every entry satisfying *match*; returns removal count."""
         removed = 0
-        for row in range(self.rows):
-            for way, entry in enumerate(self._data[row]):
+        for data in self._data:
+            if data is None:
+                continue
+            for way, entry in enumerate(data):
                 if entry is not None and match(entry):
-                    self._data[row][way] = None
+                    data[way] = None
                     removed += 1
         return removed
 
     def occupancy(self) -> int:
         """Number of valid entries currently held."""
         return sum(
-            1 for row in self._data for entry in row if entry is not None
+            1
+            for data in self._data
+            if data is not None
+            for entry in data
+            if entry is not None
         )
 
     def clear(self) -> None:
         """Invalidate every entry (replacement state is kept)."""
-        for row in self._data:
+        for data in self._data:
+            if data is None:
+                continue
             for way in range(self.ways):
-                row[way] = None
+                data[way] = None
 
     def __iter__(self):
         """Iterate over ``(row, way, entry)`` for every valid entry."""
-        for row_index, row in enumerate(self._data):
-            for way, entry in enumerate(row):
+        for row_index, data in enumerate(self._data):
+            if data is None:
+                continue
+            for way, entry in enumerate(data):
                 if entry is not None:
                     yield row_index, way, entry

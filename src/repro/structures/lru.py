@@ -42,9 +42,11 @@ class TrueLru(ReplacementPolicy):
         self._order: List[int] = list(range(ways))
 
     def touch(self, way: int) -> None:
-        self._check_way(way)
-        self._order.remove(way)
-        self._order.append(way)
+        # No range check: touch sits on the per-hit hot path; the table
+        # layer validates ways on its public entry points.
+        order = self._order
+        order.remove(way)
+        order.append(way)
 
     def victim(self) -> int:
         return self._order[0]
@@ -71,7 +73,7 @@ class PseudoLruTree(ReplacementPolicy):
         self._bits = [0] * ways  # index 0 unused
 
     def touch(self, way: int) -> None:
-        self._check_way(way)
+        # No range check — see TrueLru.touch.
         node = 1
         span = self.ways
         offset = 0

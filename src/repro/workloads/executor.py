@@ -14,7 +14,8 @@ from typing import Iterator, Optional
 from repro.common.errors import SimulationError
 from repro.common.rng import DeterministicRng
 from repro.isa.dynamic import DynamicBranch
-from repro.workloads.behaviors import BranchBehavior, ExecutionContext
+from repro.isa.instructions import BranchKind
+from repro.workloads.behaviors import ExecutionContext
 from repro.workloads.program import Program
 
 
@@ -47,13 +48,36 @@ class Executor:
         """Execute until a limit is reached; yields executed branches."""
         if max_branches is None and max_instructions is None:
             raise ValueError("a branch or instruction limit is required")
+        if max_instructions is None:
+            # Hot path: branch-limited runs (the common engine drive)
+            # inline the non-branch stepping so the ~4+ sequential
+            # instructions per branch cost one dict probe each instead
+            # of a step() call with property lookups.
+            get = self.program.instructions.get
+            none_kind = BranchKind.NONE
+            executed = self.instructions_executed
+            while self.branches_executed < max_branches:
+                pc = self.pc
+                instruction = get(pc)
+                while instruction is not None and instruction.kind is none_kind:
+                    executed += 1
+                    pc += instruction.length
+                    instruction = get(pc)
+                self.pc = pc
+                self.instructions_executed = executed
+                if instruction is None:
+                    raise SimulationError(
+                        f"{self.program.name}: no instruction at {pc:#x} "
+                        "(bad control transfer)"
+                    )
+                executed += 1  # the branch instruction itself
+                self.instructions_executed = executed
+                yield self._execute_branch(instruction)
+            return
         while True:
             if max_branches is not None and self.branches_executed >= max_branches:
                 return
-            if (
-                max_instructions is not None
-                and self.instructions_executed >= max_instructions
-            ):
+            if self.instructions_executed >= max_instructions:
                 return
             branch = self.step()
             if branch is not None:
@@ -67,8 +91,11 @@ class Executor:
         if not instruction.is_branch:
             self.pc = instruction.next_sequential
             return None
+        return self._execute_branch(instruction)
+
+    def _execute_branch(self, instruction) -> DynamicBranch:
+        """Resolve one branch instruction (the PC already sits on it)."""
         behavior = self.program.behavior_of(instruction)
-        assert isinstance(behavior, BranchBehavior)
         taken, target = behavior.resolve(instruction, self.exec_context)
         if taken:
             if target is None:
