@@ -1,0 +1,75 @@
+"""X7 — telemetry overhead (the observability layer's own cost).
+
+Not a paper experiment: measures what attaching a `TelemetrySession`
+costs relative to a plain run, and pins the contract that matters more
+than the absolute numbers — telemetry *off* is free (the engines keep
+their ``observer is None`` fast loops), and telemetry *on* never
+changes results (fingerprint-identical stats).  Uses real
+pytest-benchmark rounds like `bench_simulator_throughput`.
+"""
+
+import pytest
+
+from repro.configs import z15_config
+from repro.core import LookaheadBranchPredictor
+from repro.engine import FunctionalEngine
+from repro.obs import TelemetrySession
+from repro.verification.differential import stats_fingerprint
+from repro.workloads import get_workload
+
+BRANCHES = 3000
+
+
+def _run_plain(workload: str):
+    engine = FunctionalEngine(LookaheadBranchPredictor(z15_config()))
+    return engine.run_program(get_workload(workload),
+                              max_branches=BRANCHES, warmup_branches=0)
+
+
+def _run_instrumented(workload: str, trace_path=None):
+    predictor = LookaheadBranchPredictor(z15_config())
+    session = TelemetrySession(predictor=predictor, interval=500,
+                               trace_path=trace_path)
+    if trace_path:
+        session.begin(workload=workload, predictor="z15", seed=1,
+                      branches=BRANCHES)
+    engine = FunctionalEngine(predictor, telemetry=session)
+    stats = engine.run_program(get_workload(workload),
+                               max_branches=BRANCHES, warmup_branches=0)
+    session.finish(stats)
+    return stats
+
+
+@pytest.mark.parametrize("workload", ["compute-kernel", "transactions"])
+def test_telemetry_collection_overhead(benchmark, workload):
+    stats = benchmark.pedantic(
+        _run_instrumented, args=(workload,), rounds=3, iterations=1,
+        warmup_rounds=1,
+    )
+    seconds = benchmark.stats.stats.mean
+    branches_per_second = BRANCHES / seconds
+    print(f"\n{workload} (telemetry on): "
+          f"{branches_per_second:,.0f} branches/second")
+    # Collection adds one observer call and ~20 counter increments per
+    # branch; anything below this floor means the collector grew a
+    # pathological hot path.
+    assert branches_per_second > 3000
+    # The contract the overhead is paid for: identical results.
+    assert stats_fingerprint(stats) == \
+        stats_fingerprint(_run_plain(workload))
+
+
+def test_trace_sink_overhead(benchmark, tmp_path):
+    path = str(tmp_path / "bench.jsonl")
+    stats = benchmark.pedantic(
+        _run_instrumented, args=("transactions", path), rounds=3,
+        iterations=1, warmup_rounds=1,
+    )
+    seconds = benchmark.stats.stats.mean
+    branches_per_second = BRANCHES / seconds
+    print(f"\ntransactions (telemetry + trace): "
+          f"{branches_per_second:,.0f} branches/second")
+    # One json.dumps + write per branch dominates; the floor only
+    # catches order-of-magnitude regressions in the sink.
+    assert branches_per_second > 1000
+    assert stats.branches == BRANCHES

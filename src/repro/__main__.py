@@ -13,6 +13,10 @@ Commands:
 * ``sweep`` — fan a (config × workload × seed) grid over worker
   processes; optionally record a machine-readable throughput report and
   compare it against a committed baseline.
+* ``trace`` — run one predictor/workload with a telemetry session
+  attached and stream a schema-versioned JSONL branch trace; with
+  ``--validate`` the written trace is re-loaded, schema-checked and
+  reconciled against the run's stats.
 * ``workloads`` — list the standard workloads.
 """
 
@@ -34,7 +38,8 @@ from repro.baselines import (
 from repro.configs import GENERATIONS, z15_config
 from repro.core import LookaheadBranchPredictor, load_state, save_state
 from repro.engine import CycleEngine, FunctionalEngine, make_grid, run_cells
-from repro.stats import MispredictProfile
+from repro.obs import TelemetrySession
+from repro.stats import MispredictProfile, load_trace
 from repro.verification import StimulusConstraints, VerificationEnvironment
 from repro.verification.differential import (
     DEFAULT_WORKLOAD_FAMILIES,
@@ -61,6 +66,45 @@ def _predictor_for(name: str):
     raise SystemExit(f"unknown predictor {name!r}; known: {known}")
 
 
+def _stats_payload(stats) -> dict:
+    """Machine-readable run stats: the engine-independent invariant
+    slice plus the derived headline metrics."""
+    from repro.verification.differential import comparable_stats
+
+    payload = comparable_stats(stats)
+    payload["instructions_approximate"] = stats.instructions_approximate
+    payload["dynamic_coverage"] = stats.dynamic_coverage
+    payload["direction_accuracy"] = stats.direction_accuracy
+    payload["branch_mpki"] = stats.branch_mpki
+    payload["mpki"] = stats.mpki
+    return payload
+
+
+def _write_json(path: str, payload) -> None:
+    with open(path, "w") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    print(f"wrote {path}")
+
+
+def _make_session(args, predictor) -> TelemetrySession:
+    """Build a telemetry session matching the run's warmup, so telemetry
+    aggregates exactly the counted phase (like RunStats)."""
+    return TelemetrySession(
+        predictor=predictor
+        if isinstance(predictor, LookaheadBranchPredictor) else None,
+        interval=args.interval,
+        trace_path=args.trace_out,
+        trace_every=getattr(args, "every", 1),
+        skip=args.warmup,
+    ).begin(
+        workload=args.workload,
+        predictor=args.predictor,
+        seed=args.seed,
+        branches=args.branches,
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> None:
     predictor = _predictor_for(args.predictor)
     if args.load_state:
@@ -69,17 +113,29 @@ def cmd_run(args: argparse.Namespace) -> None:
         loaded = load_state(predictor, args.load_state)
         print(f"restored state: {loaded}")
     profile = MispredictProfile() if args.profile else None
-    engine = FunctionalEngine(predictor, profile=profile)
+    session = None
+    if args.telemetry or args.trace_out:
+        session = _make_session(args, predictor)
+    engine = FunctionalEngine(predictor, profile=profile, telemetry=session)
     stats = engine.run_program(
         get_workload(args.workload, args.seed),
         max_branches=args.branches,
         warmup_branches=args.warmup,
         seed=args.seed,
     )
+    if session is not None:
+        session.finish(stats)
     print(stats.report(f"{args.predictor} / {args.workload}"))
     if profile is not None:
         print()
         print(profile.report(f"{args.workload} hot branches"))
+    if session is not None:
+        print()
+        print(session.report(f"{args.predictor} / {args.workload} telemetry"))
+        if args.trace_out:
+            print(f"wrote {args.trace_out}")
+    if args.stats_json:
+        _write_json(args.stats_json, _stats_payload(stats))
     if args.save_state:
         if not isinstance(predictor, LookaheadBranchPredictor):
             raise SystemExit("--save-state requires a generation preset")
@@ -89,6 +145,7 @@ def cmd_run(args: argparse.Namespace) -> None:
 
 def cmd_compare(args: argparse.Namespace) -> None:
     names = args.predictors or list(GENERATIONS)
+    payloads = {}
     print(f"{'predictor':<14} {'coverage':>9} {'accuracy':>9} {'MPKI':>9}")
     print("-" * 45)
     for name in names:
@@ -103,6 +160,16 @@ def cmd_compare(args: argparse.Namespace) -> None:
             f"{name:<14} {stats.dynamic_coverage:>8.2%} "
             f"{stats.direction_accuracy:>8.2%} {stats.mpki:>9.3f}"
         )
+        if args.stats_json:
+            payloads[name] = _stats_payload(stats)
+    if args.stats_json:
+        _write_json(args.stats_json, {
+            "workload": args.workload,
+            "seed": args.seed,
+            "branches": args.branches,
+            "warmup": args.warmup,
+            "predictors": payloads,
+        })
 
 
 def cmd_cycles(args: argparse.Namespace) -> None:
@@ -255,6 +322,9 @@ def cmd_sweep(args: argparse.Namespace) -> None:
             raise SystemExit(f"unknown workload {name!r}; known: {known}")
     cells = make_grid(configs, args.workloads, args.seeds,
                       branches=args.branches, warmup=args.warmup)
+    if args.telemetry:
+        for cell in cells:
+            cell.telemetry = True
 
     throughput_mode = bool(args.throughput or args.json or args.baseline)
     if throughput_mode:
@@ -288,6 +358,19 @@ def cmd_sweep(args: argparse.Namespace) -> None:
         f"{seq_wall:.2f}s ({total_branches / seq_wall:,.0f} branches/s, "
         f"workers={1 if throughput_mode else args.workers})"
     )
+    if args.telemetry and args.telemetry_json:
+        _write_json(args.telemetry_json, {
+            "schema": "repro-sweep-telemetry/v1",
+            "cells": [
+                {
+                    "label": result.label,
+                    "workload": result.workload,
+                    "seed": result.seed,
+                    "telemetry": result.telemetry,
+                }
+                for result in results
+            ],
+        })
 
     if not throughput_mode:
         return
@@ -319,6 +402,51 @@ def cmd_sweep(args: argparse.Namespace) -> None:
               f"{args.baseline}")
 
 
+def cmd_trace(args: argparse.Namespace) -> None:
+    predictor = _predictor_for(args.predictor)
+    session = _make_session(args, predictor)
+    engine = FunctionalEngine(predictor, telemetry=session)
+    stats = engine.run_program(
+        get_workload(args.workload, args.seed),
+        max_branches=args.branches,
+        warmup_branches=args.warmup,
+        seed=args.seed,
+    )
+    session.finish(stats)
+    print(stats.report(f"{args.predictor} / {args.workload}"))
+    print()
+    print(session.report(f"{args.predictor} / {args.workload} telemetry"))
+    if args.trace_out:
+        records = session.writer.records_written if session.writer else 0
+        print(f"wrote {args.trace_out} ({records} records)")
+    if args.json:
+        payload = session.to_dict()
+        payload["stats"] = _stats_payload(stats)
+        _write_json(args.json, payload)
+    if args.validate:
+        if not args.trace_out:
+            raise SystemExit("--validate requires --trace-out")
+        from repro.obs.trace import reconcile_with_stats
+
+        document = load_trace(args.trace_out)
+        problems = document.reconcile()
+        if not document.sampled:
+            problems += reconcile_with_stats(document.branches, stats)
+        if problems:
+            for problem in problems:
+                print(f"RECONCILE: {problem}")
+            # A sampled trace legitimately can't reconcile per-branch;
+            # only full traces make mismatches fatal.
+            if not document.sampled:
+                sys.exit(1)
+        else:
+            print(
+                f"validated {args.trace_out}: {len(document.branches)} "
+                f"branch records, {len(document.intervals)} intervals, "
+                f"reconciled clean against run stats"
+            )
+
+
 def cmd_workloads(_args: argparse.Namespace) -> None:
     for spec in STANDARD_WORKLOADS.values():
         print(f"{spec.name:<20} {spec.description}")
@@ -339,6 +467,18 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--seed", type=int, default=1)
     run_parser.add_argument("--profile", action="store_true",
                             help="print the hot-branch mispredict profile")
+    run_parser.add_argument("--telemetry", action="store_true",
+                            help="attach a telemetry session and print the "
+                                 "per-component report")
+    run_parser.add_argument("--trace-out", metavar="PATH",
+                            help="write a JSONL branch trace (implies "
+                                 "--telemetry)")
+    run_parser.add_argument("--interval", type=int, default=2_000,
+                            help="telemetry sampling window in branches "
+                                 "(default 2000; 0 disables)")
+    run_parser.add_argument("--stats-json", metavar="PATH",
+                            help="write the run stats as machine-readable "
+                                 "JSON")
     run_parser.add_argument("--save-state", metavar="PATH",
                             help="save the learned BTB/CTB state after the run")
     run_parser.add_argument("--load-state", metavar="PATH",
@@ -353,6 +493,9 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--branches", type=int, default=20_000)
     compare_parser.add_argument("--warmup", type=int, default=8_000)
     compare_parser.add_argument("--seed", type=int, default=1)
+    compare_parser.add_argument("--stats-json", metavar="PATH",
+                                help="write per-predictor stats as "
+                                     "machine-readable JSON")
     compare_parser.set_defaults(func=cmd_compare)
 
     cycles_parser = sub.add_parser("cycles", help="cycle-level timing run")
@@ -408,7 +551,41 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--max-regression", type=float, default=0.30,
                               help="fail if throughput drops more than this "
                                    "fraction below the baseline (default 0.30)")
+    sweep_parser.add_argument("--telemetry", action="store_true",
+                              help="attach a telemetry session to every cell "
+                                   "(results are unchanged; registries ride "
+                                   "back on the results)")
+    sweep_parser.add_argument("--telemetry-json", metavar="PATH",
+                              help="write every cell's telemetry registry "
+                                   "as JSON (with --telemetry)")
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="telemetry-instrumented run with a JSONL branch trace")
+    trace_parser.add_argument("--workload", default="transactions")
+    trace_parser.add_argument("--predictor", default="z15")
+    trace_parser.add_argument("--branches", type=int, default=10_000)
+    trace_parser.add_argument("--warmup", type=int, default=0,
+                              help="uncounted warmup branches (default 0 so "
+                                   "the trace covers the whole run)")
+    trace_parser.add_argument("--seed", type=int, default=1)
+    trace_parser.add_argument("--interval", type=int, default=1_000,
+                              help="interval-sampler window in branches "
+                                   "(default 1000; 0 disables)")
+    trace_parser.add_argument("--every", type=int, default=1,
+                              help="record every N-th branch (default 1; "
+                                   ">1 disables per-branch reconciliation)")
+    trace_parser.add_argument("--trace-out", metavar="PATH",
+                              help="JSONL trace output path")
+    trace_parser.add_argument("--json", metavar="PATH",
+                              help="write the telemetry registry + stats as "
+                                   "JSON")
+    trace_parser.add_argument("--validate", action="store_true",
+                              help="re-load the written trace, schema-check "
+                                   "every line and reconcile against the "
+                                   "run's stats")
+    trace_parser.set_defaults(func=cmd_trace)
 
     workloads_parser = sub.add_parser("workloads",
                                       help="list standard workloads")

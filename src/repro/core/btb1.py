@@ -262,6 +262,19 @@ class Btb1:
     def capacity(self) -> int:
         return self._table.capacity
 
+    def component_counters(self) -> dict:
+        """Native statistics, harvested by the telemetry layer."""
+        return {
+            "searches": self.searches,
+            "hit_searches": self.hit_searches,
+            "installs": self.installs,
+            "duplicate_rejects": self.duplicate_rejects,
+            "evictions": self.evictions,
+            "removals": self.removals,
+            "occupancy": self.occupancy,
+            "capacity": self.capacity,
+        }
+
     def entries(self):
         """Iterate ``(row, way, entry)`` over all valid entries."""
         return iter(self._table)

@@ -78,6 +78,10 @@ class Btb2System:
         self.writebacks = 0
         self.refresh_writebacks = 0
         self.installs = 0
+        #: Staged transfers the BTB1's read-before-write filtering
+        #: rejected as already present (the dedup that makes repeated
+        #: transfers of hot lines cheap, section III).
+        self.install_dedups = 0
 
     # ------------------------------------------------------------------
     # Index / tag math
@@ -181,6 +185,8 @@ class Btb2System:
                     # Semi-exclusive designs write the displaced victim
                     # back out (the pre-z15 BTBP victim-buffer role).
                     self.writeback_entry(result.victim)
+            elif result.duplicate:
+                self.install_dedups += 1
         return installed
 
     # ------------------------------------------------------------------
@@ -259,6 +265,25 @@ class Btb2System:
     @property
     def capacity(self) -> int:
         return self._table.capacity
+
+    def component_counters(self) -> dict:
+        """Native statistics, harvested by the telemetry layer."""
+        return {
+            "searches": self.searches,
+            "searches_empty_trigger": self.searches_empty_trigger,
+            "searches_surprise_trigger": self.searches_surprise_trigger,
+            "searches_context_trigger": self.searches_context_trigger,
+            "transfers_found": self.transfers_found,
+            "transfers_staged": self.transfers_staged,
+            "staging_overflows": self.staging_overflows,
+            "installs": self.installs,
+            "install_dedups": self.install_dedups,
+            "writebacks": self.writebacks,
+            "refresh_writebacks": self.refresh_writebacks,
+            "occupancy": self.occupancy,
+            "capacity": self.capacity,
+            "staging_occupancy": len(self.staging),
+        }
 
     def contains(self, address: int, context: int) -> bool:
         """Ground-truth membership test (used by tests/verification)."""

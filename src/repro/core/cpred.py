@@ -200,3 +200,16 @@ class ColumnPredictor:
     @property
     def occupancy(self) -> int:
         return self._table.occupancy()
+
+    def component_counters(self) -> dict:
+        """Native statistics, harvested by the telemetry layer."""
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "correct": self.correct,
+            "wrong": self.wrong,
+            "trains": self.trains,
+            "power_gated_lookups": self.power_gated_lookups,
+            "power_gate_misses": self.power_gate_misses,
+            "occupancy": self.occupancy,
+        }

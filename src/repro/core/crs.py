@@ -216,3 +216,12 @@ class CallReturnStack:
 
     def prediction_stack_valid_for(self, thread: int) -> bool:
         return self._predict_stack(thread).valid
+
+    def component_counters(self) -> dict:
+        """Native statistics, harvested by the telemetry layer."""
+        return {
+            "predictions_used": self.predictions_used,
+            "detections": self.detections,
+            "blacklists": self.blacklists,
+            "amnesties": self.amnesties,
+        }

@@ -108,3 +108,13 @@ class ChangingTargetBuffer:
     @property
     def occupancy(self) -> int:
         return self._table.occupancy()
+
+    def component_counters(self) -> dict:
+        """Native statistics, harvested by the telemetry layer."""
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "installs": self.installs,
+            "target_updates": self.target_updates,
+            "occupancy": self.occupancy,
+        }

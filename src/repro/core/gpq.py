@@ -160,3 +160,11 @@ class GlobalPredictionQueue:
     def flush(self) -> None:
         """Pipeline flush: discard in-flight records without updates."""
         self._items.clear()
+
+    def component_counters(self) -> dict:
+        """Native statistics, harvested by the telemetry layer."""
+        return {
+            "forced_completions": self.forced_completions,
+            "occupancy": len(self._items),
+            "capacity": self.capacity,
+        }

@@ -305,3 +305,15 @@ class Perceptron:
         return sum(
             1 for row in self._rows for entry in row if entry is not None
         )
+
+    def component_counters(self) -> dict:
+        """Native statistics, harvested by the telemetry layer."""
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "provider_hits": self.provider_hits,
+            "installs": self.installs,
+            "install_rejects": self.install_rejects,
+            "virtualizations": self.virtualizations,
+            "occupancy": self.occupancy,
+        }

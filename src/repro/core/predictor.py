@@ -826,6 +826,53 @@ class LookaheadBranchPredictor:
             ):
                 self.btb2.handle_btb1_eviction(result.victim)
 
+    # ------------------------------------------------------------------
+    # Telemetry harvest
+    # ------------------------------------------------------------------
+
+    def component_counters(self) -> Dict[str, Dict[str, int]]:
+        """Every structure's native statistics, keyed by the component
+        prefix the telemetry layer files them under.
+
+        These are the plain-int attributes the structures maintain
+        unconditionally (no telemetry hook runs on the hot paths); the
+        observability layer snapshots them here at harvest time.
+        """
+        counters = {
+            "predictor": {
+                "predictions": self.predictions,
+                "dynamic_predictions": self.dynamic_predictions,
+                "surprise_branches": self.surprise_branches,
+                "restarts": self.restarts,
+                "context_switches": self.context_switches,
+                "skipped_indirect_installs": self.skipped_indirect_installs,
+            },
+            "btb1": self.btb1.component_counters(),
+            "tage": self.tage.component_counters(),
+            "perceptron": self.perceptron.component_counters(),
+            "cpred": self.cpred.component_counters(),
+            "crs": self.crs.component_counters(),
+            "ctb": self.ctb.component_counters(),
+            "gpq": self.gpq.component_counters(),
+            "spec": {
+                f"sbht_{key}": value
+                for key, value in self.sbht.component_counters().items()
+            },
+            "write_queue": {
+                "drops": self.write_queue_drops,
+                "occupancy": len(self.write_queue),
+            },
+        }
+        counters["spec"].update(
+            {
+                f"spht_{key}": value
+                for key, value in self.spht.component_counters().items()
+            }
+        )
+        if self.btb2 is not None:
+            counters["btb2"] = self.btb2.component_counters()
+        return counters
+
     def _refind_entry(self, record: PredictionRecord) -> Optional[BtbEntry]:
         """Locate the predicted entry at update time; it may be gone."""
         entry = self.btb1.entry_at(record.btb_row, record.btb_way)

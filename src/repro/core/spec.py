@@ -100,6 +100,15 @@ class SpeculativeOverlay:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def component_counters(self) -> dict:
+        """Native statistics, harvested by the telemetry layer."""
+        return {
+            "installs": self.installs,
+            "overrides": self.overrides,
+            "removals": self.removals,
+            "live_entries": len(self._entries),
+        }
+
 
 def sbht_key(row: int, way: int, tag: int, offset: int) -> Tuple:
     """SBHT key: the BTB1 entry identity."""

@@ -409,6 +409,22 @@ class TagePht:
             return self.long_table
         raise ValueError(f"unknown TAGE table {name!r}")
 
+    def component_counters(self) -> dict:
+        """Native statistics, harvested by the telemetry layer."""
+        counters = {
+            "lookups": self.lookups,
+            "provider_selections": self.provider_selections,
+            "weak_filter_suppressions": self.weak_filter_suppressions,
+            "short_hits": self.short_table.hits,
+            "short_installs": self.short_table.installs,
+            "short_install_failures": self.short_table.install_failures,
+        }
+        if self.long_table is not None:
+            counters["long_hits"] = self.long_table.hits
+            counters["long_installs"] = self.long_table.installs
+            counters["long_install_failures"] = self.long_table.install_failures
+        return counters
+
 
 @add_slots
 @dataclass

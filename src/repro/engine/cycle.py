@@ -19,6 +19,7 @@ from typing import Dict, Optional
 
 from repro.configs.timing import TimingConfig
 from repro.core.predictor import LookaheadBranchPredictor, PredictionOutcome
+from repro.engine.functional import _chain_observers
 from repro.frontend.icache import InstructionCacheHierarchy
 from repro.stats.metrics import MispredictClass, RunStats, classify
 from repro.workloads.executor import Executor
@@ -102,6 +103,7 @@ class CycleEngine:
         smt2: bool = False,
         lookahead_prefetch: bool = True,
         observer=None,
+        telemetry=None,
     ):
         self.predictor = predictor
         self.icache = icache if icache is not None else InstructionCacheHierarchy()
@@ -109,8 +111,10 @@ class CycleEngine:
         self.smt2 = smt2
         self.lookahead_prefetch = lookahead_prefetch
         #: Optional callable receiving every PredictionOutcome in
-        #: prediction order (differential cross-engine checking).
-        self.observer = observer
+        #: prediction order (differential cross-engine checking); an
+        #: optional telemetry session rides the same hook.
+        self.telemetry = telemetry
+        self.observer = _chain_observers(observer, telemetry)
         self.stats = CycleStats()
         # Per-thread clocks (thread 0 for single-thread runs).
         self._clocks: Dict[int, _Clocks] = {}

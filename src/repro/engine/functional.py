@@ -29,6 +29,25 @@ from repro.workloads.program import Program
 INSTRUCTIONS_PER_BRANCH = 4
 
 
+def _chain_observers(observer, telemetry):
+    """Compose an explicit observer with a telemetry session's observe.
+
+    Returns None when neither is attached, preserving the engines'
+    per-branch ``observer is None`` fast paths.
+    """
+    if telemetry is None:
+        return observer
+    observe = telemetry.observe
+    if observer is None:
+        return observe
+
+    def chained(outcome, _observer=observer, _observe=observe):
+        _observer(outcome)
+        _observe(outcome)
+
+    return chained
+
+
 class FunctionalEngine:
     """Feeds executed branches to a predictor and aggregates statistics.
 
@@ -37,14 +56,20 @@ class FunctionalEngine:
     *observer* callable receives every :class:`PredictionOutcome` —
     including warmup branches — in prediction order; the differential
     verification harness uses it to compare engines branch by branch.
+    An optional *telemetry* session (:class:`repro.obs.session.
+    TelemetrySession`, or anything with an ``observe(outcome)`` method)
+    rides the same hook: its observe is chained after any explicit
+    observer, so telemetry-off runs keep the ``observer is None`` fast
+    path untouched.
     """
 
     def __init__(self, predictor: LookaheadBranchPredictor, profile=None,
-                 observer=None):
+                 observer=None, telemetry=None):
         self.predictor = predictor
         self.stats = RunStats()
         self.profile = profile
-        self.observer = observer
+        self.telemetry = telemetry
+        self.observer = _chain_observers(observer, telemetry)
 
     def _record(self, outcome) -> None:
         self.stats.record(outcome)

@@ -31,7 +31,7 @@ import copy
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.configs.predictor import PredictorConfig
 from repro.core.predictor import LookaheadBranchPredictor
@@ -60,6 +60,13 @@ class SweepCell:
     #: "functional" (RunStats) or "cycle" (CycleStats; warmup ignored —
     #: the cycle engine has no warmup phase).
     engine: str = "functional"
+    #: Attach a telemetry session to the cell's run.  Telemetry is an
+    #: observer — it must not (and, by the tier-1 equivalence tests,
+    #: does not) change the cell's stats or fingerprint; the session's
+    #: registry export comes back in ``SweepResult.telemetry``.
+    telemetry: bool = False
+    #: Interval-sampler window for telemetry cells (0 disables sampling).
+    telemetry_interval: int = 0
 
     @property
     def workload_name(self) -> str:
@@ -84,6 +91,9 @@ class SweepResult:
     fingerprint: str
     #: Wall-clock seconds inside the worker (construction + run).
     elapsed: float
+    #: Telemetry registry export (``Telemetry.to_dict()`` plus samples)
+    #: for telemetry cells; None otherwise.
+    telemetry: Optional[dict] = None
 
 
 def _run_cell(cell: SweepCell) -> SweepResult:
@@ -99,17 +109,30 @@ def _run_cell(cell: SweepCell) -> SweepResult:
         program = copy.deepcopy(workload)
     else:
         program = get_workload(workload, cell.seed)
+    predictor = LookaheadBranchPredictor(cell.config)
+    session = None
+    if cell.telemetry:
+        from repro.obs.session import TelemetrySession
+
+        # The cycle engine has no warmup phase, so only functional cells
+        # skip their warmup outcomes (keeping telemetry reconcilable
+        # with the counted-phase RunStats).
+        session = TelemetrySession(
+            predictor=predictor,
+            interval=cell.telemetry_interval,
+            skip=cell.warmup if cell.engine != "cycle" else 0,
+        )
     start = time.perf_counter()
     if cell.engine == "cycle":
         from repro.engine.cycle import CycleEngine
 
-        engine = CycleEngine(LookaheadBranchPredictor(cell.config))
+        engine = CycleEngine(predictor, telemetry=session)
         stats = engine.run_program(
             program, max_branches=cell.branches, seed=cell.seed
         )
         accuracy = stats.accuracy
     else:
-        engine = FunctionalEngine(LookaheadBranchPredictor(cell.config))
+        engine = FunctionalEngine(predictor, telemetry=session)
         stats = engine.run_program(
             program,
             max_branches=cell.branches,
@@ -118,6 +141,10 @@ def _run_cell(cell: SweepCell) -> SweepResult:
         )
         accuracy = stats
     elapsed = time.perf_counter() - start
+    telemetry = None
+    if session is not None:
+        session.finish()
+        telemetry = session.to_dict()
     return SweepResult(
         label=cell.label,
         workload=cell.workload_name,
@@ -127,6 +154,7 @@ def _run_cell(cell: SweepCell) -> SweepResult:
         stats=stats,
         fingerprint=stats_fingerprint(accuracy),
         elapsed=elapsed,
+        telemetry=telemetry,
     )
 
 

@@ -1,0 +1,61 @@
+"""Observability: telemetry registry, interval sampling, branch tracing.
+
+The structured counterpart of the one-shot :class:`~repro.stats.metrics.
+RunStats` aggregate.  Attach a :class:`TelemetrySession` to an engine
+(the ``telemetry=`` constructor parameter, or pass ``session.observe``
+as the ``observer``) to get per-component counters, an interval time
+series and — optionally — a schema-versioned JSONL branch trace that
+``repro trace --validate`` and :func:`repro.stats.analysis.load_trace`
+can round-trip and reconcile against the run's stats.
+
+Telemetry off is the default everywhere and costs nothing: the engines
+keep their ``observer is None`` fast paths, and instrumented call sites
+hold the falsy :data:`NULL_TELEMETRY` null object.
+"""
+
+from repro.obs.collect import TelemetryCollector, harvest_components
+from repro.obs.report import render_report
+from repro.obs.sampler import IntervalSampler
+from repro.obs.session import TelemetrySession
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    TELEMETRY_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    NullTelemetry,
+    Telemetry,
+)
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    TraceSchemaError,
+    TraceWriter,
+    aggregate_branch_records,
+    branch_record,
+    reconcile,
+    reconcile_with_stats,
+    validate_record,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "IntervalSampler",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "TELEMETRY_SCHEMA",
+    "TRACE_SCHEMA",
+    "Telemetry",
+    "TelemetryCollector",
+    "TelemetrySession",
+    "TraceSchemaError",
+    "TraceWriter",
+    "aggregate_branch_records",
+    "branch_record",
+    "harvest_components",
+    "reconcile",
+    "reconcile_with_stats",
+    "render_report",
+    "validate_record",
+]

@@ -1,0 +1,173 @@
+"""Folding prediction outcomes and component state into the registry.
+
+Two complementary sources feed the :class:`~repro.obs.telemetry.
+Telemetry` registry:
+
+* **Per-branch events** — the :class:`TelemetryCollector` is an engine
+  ``observer``: every :class:`~repro.core.predictor.PredictionOutcome`
+  is decomposed into component counters (BTB1 hit/surprise, direction
+  and target provider usage and correctness, TAGE provider vs alternate,
+  perceptron overrides, SKOOT skip savings, CPRED acceleration, BTB2
+  triggers, mispredict classes) and a GPQ-occupancy histogram sample.
+  This path only runs when telemetry is attached, preserving the
+  engines' ``observer is None`` fast paths.
+
+* **Component harvest** — at snapshot time :func:`harvest_components`
+  pulls every core structure's native plain-int statistics (via the
+  ``component_counters()`` methods the structures already maintain at
+  zero cost) into gauges, so the report can show transfer-queue dedup
+  rates, write-backs, occupancy and the rest without any per-branch
+  bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.predictor import LookaheadBranchPredictor, PredictionOutcome
+from repro.core.providers import DirectionProvider
+from repro.obs.telemetry import Telemetry
+from repro.stats.metrics import MISPREDICT_CLASSES, classify
+
+#: GPQ occupancy histogram buckets (the z15 GPQ holds tens of entries).
+GPQ_BOUNDS = (0, 1, 2, 4, 8, 12, 16, 24, 32, 48, 64)
+
+#: Lines-searched-per-branch histogram buckets.
+SEARCH_BOUNDS = (0, 1, 2, 3, 4, 6, 8, 12, 16, 32)
+
+
+class TelemetryCollector:
+    """An engine observer that instruments every prediction outcome."""
+
+    def __init__(
+        self,
+        telemetry: Telemetry,
+        predictor: Optional[LookaheadBranchPredictor] = None,
+    ):
+        self.telemetry = telemetry
+        self.predictor = predictor
+        # Instruments the per-branch path touches, bound once: observe()
+        # runs for every branch of a telemetry-on run.
+        self._branches = telemetry.counter("engine.branches")
+        self._gpq_occupancy = telemetry.histogram("gpq.occupancy", GPQ_BOUNDS)
+        self._lines_per_branch = telemetry.histogram(
+            "search.lines_per_branch", SEARCH_BOUNDS
+        )
+
+    def observe(self, outcome: PredictionOutcome) -> None:
+        """Fold one prediction outcome into the registry."""
+        telemetry = self.telemetry
+        record = outcome.record
+        trace = outcome.trace
+        inc = telemetry.inc
+        self._branches.value += 1
+
+        # --- BTB1 hit/miss and the search walk ------------------------
+        if record.dynamic:
+            inc("btb1.dynamic_hits")
+        else:
+            inc("btb1.surprise_misses")
+        self._lines_per_branch.observe(trace.lines_searched)
+        if trace.lines_searched:
+            inc("search.lines_searched", trace.lines_searched)
+        if trace.empty_searches:
+            inc("search.empty", trace.empty_searches)
+        if trace.walk_capped:
+            inc("search.walk_capped")
+
+        # --- SKOOT / CPRED search savings ------------------------------
+        if trace.lines_skipped_by_skoot:
+            inc("skoot.lines_skipped", trace.lines_skipped_by_skoot)
+        if trace.skoot_overshoot:
+            inc("skoot.overshoots")
+        if trace.cpred_accelerated:
+            inc("cpred.accelerated_streams")
+
+        # --- BTB2 triggers and bad predictions -------------------------
+        if trace.btb2_triggers:
+            inc("btb2.search_triggers", trace.btb2_triggers)
+        if trace.bad_predictions_removed:
+            inc("btb1.bad_predictions_removed", trace.bad_predictions_removed)
+        if trace.bad_taken_restarts:
+            inc("btb1.bad_taken_restarts", trace.bad_taken_restarts)
+
+        # --- Direction provider usage and correctness -------------------
+        provider = record.direction_provider.value
+        inc(f"direction.provider.{provider}")
+        actual_taken = record.actual_taken
+        if record.predicted_taken == actual_taken:
+            inc(f"direction.correct.{provider}")
+
+        # TAGE provider / alternate-provider split (§V): which PHT table
+        # provided, and what the tracked alternate would have done.
+        snapshot = record.tage
+        if snapshot is not None and snapshot.provider is not None:
+            inc(f"tage.provider.{snapshot.provider}")
+            alternate = record.alternate_taken
+            if alternate is not None and alternate != record.predicted_taken:
+                inc("tage.alternate_disagreed")
+                if record.predicted_taken == actual_taken:
+                    inc("tage.provider_beat_alternate")
+                elif alternate == actual_taken:
+                    inc("tage.alternate_beat_provider")
+
+        # Perceptron overrides (§V): the perceptron only ever *overrides*
+        # the figure-8 chain, so provider==perceptron is an override.
+        if record.direction_provider is DirectionProvider.PERCEPTRON:
+            inc("perceptron.overrides")
+            if record.predicted_taken == actual_taken:
+                inc("perceptron.overrides_correct")
+            alternate = record.alternate_taken
+            if alternate is not None and alternate != record.predicted_taken:
+                if record.predicted_taken == actual_taken:
+                    inc("perceptron.override_saves")
+                else:
+                    inc("perceptron.override_damage")
+
+        # --- Target provider usage (agreed-taken dynamic branches) ------
+        if record.dynamic and record.predicted_taken:
+            inc("direction.predicted_taken_dynamic")
+            if actual_taken:
+                target = record.target_provider.value
+                inc(f"target.provider.{target}")
+                if record.predicted_target == record.actual_target:
+                    inc(f"target.correct.{target}")
+
+        # --- Power gating (§VI) ----------------------------------------
+        if not record.pht_powered:
+            inc("power.pht_gated")
+        if not record.perceptron_powered:
+            inc("power.perceptron_gated")
+        if not record.ctb_powered:
+            inc("power.ctb_gated")
+
+        # --- Mispredict classes ----------------------------------------
+        klass = classify(outcome)
+        inc(f"mispredict.{klass.value}")
+        if klass in MISPREDICT_CLASSES:
+            inc("engine.mispredicted_branches")
+        if actual_taken:
+            inc("engine.taken_branches")
+
+        # --- GPQ occupancy (sampled after this branch's push/retire) ---
+        predictor = self.predictor
+        if predictor is not None:
+            self._gpq_occupancy.observe(len(predictor.gpq))
+
+    def harvest(self) -> None:
+        """Pull component-native statistics into gauges (snapshot time)."""
+        if self.predictor is not None:
+            harvest_components(self.telemetry, self.predictor)
+
+
+def harvest_components(
+    telemetry: Telemetry, predictor: LookaheadBranchPredictor
+) -> None:
+    """Fold every core structure's native counters into the registry.
+
+    The structures keep these as plain-int attributes whether or not
+    telemetry is attached (the PR-2 hot paths are untouched); this just
+    snapshots them under the component's dotted prefix.
+    """
+    for component, counts in predictor.component_counters().items():
+        telemetry.merge_counts(component, counts)

@@ -1,0 +1,100 @@
+"""Rendering a telemetry registry as a per-component text report.
+
+The layout follows the paper's own component decomposition: one block
+per component prefix (``btb1``, ``btb2``, ``tage``, ``perceptron``,
+``cpred``, ``skoot``, ``crs``, ``ctb``, ``gpq``, ``power`` …), counters
+and harvested gauges interleaved name-sorted, histograms as one summary
+line.  An optional tail shows the last few interval samples so phase
+behaviour is visible without loading the trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.obs.telemetry import Histogram, Telemetry
+
+#: Preferred block order; components not listed follow alphabetically.
+COMPONENT_ORDER = (
+    "engine",
+    "search",
+    "btb1",
+    "btb2",
+    "staging",
+    "direction",
+    "target",
+    "tage",
+    "perceptron",
+    "spec",
+    "cpred",
+    "skoot",
+    "crs",
+    "ctb",
+    "gpq",
+    "write_queue",
+    "power",
+    "mispredict",
+    "predictor",
+)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.3f}"
+    return f"{int(value)}"
+
+
+def _instrument_line(name: str, instrument: object, width: int) -> str:
+    short = name.split(".", 1)[1] if "." in name else name
+    if isinstance(instrument, Histogram):
+        if instrument.count == 0:
+            return f"  {short:<{width}} (no samples)"
+        return (
+            f"  {short:<{width}} n={instrument.count}"
+            f" mean={instrument.mean:.2f}"
+            f" min={_format_value(instrument.min)}"
+            f" max={_format_value(instrument.max)}"
+        )
+    value = instrument.value  # Counter / Gauge
+    return f"  {short:<{width}} {_format_value(value):>10}"
+
+
+def render_report(
+    telemetry: Telemetry,
+    title: str = "telemetry",
+    samples: Optional[Sequence[Dict[str, object]]] = None,
+    tail: int = 3,
+) -> str:
+    """The multi-line per-component report."""
+    components = telemetry.components()
+    ordered = [c for c in COMPONENT_ORDER if c in components]
+    ordered += [c for c in sorted(components) if c not in COMPONENT_ORDER]
+    lines = [f"== {title} =="]
+    if not ordered:
+        lines.append("(no instruments recorded)")
+    for component in ordered:
+        items = list(telemetry.component_items(component))
+        if not items:
+            continue
+        lines.append(f"[{component}]")
+        width = max(
+            len(name.split(".", 1)[1] if "." in name else name)
+            for name, _ in items
+        )
+        for name, instrument in items:
+            lines.append(_instrument_line(name, instrument, width))
+    if samples:
+        shown = list(samples)[-tail:]
+        lines.append(f"[intervals] last {len(shown)} of {len(samples)}:")
+        for sample in shown:
+            lines.append(
+                f"  #{sample['index']:<3} branches "
+                f"{sample['branch_start']}-{sample['branch_end']}: "
+                f"accuracy {sample['accuracy']:6.2%}, "
+                f"mpki~{sample['mpki_approx']:.2f}, "
+                f"coverage {sample['dynamic_coverage']:6.2%}"
+            )
+    return "\n".join(lines)
+
+
+__all__ = ["render_report", "COMPONENT_ORDER"]

@@ -1,0 +1,96 @@
+"""Interval time-series sampling: MPKI / accuracy / provider share.
+
+"Branch Prediction Is Not a Solved Problem" localises accuracy problems
+by *windowing* the run — a predictor that looks fine in aggregate can be
+terrible in one phase.  The :class:`IntervalSampler` implements that
+view: every ``interval`` observed branches it closes a window and emits
+one sample with the window's misprediction rate, direction accuracy,
+dynamic coverage and direction-provider share.
+
+MPKI inside a window is necessarily approximate when the stream carries
+no per-branch instruction counts; the sampler derives it through the
+engine's :data:`~repro.engine.functional.INSTRUCTIONS_PER_BRANCH`
+density (the same approximation :class:`~repro.stats.metrics.RunStats`
+flags via ``instructions_approximate``) and labels the field
+``mpki_approx`` to keep that visible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.predictor import PredictionOutcome
+from repro.engine.functional import INSTRUCTIONS_PER_BRANCH
+from repro.stats.metrics import MISPREDICT_CLASSES, MispredictClass, classify
+
+
+class IntervalSampler:
+    """Windows the outcome stream and emits per-interval samples."""
+
+    def __init__(self, interval: int = 1000):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = interval
+        self.samples: List[Dict[str, object]] = []
+        self._seen = 0
+        self._window_branches = 0
+        self._window_mispredicts = 0
+        self._window_direction_wrong = 0
+        self._window_dynamic = 0
+        self._window_taken = 0
+        self._window_providers: Dict[str, int] = {}
+
+    def observe(self, outcome: PredictionOutcome) -> Optional[Dict[str, object]]:
+        """Fold one outcome in; returns the sample that a full window
+        just produced, else None."""
+        record = outcome.record
+        self._seen += 1
+        self._window_branches += 1
+        if record.dynamic:
+            self._window_dynamic += 1
+        if record.actual_taken:
+            self._window_taken += 1
+        provider = record.direction_provider.value
+        providers = self._window_providers
+        providers[provider] = providers.get(provider, 0) + 1
+        klass = classify(outcome)
+        if klass in MISPREDICT_CLASSES:
+            self._window_mispredicts += 1
+            if klass is not MispredictClass.TARGET_WRONG:
+                self._window_direction_wrong += 1
+        if self._window_branches >= self.interval:
+            return self._flush()
+        return None
+
+    def _flush(self) -> Dict[str, object]:
+        branches = self._window_branches
+        instructions = branches * INSTRUCTIONS_PER_BRANCH
+        sample: Dict[str, object] = {
+            "index": len(self.samples),
+            "branch_start": self._seen - branches,
+            "branch_end": self._seen,
+            "branches": branches,
+            "mispredicts": self._window_mispredicts,
+            "accuracy": 1.0 - self._window_direction_wrong / branches,
+            "mpki_approx": 1000.0 * self._window_mispredicts / instructions,
+            "dynamic_coverage": self._window_dynamic / branches,
+            "taken_rate": self._window_taken / branches,
+            "provider_share": {
+                provider: count / branches
+                for provider, count in sorted(self._window_providers.items())
+            },
+        }
+        self.samples.append(sample)
+        self._window_branches = 0
+        self._window_mispredicts = 0
+        self._window_direction_wrong = 0
+        self._window_dynamic = 0
+        self._window_taken = 0
+        self._window_providers = {}
+        return sample
+
+    def flush_partial(self) -> Optional[Dict[str, object]]:
+        """Close a trailing partial window at end of run, if any."""
+        if self._window_branches == 0:
+            return None
+        return self._flush()

@@ -1,0 +1,296 @@
+"""The telemetry registry: named counters, gauges and histograms.
+
+The paper reasons about the predictor through *component-level* numbers
+— BTB2 transfer effectiveness, TAGE override rates, SKOOT search savings
+(§IV-V) — so the observability layer is organised the same way: every
+instrument has a dotted name whose first segment is the owning component
+(``btb1.hits``, ``skoot.lines_skipped``, ``gpq.occupancy``), and reports
+group by that prefix.
+
+Two implementations share the interface:
+
+* :class:`Telemetry` — the real registry.  Instruments are created on
+  first use and kept in insertion-independent sorted order when
+  exported.
+* :class:`NullTelemetry` — the null object (:data:`NULL_TELEMETRY`).
+  Every method is a no-op and the instance is *falsy*, so instrumented
+  code can keep the PR-2 hot-path discipline: guard the per-branch work
+  behind one truthiness check (``if telemetry:``), exactly like the
+  engines' ``observer is None`` fast paths, and pay nothing when
+  telemetry is off.
+
+Nothing in this module imports the simulator; the registry is a plain
+data structure so the trace loader can rebuild one from JSON.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Version tag for every machine-readable telemetry export.
+TELEMETRY_SCHEMA = "repro-telemetry/v1"
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0):
+        self.name = name
+        self.value = value
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time value (occupancy, capacity, harvested totals)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0):
+        self.name = name
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+#: Default histogram bucket upper bounds (values above the last bound
+#: land in the overflow bucket).
+DEFAULT_BOUNDS: Tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+class Histogram:
+    """A fixed-bucket histogram with count/total/min/max summary.
+
+    ``bounds`` are inclusive upper bounds; one overflow bucket catches
+    everything beyond the last bound.  Buckets are fixed at creation so
+    two histograms of the same name always merge/compare cleanly.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BOUNDS):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must be sorted: {bounds!r}")
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.buckets: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        # bisect_left makes each bound inclusive: value == bounds[i]
+        # lands in bucket i; values past the last bound overflow.
+        self.buckets[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+def component_of(name: str) -> str:
+    """The owning component of a dotted instrument name."""
+    return name.split(".", 1)[0]
+
+
+class Telemetry:
+    """A registry of named instruments, created on first use."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def __bool__(self) -> bool:
+        return True
+
+    # -- instrument access ---------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_BOUNDS) -> Histogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(name, bounds)
+        return histogram
+
+    # -- recording convenience -----------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        counter.value += amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).value = value
+
+    def observe(self, name: str, value: float) -> None:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(name)
+        histogram.observe(value)
+
+    def merge_counts(self, prefix: str, counts: Dict[str, float]) -> None:
+        """Harvest a component's native counter dict as gauges.
+
+        Core structures keep plain-int statistics attributes (zero
+        overhead whether or not telemetry is attached); at snapshot time
+        those are folded in under ``<prefix>.<key>``.
+        """
+        for key, value in counts.items():
+            self.set_gauge(f"{prefix}.{key}", value)
+
+    # -- export ---------------------------------------------------------
+
+    def components(self) -> List[str]:
+        names: set = set()
+        for mapping in (self.counters, self.gauges, self.histograms):
+            names.update(component_of(name) for name in mapping)
+        return sorted(names)
+
+    def component_items(
+        self, component: str
+    ) -> Iterable[Tuple[str, object]]:
+        """(name, instrument) pairs of one component, name-sorted."""
+        prefix = component + "."
+        for mapping in (self.counters, self.gauges, self.histograms):
+            for name in sorted(mapping):
+                if name.startswith(prefix) or name == component:
+                    yield name, mapping[name]
+
+    def to_dict(self) -> Dict[str, object]:
+        """A stable, JSON-serialisable snapshot of every instrument."""
+        return {
+            "schema": TELEMETRY_SCHEMA,
+            "counters": {
+                name: self.counters[name].value
+                for name in sorted(self.counters)
+            },
+            "gauges": {
+                name: self.gauges[name].value for name in sorted(self.gauges)
+            },
+            "histograms": {
+                name: self.histograms[name].to_dict()
+                for name in sorted(self.histograms)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Telemetry":
+        """Rebuild a registry from :meth:`to_dict` output (trace loader)."""
+        telemetry = cls()
+        for name, value in payload.get("counters", {}).items():
+            telemetry.counter(name).value = value
+        for name, value in payload.get("gauges", {}).items():
+            telemetry.set_gauge(name, value)
+        for name, data in payload.get("histograms", {}).items():
+            histogram = telemetry.histogram(name, data["bounds"])
+            histogram.buckets = list(data["buckets"])
+            histogram.count = data["count"]
+            histogram.total = data["total"]
+            histogram.min = data["min"]
+            histogram.max = data["max"]
+        return telemetry
+
+
+class NullTelemetry:
+    """The off-mode registry: falsy, and every operation is a no-op.
+
+    Instrumented code holds one of these by default, so call sites can
+    either skip the work entirely behind ``if telemetry:`` (the hot-path
+    pattern) or call through unconditionally on cold paths.
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def counter(self, name: str) -> Counter:
+        return Counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        return Gauge(name)
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_BOUNDS) -> Histogram:
+        return Histogram(name, bounds)
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def merge_counts(self, prefix: str, counts: Dict[str, float]) -> None:
+        pass
+
+    def components(self) -> List[str]:
+        return []
+
+    def component_items(self, component: str):
+        return iter(())
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": TELEMETRY_SCHEMA,
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+#: The shared off-mode singleton (stateless, safe to share everywhere).
+NULL_TELEMETRY = NullTelemetry()

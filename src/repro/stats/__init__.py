@@ -1,6 +1,11 @@
 """Statistics, reporting and per-branch analysis."""
 
-from repro.stats.analysis import HotBranch, MispredictProfile
+from repro.stats.analysis import (
+    HotBranch,
+    MispredictProfile,
+    TraceDocument,
+    load_trace,
+)
 from repro.stats.metrics import (
     MISPREDICT_CLASSES,
     MispredictClass,
@@ -11,6 +16,8 @@ from repro.stats.metrics import (
 __all__ = [
     "HotBranch",
     "MispredictProfile",
+    "TraceDocument",
+    "load_trace",
     "MISPREDICT_CLASSES",
     "MispredictClass",
     "RunStats",

@@ -1,4 +1,4 @@
-"""Per-branch misprediction analysis.
+"""Per-branch misprediction analysis and trace-file loading.
 
 Section V motivates the tiny 32-entry perceptron with the observation
 that "it is often the case that a small subset of branch instruction
@@ -6,13 +6,20 @@ addresses is responsible for a disproportionately larger proportion of
 the total mispredictions in a workload".  This module measures exactly
 that: per-address execution/misprediction counts, concentration curves,
 and the hot-branch list.
+
+It is also the analysis-side entry point for JSONL traces written by
+:class:`repro.obs.trace.TraceWriter`: :func:`load_trace` parses and
+schema-validates a trace file into a :class:`TraceDocument`, which can
+re-run the per-branch/summary reconciliation offline and rebuild the
+run's telemetry registry.
 """
 
 from __future__ import annotations
 
+import json
 from collections import Counter
-from dataclasses import dataclass
-from typing import List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.predictor import PredictionOutcome
 from repro.stats.metrics import MISPREDICT_CLASSES, classify
@@ -119,3 +126,105 @@ class MispredictProfile:
                 f"/ {hot.executions:>7} executions ({hot.mispredict_rate:6.1%})"
             )
         return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Trace loading
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class TraceDocument:
+    """A parsed, schema-validated JSONL trace file.
+
+    Record order is preserved per type; ``header`` is the first line and
+    ``summary`` (when the run finished cleanly) the last.
+    """
+
+    path: str
+    header: Dict[str, object]
+    branches: List[Dict[str, object]] = field(default_factory=list)
+    intervals: List[Dict[str, object]] = field(default_factory=list)
+    summary: Optional[Dict[str, object]] = None
+
+    @property
+    def sampled(self) -> bool:
+        """True when only every N-th branch was recorded (``every > 1``)."""
+        return self.header.get("every", 1) != 1
+
+    @property
+    def stats(self) -> Dict[str, object]:
+        """The summary's ``comparable_stats`` slice (empty when absent)."""
+        if self.summary is None:
+            return {}
+        return dict(self.summary.get("stats", {}))
+
+    def telemetry(self):
+        """Rebuild the run's telemetry registry from the summary."""
+        from repro.obs.telemetry import Telemetry
+
+        if self.summary is None:
+            return Telemetry()
+        return Telemetry.from_dict(self.summary.get("telemetry", {}))
+
+    def aggregate(self) -> Dict[str, object]:
+        """Recompute the accuracy invariants from the branch records."""
+        from repro.obs.trace import aggregate_branch_records
+
+        return aggregate_branch_records(self.branches)
+
+    def reconcile(self) -> List[str]:
+        """Diff the branch records against the summary (see
+        :func:`repro.obs.trace.reconcile`); empty means clean."""
+        from repro.obs.trace import reconcile
+
+        if self.summary is None:
+            return ["trace has no summary record (run did not finish?)"]
+        return reconcile(self.header, self.branches, self.summary)
+
+
+def load_trace(path: str) -> TraceDocument:
+    """Parse and schema-validate a ``TraceWriter`` JSONL file.
+
+    Raises :class:`repro.obs.trace.TraceSchemaError` on any malformed
+    line, a header/schema mismatch, or a missing header.
+    """
+    from repro.obs.trace import TraceSchemaError, validate_record
+
+    header: Optional[Dict[str, object]] = None
+    branches: List[Dict[str, object]] = []
+    intervals: List[Dict[str, object]] = []
+    summary: Optional[Dict[str, object]] = None
+    with open(path) as stream:
+        for line_number, line in enumerate(stream, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceSchemaError(
+                    f"line {line_number}: invalid JSON ({exc})"
+                ) from exc
+            record = validate_record(obj, line_number)
+            kind = record["type"]
+            if kind == "header":
+                if header is not None:
+                    raise TraceSchemaError(
+                        f"line {line_number}: duplicate header record"
+                    )
+                header = record
+            elif header is None:
+                raise TraceSchemaError(
+                    f"line {line_number}: {kind} record before header"
+                )
+            elif kind == "branch":
+                branches.append(record)
+            elif kind == "interval":
+                intervals.append(record)
+            else:
+                summary = record
+    if header is None:
+        raise TraceSchemaError(f"{path}: no header record")
+    return TraceDocument(path=str(path), header=header, branches=branches,
+                         intervals=intervals, summary=summary)

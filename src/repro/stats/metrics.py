@@ -245,17 +245,30 @@ class RunStats:
     # ------------------------------------------------------------------
 
     def report(self, title: str = "run") -> str:
-        """A human-readable multi-line summary."""
+        """A human-readable multi-line summary.
+
+        Degenerate runs (zero branches, zero instructions) report the
+        undefined ratios as ``n/a`` rather than a misleading 0.00%.
+        """
         approx = " (approximate)" if self.instructions_approximate else ""
+        if self.branches:
+            coverage = f"{self.dynamic_coverage:6.2%}"
+            accuracy = f"{self.direction_accuracy:6.2%}"
+        else:
+            coverage = accuracy = "   n/a"
+        if self.instructions:
+            mpki = f"{self.mpki:8.3f}{approx}"
+        else:
+            mpki = "     n/a"
         lines = [
             f"== {title} ==",
             f"branches:            {self.branches}",
             f"instructions:        {self.instructions}{approx}",
-            f"dynamic coverage:    {self.dynamic_coverage:6.2%}",
-            f"direction accuracy:  {self.direction_accuracy:6.2%}",
+            f"dynamic coverage:    {coverage}",
+            f"direction accuracy:  {accuracy}",
             f"mispredicts:         {self.mispredicted_branches}"
             f"  (direction {self.direction_wrong}, target {self.target_wrong})",
-            f"MPKI:                {self.mpki:8.3f}{approx}",
+            f"MPKI:                {mpki}",
         ]
         lines.append("direction providers:")
         for provider, (count, correct) in sorted(

@@ -89,3 +89,39 @@ def test_named_workloads_resolve_per_seed():
     assert results[0].seed == 1 and results[1].seed == 2
     # Each cell ran its own seed's workload and stats.
     assert all(r.stats.branches == 400 for r in results)
+
+
+def test_telemetry_cells_do_not_change_results():
+    # Satellite guarantee for PR 4: a sweep with telemetry attached is
+    # fingerprint-identical to one without, sequentially and in workers.
+    base = SweepCell(label="t", config=small_predictor_config(),
+                     workload=build_medium_program(), branches=600,
+                     warmup=100)
+    instrumented = copy.deepcopy(base)
+    instrumented.telemetry = True
+    instrumented.telemetry_interval = 200
+    sequential = run_cells([base, instrumented], workers=1)
+    parallel = run_cells([copy.deepcopy(base),
+                          copy.deepcopy(instrumented)], workers=2)
+    fingerprints = {r.fingerprint for r in sequential + parallel}
+    assert len(fingerprints) == 1
+    assert sequential[0].telemetry is None
+    for result in (sequential[1], parallel[1]):
+        assert result.telemetry is not None
+        assert result.telemetry["counters"]["engine.branches"] == 600
+        assert len(result.telemetry["samples"]) == 3
+    # The registry export itself is deterministic across worker counts.
+    assert sequential[1].telemetry == parallel[1].telemetry
+
+
+def test_cycle_cell_telemetry_counts_all_branches():
+    cell = SweepCell(label="c", config=z15_config(),
+                     workload="compute-kernel", branches=400,
+                     engine="cycle", telemetry=True)
+    plain = SweepCell(label="c", config=z15_config(),
+                      workload="compute-kernel", branches=400,
+                      engine="cycle")
+    result, reference = run_cells([cell, plain], workers=1)
+    assert result.fingerprint == reference.fingerprint
+    # No warmup phase in the cycle engine: every branch is counted.
+    assert result.telemetry["counters"]["engine.branches"] == 400

@@ -85,3 +85,79 @@ def test_state_options_reject_baselines(capsys, tmp_path):
         run_cli(capsys, "run", "patterned", "--predictor", "gshare",
                 "--branches", "500", "--load-state",
                 str(tmp_path / "x.json"))
+
+
+def test_run_stats_json(capsys, tmp_path):
+    import json
+
+    path = str(tmp_path / "stats.json")
+    run_cli(capsys, "run", "patterned", "--branches", "1500", "--warmup",
+            "300", "--stats-json", path)
+    payload = json.load(open(path))
+    assert payload["branches"] == 1500
+    assert set(payload) >= {"mpki", "direction_accuracy",
+                            "dynamic_coverage", "mispredicted_branches"}
+
+
+def test_run_with_telemetry_report(capsys):
+    out = run_cli(capsys, "run", "patterned", "--branches", "1500",
+                  "--warmup", "300", "--telemetry")
+    assert "telemetry" in out
+    assert "[engine]" in out and "[btb1]" in out
+
+
+def test_compare_stats_json(capsys, tmp_path):
+    import json
+
+    path = str(tmp_path / "compare.json")
+    run_cli(capsys, "compare", "patterned", "--predictors", "z13", "z15",
+            "--branches", "1200", "--warmup", "300", "--stats-json", path)
+    payload = json.load(open(path))
+    assert set(payload["predictors"]) == {"z13", "z15"}
+    assert payload["predictors"]["z15"]["branches"] == 1200
+
+
+def test_trace_validate_round_trip(capsys, tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    out = run_cli(capsys, "trace", "--workload", "patterned", "--branches",
+                  "1200", "--interval", "400", "--trace-out", path,
+                  "--validate")
+    assert f"wrote {path}" in out
+    assert "reconciled clean" in out
+    from repro.stats.analysis import load_trace
+
+    document = load_trace(path)
+    assert len(document.branches) == 1200
+    assert document.reconcile() == []
+
+
+def test_trace_json_export(capsys, tmp_path):
+    import json
+
+    path = str(tmp_path / "telemetry.json")
+    run_cli(capsys, "trace", "--workload", "patterned", "--branches", "800",
+            "--interval", "0", "--json", path)
+    payload = json.load(open(path))
+    assert payload["counters"]["engine.branches"] == 800
+    assert payload["stats"]["branches"] == 800
+
+
+def test_trace_validate_requires_trace_out(capsys):
+    with pytest.raises(SystemExit):
+        run_cli(capsys, "trace", "--workload", "patterned", "--branches",
+                "200", "--validate")
+
+
+def test_sweep_telemetry_json(capsys, tmp_path):
+    import json
+
+    path = str(tmp_path / "sweep-telemetry.json")
+    out = run_cli(capsys, "sweep", "--configs", "z15", "--workloads",
+                  "compute-kernel", "--branches", "800", "--warmup", "200",
+                  "--telemetry", "--telemetry-json", path)
+    assert "fingerprint" in out
+    payload = json.load(open(path))
+    assert payload["schema"] == "repro-sweep-telemetry/v1"
+    cell = payload["cells"][0]
+    assert cell["label"] == "z15"
+    assert cell["telemetry"]["counters"]["engine.branches"] == 800

@@ -1,0 +1,190 @@
+"""TelemetrySession: zero perturbation, reconciliation, sampling."""
+
+import pytest
+
+from repro.core.predictor import LookaheadBranchPredictor
+from repro.engine.cycle import CycleEngine
+from repro.engine.functional import (
+    INSTRUCTIONS_PER_BRANCH,
+    FunctionalEngine,
+    _chain_observers,
+)
+from repro.obs.sampler import IntervalSampler
+from repro.obs.session import TelemetrySession
+from repro.verification.differential import (
+    comparable_stats,
+    stats_fingerprint,
+)
+
+from tests.conftest import build_medium_program, small_predictor_config
+
+BRANCHES = 900
+WARMUP = 200
+
+
+def plain_stats():
+    engine = FunctionalEngine(
+        LookaheadBranchPredictor(small_predictor_config())
+    )
+    return engine.run_program(build_medium_program(), max_branches=BRANCHES,
+                              warmup_branches=WARMUP, seed=3)
+
+
+def instrumented_stats(interval=300):
+    predictor = LookaheadBranchPredictor(small_predictor_config())
+    session = TelemetrySession(predictor=predictor, interval=interval,
+                               skip=WARMUP)
+    engine = FunctionalEngine(predictor, telemetry=session)
+    stats = engine.run_program(build_medium_program(), max_branches=BRANCHES,
+                               warmup_branches=WARMUP, seed=3)
+    session.finish(stats)
+    return stats, session
+
+
+class TestZeroPerturbation:
+    def test_telemetry_run_is_fingerprint_identical(self):
+        # The tier-1 guarantee: attaching a session changes nothing the
+        # predictor or stats can see.
+        stats, _session = instrumented_stats()
+        assert stats_fingerprint(stats) == stats_fingerprint(plain_stats())
+
+    def test_off_mode_keeps_engine_fast_path(self):
+        engine = FunctionalEngine(
+            LookaheadBranchPredictor(small_predictor_config())
+        )
+        assert engine.observer is None and engine.telemetry is None
+
+    def test_chain_observers_composition(self):
+        calls = []
+        assert _chain_observers(None, None) is None
+        append = calls.append
+        assert _chain_observers(append, None) is append
+
+        class Probe:
+            def __init__(self):
+                self.seen = []
+
+            def observe(self, outcome):
+                self.seen.append(outcome)
+
+        probe = Probe()
+        assert _chain_observers(None, probe) == probe.observe
+        both = _chain_observers(calls.append, probe)
+        both("x")
+        assert calls == ["x"] and probe.seen == ["x"]
+
+    def test_cycle_engine_accepts_a_session(self):
+        predictor = LookaheadBranchPredictor(small_predictor_config())
+        session = TelemetrySession(predictor=predictor, interval=0)
+        engine = CycleEngine(predictor, telemetry=session)
+        stats = engine.run_program(build_medium_program(), max_branches=400,
+                                   seed=3)
+        session.finish()
+        branches = session.telemetry.counter("engine.branches").value
+        assert branches == stats.branches
+
+        plain = CycleEngine(
+            LookaheadBranchPredictor(small_predictor_config())
+        ).run_program(build_medium_program(), max_branches=400, seed=3)
+        assert stats_fingerprint(stats.accuracy) == \
+            stats_fingerprint(plain.accuracy)
+
+
+class TestReconciliation:
+    def test_counters_match_run_stats_exactly(self):
+        stats, session = instrumented_stats()
+        reference = comparable_stats(stats)
+        counters = session.telemetry.counters
+
+        def value(name):
+            counter = counters.get(name)
+            return counter.value if counter is not None else 0
+
+        assert value("engine.branches") == reference["branches"]
+        assert value("engine.mispredicted_branches") == \
+            reference["mispredicted_branches"]
+        assert value("engine.taken_branches") == reference["taken_branches"]
+        assert value("btb1.dynamic_hits") == reference["dynamic_predictions"]
+        assert value("btb1.surprise_misses") == reference["surprise_branches"]
+        assert value("search.lines_searched") == reference["lines_searched"]
+        assert value("skoot.lines_skipped") == \
+            reference["lines_skipped_by_skoot"]
+        assert value("btb2.search_triggers") == reference["btb2_triggers"]
+
+    def test_provider_split_matches_run_stats(self):
+        stats, session = instrumented_stats()
+        counters = session.telemetry.counters
+        for provider, (count, correct) in stats.direction_providers.items():
+            name = provider.value
+            assert counters[f"direction.provider.{name}"].value == count
+            observed = counters.get(f"direction.correct.{name}")
+            assert (observed.value if observed else 0) == correct
+
+    def test_mispredict_class_split_matches(self):
+        stats, session = instrumented_stats()
+        counters = session.telemetry.counters
+        for klass, count in stats.classes.items():
+            if count:
+                assert counters[f"mispredict.{klass.value}"].value == count
+
+    def test_component_harvest_exposes_core_counters(self):
+        _stats, session = instrumented_stats()
+        gauges = session.telemetry.gauges
+        predictor_predictions = gauges["predictor.predictions"].value
+        # The harvest is predictor-lifetime (warmup included).
+        assert predictor_predictions == BRANCHES + WARMUP
+        assert gauges["btb1.capacity"].value == 16 * 2
+        assert "btb2.transfers_staged" in gauges
+        assert "gpq.capacity" in gauges
+
+    def test_skip_accounts_for_warmup_only_once(self):
+        stats, session = instrumented_stats()
+        assert session.telemetry.counter("engine.branches").value == \
+            stats.branches == BRANCHES
+
+
+class TestSampler:
+    def test_windows_cover_the_counted_phase(self):
+        stats, session = instrumented_stats(interval=300)
+        samples = session.samples
+        assert len(samples) == 3  # 900 branches / 300
+        assert sum(sample["branches"] for sample in samples) == stats.branches
+        assert samples[0]["branch_start"] == 0
+        assert samples[-1]["branch_end"] == stats.branches
+        for sample in samples:
+            assert 0.0 <= sample["accuracy"] <= 1.0
+            assert 0.0 <= sample["dynamic_coverage"] <= 1.0
+            assert sum(sample["provider_share"].values()) == \
+                pytest.approx(1.0)
+
+    def test_partial_window_flushes(self):
+        sampler = IntervalSampler(interval=100)
+        assert sampler.flush_partial() is None
+        stats, session = instrumented_stats(interval=400)
+        # 900 = 2 * 400 + 100 -> flush emits the 100-branch tail.
+        assert len(session.samples) == 3
+        assert session.samples[-1]["branches"] == 100
+
+    def test_mpki_approximation_uses_branch_density(self):
+        _stats, session = instrumented_stats(interval=300)
+        for sample in session.samples:
+            expected = (1000.0 * sample["mispredicts"]
+                        / (sample["branches"] * INSTRUCTIONS_PER_BRANCH))
+            assert sample["mpki_approx"] == pytest.approx(expected)
+
+    def test_interval_zero_disables_sampling(self):
+        _stats, session = instrumented_stats(interval=0)
+        assert session.samples == []
+
+    def test_report_renders_components(self):
+        _stats, session = instrumented_stats()
+        report = session.report("tiny / medium")
+        assert "== tiny / medium ==" in report
+        assert "[engine]" in report and "[btb1]" in report
+        assert "branches" in report
+
+    def test_finish_is_idempotent(self):
+        stats, session = instrumented_stats()
+        before = session.to_dict()
+        session.finish(stats)
+        assert session.to_dict() == before

@@ -1,0 +1,147 @@
+"""JSONL trace round-trips, schema validation and reconciliation."""
+
+import json
+
+import pytest
+
+from repro.core.predictor import LookaheadBranchPredictor
+from repro.engine.functional import FunctionalEngine
+from repro.obs.session import TelemetrySession
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    TraceSchemaError,
+    TraceWriter,
+    reconcile_with_stats,
+    validate_record,
+)
+from repro.stats.analysis import load_trace
+from repro.verification.differential import comparable_stats
+
+from tests.conftest import build_medium_program, small_predictor_config
+
+
+def traced_run(tmp_path, branches=800, warmup=150, every=1, interval=250,
+               name="run.jsonl"):
+    """One instrumented run; returns (trace path, RunStats, session)."""
+    path = str(tmp_path / name)
+    predictor = LookaheadBranchPredictor(small_predictor_config())
+    session = TelemetrySession(predictor=predictor, interval=interval,
+                               trace_path=path, trace_every=every,
+                               skip=warmup)
+    session.begin(workload="medium", predictor="tiny", seed=5,
+                  branches=branches)
+    engine = FunctionalEngine(predictor, telemetry=session)
+    stats = engine.run_program(build_medium_program(), max_branches=branches,
+                               warmup_branches=warmup, seed=5)
+    session.finish(stats)
+    return path, stats, session
+
+
+class TestRoundTrip:
+    def test_loader_round_trips_a_full_trace(self, tmp_path):
+        path, stats, _session = traced_run(tmp_path)
+        document = load_trace(path)
+        assert document.header["schema"] == TRACE_SCHEMA
+        assert document.header["every"] == 1
+        assert not document.sampled
+        assert len(document.branches) == stats.branches
+        assert document.intervals  # 800 branches / 250 window
+        assert document.summary is not None
+        # The stored summary is exactly the run's comparable slice.
+        assert document.stats == json.loads(
+            json.dumps(comparable_stats(stats))
+        )
+
+    def test_reconciles_clean_against_summary_and_stats(self, tmp_path):
+        path, stats, _session = traced_run(tmp_path)
+        document = load_trace(path)
+        assert document.reconcile() == []
+        assert reconcile_with_stats(document.branches, stats) == []
+        aggregate = document.aggregate()
+        assert aggregate["branches"] == stats.branches
+        assert aggregate["mispredicted_branches"] == \
+            stats.mispredicted_branches
+
+    def test_telemetry_registry_rebuilds_from_summary(self, tmp_path):
+        path, stats, session = traced_run(tmp_path)
+        rebuilt = load_trace(path).telemetry()
+        assert rebuilt.to_dict() == session.telemetry.to_dict()
+        assert rebuilt.counter("engine.branches").value == stats.branches
+
+    def test_sampled_trace_declares_itself_unreconcilable(self, tmp_path):
+        path, stats, _session = traced_run(tmp_path, every=4)
+        document = load_trace(path)
+        assert document.sampled
+        assert len(document.branches) == stats.branches // 4
+        messages = document.reconcile()
+        assert len(messages) == 1 and "sampled" in messages[0]
+
+    def test_traces_of_seeded_runs_are_byte_identical(self, tmp_path):
+        first, _, _ = traced_run(tmp_path, branches=400, name="a.jsonl")
+        second, _, _ = traced_run(tmp_path, branches=400, name="b.jsonl")
+        with open(first, "rb") as fa, open(second, "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_detects_corrupted_branch_records(self, tmp_path):
+        path, stats, _session = traced_run(tmp_path)
+        document = load_trace(path)
+        document.branches[0]["taken"] = not document.branches[0]["taken"]
+        assert document.reconcile() != []
+
+
+class TestSchemaValidation:
+    def test_unknown_record_type(self):
+        with pytest.raises(TraceSchemaError, match="unknown record type"):
+            validate_record({"type": "bogus"}, 3)
+
+    def test_missing_fields(self):
+        with pytest.raises(TraceSchemaError, match="missing fields"):
+            validate_record({"type": "branch", "i": 0}, 2)
+
+    def test_non_object_line(self):
+        with pytest.raises(TraceSchemaError, match="expected a JSON object"):
+            validate_record([1, 2, 3], 1)
+
+    def test_wrong_schema_version(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({
+            "type": "header", "schema": "repro-trace/v999", "workload": "w",
+            "predictor": "p", "seed": 1, "branches": 1, "interval": 0,
+            "every": 1,
+        }) + "\n")
+        with pytest.raises(TraceSchemaError, match="unsupported"):
+            load_trace(str(path))
+
+    def test_record_before_header(self, tmp_path):
+        path, _, _ = traced_run(tmp_path)
+        lines = open(path).read().splitlines()
+        rewritten = tmp_path / "reordered.jsonl"
+        rewritten.write_text("\n".join(lines[1:] + lines[:1]) + "\n")
+        with pytest.raises(TraceSchemaError, match="before header"):
+            load_trace(str(rewritten))
+
+    def test_invalid_json_line(self, tmp_path):
+        path, _, _ = traced_run(tmp_path)
+        with open(path, "a") as stream:
+            stream.write("{not json\n")
+        with pytest.raises(TraceSchemaError, match="invalid JSON"):
+            load_trace(str(path))
+
+    def test_missing_header_entirely(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceSchemaError, match="no header"):
+            load_trace(str(path))
+
+
+class TestWriter:
+    def test_rejects_nonpositive_every(self, tmp_path):
+        with pytest.raises(ValueError):
+            TraceWriter(str(tmp_path / "t.jsonl"), every=0)
+
+    def test_write_after_close_raises(self, tmp_path):
+        writer = TraceWriter(str(tmp_path / "t.jsonl"))
+        writer.close()
+        with pytest.raises(ValueError, match="closed"):
+            writer.write_header(workload="w", predictor="p", seed=1,
+                                branches=1, interval=0)

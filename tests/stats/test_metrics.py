@@ -135,3 +135,36 @@ class TestRunStats:
         stats.record(outcome(dynamic=False, predicted_taken=False,
                              actual_taken=False))
         assert stats.dynamic_coverage == pytest.approx(0.5)
+
+
+class TestReportEdgeCases:
+    def test_zero_branch_report_prints_na(self):
+        report = RunStats().report("empty")
+        assert "n/a" in report
+        assert "branches:            0" in report
+        # The undefined ratios never render as a misleading percentage.
+        assert "0.00%" not in report
+
+    def test_zero_instruction_report_prints_na_mpki(self):
+        stats = RunStats()
+        stats.record(outcome())
+        report = stats.report("no instructions")
+        assert stats.branches == 1 and stats.instructions == 0
+        assert "MPKI:                     n/a" in report
+        # Branch-denominated ratios are still defined and printed.
+        assert "100.00%" in report
+
+    def test_zero_mispredict_run_reports_cleanly(self):
+        stats = RunStats()
+        stats.record(outcome())
+        stats.instructions = 40
+        report = stats.report("clean")
+        assert "mispredicts:         0" in report
+        assert "n/a" not in report
+
+    def test_degenerate_properties_never_raise(self):
+        stats = RunStats()
+        assert stats.mpki == 0.0
+        assert stats.branch_mpki == 0.0
+        assert stats.direction_accuracy == 0.0
+        assert stats.dynamic_coverage == 0.0
