@@ -1,0 +1,108 @@
+"""X8 — resilience: fault-rate vs MPKI sweep, and the injector's cost.
+
+Not a paper experiment: characterises the graceful-degradation curve the
+z15's hint-engine architecture buys.  Sweeping the per-branch fault rate
+across three orders of magnitude must (a) keep every run architecturally
+equivalent to the fault-free baseline — faults never reach committed
+state — and (b) degrade MPKI monotonically-ish, not catastrophically.
+Also pins the overhead contract: a fault-off engine (no injector) is
+fingerprint-identical and pays nothing, and parity recovery visibly
+softens a heavy campaign relative to running unprotected.
+"""
+
+import pytest
+
+from repro.configs import z15_config
+from repro.core import LookaheadBranchPredictor
+from repro.engine import FunctionalEngine
+from repro.resilience import FaultInjector, FaultPlan, fault_equivalence_report
+from repro.verification.differential import stats_fingerprint
+from repro.workloads import get_workload
+
+BRANCHES = 3000
+
+#: The degradation sweep: per-branch fault probabilities.
+FAULT_RATES = (0.001, 0.01, 0.05, 0.2)
+
+
+def _run(workload: str, plan=None):
+    predictor = LookaheadBranchPredictor(z15_config())
+    injector = FaultInjector(predictor, plan) if plan is not None else None
+    engine = FunctionalEngine(predictor, injector=injector)
+    stats = engine.run_program(get_workload(workload),
+                               max_branches=BRANCHES, warmup_branches=0)
+    return stats, injector
+
+
+def test_fault_rate_vs_mpki_curve():
+    """The headline sweep: rate up, MPKI drifts up, execution unchanged."""
+    baseline, _ = _run("transactions")
+    print(f"\n{'rate':>8} {'injected':>9} {'MPKI':>8} {'delta':>8}  equivalent")
+    print(f"{0.0:>8} {0:>9} {baseline.mpki:>8.3f} {0.0:>+8.3f}  (baseline)")
+    deltas = []
+    for rate in FAULT_RATES:
+        plan = FaultPlan(seed=1, rate=rate, parity=False)
+        impact = fault_equivalence_report("transactions", plan,
+                                          branches=BRANCHES, seed=1)
+        assert impact.report.clean, impact.report.summary()
+        deltas.append(impact.mpki_delta)
+        print(f"{rate:>8} {impact.fault_counters['injected']:>9} "
+              f"{impact.faulted_mpki:>8.3f} {impact.mpki_delta:>+8.3f}  "
+              f"{impact.report.clean}")
+    # Graceful, not catastrophic: even at rate 0.2 (one fault every five
+    # branches) the predictor stays a working predictor.  The highest
+    # rate must cost the most accuracy of the sweep.
+    assert max(deltas) == deltas[-1]
+    assert deltas[-1] < baseline.mpki  # degraded, not destroyed
+
+
+def test_parity_recovery_softens_heavy_campaign():
+    base = dict(seed=1, rate=0.1)
+    protected = fault_equivalence_report(
+        "transactions", FaultPlan(parity=True, **base), branches=BRANCHES,
+        seed=1)
+    exposed = fault_equivalence_report(
+        "transactions", FaultPlan(parity=False, **base), branches=BRANCHES,
+        seed=1)
+    print(f"\nparity on:  MPKI {protected.faulted_mpki:.3f} "
+          f"(recovered {protected.fault_counters['recovered']})")
+    print(f"parity off: MPKI {exposed.faulted_mpki:.3f} "
+          f"(silent {exposed.fault_counters['silent']})")
+    assert protected.fault_counters["recovered"] > 0
+    assert protected.fault_counters["silent"] < exposed.fault_counters["silent"]
+
+
+@pytest.mark.parametrize("workload", ["compute-kernel", "transactions"])
+def test_fault_off_run_is_free_and_identical(benchmark, workload):
+    """No injector attached: the observer chain stays None, the fast
+    loops stay fast, and the stats are fingerprint-identical to a
+    pre-resilience build."""
+    stats = benchmark.pedantic(
+        lambda: _run(workload)[0], rounds=3, iterations=1, warmup_rounds=1,
+    )
+    seconds = benchmark.stats.stats.mean
+    branches_per_second = BRANCHES / seconds
+    print(f"\n{workload} (faults off): "
+          f"{branches_per_second:,.0f} branches/second")
+    assert branches_per_second > 3000
+    engine = FunctionalEngine(LookaheadBranchPredictor(z15_config()))
+    assert engine.observer is None  # the fault-off fast path is intact
+    reference = engine.run_program(get_workload(workload),
+                                   max_branches=BRANCHES, warmup_branches=0)
+    assert stats_fingerprint(stats) == stats_fingerprint(reference)
+
+
+def test_injector_overhead_is_bounded(benchmark):
+    """An attached injector costs one RNG draw per branch; it must not
+    collapse throughput even while actually injecting."""
+    plan = FaultPlan(seed=1, rate=0.01, audit_interval=0)
+    stats = benchmark.pedantic(
+        lambda: _run("transactions", plan)[0], rounds=3, iterations=1,
+        warmup_rounds=1,
+    )
+    seconds = benchmark.stats.stats.mean
+    branches_per_second = BRANCHES / seconds
+    print(f"\ntransactions (rate=0.01): "
+          f"{branches_per_second:,.0f} branches/second")
+    assert branches_per_second > 2000
+    assert stats.branches == BRANCHES

@@ -12,7 +12,11 @@ Commands:
   engine equivalence, deterministic replay, baseline cross-validation).
 * ``sweep`` — fan a (config × workload × seed) grid over worker
   processes; optionally record a machine-readable throughput report and
-  compare it against a committed baseline.
+  compare it against a committed baseline.  Failing cells surface as
+  structured error rows instead of aborting the sweep.
+* ``faults`` — run a deterministic fault-injection campaign and prove
+  the committed branch stream is identical to the fault-free run (the
+  predictor is a hint engine: faults may only cost accuracy).
 * ``trace`` — run one predictor/workload with a telemetry session
   attached and stream a schema-versioned JSONL branch trace; with
   ``--validate`` the written trace is re-loaded, schema-checked and
@@ -35,6 +39,7 @@ from repro.baselines import (
     LTagePredictor,
     StaticBtfntPredictor,
 )
+from repro.common.errors import ReproError
 from repro.configs import GENERATIONS, z15_config
 from repro.core import LookaheadBranchPredictor, load_state, save_state
 from repro.engine import CycleEngine, FunctionalEngine, make_grid, run_cells
@@ -327,26 +332,36 @@ def cmd_sweep(args: argparse.Namespace) -> None:
             cell.telemetry = True
 
     throughput_mode = bool(args.throughput or args.json or args.baseline)
+    hardening = {"timeout": args.cell_timeout, "retries": args.cell_retries}
     if throughput_mode:
         # Time the same grid both ways; the fingerprint comparison below
         # doubles as a determinism check on every CI run.
         start = time.perf_counter()
-        results = run_cells(cells, workers=1)
+        results = run_cells(cells, workers=1, **hardening)
         seq_wall = time.perf_counter() - start
         start = time.perf_counter()
-        par_results = run_cells(cells, workers=args.workers)
+        par_results = run_cells(cells, workers=args.workers, **hardening)
         par_wall = time.perf_counter() - start
     else:
         start = time.perf_counter()
-        results = run_cells(cells, workers=args.workers)
+        results = run_cells(cells, workers=args.workers, **hardening)
         seq_wall = time.perf_counter() - start
 
     header = (f"{'config':<8} {'workload':<18} {'seed':>4} {'coverage':>9} "
               f"{'accuracy':>9} {'MPKI':>8}  fingerprint")
     print(header)
     print("-" * len(header))
+    failed = 0
     for result in results:
         stats = result.stats
+        if stats is None:  # CellError row: the cell failed, sweep survived
+            failed += 1
+            print(
+                f"{result.label:<8} {result.workload:<18} {result.seed:>4} "
+                f"FAILED {result.kind} after {result.attempts} attempt(s): "
+                f"{result.message}"
+            )
+            continue
         print(
             f"{result.label:<8} {result.workload:<18} {result.seed:>4} "
             f"{stats.dynamic_coverage:>8.2%} {stats.direction_accuracy:>8.2%} "
@@ -372,6 +387,9 @@ def cmd_sweep(args: argparse.Namespace) -> None:
             ],
         })
 
+    if failed:
+        print(f"\n{failed} cell(s) failed; see FAILED rows above")
+        sys.exit(1)
     if not throughput_mode:
         return
     payload = _throughput_payload(cells, args.workers, results, seq_wall,
@@ -400,6 +418,76 @@ def cmd_sweep(args: argparse.Namespace) -> None:
             sys.exit(1)
         print(f"throughput within {args.max_regression:.0%} of baseline "
               f"{args.baseline}")
+
+
+def cmd_faults(args: argparse.Namespace) -> None:
+    from repro.resilience import FAULT_KINDS, FaultPlan, fault_equivalence_report
+
+    kinds = tuple(args.fault_kinds) if args.fault_kinds else FAULT_KINDS
+    plan = FaultPlan(
+        seed=args.fault_seed,
+        rate=args.fault_rate,
+        kinds=kinds,
+        parity=args.parity,
+        audit_interval=args.audit_interval,
+    ).validate()
+    impact = fault_equivalence_report(
+        args.workload,
+        plan,
+        branches=args.branches,
+        seed=args.seed,
+        warmup=args.warmup,
+    )
+    counters = impact.fault_counters
+    parity = "on" if plan.parity else "off"
+    print(f"fault campaign: {args.workload} x {args.branches} branches "
+          f"(rate={plan.rate}, kinds={','.join(plan.kinds)}, "
+          f"parity={parity}, fault-seed={plan.seed})")
+    print(f"  injected  {counters['injected']:>6} "
+          f"(detected {counters['detected']}, silent {counters['silent']}, "
+          f"recovered {counters['recovered']})")
+    print(f"  no-ops    {counters['attempts_empty']:>6} "
+          f"(fault fired on an empty structure)")
+    print(f"  audits    {counters['audits']:>6} clean")
+    print(f"  fault-free  MPKI {impact.baseline_mpki:>8.3f}  "
+          f"accuracy {impact.baseline_accuracy:>7.2%}")
+    print(f"  faulted     MPKI {impact.faulted_mpki:>8.3f}  "
+          f"accuracy {impact.faulted_accuracy:>7.2%}  "
+          f"(delta {impact.mpki_delta:+.3f} MPKI)")
+    if args.stats_json:
+        _write_json(args.stats_json, {
+            "schema": "repro-faults/v1",
+            "workload": args.workload,
+            "seed": args.seed,
+            "branches": args.branches,
+            "warmup": args.warmup,
+            "plan": {
+                "seed": plan.seed,
+                "rate": plan.rate,
+                "kinds": list(plan.kinds),
+                "parity": plan.parity,
+                "audit_interval": plan.audit_interval,
+            },
+            "counters": counters,
+            "baseline": {
+                "mpki": impact.baseline_mpki,
+                "direction_accuracy": impact.baseline_accuracy,
+                "fingerprint": impact.baseline_fingerprint,
+            },
+            "faulted": {
+                "mpki": impact.faulted_mpki,
+                "direction_accuracy": impact.faulted_accuracy,
+                "fingerprint": impact.faulted_fingerprint,
+            },
+            "mpki_delta": impact.mpki_delta,
+            "architecturally_equivalent": impact.report.clean,
+        })
+    if impact.report.clean:
+        print("  architectural equivalence: CLEAN — committed branch stream "
+              "identical to the fault-free run")
+    else:
+        print(impact.report.summary())
+        sys.exit(1)
 
 
 def cmd_trace(args: argparse.Namespace) -> None:
@@ -558,7 +646,48 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--telemetry-json", metavar="PATH",
                               help="write every cell's telemetry registry "
                                    "as JSON (with --telemetry)")
+    sweep_parser.add_argument("--cell-timeout", type=float, default=None,
+                              metavar="SECONDS",
+                              help="per-cell attempt timeout; a hung worker "
+                                   "is terminated and the cell retried "
+                                   "(default: unbounded)")
+    sweep_parser.add_argument("--cell-retries", type=int, default=1,
+                              help="re-attempts for a failing cell before "
+                                   "its slot becomes an error row "
+                                   "(default 1)")
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    faults_parser = sub.add_parser(
+        "faults",
+        help="fault-injection campaign with architectural-equivalence "
+             "check against the fault-free run")
+    faults_parser.add_argument("workload", nargs="?", default="transactions")
+    faults_parser.add_argument("--branches", type=int, default=5_000)
+    faults_parser.add_argument("--warmup", type=int, default=0)
+    faults_parser.add_argument("--seed", type=int, default=1234,
+                               help="workload seed (default 1234)")
+    faults_parser.add_argument("--fault-seed", type=int, default=1,
+                               help="seed for the injector's private RNG")
+    faults_parser.add_argument("--fault-rate", type=float, default=0.01,
+                               help="per-branch fault probability "
+                                    "(default 0.01)")
+    faults_parser.add_argument("--fault-kinds", nargs="*", metavar="KIND",
+                               help="fault kinds to enable (default: all; "
+                                    "see repro.resilience.FAULT_KINDS)")
+    faults_parser.add_argument("--parity", action="store_true", default=True,
+                               help="model per-entry parity detection + "
+                                    "invalidate-on-error recovery (default)")
+    faults_parser.add_argument("--no-parity", dest="parity",
+                               action="store_false",
+                               help="disable parity: every corruption is "
+                                    "silent")
+    faults_parser.add_argument("--audit-interval", type=int, default=1_000,
+                               help="structural audit every N branches "
+                                    "(0 disables; default 1000)")
+    faults_parser.add_argument("--stats-json", metavar="PATH",
+                               help="write the campaign report as "
+                                    "machine-readable JSON")
+    faults_parser.set_defaults(func=cmd_faults)
 
     trace_parser = sub.add_parser(
         "trace",
@@ -596,7 +725,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> None:
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.func(args)
+    try:
+        args.func(args)
+    except ReproError as error:
+        # Library errors (bad config, malformed trace/state file, audit
+        # failure...) are user-facing: one line on stderr, exit code 2 —
+        # distinct from verification failures (1) and argparse usage
+        # errors (argparse's own 2 with usage text).
+        print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
+        sys.exit(2)
 
 
 if __name__ == "__main__":

@@ -16,7 +16,16 @@ from repro.common.addresses import (
     next_line,
 )
 from repro.common.bits import bit_select, fold_xor, mask, popcount, rotate_left
-from repro.common.errors import ConfigError, ReproError, SimulationError
+from repro.common.corruption import Corruption, flipped_bits
+from repro.common.errors import (
+    AuditError,
+    ConfigError,
+    ReproError,
+    SimulationError,
+    StateFormatError,
+    TraceFormatError,
+    VerificationError,
+)
 from repro.common.rng import DeterministicRng
 
 __all__ = [
@@ -34,8 +43,14 @@ __all__ = [
     "mask",
     "popcount",
     "rotate_left",
+    "AuditError",
     "ConfigError",
+    "Corruption",
     "ReproError",
     "SimulationError",
+    "StateFormatError",
+    "TraceFormatError",
+    "VerificationError",
+    "flipped_bits",
     "DeterministicRng",
 ]

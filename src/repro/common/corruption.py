@@ -1,0 +1,66 @@
+"""The corruption contract core structures expose to the fault framework.
+
+The z15's arrays are physically vulnerable — the BTB2 in particular is a
+128K-branch eDRAM-like macro kept alive by periodic refresh — but the
+predictor is architecturally a *hint engine*: a corrupted entry may cost
+mispredicts, never correctness.  The fault-injection framework in
+:mod:`repro.resilience` models that surface, and each core structure
+participates through one small hook:
+
+``corrupt(rng) -> Optional[Corruption]``
+    Flip bits in (or otherwise perturb) one deterministically chosen
+    live entry.  The mutation must keep the entry *legal-but-wrong*:
+    every field stays inside the range the structure's ``audit()``
+    checks, so a fault can never fake a modelling bug.  Returns None
+    when the structure holds nothing to corrupt.
+
+The returned :class:`Corruption` describes what happened — which
+component, where, how many stored bits changed — and carries an
+``invalidate`` callback implementing the hardware's recovery action
+(invalidate-on-parity-error): dropping the corrupted entry entirely,
+which is always safe for prediction content.
+
+This module is deliberately tiny and import-free of the simulator so the
+core structures can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.bits import popcount
+
+
+def flipped_bits(old: int, new: int) -> int:
+    """Hamming distance between two stored field encodings."""
+    return popcount(old ^ new)
+
+
+@dataclass
+class Corruption:
+    """One applied corruption, as reported by a structure's ``corrupt()``.
+
+    ``bits_flipped`` is the Hamming distance of the stored encoding —
+    the quantity the parity model cares about: per-entry parity detects
+    every odd-weight error and misses every even-weight one.  Omission
+    faults (a dropped transfer, a suppressed refresh) flip no stored
+    bits and report 0.
+    """
+
+    #: Owning component (``btb1``, ``btb2``, ``tage``, ...).
+    component: str
+    #: Human-readable location (row/way/thread), for fault logs.
+    location: str
+    #: The corrupted field name.
+    field: str
+    #: Stored bits changed by the corruption (0 for omission faults).
+    bits_flipped: int
+    #: Recovery action: invalidate the corrupted entry (always safe).
+    invalidate: Callable[[], None]
+
+    def describe(self) -> str:
+        return (
+            f"{self.component}[{self.location}].{self.field} "
+            f"({self.bits_flipped} bits)"
+        )

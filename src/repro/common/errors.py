@@ -19,5 +19,26 @@ class TraceFormatError(ReproError):
     """A trace file or record could not be parsed."""
 
 
+class StateFormatError(TraceFormatError):
+    """A saved predictor-state file is malformed, truncated or of an
+    unknown format version."""
+
+
 class VerificationError(ReproError):
     """A white-box verification checker detected a DUT/reference mismatch."""
+
+
+class AuditError(SimulationError):
+    """A structural-invariant audit found corrupted predictor state.
+
+    Raised by the periodic auditor in :mod:`repro.resilience`: the
+    predictor is architecturally a hint engine, so *no* injected fault —
+    detected or silent — may ever leave a structure in an illegal state.
+    The message carries every violation the audit collected.
+    """
+
+    def __init__(self, violations):
+        self.violations = list(violations)
+        super().__init__(
+            "predictor state audit failed: " + "; ".join(self.violations)
+        )

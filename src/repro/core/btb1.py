@@ -20,6 +20,7 @@ from typing import Callable, List, Optional
 
 from repro.common.addresses import line_of
 from repro.common.bits import bit_folder, mask
+from repro.common.corruption import Corruption, flipped_bits
 from repro.common.slots import add_slots
 from repro.configs.predictor import Btb1Config
 from repro.core.entries import BtbEntry
@@ -281,3 +282,109 @@ class Btb1:
 
     def clear(self) -> None:
         self._table.clear()
+
+    # ------------------------------------------------------------------
+    # Fault-injection & audit hooks (repro.resilience)
+    # ------------------------------------------------------------------
+
+    def invalidate_entry(self, row: int, way: int) -> None:
+        """Drop one slot — the invalidate-on-parity-error recovery action."""
+        self._table.invalidate(row, way)
+
+    def corrupt(self, rng) -> Optional[Corruption]:
+        """Flip bits in one live entry, keeping it legal-but-wrong.
+
+        Every mutation stays inside the ranges :meth:`audit` checks
+        (offsets halfword-aligned and in-line, BHT 0..3, tags within the
+        fold mask), so injected faults degrade prediction quality without
+        ever faking a modelling bug.
+        """
+        victims = [(row, way, entry) for row, way, entry in self._table]
+        if not victims:
+            return None
+        row, way, entry = rng.choice(victims)
+        field = rng.choice(("target", "bht", "offset", "tag", "flag"))
+        bits = 1
+        if field == "bht":
+            old = entry.bht.value
+            entry.bht.value = old ^ rng.randint(1, 3)
+            bits = flipped_bits(old, entry.bht.value)
+        elif field == "offset":
+            flipped = entry.offset ^ (1 << rng.randint(1, self._line_shift - 1))
+            if self._offset_collides(row, entry, flipped):
+                field = "target"
+                entry.target ^= 1 << rng.randint(1, 24)
+            else:
+                entry.offset = flipped
+        elif field == "tag":
+            flipped = entry.tag ^ (1 << rng.randint(0, self._tag_bits - 1))
+            if self._tag_collides(row, entry, flipped):
+                field = "target"
+                entry.target ^= 1 << rng.randint(1, 24)
+            else:
+                entry.tag = flipped
+        elif field == "flag":
+            name = rng.choice(("bidirectional", "multi_target", "crs_blacklisted"))
+            setattr(entry, name, not getattr(entry, name))
+            field = name
+        else:
+            entry.target ^= 1 << rng.randint(1, 24)
+
+        def _invalidate(table=self._table, row=row, way=way, entry=entry):
+            if table.read(row, way) is entry:
+                table.invalidate(row, way)
+
+        return Corruption(
+            component="btb1",
+            location=f"row={row},way={way}",
+            field=field,
+            bits_flipped=bits,
+            invalidate=_invalidate,
+        )
+
+    def _offset_collides(self, row: int, entry: BtbEntry, offset: int) -> bool:
+        """Would (entry.tag, offset) duplicate another entry in *row*?"""
+        return any(
+            other is not entry
+            and other.tag == entry.tag and other.offset == offset
+            for other in self._table.row_ref(row)
+            if other is not None
+        )
+
+    def _tag_collides(self, row: int, entry: BtbEntry, tag: int) -> bool:
+        """Would (tag, entry.offset) duplicate another entry in *row*?"""
+        return any(
+            other is not entry
+            and other.tag == tag and other.offset == entry.offset
+            for other in self._table.row_ref(row)
+            if other is not None
+        )
+
+    def audit(self) -> List[str]:
+        """Structural-invariant check; returns violation strings (none
+        when the array is healthy)."""
+        violations: List[str] = []
+        if not 0 <= self.occupancy <= self.capacity:
+            violations.append(
+                f"btb1 occupancy {self.occupancy} outside [0, {self.capacity}]"
+            )
+        line_size = self.config.line_size
+        seen_rows: dict = {}
+        for row, way, entry in self._table:
+            where = f"btb1[row={row},way={way}]"
+            if entry.offset % 2 != 0 or not 0 <= entry.offset < line_size:
+                violations.append(
+                    f"{where} offset {entry.offset} not an even in-line offset"
+                )
+            if not 0 <= entry.bht.value <= 3:
+                violations.append(f"{where} bht value {entry.bht.value} outside 0..3")
+            if not 0 <= entry.tag <= self._tag_fold_mask:
+                violations.append(f"{where} tag {entry.tag} wider than the fold mask")
+            key = (entry.tag, entry.offset)
+            seen = seen_rows.setdefault(row, set())
+            if key in seen:
+                violations.append(
+                    f"{where} duplicates (tag={entry.tag}, offset={entry.offset})"
+                )
+            seen.add(key)
+        return violations

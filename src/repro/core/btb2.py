@@ -20,11 +20,12 @@ here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional
 
 from repro.common.addresses import line_of
 from repro.common.bits import bit_folder, mask
+from repro.common.corruption import Corruption, flipped_bits
 from repro.common.errors import ConfigError
 from repro.common.slots import add_slots
 from repro.configs.predictor import Btb2Config
@@ -67,6 +68,11 @@ class Btb2System:
         self._consecutive_empty = 0
         self._no_hit_since_refresh = 0
         self._surprise_times: List[int] = []
+        # Fault-injection state: pending refresh-writeback suppressions
+        # (models losing the under-the-covers refresh write, the eDRAM
+        # failure mode the periodic refresh exists to mask).
+        self._refresh_suppress = 0
+        self.refreshes_suppressed = 0
         # Statistics
         self.searches = 0
         self.searches_empty_trigger = 0
@@ -219,6 +225,13 @@ class Btb2System:
         if self._no_hit_since_refresh < self.config.refresh_threshold:
             return
         self._no_hit_since_refresh = 0
+        if self._refresh_suppress > 0:
+            # An injected fault eats this refresh write: the BTB1 victim
+            # is not written back, so its learned state can be lost on
+            # eviction (the inclusive design's assumption goes stale).
+            self._refresh_suppress -= 1
+            self.refreshes_suppressed += 1
+            return
         row = self.btb1.row_of(search_address)
         victim = self.btb1.victim_preview(row)
         if victim is not None:
@@ -302,3 +315,156 @@ class Btb2System:
         self._table.clear()
         self.staging.clear()
         self._consecutive_empty = 0
+
+    # ------------------------------------------------------------------
+    # Fault-injection & audit hooks (repro.resilience)
+    # ------------------------------------------------------------------
+
+    def invalidate_entry(self, row: int, way: int) -> None:
+        """Drop one slot — the invalidate-on-parity-error recovery action."""
+        self._table.invalidate(row, way)
+
+    def suppress_refreshes(self, count: int = 1) -> None:
+        """Arm the fault that swallows the next *count* periodic-refresh
+        writebacks (an omission fault: no stored bits change)."""
+        self._refresh_suppress += count
+
+    def corrupt(self, rng) -> Optional[Corruption]:
+        """Flip bits in one live BTB2 snapshot, keeping it legal-but-wrong."""
+        victims = [(row, way, entry) for row, way, entry in self._table]
+        if not victims:
+            return None
+        row, way, entry = rng.choice(victims)
+        field = rng.choice(("target", "bht_value", "offset", "tag", "flag"))
+        bits = 1
+        if field == "bht_value":
+            old = entry.bht_value
+            entry.bht_value = old ^ rng.randint(1, 3)
+            bits = flipped_bits(old, entry.bht_value)
+        elif field == "offset":
+            flipped = entry.offset ^ (1 << rng.randint(1, self._line_shift - 1))
+            if self._snapshot_collides(row, entry, entry.tag, flipped):
+                field = "target"
+                entry.target ^= 1 << rng.randint(1, 24)
+            else:
+                entry.offset = flipped
+        elif field == "tag":
+            flipped = entry.tag ^ (1 << rng.randint(0, self.config.tag_bits - 1))
+            if self._snapshot_collides(row, entry, flipped, entry.offset):
+                field = "target"
+                entry.target ^= 1 << rng.randint(1, 24)
+            else:
+                entry.tag = flipped
+        elif field == "flag":
+            name = rng.choice(("bidirectional", "multi_target"))
+            setattr(entry, name, not getattr(entry, name))
+            field = name
+        else:
+            entry.target ^= 1 << rng.randint(1, 24)
+
+        def _invalidate(table=self._table, row=row, way=way, entry=entry):
+            if table.read(row, way) is entry:
+                table.invalidate(row, way)
+
+        return Corruption(
+            component="btb2",
+            location=f"row={row},way={way}",
+            field=field,
+            bits_flipped=bits,
+            invalidate=_invalidate,
+        )
+
+    def _snapshot_collides(self, row, entry, tag: int, offset: int) -> bool:
+        """Would (tag, offset) duplicate another snapshot in *row*?"""
+        return any(
+            other is not entry and other.tag == tag and other.offset == offset
+            for other in self._table.row_ref(row)
+            if other is not None
+        )
+
+    def corrupt_staging(self, rng) -> Optional[Corruption]:
+        """Fault one in-flight staged transfer: drop it entirely (an
+        omission — 0 bits flipped, undetectable by parity) or stale-ify
+        its payload (the staged copy goes bad; the array copy is left
+        untouched, exactly like a transfer bus flip)."""
+        if not self.staging:
+            return None
+        index = rng.randint(0, len(self.staging) - 1)
+        transfer = self.staging.item_at(index)
+        if rng.chance(0.5):
+            self.staging.remove_at(index)
+            return Corruption(
+                component="btb2",
+                location=f"staging[{index}]",
+                field="dropped",
+                bits_flipped=0,
+                invalidate=lambda: None,
+            )
+        stale = replace(transfer.entry,
+                        target=transfer.entry.target ^ (1 << rng.randint(1, 24)))
+        transfer.entry = stale
+
+        def _invalidate(staging=self.staging, transfer=transfer):
+            for position, queued in enumerate(staging):
+                if queued is transfer:
+                    staging.remove_at(position)
+                    return
+
+        return Corruption(
+            component="btb2",
+            location=f"staging[{index}]",
+            field="target",
+            bits_flipped=1,
+            invalidate=_invalidate,
+        )
+
+    def audit(self) -> List[str]:
+        """Structural-invariant check; returns violation strings."""
+        violations: List[str] = []
+        if not 0 <= self.occupancy <= self.capacity:
+            violations.append(
+                f"btb2 occupancy {self.occupancy} outside [0, {self.capacity}]"
+            )
+        if len(self.staging) > self.staging.capacity:
+            violations.append(
+                f"btb2 staging occupancy {len(self.staging)} over capacity "
+                f"{self.staging.capacity}"
+            )
+        if self._refresh_suppress < 0:
+            violations.append(
+                f"btb2 refresh-suppress counter negative: {self._refresh_suppress}"
+            )
+        line_size = self.config.line_size
+        tag_mask = mask(self.config.tag_bits)
+        seen_rows: dict = {}
+        for row, way, entry in self._table:
+            where = f"btb2[row={row},way={way}]"
+            if entry.offset % 2 != 0 or not 0 <= entry.offset < line_size:
+                violations.append(
+                    f"{where} offset {entry.offset} not an even in-line offset"
+                )
+            if not 0 <= entry.bht_value <= 3:
+                violations.append(
+                    f"{where} bht value {entry.bht_value} outside 0..3"
+                )
+            if not 0 <= entry.tag <= tag_mask:
+                violations.append(f"{where} tag {entry.tag} wider than the fold mask")
+            key = (entry.tag, entry.offset)
+            seen = seen_rows.setdefault(row, set())
+            if key in seen:
+                violations.append(
+                    f"{where} duplicates (tag={entry.tag}, offset={entry.offset})"
+                )
+            seen.add(key)
+        for index, transfer in enumerate(self.staging):
+            staged = transfer.entry
+            if staged.offset % 2 != 0 or not 0 <= staged.offset < line_size:
+                violations.append(
+                    f"btb2 staging[{index}] offset {staged.offset} "
+                    f"not an even in-line offset"
+                )
+            if not 0 <= staged.bht_value <= 3:
+                violations.append(
+                    f"btb2 staging[{index}] bht value {staged.bht_value} outside 0..3"
+                )
+        return violations

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.common.corruption import Corruption
 from repro.configs.predictor import CrsConfig
 
 
@@ -225,3 +226,63 @@ class CallReturnStack:
             "blacklists": self.blacklists,
             "amnesties": self.amnesties,
         }
+
+    # ------------------------------------------------------------------
+    # Fault-injection & audit hooks (repro.resilience)
+    # ------------------------------------------------------------------
+
+    def corrupt(self, rng) -> Optional[Corruption]:
+        """Corrupt one live stack: flip an NSIA bit or the valid bit.
+
+        Only instantiated stacks (threads that have run) are candidates;
+        recovery invalidates the stack, which merely costs the next
+        return prediction.
+        """
+        candidates = [
+            (side, thread, stack)
+            for side, stacks in (
+                ("predict", self._predict_stacks),
+                ("detect", self._detect_stacks),
+            )
+            for thread, stack in sorted(stacks.items())
+            if stack.valid
+        ]
+        if not candidates:
+            return None
+        side, thread, stack = rng.choice(candidates)
+        field = rng.choice(("nsia", "valid"))
+        if field == "nsia":
+            stack.nsia ^= 1 << rng.randint(1, 24)
+        else:
+            stack.valid = False
+
+        def _invalidate(stack=stack):
+            stack.invalidate()
+
+        return Corruption(
+            component="crs",
+            location=f"{side}-stack,thread={thread}",
+            field=field,
+            bits_flipped=1,
+            invalidate=_invalidate,
+        )
+
+    def audit(self) -> list:
+        """Structural-invariant check; returns violation strings."""
+        violations = []
+        if not 0 <= self._amnesty_counter < self.config.amnesty_period:
+            violations.append(
+                f"crs amnesty counter {self._amnesty_counter} outside "
+                f"[0, {self.config.amnesty_period})"
+            )
+        for side, stacks in (
+            ("predict", self._predict_stacks),
+            ("detect", self._detect_stacks),
+        ):
+            for thread, stack in stacks.items():
+                if stack.nsia < 0:
+                    violations.append(
+                        f"crs {side}-stack thread {thread} nsia "
+                        f"{stack.nsia} negative"
+                    )
+        return violations

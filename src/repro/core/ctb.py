@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.common.bits import fold_xor, mask
+from repro.common.corruption import Corruption
 from repro.configs.predictor import CtbConfig
 from repro.structures.assoc import SetAssociativeTable
 
@@ -118,3 +119,48 @@ class ChangingTargetBuffer:
             "target_updates": self.target_updates,
             "occupancy": self.occupancy,
         }
+
+    # ------------------------------------------------------------------
+    # Fault-injection & audit hooks (repro.resilience)
+    # ------------------------------------------------------------------
+
+    def corrupt(self, rng) -> Optional[Corruption]:
+        """Flip one bit in a live entry's tag or target."""
+        victims = [(row, way, entry) for row, way, entry in self._table]
+        if not victims:
+            return None
+        row, way, entry = rng.choice(victims)
+        field = rng.choice(("target", "tag"))
+        if field == "target":
+            entry.target ^= 1 << rng.randint(1, 24)
+        else:
+            entry.tag ^= 1 << rng.randint(0, self.config.tag_bits - 1)
+
+        def _invalidate(table=self._table, row=row, way=way, entry=entry):
+            if table.read(row, way) is entry:
+                table.invalidate(row, way)
+
+        return Corruption(
+            component="ctb",
+            location=f"row={row},way={way}",
+            field=field,
+            bits_flipped=1,
+            invalidate=_invalidate,
+        )
+
+    def audit(self) -> list:
+        """Structural-invariant check; returns violation strings."""
+        violations = []
+        if not 0 <= self.occupancy <= self._table.capacity:
+            violations.append(
+                f"ctb occupancy {self.occupancy} outside "
+                f"[0, {self._table.capacity}]"
+            )
+        tag_mask = mask(self.config.tag_bits)
+        for row, way, entry in self._table:
+            where = f"ctb[row={row},way={way}]"
+            if not 0 <= entry.tag <= tag_mask:
+                violations.append(f"{where} tag {entry.tag} wider than the fold mask")
+            if entry.target < 0:
+                violations.append(f"{where} target {entry.target} negative")
+        return violations

@@ -168,3 +168,22 @@ class GlobalPredictionQueue:
             "occupancy": len(self._items),
             "capacity": self.capacity,
         }
+
+    def audit(self) -> List[str]:
+        """Structural-invariant check (repro.resilience): occupancy
+        bounded by capacity, records in sequence order."""
+        violations: List[str] = []
+        if len(self._items) > self.capacity:
+            violations.append(
+                f"gpq occupancy {len(self._items)} over capacity {self.capacity}"
+            )
+        last: Optional[int] = None
+        for record in self._items:
+            if last is not None and record.sequence < last:
+                violations.append(
+                    f"gpq sequence order violated at {record.sequence} "
+                    f"(after {last})"
+                )
+                break
+            last = record.sequence
+        return violations

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.common.bits import bit_folder
+from repro.common.corruption import Corruption, flipped_bits
 from repro.common.slots import add_slots
 from repro.configs.predictor import PerceptronConfig
 from repro.core.gpv import GlobalPathVector
@@ -317,3 +318,104 @@ class Perceptron:
             "virtualizations": self.virtualizations,
             "occupancy": self.occupancy,
         }
+
+    # ------------------------------------------------------------------
+    # Fault-injection & audit hooks (repro.resilience)
+    # ------------------------------------------------------------------
+
+    def corrupt(self, rng) -> Optional[Corruption]:
+        """Perturb one live perceptron, keeping every field in range.
+
+        Weight flips use an offset-binary encoding (``value + limit``)
+        for the Hamming distance, matching how a sign-magnitude array
+        would store them.
+        """
+        victims = [
+            (row, way, entry)
+            for row, ways in enumerate(self._rows)
+            for way, entry in enumerate(ways)
+            if entry is not None
+        ]
+        if not victims:
+            return None
+        row, way, entry = rng.choice(victims)
+        field = rng.choice(("weight", "usefulness", "mapping"))
+        limit = self.config.weight_limit
+        if field == "weight":
+            index = rng.randint(0, len(entry.weights) - 1)
+            old = entry.weights[index]
+            new = rng.randint(-limit, limit)
+            if new == old:
+                new = -old if old != 0 else limit
+            entry.weights[index] = new
+            bits = flipped_bits(old + limit, new + limit)
+            field = f"weight[{index}]"
+        elif field == "usefulness":
+            maximum = (1 << self.config.usefulness_bits) - 1
+            old = entry.usefulness
+            entry.usefulness = old ^ rng.randint(1, maximum)
+            bits = flipped_bits(old, entry.usefulness)
+        else:
+            index = rng.randint(0, len(entry.mapping) - 1)
+            old = entry.mapping[index]
+            new = rng.randint(0, self.gpv_width - 1)
+            if new == old:
+                new = self._alternate_bit(index, old)
+            entry.mapping[index] = new
+            bits = max(1, flipped_bits(old, new))
+            field = f"mapping[{index}]"
+
+        def _invalidate(rows=self._rows, row=row, way=way, entry=entry):
+            if rows[row][way] is entry:
+                rows[row][way] = None
+
+        return Corruption(
+            component="perceptron",
+            location=f"row={row},way={way}",
+            field=field,
+            bits_flipped=bits,
+            invalidate=_invalidate,
+        )
+
+    def audit(self) -> List[str]:
+        """Structural-invariant check; returns violation strings."""
+        violations: List[str] = []
+        limit = self.config.weight_limit
+        usefulness_max = (1 << self.config.usefulness_bits) - 1
+        for row, ways in enumerate(self._rows):
+            for way, entry in enumerate(ways):
+                if entry is None:
+                    continue
+                where = f"perceptron[row={row},way={way}]"
+                if len(entry.weights) != self.config.weight_count:
+                    violations.append(
+                        f"{where} has {len(entry.weights)} weights, "
+                        f"expected {self.config.weight_count}"
+                    )
+                if len(entry.mapping) != self.config.weight_count:
+                    violations.append(
+                        f"{where} has {len(entry.mapping)} mapped bits, "
+                        f"expected {self.config.weight_count}"
+                    )
+                for index, weight in enumerate(entry.weights):
+                    if not -limit <= weight <= limit:
+                        violations.append(
+                            f"{where} weight[{index}] {weight} outside "
+                            f"[-{limit}, {limit}]"
+                        )
+                for index, bit_index in enumerate(entry.mapping):
+                    if not 0 <= bit_index < self.gpv_width:
+                        violations.append(
+                            f"{where} mapping[{index}] {bit_index} outside "
+                            f"the {self.gpv_width}-bit GPV"
+                        )
+                if not 0 <= entry.usefulness <= usefulness_max:
+                    violations.append(
+                        f"{where} usefulness {entry.usefulness} outside "
+                        f"[0, {usefulness_max}]"
+                    )
+                if entry.protection < 0:
+                    violations.append(
+                        f"{where} protection {entry.protection} negative"
+                    )
+        return violations

@@ -873,6 +873,41 @@ class LookaheadBranchPredictor:
             counters["btb2"] = self.btb2.component_counters()
         return counters
 
+    # ------------------------------------------------------------------
+    # Structural-invariant audit (repro.resilience)
+    # ------------------------------------------------------------------
+
+    def audit(self) -> List[str]:
+        """Collect structural-invariant violations across every structure.
+
+        Returns an empty list when the predictor is healthy.  This is
+        the library home of the robustness suite's ``check_invariants``:
+        the fault-injection framework runs it periodically to prove that
+        injected faults stay *legal-but-wrong* — they may cost
+        mispredicts, never corrupt the model's own bookkeeping.
+        """
+        violations: List[str] = list(self.btb1.audit())
+        skoot_max = self.config.skoot_max
+        for row, way, entry in self.btb1.entries():
+            if entry.skoot is not None and not 0 <= entry.skoot <= skoot_max:
+                violations.append(
+                    f"btb1[row={row},way={way}] skoot {entry.skoot} outside "
+                    f"[0, {skoot_max}]"
+                )
+        if self.btb2 is not None:
+            violations.extend(self.btb2.audit())
+        violations.extend(self.tage.audit())
+        violations.extend(self.perceptron.audit())
+        violations.extend(self.ctb.audit())
+        violations.extend(self.crs.audit())
+        violations.extend(self.gpq.audit())
+        if len(self.write_queue) > self.write_queue.capacity:
+            violations.append(
+                f"write queue occupancy {len(self.write_queue)} over "
+                f"capacity {self.write_queue.capacity}"
+            )
+        return violations
+
     def _refind_entry(self, record: PredictionRecord) -> Optional[BtbEntry]:
         """Locate the predicted entry at update time; it may be gone."""
         entry = self.btb1.entry_at(record.btb_row, record.btb_way)

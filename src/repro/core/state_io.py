@@ -21,6 +21,7 @@ import json
 from pathlib import Path
 from typing import Union
 
+from repro.common.errors import StateFormatError
 from repro.core.entries import BtbEntry
 from repro.core.predictor import LookaheadBranchPredictor
 from repro.isa.instructions import BranchKind
@@ -113,25 +114,41 @@ def load_state(
 
     Returns the counts actually installed.
     """
-    payload = json.loads(Path(path).read_text())
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise StateFormatError(f"{path}: not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise StateFormatError(
+            f"{path}: expected a JSON object, got {type(payload).__name__}"
+        )
     found = payload.get("format")
     if found != STATE_FORMAT:
-        raise ValueError(
+        raise StateFormatError(
             f"{path}: unknown state format {found!r} "
             f"(expected {STATE_FORMAT!r})"
         )
-    installed_btb1 = 0
-    for data in payload["btb1"]:
-        entry = _entry_from_dict(data)
-        address = data["line_base"] + data["offset"]
-        result = predictor.btb1.install(address, data["context"], entry)
-        if result.installed:
-            installed_btb1 += 1
-    installed_btb2 = 0
-    if predictor.btb2 is not None:
-        for data in payload["btb2"]:
+    try:
+        installed_btb1 = 0
+        for data in payload["btb1"]:
             entry = _entry_from_dict(data)
             address = data["line_base"] + data["offset"]
-            predictor.btb2.install_snapshot(address, data["context"], entry)
-            installed_btb2 += 1
+            result = predictor.btb1.install(address, data["context"], entry)
+            if result.installed:
+                installed_btb1 += 1
+        installed_btb2 = 0
+        if predictor.btb2 is not None:
+            for data in payload["btb2"]:
+                entry = _entry_from_dict(data)
+                address = data["line_base"] + data["offset"]
+                predictor.btb2.install_snapshot(address, data["context"], entry)
+                installed_btb2 += 1
+    except (KeyError, TypeError, ValueError) as error:
+        # Truncated or field-corrupted entries: KeyError for a missing
+        # field, ValueError for an unknown BranchKind / out-of-range
+        # counter, TypeError for wrongly-typed fields.
+        raise StateFormatError(
+            f"{path}: malformed state entry: "
+            f"{type(error).__name__}: {error}"
+        ) from error
     return {"btb1": installed_btb1, "btb2": installed_btb2}

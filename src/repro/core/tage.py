@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.common.bits import bit_folder, mask
+from repro.common.corruption import Corruption, flipped_bits
 from repro.common.slots import add_slots
 from repro.configs.predictor import PhtConfig
 from repro.core.gpv import GlobalPathVector
@@ -236,6 +237,63 @@ class _TageTable:
     def occupancy(self) -> int:
         return self._table.occupancy()
 
+    # -- fault-injection & audit hooks (repro.resilience) --------------
+
+    def corrupt(self, rng) -> Optional[Corruption]:
+        """Flip bits in one live entry, keeping every field in range."""
+        victims = [(row, way, entry) for row, way, entry in self._table]
+        if not victims:
+            return None
+        row, way, entry = rng.choice(victims)
+        field = rng.choice(("counter", "usefulness", "tag"))
+        if field == "counter":
+            old = entry.counter.value
+            entry.counter.value = old ^ rng.randint(1, entry.counter.maximum)
+            bits = flipped_bits(old, entry.counter.value)
+        elif field == "usefulness":
+            old = entry.usefulness.value
+            entry.usefulness.value = old ^ rng.randint(1, entry.usefulness.maximum)
+            bits = flipped_bits(old, entry.usefulness.value)
+        else:
+            entry.tag ^= 1 << rng.randint(0, self._tag_bits - 1)
+            bits = 1
+
+        def _invalidate(table=self._table, row=row, way=way, entry=entry):
+            if table.read(row, way) is entry:
+                table.invalidate(row, way)
+
+        return Corruption(
+            component=f"tage-{self.name}",
+            location=f"row={row},way={way}",
+            field=field,
+            bits_flipped=bits,
+            invalidate=_invalidate,
+        )
+
+    def audit(self) -> list:
+        """Structural-invariant check; returns violation strings."""
+        violations = []
+        if not 0 <= self.occupancy <= self._table.capacity:
+            violations.append(
+                f"tage-{self.name} occupancy {self.occupancy} outside "
+                f"[0, {self._table.capacity}]"
+            )
+        for row, way, entry in self._table:
+            where = f"tage-{self.name}[row={row},way={way}]"
+            if not 0 <= entry.counter.value <= entry.counter.maximum:
+                violations.append(
+                    f"{where} counter {entry.counter.value} outside "
+                    f"[0, {entry.counter.maximum}]"
+                )
+            if not 0 <= entry.usefulness.value <= entry.usefulness.maximum:
+                violations.append(
+                    f"{where} usefulness {entry.usefulness.value} outside "
+                    f"[0, {entry.usefulness.maximum}]"
+                )
+            if not 0 <= entry.tag <= self._tag_fold_mask:
+                violations.append(f"{where} tag {entry.tag} wider than the fold mask")
+        return violations
+
 
 class TagePht:
     """The complete PHT subsystem: one or two tagged tables."""
@@ -408,6 +466,39 @@ class TagePht:
         if name == LONG and self.long_table is not None:
             return self.long_table
         raise ValueError(f"unknown TAGE table {name!r}")
+
+    # ------------------------------------------------------------------
+    # Fault-injection & audit hooks (repro.resilience)
+    # ------------------------------------------------------------------
+
+    def corrupt(self, rng) -> Optional[Corruption]:
+        """Corrupt one entry in one of the tagged tables."""
+        tables = [self.short_table]
+        if self.long_table is not None:
+            tables.append(self.long_table)
+        first = rng.choice(tables)
+        corruption = first.corrupt(rng)
+        if corruption is not None:
+            return corruption
+        for table in tables:
+            if table is not first:
+                corruption = table.corrupt(rng)
+                if corruption is not None:
+                    return corruption
+        return None
+
+    def audit(self) -> list:
+        """Structural-invariant check across both tables."""
+        violations = list(self.short_table.audit())
+        if self.long_table is not None:
+            violations.extend(self.long_table.audit())
+        for name, counter in self._weak_confidence.items():
+            if not 0 <= counter.value <= counter.maximum:
+                violations.append(
+                    f"tage weak-confidence[{name}] {counter.value} outside "
+                    f"[0, {counter.maximum}]"
+                )
+        return violations
 
     def component_counters(self) -> dict:
         """Native statistics, harvested by the telemetry layer."""

@@ -3,12 +3,19 @@ the deterministic parallel sweep runner."""
 
 from repro.engine.cycle import CycleEngine, CycleStats
 from repro.engine.functional import FunctionalEngine
-from repro.engine.parallel import SweepCell, SweepResult, make_grid, run_cells
+from repro.engine.parallel import (
+    CellError,
+    SweepCell,
+    SweepResult,
+    make_grid,
+    run_cells,
+)
 
 __all__ = [
     "CycleEngine",
     "CycleStats",
     "FunctionalEngine",
+    "CellError",
     "SweepCell",
     "SweepResult",
     "make_grid",

@@ -104,6 +104,7 @@ class CycleEngine:
         lookahead_prefetch: bool = True,
         observer=None,
         telemetry=None,
+        injector=None,
     ):
         self.predictor = predictor
         self.icache = icache if icache is not None else InstructionCacheHierarchy()
@@ -112,9 +113,11 @@ class CycleEngine:
         self.lookahead_prefetch = lookahead_prefetch
         #: Optional callable receiving every PredictionOutcome in
         #: prediction order (differential cross-engine checking); an
-        #: optional telemetry session rides the same hook.
+        #: optional telemetry session and fault injector ride the same
+        #: hook (see :class:`repro.engine.functional.FunctionalEngine`).
         self.telemetry = telemetry
-        self.observer = _chain_observers(observer, telemetry)
+        self.injector = injector
+        self.observer = _chain_observers(observer, telemetry, injector)
         self.stats = CycleStats()
         # Per-thread clocks (thread 0 for single-thread runs).
         self._clocks: Dict[int, _Clocks] = {}

@@ -29,21 +29,29 @@ from repro.workloads.program import Program
 INSTRUCTIONS_PER_BRANCH = 4
 
 
-def _chain_observers(observer, telemetry):
-    """Compose an explicit observer with a telemetry session's observe.
+def _chain_observers(observer, telemetry, injector=None):
+    """Compose an explicit observer, a telemetry session's observe and a
+    fault injector's observe into one per-branch callback.
 
-    Returns None when neither is attached, preserving the engines'
-    per-branch ``observer is None`` fast paths.
+    Returns None when none is attached, preserving the engines'
+    per-branch ``observer is None`` fast paths; a single consumer is
+    returned unwrapped (no indirection for the common one-hook case).
+    The injector runs last: faults land after the branch's own updates,
+    like a soft error striking between predictions.
     """
-    if telemetry is None:
-        return observer
-    observe = telemetry.observe
-    if observer is None:
-        return observe
+    callbacks = [callback for callback in (
+        observer,
+        telemetry.observe if telemetry is not None else None,
+        injector.observe if injector is not None else None,
+    ) if callback is not None]
+    if not callbacks:
+        return None
+    if len(callbacks) == 1:
+        return callbacks[0]
 
-    def chained(outcome, _observer=observer, _observe=observe):
-        _observer(outcome)
-        _observe(outcome)
+    def chained(outcome, _callbacks=tuple(callbacks)):
+        for callback in _callbacks:
+            callback(outcome)
 
     return chained
 
@@ -60,16 +68,20 @@ class FunctionalEngine:
     TelemetrySession`, or anything with an ``observe(outcome)`` method)
     rides the same hook: its observe is chained after any explicit
     observer, so telemetry-off runs keep the ``observer is None`` fast
-    path untouched.
+    path untouched.  An optional fault *injector*
+    (:class:`repro.resilience.FaultInjector`, or anything with an
+    ``observe(outcome)`` method) rides the same seam, chained last, so
+    fault-off runs are byte-identical to pre-resilience builds.
     """
 
     def __init__(self, predictor: LookaheadBranchPredictor, profile=None,
-                 observer=None, telemetry=None):
+                 observer=None, telemetry=None, injector=None):
         self.predictor = predictor
         self.stats = RunStats()
         self.profile = profile
         self.telemetry = telemetry
-        self.observer = _chain_observers(observer, telemetry)
+        self.injector = injector
+        self.observer = _chain_observers(observer, telemetry, injector)
 
     def _record(self, outcome) -> None:
         self.stats.record(outcome)

@@ -16,11 +16,27 @@ Determinism contract:
   inside the worker before running — behaviours are stateful, and the
   parallel path's pickle round-trip already isolates each cell, so the
   sequential path must copy too or the two would diverge.
-* ``ProcessPoolExecutor.map`` preserves input order, so results line up
-  with cells regardless of which worker finished first.
+* Results are slotted by submission index, so they line up with cells
+  regardless of which worker finished first — including across retries.
 * Every result carries the :func:`~repro.verification.differential.
   stats_fingerprint` of its :class:`~repro.stats.metrics.RunStats`, so
   equivalence between worker counts is a string comparison.
+
+Failure contract (the hardening layer):
+
+* ``_run_cell`` is pure per cell, so a retry after a transient failure
+  reproduces the exact result a clean first run would have produced —
+  determinism survives retries by construction.
+* A cell that keeps failing yields a structured :class:`CellError` in
+  its result slot instead of killing the sweep; its ``fingerprint``
+  property encodes the failure kind (``cell-error:<kind>``), so sweep
+  equivalence checks still work over mixed result lists.
+* An optional per-cell ``timeout`` bounds each attempt; a pool whose
+  worker hangs or dies is torn down (hung processes terminated) and the
+  surviving cells re-run.
+* After a pool breakage the runner switches to *isolation rounds* — one
+  fresh single-worker pool per cell — so a crashing cell is attributed
+  exactly and innocent cells complete normally.
 
 ``python -m repro sweep`` is the CLI front end.
 """
@@ -30,14 +46,19 @@ from __future__ import annotations
 import copy
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.configs.predictor import PredictorConfig
 from repro.core.predictor import LookaheadBranchPredictor
 from repro.engine.functional import FunctionalEngine
 from repro.workloads.program import Program
 from repro.workloads.suite import get_workload
+
+#: Cap on one exponential-backoff sleep (seconds).
+_BACKOFF_CAP = 5.0
 
 
 @dataclass
@@ -67,6 +88,16 @@ class SweepCell:
     telemetry: bool = False
     #: Interval-sampler window for telemetry cells (0 disables sampling).
     telemetry_interval: int = 0
+    #: Optional deterministic fault campaign
+    #: (:class:`repro.resilience.FaultPlan`) riding the cell's engine;
+    #: the injector's counters come back in ``SweepResult.faults``.
+    #: None keeps the cell byte-identical to a fault-free build.
+    fault_plan: Optional[object] = None
+    #: Test-only hook: a module-level (hence picklable) callable invoked
+    #: with the cell inside the worker before the run.  The hardening
+    #: tests use it to crash or hang a worker on purpose; production
+    #: sweeps leave it None.
+    prelude: Optional[Callable] = None
 
     @property
     def workload_name(self) -> str:
@@ -94,6 +125,40 @@ class SweepResult:
     #: Telemetry registry export (``Telemetry.to_dict()`` plus samples)
     #: for telemetry cells; None otherwise.
     telemetry: Optional[dict] = None
+    #: Fault-injector counters for cells run under a fault plan.
+    faults: Optional[dict] = None
+
+
+@dataclass
+class CellError:
+    """Structured failure filling the result slot of a cell that could
+    not be completed.
+
+    Mirrors :class:`SweepResult`'s identity fields so report code can
+    render mixed result lists; ``stats`` is always None and the
+    ``fingerprint`` property encodes the failure kind instead of a
+    stats digest.
+    """
+
+    label: str
+    workload: str
+    seed: int
+    branches: int
+    warmup: int
+    #: "error" (exception in the cell body), "timeout" (no result
+    #: within the per-cell timeout) or "crash" (worker process died).
+    kind: str
+    message: str
+    #: Attempts consumed before giving up.
+    attempts: int
+    elapsed: float = 0.0
+    stats: object = None
+    telemetry: Optional[dict] = None
+    faults: Optional[dict] = None
+
+    @property
+    def fingerprint(self) -> str:
+        return f"cell-error:{self.kind}"
 
 
 def _run_cell(cell: SweepCell) -> SweepResult:
@@ -101,6 +166,8 @@ def _run_cell(cell: SweepCell) -> SweepResult:
     the sequential path calls the same function for path parity."""
     from repro.verification.differential import stats_fingerprint
 
+    if cell.prelude is not None:
+        cell.prelude(cell)
     workload = cell.workload
     if isinstance(workload, Program):
         # Behaviours are stateful — every cell starts from a pristine
@@ -122,17 +189,23 @@ def _run_cell(cell: SweepCell) -> SweepResult:
             interval=cell.telemetry_interval,
             skip=cell.warmup if cell.engine != "cycle" else 0,
         )
+    injector = None
+    if cell.fault_plan is not None:
+        from repro.resilience.faults import FaultInjector
+
+        injector = FaultInjector(predictor, cell.fault_plan)
     start = time.perf_counter()
     if cell.engine == "cycle":
         from repro.engine.cycle import CycleEngine
 
-        engine = CycleEngine(predictor, telemetry=session)
+        engine = CycleEngine(predictor, telemetry=session, injector=injector)
         stats = engine.run_program(
             program, max_branches=cell.branches, seed=cell.seed
         )
         accuracy = stats.accuracy
     else:
-        engine = FunctionalEngine(predictor, telemetry=session)
+        engine = FunctionalEngine(predictor, telemetry=session,
+                                  injector=injector)
         stats = engine.run_program(
             program,
             max_branches=cell.branches,
@@ -155,23 +228,221 @@ def _run_cell(cell: SweepCell) -> SweepResult:
         fingerprint=stats_fingerprint(accuracy),
         elapsed=elapsed,
         telemetry=telemetry,
+        faults=injector.component_counters() if injector is not None else None,
     )
 
 
+# ----------------------------------------------------------------------
+# Hardened execution
+# ----------------------------------------------------------------------
+
+
+def _cell_error(cell: SweepCell, kind: str, message: str,
+                attempts: int) -> CellError:
+    return CellError(
+        label=cell.label,
+        workload=cell.workload_name,
+        seed=cell.seed,
+        branches=cell.branches,
+        warmup=cell.warmup,
+        kind=kind,
+        message=message,
+        attempts=attempts,
+    )
+
+
+def _sleep_backoff(backoff: float, attempt: int) -> None:
+    """Exponential backoff before re-attempting a failed cell."""
+    if backoff > 0:
+        time.sleep(min(backoff * (2 ** (attempt - 1)), _BACKOFF_CAP))
+
+
+def _stop_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear down a pool that may hold hung or dead workers.
+
+    ``shutdown(wait=True)`` would join a hung worker forever, so the
+    worker processes are terminated first; the abandoned shutdown then
+    completes once the management thread observes the dead workers.
+    """
+    for process in list(getattr(pool, "_processes", {}).values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+
+
+def _run_sequential(cell: SweepCell, retries: int,
+                    backoff: float) -> Union[SweepResult, CellError]:
+    """In-process attempt loop with the same retry contract as the
+    parallel path (timeouts and crashes cannot occur in-process)."""
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return _run_cell(cell)
+        except Exception as error:
+            if attempts > retries:
+                return _cell_error(
+                    cell, "error", f"{type(error).__name__}: {error}", attempts
+                )
+            _sleep_backoff(backoff, attempts)
+
+
+def _isolated_attempt(cell: SweepCell,
+                      timeout: Optional[float]) -> Tuple[str, object]:
+    """One attempt in a dedicated single-worker pool, so a crash or hang
+    is attributed to exactly this cell.  Returns (outcome, payload):
+    ("ok", SweepResult) or (kind, message)."""
+    pool = ProcessPoolExecutor(max_workers=1)
+    future = pool.submit(_run_cell, cell)
+    try:
+        result = future.result(timeout=timeout)
+    except FuturesTimeout:
+        _stop_pool(pool)
+        return ("timeout", f"no result within {timeout}s")
+    except BrokenProcessPool:
+        _stop_pool(pool)
+        return ("crash", "worker process died mid-cell")
+    except Exception as error:
+        pool.shutdown(wait=True)
+        return ("error", f"{type(error).__name__}: {error}")
+    pool.shutdown(wait=True)
+    return ("ok", result)
+
+
+def _pooled_round(
+    cells: List[SweepCell],
+    pending: List[int],
+    results: List[object],
+    attempts: List[int],
+    workers: int,
+    timeout: Optional[float],
+    max_attempts: int,
+    backoff: float,
+) -> Tuple[List[int], bool]:
+    """Run one shared pool over *pending* cells.
+
+    Fills ``results`` slots for every definitive outcome; returns the
+    indices still needing work and whether the pool broke (hang or
+    worker death), which switches the caller to isolation rounds.
+    Cells abandoned because *another* cell broke the pool are requeued
+    without consuming an attempt.
+    """
+    requeue: List[int] = []
+    broken = False
+    pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
+    submitted = [(index, pool.submit(_run_cell, cells[index]))
+                 for index in pending]
+    for index, future in submitted:
+        if broken:
+            # Harvest whatever already finished cleanly; requeue the rest
+            # unattributed (isolation rounds will assign blame).
+            if future.done() and not future.cancelled():
+                error = future.exception()
+                if error is None:
+                    attempts[index] += 1
+                    results[index] = future.result()
+                    continue
+            requeue.append(index)
+            continue
+        try:
+            results[index] = future.result(timeout=timeout)
+            attempts[index] += 1
+        except FuturesTimeout:
+            if future.running():
+                attempts[index] += 1
+                message = f"no result within {timeout}s"
+                if attempts[index] >= max_attempts:
+                    results[index] = _cell_error(
+                        cells[index], "timeout", message, attempts[index]
+                    )
+                else:
+                    requeue.append(index)
+            else:
+                # Still queued behind the hung worker — not this cell's
+                # fault; requeue without consuming an attempt.
+                requeue.append(index)
+            broken = True
+            _stop_pool(pool)
+        except BrokenProcessPool:
+            # A worker died; the executor poisons every in-flight
+            # future, so the culprit is not attributable from here.
+            requeue.append(index)
+            broken = True
+            _stop_pool(pool)
+        except Exception as error:  # raised inside the cell body
+            attempts[index] += 1
+            message = f"{type(error).__name__}: {error}"
+            if attempts[index] >= max_attempts:
+                results[index] = _cell_error(
+                    cells[index], "error", message, attempts[index]
+                )
+            else:
+                requeue.append(index)
+    if not broken:
+        pool.shutdown(wait=True)
+    if requeue and backoff > 0:
+        _sleep_backoff(backoff, 1)
+    return requeue, broken
+
+
 def run_cells(
-    cells: Iterable[SweepCell], workers: int = 1, chunksize: int = 1
-) -> List[SweepResult]:
+    cells: Iterable[SweepCell],
+    workers: int = 1,
+    chunksize: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    backoff: float = 0.25,
+) -> List[Union[SweepResult, CellError]]:
     """Run every cell; results are returned in cell order.
 
     ``workers <= 1`` runs in-process.  Either way the per-cell stats
     (and their fingerprints) are identical — only wall-clock changes.
+
+    *timeout* bounds each attempt of each cell (None = unbounded);
+    *retries* is how many times a failed cell is re-attempted (with
+    exponential *backoff*) before its slot is filled with a
+    :class:`CellError`.  ``chunksize`` is accepted for backwards
+    compatibility and ignored — cells are submitted individually so a
+    failure never takes neighbouring cells down with it.
     """
+    del chunksize  # retained for API compatibility
     cells = list(cells)
     if workers <= 1 or len(cells) <= 1:
-        return [_run_cell(cell) for cell in cells]
-    with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
-        # map() yields results in input order, not completion order.
-        return list(pool.map(_run_cell, cells, chunksize=chunksize))
+        return [_run_sequential(cell, retries, backoff) for cell in cells]
+    workers = min(workers, len(cells))
+    max_attempts = retries + 1
+    results: List[object] = [None] * len(cells)
+    attempts = [0] * len(cells)
+    pending = list(range(len(cells)))
+    isolate = False
+    while pending:
+        if not isolate:
+            pending, broke = _pooled_round(
+                cells, pending, results, attempts, workers, timeout,
+                max_attempts, backoff,
+            )
+            isolate = broke
+            continue
+        # Isolation rounds: one fresh single-worker pool per cell, so
+        # crashes and hangs are attributed exactly.
+        index = pending.pop(0)
+        attempts[index] += 1
+        outcome, payload = _isolated_attempt(cells[index], timeout)
+        if outcome == "ok":
+            results[index] = payload
+        elif attempts[index] >= max_attempts:
+            results[index] = _cell_error(
+                cells[index], outcome, str(payload), attempts[index]
+            )
+        else:
+            _sleep_backoff(backoff, attempts[index])
+            pending.append(index)
+    return results  # type: ignore[return-value]
 
 
 def make_grid(

@@ -1,0 +1,46 @@
+"""Fault injection, detection/recovery and graceful-degradation checks.
+
+See :mod:`repro.resilience.faults` for the injection framework,
+:mod:`repro.resilience.audit` for the structural-invariant auditor and
+:mod:`repro.resilience.equivalence` for the architectural-equivalence
+harness proving that faults only ever cost prediction accuracy.
+"""
+
+from repro.common.corruption import Corruption, flipped_bits, popcount
+from repro.common.errors import AuditError
+from repro.resilience.audit import assert_healthy, audit_predictor
+from repro.resilience.equivalence import (
+    ArchObservation,
+    FaultImpact,
+    arch_observer_into,
+    diff_arch_observations,
+    fault_equivalence_report,
+    run_fault_suite,
+)
+from repro.resilience.faults import (
+    EVENT_LOG_LIMIT,
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+)
+
+__all__ = [
+    "ArchObservation",
+    "AuditError",
+    "Corruption",
+    "EVENT_LOG_LIMIT",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultImpact",
+    "FaultInjector",
+    "FaultPlan",
+    "arch_observer_into",
+    "assert_healthy",
+    "audit_predictor",
+    "diff_arch_observations",
+    "fault_equivalence_report",
+    "flipped_bits",
+    "popcount",
+    "run_fault_suite",
+]

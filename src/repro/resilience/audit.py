@@ -1,0 +1,34 @@
+"""Library-level structural-invariant auditing.
+
+This is the promoted home of the robustness suite's ``check_invariants``
+(tests/integration/test_robustness.py): every core structure exposes an
+``audit()`` returning violation strings, the predictor aggregates them
+in :meth:`LookaheadBranchPredictor.audit`, and this module wraps the
+aggregate into the two forms callers want — a list to inspect, or an
+:class:`~repro.common.errors.AuditError` to raise.
+
+The audit checks *structural* legality only (occupancies, field ranges,
+uniqueness) — exactly the properties that must survive any injected
+fault.  The fault hooks are written to keep corrupted entries
+legal-but-wrong, so a failing audit always means a modelling bug, never
+a modelled soft error.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.errors import AuditError
+
+
+def audit_predictor(predictor) -> List[str]:
+    """Collect structural-invariant violations across every structure of
+    *predictor*; empty when healthy."""
+    return predictor.audit()
+
+
+def assert_healthy(predictor) -> None:
+    """Raise :class:`AuditError` when any structural invariant is violated."""
+    violations = predictor.audit()
+    if violations:
+        raise AuditError(violations)

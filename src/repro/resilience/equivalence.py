@@ -1,0 +1,216 @@
+"""Architectural equivalence under injected faults.
+
+The predictor is a *hint engine*: every prediction is verified and, when
+wrong, restarted — so no corruption of prediction state may ever change
+*what the program does*, only how often it mispredicts.  This module
+proves that property for a fault campaign by comparing the committed
+branch stream (address, resolved direction, resolved target, in
+commit order) of a faulted run against the fault-free run of the same
+workload and seed.
+
+The committed stream is the model's architectural ground truth: the
+workload executor resolves each branch from program state alone, and the
+engines feed those resolved branches to the predictor.  A fault plan
+that managed to perturb this stream would mean injected corruption
+leaked out of the prediction structures — a modelling bug, reported as a
+:class:`~repro.verification.differential.Divergence` on the first
+differing branch.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.configs import z15_config
+from repro.core import LookaheadBranchPredictor
+from repro.engine.functional import FunctionalEngine
+from repro.resilience.faults import FAULT_KINDS, FaultInjector, FaultPlan
+from repro.verification.differential import (
+    Divergence,
+    DivergenceReport,
+    Workload,
+    _resolve_workload,
+    _workload_name,
+    stats_fingerprint,
+)
+
+
+@dataclass(frozen=True)
+class ArchObservation:
+    """The architectural view of one committed branch — everything the
+    program's execution defines, nothing the predictor does."""
+
+    index: int
+    address: int
+    taken: bool
+    target: Optional[int]
+
+
+def arch_observer_into(sink: List[ArchObservation]) -> Callable:
+    """An engine ``observer`` callback recording the committed stream."""
+
+    def observe(outcome) -> None:
+        record = outcome.record
+        sink.append(
+            ArchObservation(
+                index=len(sink),
+                address=record.address,
+                taken=bool(record.actual_taken),
+                target=record.actual_target,
+            )
+        )
+
+    return observe
+
+
+def diff_arch_observations(
+    left: Sequence[ArchObservation], right: Sequence[ArchObservation]
+) -> Optional[Divergence]:
+    """The first committed-stream disagreement, if any."""
+    for a, b in zip(left, right):
+        if a == b:
+            continue
+        for name in ("address", "taken", "target"):
+            if getattr(a, name) != getattr(b, name):
+                return Divergence(
+                    index=a.index,
+                    address=a.address,
+                    field=name,
+                    left=getattr(a, name),
+                    right=getattr(b, name),
+                )
+    if len(left) != len(right):
+        shorter = min(len(left), len(right))
+        longer = left if len(left) > len(right) else right
+        return Divergence(
+            index=shorter,
+            address=longer[shorter].address,
+            field="stream_length",
+            left=len(left),
+            right=len(right),
+        )
+    return None
+
+
+@dataclass
+class FaultImpact:
+    """Outcome of one fault-vs-fault-free comparison."""
+
+    #: Architectural-equivalence comparison (clean = faults stayed
+    #: inside the prediction structures).
+    report: DivergenceReport
+    plan: FaultPlan
+    #: Injector counters (injected/detected/silent/recovered/...).
+    fault_counters: dict
+    baseline_fingerprint: str
+    faulted_fingerprint: str
+    baseline_mpki: float
+    faulted_mpki: float
+    baseline_accuracy: float
+    faulted_accuracy: float
+
+    @property
+    def mpki_delta(self) -> float:
+        """Prediction-quality cost of the campaign (may be negative:
+        a fault can accidentally help)."""
+        return self.faulted_mpki - self.baseline_mpki
+
+    @property
+    def stats_identical(self) -> bool:
+        """True when the campaign changed nothing measurable (e.g. every
+        fault fired on an empty structure)."""
+        return self.baseline_fingerprint == self.faulted_fingerprint
+
+
+def fault_equivalence_report(
+    workload: Workload,
+    plan: FaultPlan,
+    branches: int = 3000,
+    seed: int = 1234,
+    warmup: int = 0,
+    config_factory: Callable = z15_config,
+) -> FaultImpact:
+    """Run *workload* fault-free and under *plan*; compare the committed
+    branch streams and collect the accuracy impact."""
+    baseline_sink: List[ArchObservation] = []
+    baseline_engine = FunctionalEngine(
+        LookaheadBranchPredictor(config_factory()),
+        observer=arch_observer_into(baseline_sink),
+    )
+    baseline_stats = baseline_engine.run_program(
+        _resolve_workload(workload, seed),
+        max_branches=branches,
+        seed=seed,
+        warmup_branches=warmup,
+    )
+
+    faulted_sink: List[ArchObservation] = []
+    faulted_predictor = LookaheadBranchPredictor(config_factory())
+    injector = FaultInjector(faulted_predictor, plan)
+    faulted_engine = FunctionalEngine(
+        faulted_predictor,
+        observer=arch_observer_into(faulted_sink),
+        injector=injector,
+    )
+    faulted_stats = faulted_engine.run_program(
+        _resolve_workload(workload, seed),
+        max_branches=branches,
+        seed=seed,
+        warmup_branches=warmup,
+    )
+
+    report = DivergenceReport(
+        title=f"fault equivalence: {_workload_name(workload)} "
+        f"(rate={plan.rate}, kinds={','.join(plan.kinds)})",
+        left_label="fault-free",
+        right_label="faulted",
+        branches_compared=min(len(baseline_sink), len(faulted_sink)),
+        first_divergence=diff_arch_observations(baseline_sink, faulted_sink),
+    )
+    return FaultImpact(
+        report=report,
+        plan=plan,
+        fault_counters=injector.component_counters(),
+        baseline_fingerprint=stats_fingerprint(baseline_stats),
+        faulted_fingerprint=stats_fingerprint(faulted_stats),
+        baseline_mpki=baseline_stats.mpki,
+        faulted_mpki=faulted_stats.mpki,
+        baseline_accuracy=baseline_stats.direction_accuracy,
+        faulted_accuracy=faulted_stats.direction_accuracy,
+    )
+
+
+def run_fault_suite(
+    workloads: Sequence[Workload] = ("compute-kernel", "transactions"),
+    branches: int = 2000,
+    seed: int = 1234,
+    rate: float = 0.01,
+    fault_seed: int = 1,
+    kinds: Tuple[str, ...] = FAULT_KINDS,
+    parity: bool = True,
+    audit_interval: int = 500,
+) -> List[FaultImpact]:
+    """Architectural equivalence for every fault kind in isolation, per
+    workload — the CI fault-smoke sweep.
+
+    Each kind gets its own single-kind plan so a regression names the
+    faulty path directly.
+    """
+    impacts: List[FaultImpact] = []
+    for workload in workloads:
+        for kind in kinds:
+            plan = FaultPlan(
+                seed=fault_seed,
+                rate=rate,
+                kinds=(kind,),
+                parity=parity,
+                audit_interval=audit_interval,
+            )
+            impacts.append(
+                fault_equivalence_report(
+                    workload, plan, branches=branches, seed=seed
+                )
+            )
+    return impacts

@@ -1,0 +1,255 @@
+"""Deterministic, seeded fault injection for the predictor model.
+
+The z15's prediction arrays are large physical structures — the BTB2
+alone holds 128K branches in an eDRAM-like macro kept alive by periodic
+refresh — so soft errors are part of the design space, and the predictor
+is built to absorb them: it is architecturally a *hint engine*, so a
+corrupted entry may cost mispredicts but can never corrupt execution.
+This module models that failure surface:
+
+* a :class:`FaultPlan` describes *what* to inject — a per-branch fault
+  probability, the set of fault kinds, and whether the parity
+  detection/recovery path is enabled;
+* a :class:`FaultInjector` rides the engines' observer seam
+  (``FunctionalEngine(..., injector=...)``) and, once per observed
+  branch, may fire one fault through the core structures'
+  ``corrupt()`` hooks.
+
+Detection models per-entry parity: a corruption is *detected* when it
+flips an odd number of stored bits (single-bit flips always are), in
+which case recovery invalidates the entry — always safe for prediction
+content.  Even-weight corruptions and omission faults (a dropped staging
+transfer, a suppressed refresh writeback) are *silent* and left to
+degrade accuracy.
+
+Everything is driven by a :class:`~repro.common.rng.DeterministicRng`
+forked from the plan's seed, so a fault campaign is exactly
+reproducible — and with ``rate=0`` the injector never perturbs the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.common.corruption import Corruption
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRng
+from repro.resilience.audit import assert_healthy
+
+#: Every fault kind the injector knows, in canonical order.  The array
+#: kinds corrupt live entries through the structures' ``corrupt()``
+#: hooks; ``staging`` drops or stale-ifies an in-flight BTB2→BTB1
+#: transfer; ``refresh`` suppresses upcoming periodic-refresh
+#: writebacks (the eDRAM failure mode refresh exists to mask).
+FAULT_KINDS: Tuple[str, ...] = (
+    "btb1",
+    "btb2",
+    "tage",
+    "perceptron",
+    "ctb",
+    "crs",
+    "staging",
+    "refresh",
+)
+
+#: Cap on the per-run fault event log (the counters are unbounded; the
+#: log keeps the first N events for reports and debugging).
+EVENT_LOG_LIMIT = 256
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible description of one fault campaign.
+
+    Frozen and picklable: sweep cells ship plans to worker processes.
+    """
+
+    #: Seed for the injector's private deterministic RNG.
+    seed: int = 1
+    #: Per-branch probability of injecting one fault.
+    rate: float = 0.001
+    #: Which fault kinds may fire (subset of :data:`FAULT_KINDS`).
+    kinds: Tuple[str, ...] = FAULT_KINDS
+    #: Model per-entry parity: detected corruptions are recovered by
+    #: invalidating the entry.  Off, every corruption is silent.
+    parity: bool = True
+    #: Run the structural audit every this many branches (0 = off).
+    audit_interval: int = 0
+    #: Periodic-refresh writebacks swallowed per ``refresh`` fault.
+    refresh_suppress_span: int = 4
+
+    def validate(self) -> "FaultPlan":
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigError(f"fault rate {self.rate} outside [0, 1]")
+        if not self.kinds:
+            raise ConfigError("fault plan needs at least one fault kind")
+        unknown = [kind for kind in self.kinds if kind not in FAULT_KINDS]
+        if unknown:
+            raise ConfigError(
+                f"unknown fault kinds {unknown}; valid: {list(FAULT_KINDS)}"
+            )
+        if self.audit_interval < 0:
+            raise ConfigError(
+                f"audit interval {self.audit_interval} must be >= 0"
+            )
+        if self.refresh_suppress_span <= 0:
+            raise ConfigError(
+                f"refresh suppress span {self.refresh_suppress_span} "
+                f"must be positive"
+            )
+        return self
+
+
+@dataclass
+class FaultEvent:
+    """One injected fault, as recorded in the injector's event log."""
+
+    #: Branches observed when the fault fired.
+    index: int
+    #: The fault kind that fired.
+    kind: str
+    #: Human-readable description from the corruption contract.
+    description: str
+    #: Stored bits changed (0 for omission faults).
+    bits_flipped: int
+    #: True when the parity model caught the corruption.
+    detected: bool
+    #: True when recovery (invalidate-on-parity-error) ran.
+    recovered: bool
+
+
+class FaultInjector:
+    """Injects faults into *predictor* while riding an engine's observer
+    seam; counts injected/detected/silent/recovered.
+
+    The per-branch hook is :meth:`observe`; direct callers (tests, the
+    CLI) may also fire :meth:`inject` explicitly.
+    """
+
+    def __init__(self, predictor, plan: FaultPlan):
+        plan.validate()
+        self.predictor = predictor
+        self.plan = plan
+        self._rng = DeterministicRng(plan.seed).fork("fault-injector")
+        self.branches_seen = 0
+        #: Faults that actually corrupted something.
+        self.injected = 0
+        #: Fire attempts that found the chosen structure empty.
+        self.attempts_empty = 0
+        #: Corruptions the parity model caught.
+        self.detected = 0
+        #: Corruptions parity missed (plus all omission faults).
+        self.silent = 0
+        #: Detected corruptions recovered by invalidation.
+        self.recovered = 0
+        #: Structural audits executed.
+        self.audits = 0
+        self.events: List[FaultEvent] = []
+
+    # ------------------------------------------------------------------
+    # Engine seam
+    # ------------------------------------------------------------------
+
+    def observe(self, outcome) -> None:
+        """Per-branch hook: maybe audit, maybe fire one fault."""
+        self.branches_seen += 1
+        interval = self.plan.audit_interval
+        if interval and self.branches_seen % interval == 0:
+            self.audit()
+        if self.plan.rate > 0.0 and self._rng.chance(self.plan.rate):
+            self.inject()
+
+    # ------------------------------------------------------------------
+    # Injection
+    # ------------------------------------------------------------------
+
+    def inject(self) -> Optional[FaultEvent]:
+        """Fire one fault of a plan-chosen kind; returns the event, or
+        None when the chosen structure held nothing to corrupt."""
+        kind = self._rng.choice(self.plan.kinds)
+        corruption = self._corrupt(kind)
+        if corruption is None:
+            self.attempts_empty += 1
+            return None
+        self.injected += 1
+        detected = self.plan.parity and corruption.bits_flipped % 2 == 1
+        recovered = False
+        if detected:
+            self.detected += 1
+            corruption.invalidate()
+            self.recovered += 1
+            recovered = True
+        else:
+            self.silent += 1
+        event = FaultEvent(
+            index=self.branches_seen,
+            kind=kind,
+            description=corruption.describe(),
+            bits_flipped=corruption.bits_flipped,
+            detected=detected,
+            recovered=recovered,
+        )
+        if len(self.events) < EVENT_LOG_LIMIT:
+            self.events.append(event)
+        return event
+
+    def _corrupt(self, kind: str) -> Optional[Corruption]:
+        predictor = self.predictor
+        if kind == "btb1":
+            return predictor.btb1.corrupt(self._rng)
+        if kind == "btb2":
+            if predictor.btb2 is None:
+                return None
+            return predictor.btb2.corrupt(self._rng)
+        if kind == "staging":
+            if predictor.btb2 is None:
+                return None
+            return predictor.btb2.corrupt_staging(self._rng)
+        if kind == "refresh":
+            btb2 = predictor.btb2
+            if btb2 is None or not btb2.config.inclusive:
+                return None
+            btb2.suppress_refreshes(self.plan.refresh_suppress_span)
+            return Corruption(
+                component="btb2",
+                location="refresh",
+                field="writeback-suppressed",
+                bits_flipped=0,
+                invalidate=lambda: None,
+            )
+        if kind == "tage":
+            return predictor.tage.corrupt(self._rng)
+        if kind == "perceptron":
+            return predictor.perceptron.corrupt(self._rng)
+        if kind == "ctb":
+            return predictor.ctb.corrupt(self._rng)
+        if kind == "crs":
+            return predictor.crs.corrupt(self._rng)
+        raise ConfigError(f"unknown fault kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    # Auditing & reporting
+    # ------------------------------------------------------------------
+
+    def audit(self) -> None:
+        """Run the structural audit; raises AuditError on violations."""
+        self.audits += 1
+        assert_healthy(self.predictor)
+
+    def component_counters(self) -> dict:
+        """Fault statistics in the telemetry harvest shape."""
+        return {
+            "branches_seen": self.branches_seen,
+            "injected": self.injected,
+            "attempts_empty": self.attempts_empty,
+            "detected": self.detected,
+            "silent": self.silent,
+            "recovered": self.recovered,
+            "audits": self.audits,
+        }
+
+    def harvest_into(self, telemetry) -> None:
+        """File the fault counters under the ``faults`` component of a
+        :class:`~repro.obs.telemetry.Telemetry` registry."""
+        telemetry.merge_counts("faults", self.component_counters())

@@ -87,6 +87,17 @@ class BoundedQueue(Generic[T]):
         """The oldest item without removing it, or None when empty."""
         return self._items[0] if self._items else None
 
+    def item_at(self, index: int) -> T:
+        """Read the item *index* positions from the front (fault hooks)."""
+        return self._items[index]
+
+    def remove_at(self, index: int) -> T:
+        """Remove and return the item at *index* without counting it as a
+        pop — models a transfer lost in flight, not a consumed one."""
+        item = self._items[index]
+        del self._items[index]
+        return item
+
     def drain(self) -> List[T]:
         """Remove and return every queued item, oldest first."""
         drained = list(self._items)

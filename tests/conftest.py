@@ -6,7 +6,10 @@ Strategies are plain module-level functions (hypothesis strategies are
 not fixtures) — import them with ``from tests.conftest import ...``.
 """
 
+import os
+
 import pytest
+from hypothesis import settings
 from hypothesis import strategies as st
 
 from repro.common.rng import DeterministicRng
@@ -19,6 +22,12 @@ from repro.workloads.generators import (
     pattern_program,
     transaction_workload,
 )
+
+# CI runs with HYPOTHESIS_PROFILE=ci: print_blob makes a failing
+# property print its reproduction blob (`@reproduce_failure(...)`), so
+# a red robustness run in CI is replayable locally without guessing.
+settings.register_profile("ci", print_blob=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 #: The suite-wide default seed for deterministic components.
 DEFAULT_TEST_SEED = 1234

@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.common.errors import ReproError, StateFormatError, TraceFormatError
 from repro.configs import z15_config
 from repro.configs.predictor import Btb1Config, PredictorConfig
 from repro.core import LookaheadBranchPredictor, load_state, save_state
@@ -88,7 +89,7 @@ def test_restore_into_smaller_geometry(tmp_path):
 def test_bad_format_rejected(tmp_path):
     path = tmp_path / "bogus.json"
     path.write_text('{"format": "something-else"}')
-    with pytest.raises(ValueError):
+    with pytest.raises(StateFormatError):
         load_state(LookaheadBranchPredictor(z15_config()), path)
 
 
@@ -96,7 +97,7 @@ def test_unknown_format_error_names_both_formats(tmp_path):
     """The rejection must say what was found and what was expected."""
     path = tmp_path / "bogus.json"
     path.write_text('{"format": "repro-predictor-state-v99"}')
-    with pytest.raises(ValueError) as excinfo:
+    with pytest.raises(StateFormatError) as excinfo:
         load_state(LookaheadBranchPredictor(z15_config()), path)
     message = str(excinfo.value)
     assert "repro-predictor-state-v99" in message
@@ -106,9 +107,79 @@ def test_unknown_format_error_names_both_formats(tmp_path):
 def test_missing_format_error_is_clear(tmp_path):
     path = tmp_path / "noformat.json"
     path.write_text('{"btb1": []}')
-    with pytest.raises(ValueError) as excinfo:
+    with pytest.raises(StateFormatError) as excinfo:
         load_state(LookaheadBranchPredictor(z15_config()), path)
     assert "unknown state format" in str(excinfo.value)
+
+
+def test_state_format_error_is_a_trace_format_repro_error():
+    """Callers catching the trace-format family (or ReproError at the
+    CLI top level) must also catch state-file problems."""
+    assert issubclass(StateFormatError, TraceFormatError)
+    assert issubclass(StateFormatError, ReproError)
+
+
+class TestCorruptedStateFiles:
+    """Malformed or truncated state files raise StateFormatError — never
+    a bare ValueError / KeyError / json.JSONDecodeError."""
+
+    def _fresh(self):
+        return LookaheadBranchPredictor(z15_config())
+
+    def _saved(self, tmp_path, branches=2000):
+        path = tmp_path / "state.json"
+        save_state(warmed_predictor(branches=branches), path)
+        return path
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("this is not json {")
+        with pytest.raises(StateFormatError, match="not valid JSON"):
+            load_state(self._fresh(), path)
+
+    def test_truncated_file(self, tmp_path):
+        path = self._saved(tmp_path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(StateFormatError):
+            load_state(self._fresh(), path)
+
+    def test_wrong_toplevel_type(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(StateFormatError, match="JSON object"):
+            load_state(self._fresh(), path)
+
+    def test_entry_missing_field(self, tmp_path):
+        path = self._saved(tmp_path)
+        payload = json.loads(path.read_text())
+        del payload["btb1"][0]["offset"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(StateFormatError, match="malformed state entry"):
+            load_state(self._fresh(), path)
+
+    def test_entry_bad_kind(self, tmp_path):
+        path = self._saved(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["btb1"][0]["kind"] = "not-a-branch-kind"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(StateFormatError, match="malformed state entry"):
+            load_state(self._fresh(), path)
+
+    def test_entry_wrong_type(self, tmp_path):
+        path = self._saved(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["btb1"][0] = "not-a-dict"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(StateFormatError):
+            load_state(self._fresh(), path)
+
+    def test_chained_cause_is_preserved(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{")
+        with pytest.raises(StateFormatError) as caught:
+            load_state(self._fresh(), path)
+        assert isinstance(caught.value.__cause__, json.JSONDecodeError)
 
 
 def _entry_with_every_field(target, skoot):

@@ -125,3 +125,144 @@ def test_cycle_cell_telemetry_counts_all_branches():
     assert result.fingerprint == reference.fingerprint
     # No warmup phase in the cycle engine: every branch is counted.
     assert result.telemetry["counters"]["engine.branches"] == 400
+
+
+# ----------------------------------------------------------------------
+# Hardening: failures surface as CellError rows, sweeps never abort
+# ----------------------------------------------------------------------
+#
+# The preludes live at module level so they pickle into worker
+# processes; each targets seed 2, leaving the neighbouring cells
+# innocent — their fingerprints must match a clean baseline run.
+
+
+def _tiny_cells():
+    return [
+        SweepCell(label="tiny", config=small_predictor_config(),
+                  workload="compute-kernel", seed=seed, branches=400,
+                  warmup=100)
+        for seed in (1, 2, 3)
+    ]
+
+
+def _boom_prelude(cell):
+    if cell.seed == 2:
+        raise RuntimeError("injected cell failure")
+
+
+def _crash_prelude(cell):
+    if cell.seed == 2:
+        import os
+
+        os._exit(13)  # simulates a worker killed mid-cell
+
+
+def _hang_prelude(cell):
+    if cell.seed == 2:
+        import time
+
+        time.sleep(60)
+
+
+def _flaky_prelude(marker, cell):
+    """Fails the first attempt only — proves the retry path recovers."""
+    import os
+
+    if cell.seed == 2 and not os.path.exists(marker):
+        open(marker, "w").close()
+        raise RuntimeError("transient failure")
+
+
+def _baseline_fingerprints():
+    return [r.fingerprint for r in run_cells(_tiny_cells(), workers=1)]
+
+
+def test_failing_cell_becomes_error_row_sequential():
+    cells = _tiny_cells()
+    cells[1].prelude = _boom_prelude
+    results = run_cells(cells, workers=1, retries=1, backoff=0.0)
+    error = results[1]
+    assert error.kind == "error"
+    assert error.attempts == 2  # first try + one retry
+    assert "injected cell failure" in error.message
+    assert error.stats is None
+    assert error.fingerprint == "cell-error:error"
+    baseline = _baseline_fingerprints()
+    assert [results[0].fingerprint, results[2].fingerprint] == [
+        baseline[0], baseline[2]
+    ]
+
+
+def test_failing_cell_becomes_error_row_parallel():
+    cells = _tiny_cells()
+    cells[1].prelude = _boom_prelude
+    results = run_cells(cells, workers=2, retries=1, backoff=0.0)
+    assert results[1].kind == "error"
+    assert results[1].attempts == 2
+    baseline = _baseline_fingerprints()
+    assert [results[0].fingerprint, results[2].fingerprint] == [
+        baseline[0], baseline[2]
+    ]
+
+
+def test_crashed_worker_is_isolated_and_attributed():
+    cells = _tiny_cells()
+    cells[1].prelude = _crash_prelude
+    results = run_cells(cells, workers=2, retries=1, backoff=0.0)
+    assert results[1].kind == "crash"
+    assert results[1].stats is None
+    # Innocent neighbours still complete with baseline-identical stats.
+    baseline = _baseline_fingerprints()
+    assert [results[0].fingerprint, results[2].fingerprint] == [
+        baseline[0], baseline[2]
+    ]
+
+
+def test_hung_worker_times_out():
+    cells = _tiny_cells()
+    cells[1].prelude = _hang_prelude
+    results = run_cells(cells, workers=2, timeout=3.0, retries=0,
+                        backoff=0.0)
+    assert results[1].kind == "timeout"
+    assert "3.0" in results[1].message
+    baseline = _baseline_fingerprints()
+    assert [results[0].fingerprint, results[2].fingerprint] == [
+        baseline[0], baseline[2]
+    ]
+
+
+def test_retry_recovers_transient_failure(tmp_path):
+    import functools
+
+    cells = _tiny_cells()
+    cells[1].prelude = functools.partial(
+        _flaky_prelude, str(tmp_path / "attempted.marker")
+    )
+    results = run_cells(cells, workers=1, retries=1, backoff=0.0)
+    # The flaky cell recovered on retry: a full SweepResult, identical
+    # to what a clean run produces (retries preserve determinism).
+    baseline = _baseline_fingerprints()
+    assert [r.fingerprint for r in results] == baseline
+
+
+def test_fault_plan_rides_cells_and_rate_zero_is_identity():
+    from repro.resilience import FaultPlan
+
+    clean = _tiny_cells()
+    faulted = _tiny_cells()
+    for cell in faulted:
+        cell.fault_plan = FaultPlan(seed=5, rate=0.02)
+    inert = _tiny_cells()
+    for cell in inert:
+        cell.fault_plan = FaultPlan(seed=5, rate=0.0)
+    clean_results = run_cells(clean, workers=1)
+    faulted_results = run_cells(faulted, workers=2)
+    inert_results = run_cells(inert, workers=1)
+    for result in faulted_results:
+        assert result.faults is not None
+        assert result.faults["branches_seen"] == 500  # branches + warmup
+    # rate=0: the injector rides along but never perturbs the run.
+    assert [r.fingerprint for r in inert_results] == [
+        r.fingerprint for r in clean_results
+    ]
+    assert all(r.faults["injected"] == 0 for r in inert_results)

@@ -161,3 +161,84 @@ def test_sweep_telemetry_json(capsys, tmp_path):
     cell = payload["cells"][0]
     assert cell["label"] == "z15"
     assert cell["telemetry"]["counters"]["engine.branches"] == 800
+
+
+# ----------------------------------------------------------------------
+# Error handling + the faults subcommand
+# ----------------------------------------------------------------------
+
+
+def test_repro_error_exits_2_with_one_line_message(capsys, tmp_path):
+    """Library errors surface as exit code 2 and a single stderr line —
+    not a traceback."""
+    state_path = tmp_path / "corrupt.json"
+    state_path.write_text("this is not json {")
+    with pytest.raises(SystemExit) as caught:
+        main(["run", "patterned", "--branches", "200", "--warmup", "0",
+              "--load-state", str(state_path)])
+    assert caught.value.code == 2
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1
+    assert "StateFormatError" in err
+    assert "not valid JSON" in err
+
+
+def test_bad_fault_kind_exits_2(capsys):
+    with pytest.raises(SystemExit) as caught:
+        main(["faults", "patterned", "--branches", "200",
+              "--fault-kinds", "bogus"])
+    assert caught.value.code == 2
+    assert "ConfigError" in capsys.readouterr().err
+
+
+def test_faults_campaign_reports_equivalence(capsys):
+    out = run_cli(capsys, "faults", "transactions", "--branches", "1500",
+                  "--fault-rate", "0.02", "--audit-interval", "500")
+    assert "fault campaign" in out
+    assert "architectural equivalence: CLEAN" in out
+    assert "injected" in out and "recovered" in out
+
+
+def test_faults_stats_json(capsys, tmp_path):
+    import json
+
+    path = str(tmp_path / "faults.json")
+    run_cli(capsys, "faults", "compute-kernel", "--branches", "1000",
+            "--fault-rate", "0.05", "--fault-seed", "7", "--no-parity",
+            "--fault-kinds", "btb1", "tage", "--stats-json", path)
+    payload = json.load(open(path))
+    assert payload["schema"] == "repro-faults/v1"
+    assert payload["plan"] == {"seed": 7, "rate": 0.05,
+                               "kinds": ["btb1", "tage"], "parity": False,
+                               "audit_interval": 1000}
+    assert payload["architecturally_equivalent"] is True
+    assert payload["counters"]["recovered"] == 0  # parity off
+    assert payload["counters"]["branches_seen"] == 1000
+    assert payload["mpki_delta"] == (payload["faulted"]["mpki"]
+                                     - payload["baseline"]["mpki"])
+
+
+def test_sweep_surfaces_cell_errors_instead_of_aborting(capsys, monkeypatch):
+    """A cell whose worker raises fills its row with FAILED and the
+    sweep exits 1 after completing every other cell."""
+    from repro.engine import parallel as parallel_module
+
+    real_run_cell = parallel_module._run_cell
+
+    def exploding_run_cell(cell):
+        if cell.seed == 2:
+            raise RuntimeError("injected cell failure")
+        return real_run_cell(cell)
+
+    monkeypatch.setattr(parallel_module, "_run_cell", exploding_run_cell)
+    with pytest.raises(SystemExit) as caught:
+        main(["sweep", "--configs", "z15", "--workloads", "compute-kernel",
+              "--seeds", "1", "2", "3", "--branches", "400", "--warmup",
+              "100", "--cell-retries", "0"])
+    assert caught.value.code == 1
+    out = capsys.readouterr().out
+    assert "FAILED error" in out
+    assert "injected cell failure" in out
+    assert out.count("\n1 cell(s) failed") or "1 cell(s) failed" in out
+    # The innocent cells still rendered normal rows.
+    assert out.count("compute-kernel") >= 3

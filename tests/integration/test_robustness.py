@@ -16,6 +16,12 @@ from repro.configs import z15_config
 from repro.core import LookaheadBranchPredictor
 from repro.isa.dynamic import DynamicBranch
 from repro.isa.instructions import BranchKind, Instruction
+# ``check_invariants`` graduated into the library as the structures'
+# ``audit()`` hooks (aggregated by ``LookaheadBranchPredictor.audit``);
+# re-exported here so older suites importing from this module keep
+# working and so the test-side checker can never drift from the
+# auditor the fault framework runs in production.
+from repro.resilience import assert_healthy, audit_predictor  # noqa: F401
 
 from tests.conftest import (
     BRANCH_KINDS,
@@ -26,21 +32,12 @@ from tests.conftest import (
 
 
 def check_invariants(predictor):
-    assert predictor.btb1.occupancy <= predictor.btb1.capacity
-    for _row, _way, entry in predictor.btb1.entries():
-        assert 0 <= entry.bht.value <= 3
-        assert entry.offset % 2 == 0
-        assert entry.offset < predictor.config.btb1.line_size
-        if entry.skoot is not None:
-            assert 0 <= entry.skoot <= predictor.config.skoot_max
-    if predictor.btb2 is not None:
-        assert predictor.btb2.occupancy <= predictor.btb2.capacity
-    # Per-row (tag, offset) uniqueness — the dedup port's guarantee.
-    seen = set()
-    for row, _way, entry in predictor.btb1.entries():
-        key = (row, entry.tag, entry.offset)
-        assert key not in seen, "duplicate BTB1 entry"
-        seen.add(key)
+    """Assert every structural invariant the library auditor knows:
+    BTB1/BTB2 occupancy, field ranges and per-row uniqueness, staging
+    queue bounds, TAGE/perceptron ranges, CTB tags, CRS amnesty
+    bookkeeping, GPQ occupancy + sequence monotonicity."""
+    violations = audit_predictor(predictor)
+    assert violations == [], "; ".join(violations)
 
 
 @settings(max_examples=30, deadline=None,
@@ -75,6 +72,45 @@ def test_random_streams_with_context_switches(events, switch_every):
         )
     predictor.finalize()
     check_invariants(predictor)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(branch_events(), min_size=1, max_size=80),
+       st.integers(min_value=0, max_value=2**32 - 1))
+def test_random_streams_with_fault_injection_stay_legal(events, fault_seed):
+    """Injected faults are legal-but-wrong by contract: no fault plan
+    may ever trip the structural auditor, so a dirty audit after an
+    adversarial stream + aggressive fault campaign is a modelling bug
+    (in either the stream handling or a ``corrupt()`` hook)."""
+    from repro.resilience import FaultInjector, FaultPlan
+
+    predictor = LookaheadBranchPredictor(small_predictor_config())
+    injector = FaultInjector(
+        predictor, FaultPlan(seed=fault_seed, rate=1.0, parity=True)
+    )
+    predictor.restart(events[0][0], context=events[0][7],
+                      thread=events[0][6])
+    for sequence, event in enumerate(events):
+        branch = dynamic_branch_from_event(sequence, event)
+        outcome = predictor.predict_and_resolve(branch)
+        assert outcome.record.resolved
+        injector.inject()
+    predictor.finalize()
+    check_invariants(predictor)
+    assert injector.injected + injector.attempts_empty == len(events)
+
+
+def test_audit_covers_every_structure():
+    """The aggregate auditor visits CTB, CRS, GPQ and the staging queue
+    — corrupting any of them by hand must produce a violation."""
+    predictor = LookaheadBranchPredictor(small_predictor_config())
+    assert audit_predictor(predictor) == []
+    # CRS amnesty counter out of range.
+    predictor.crs._amnesty_counter = 10**9
+    assert any("amnesty" in v for v in audit_predictor(predictor))
+    predictor.crs._amnesty_counter = 0
+    assert audit_predictor(predictor) == []
 
 
 def test_full_z15_config_on_adversarial_burst():

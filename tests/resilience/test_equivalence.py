@@ -1,0 +1,85 @@
+"""Architectural equivalence: faults may only ever cost accuracy.
+
+The predictor is a hint engine — its output steers fetch, but every
+branch is resolved from program state and mispredictions restart the
+pipeline.  So the committed branch stream (address, direction, target,
+in commit order) of a faulted run must be *identical* to the fault-free
+run, for every fault kind, at any rate.  A divergence here means
+corruption leaked out of the prediction structures.
+"""
+
+import pytest
+
+from repro.resilience import (
+    FAULT_KINDS,
+    ArchObservation,
+    FaultPlan,
+    diff_arch_observations,
+    fault_equivalence_report,
+    run_fault_suite,
+)
+
+
+class TestDiffArchObservations:
+    def test_identical_streams_are_clean(self):
+        stream = [ArchObservation(0, 0x100, True, 0x200),
+                  ArchObservation(1, 0x104, False, None)]
+        assert diff_arch_observations(stream, list(stream)) is None
+
+    def test_field_divergence_is_localised(self):
+        left = [ArchObservation(0, 0x100, True, 0x200)]
+        right = [ArchObservation(0, 0x100, False, 0x200)]
+        divergence = diff_arch_observations(left, right)
+        assert divergence.field == "taken"
+        assert divergence.index == 0
+
+    def test_length_mismatch_reported(self):
+        left = [ArchObservation(0, 0x100, True, 0x200)]
+        divergence = diff_arch_observations(left, [])
+        assert divergence.field == "stream_length"
+        assert (divergence.left, divergence.right) == (1, 0)
+
+
+@pytest.mark.parametrize("kind", FAULT_KINDS)
+def test_every_fault_kind_is_architecturally_invisible(kind):
+    plan = FaultPlan(seed=3, rate=0.05, kinds=(kind,), audit_interval=500)
+    impact = fault_equivalence_report("transactions", plan, branches=1500,
+                                      seed=1234)
+    assert impact.report.clean, impact.report.summary()
+
+
+def test_high_rate_campaign_still_equivalent_and_costs_accuracy():
+    plan = FaultPlan(seed=9, rate=0.2, parity=False)
+    impact = fault_equivalence_report("transactions", plan, branches=2500,
+                                      seed=1234)
+    assert impact.report.clean
+    assert impact.fault_counters["injected"] > 100
+    # A heavy silent campaign measurably perturbs the predictor...
+    assert not impact.stats_identical
+    # ...and graceful degradation means it *only* perturbs accuracy.
+    assert impact.faulted_mpki != impact.baseline_mpki
+
+
+def test_parity_recovery_softens_degradation():
+    """With parity on, detected corruptions are invalidated instead of
+    silently steering predictions — over the same campaign the recovered
+    run must see no *more* silent corruption than the unprotected one."""
+    base = dict(seed=4, rate=0.1)
+    protected = fault_equivalence_report(
+        "transactions", FaultPlan(parity=True, **base), branches=2000)
+    exposed = fault_equivalence_report(
+        "transactions", FaultPlan(parity=False, **base), branches=2000)
+    assert protected.report.clean and exposed.report.clean
+    assert protected.fault_counters["silent"] <= \
+        exposed.fault_counters["silent"]
+    assert protected.fault_counters["recovered"] > 0
+    assert exposed.fault_counters["recovered"] == 0
+
+
+def test_run_fault_suite_smoke():
+    impacts = run_fault_suite(workloads=("compute-kernel",), branches=800,
+                              kinds=("btb1", "staging"))
+    assert len(impacts) == 2
+    assert all(impact.report.clean for impact in impacts)
+    kinds = [impact.plan.kinds for impact in impacts]
+    assert kinds == [("btb1",), ("staging",)]

@@ -1,0 +1,180 @@
+"""The fault-injection framework: plans, determinism, parity model.
+
+The contract under test: a campaign is exactly reproducible from its
+plan seed; parity detects every odd-weight corruption and recovers by
+invalidation; omission faults are always silent; and no fault — of any
+kind, at any rate — may ever leave a structure in an audit-illegal
+state (corruptions are legal-but-wrong by construction).
+"""
+
+import pytest
+
+from repro.common.errors import AuditError, ConfigError
+from repro.core import LookaheadBranchPredictor
+from repro.engine import FunctionalEngine
+from repro.resilience import (
+    EVENT_LOG_LIMIT,
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    assert_healthy,
+    audit_predictor,
+)
+from repro.workloads import get_workload
+
+from tests.conftest import small_predictor_config
+
+
+def _warmed_predictor(branches=1200, plan=None):
+    predictor = LookaheadBranchPredictor(small_predictor_config())
+    injector = FaultInjector(predictor, plan) if plan is not None else None
+    engine = FunctionalEngine(predictor, injector=injector)
+    engine.run_program(get_workload("compute-kernel", 1),
+                       max_branches=branches, warmup_branches=0, seed=1)
+    return predictor, injector
+
+
+class TestFaultPlan:
+    def test_default_plan_is_valid(self):
+        assert FaultPlan().validate().kinds == FAULT_KINDS
+
+    @pytest.mark.parametrize("bad", [
+        dict(rate=-0.1),
+        dict(rate=1.5),
+        dict(kinds=()),
+        dict(kinds=("btb1", "bogus")),
+        dict(audit_interval=-1),
+        dict(refresh_suppress_span=0),
+    ])
+    def test_invalid_plans_raise_config_error(self, bad):
+        with pytest.raises(ConfigError):
+            FaultPlan(**bad).validate()
+
+    def test_plan_is_frozen_and_picklable(self):
+        import pickle
+
+        plan = FaultPlan(seed=9, rate=0.5, kinds=("tage",))
+        assert pickle.loads(pickle.dumps(plan)) == plan
+        with pytest.raises(Exception):
+            plan.rate = 0.9
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_reproduces_campaign_exactly(self):
+        events = []
+        for _ in range(2):
+            plan = FaultPlan(seed=11, rate=0.05, audit_interval=0)
+            predictor, injector = _warmed_predictor(plan=plan)
+            events.append([(e.index, e.kind, e.description, e.bits_flipped,
+                            e.detected) for e in injector.events])
+        assert events[0] == events[1]
+        assert events[0]  # campaign actually fired
+
+    def test_different_seeds_diverge(self):
+        campaigns = []
+        for seed in (1, 2):
+            plan = FaultPlan(seed=seed, rate=0.05)
+            _, injector = _warmed_predictor(plan=plan)
+            campaigns.append([e.description for e in injector.events])
+        assert campaigns[0] != campaigns[1]
+
+    def test_rate_zero_never_fires(self):
+        plan = FaultPlan(seed=1, rate=0.0)
+        _, injector = _warmed_predictor(plan=plan)
+        assert injector.injected == 0
+        assert injector.attempts_empty == 0
+        assert injector.events == []
+        assert injector.branches_seen == 1200
+
+
+class TestParityModel:
+    def test_counter_identity(self):
+        plan = FaultPlan(seed=3, rate=0.1)
+        _, injector = _warmed_predictor(plan=plan)
+        assert injector.injected == injector.detected + injector.silent
+        assert injector.recovered == injector.detected
+        for event in injector.events:
+            assert event.detected == (event.bits_flipped % 2 == 1)
+            assert event.recovered == event.detected
+
+    def test_parity_off_everything_is_silent(self):
+        plan = FaultPlan(seed=3, rate=0.1, parity=False)
+        _, injector = _warmed_predictor(plan=plan)
+        assert injector.injected > 0
+        assert injector.detected == 0
+        assert injector.recovered == 0
+        assert injector.silent == injector.injected
+
+    def test_omission_faults_are_always_silent(self):
+        plan = FaultPlan(seed=5, rate=0.2, kinds=("staging", "refresh"))
+        _, injector = _warmed_predictor(plan=plan)
+        fired = [e for e in injector.events]
+        assert fired, "omission campaign never fired"
+        for event in fired:
+            assert event.bits_flipped == 0
+            assert not event.detected
+
+
+class TestPerKindInjection:
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_every_kind_fires_and_stays_audit_legal(self, kind):
+        plan = FaultPlan(seed=7, rate=0.2, kinds=(kind,))
+        predictor, injector = _warmed_predictor(plan=plan)
+        assert injector.injected + injector.attempts_empty > 0
+        assert audit_predictor(predictor) == []
+
+    def test_detected_btb1_corruption_is_invalidated(self):
+        predictor, _ = _warmed_predictor()
+        occupancy = predictor.btb1.occupancy
+        assert occupancy > 0
+        injector = FaultInjector(
+            predictor, FaultPlan(seed=1, rate=1.0, kinds=("btb1",))
+        )
+        # Fire until parity catches a single-bit flip; recovery must
+        # drop exactly the corrupted entry.
+        while injector.detected == 0:
+            injector.inject()
+        assert predictor.btb1.occupancy < occupancy + injector.injected
+
+    def test_refresh_fault_suppresses_writebacks(self):
+        plan = FaultPlan(seed=2, rate=0.05, kinds=("refresh",),
+                         refresh_suppress_span=8)
+        predictor, injector = _warmed_predictor(plan=plan)
+        if predictor.btb2 is not None and injector.injected:
+            assert predictor.btb2.refreshes_suppressed >= 0
+
+
+class TestAuditing:
+    def test_audit_interval_runs_periodically(self):
+        plan = FaultPlan(seed=1, rate=0.01, audit_interval=300)
+        _, injector = _warmed_predictor(plan=plan)
+        assert injector.audits == 1200 // 300
+
+    def test_assert_healthy_raises_with_violations(self):
+        predictor, _ = _warmed_predictor()
+        assert_healthy(predictor)  # clean after a normal run
+        predictor.crs._amnesty_counter = 10**9
+        with pytest.raises(AuditError) as caught:
+            assert_healthy(predictor)
+        assert caught.value.violations
+        assert "amnesty" in str(caught.value)
+
+
+class TestEventLogAndTelemetry:
+    def test_event_log_is_capped_but_counters_are_not(self):
+        plan = FaultPlan(seed=1, rate=1.0, parity=False)
+        _, injector = _warmed_predictor(branches=EVENT_LOG_LIMIT * 2,
+                                        plan=plan)
+        assert len(injector.events) == EVENT_LOG_LIMIT
+        assert injector.injected + injector.attempts_empty > EVENT_LOG_LIMIT
+
+    def test_harvest_into_telemetry_registry(self):
+        from repro.obs.telemetry import Telemetry
+
+        plan = FaultPlan(seed=1, rate=0.05)
+        _, injector = _warmed_predictor(plan=plan)
+        telemetry = Telemetry()
+        injector.harvest_into(telemetry)
+        gauges = telemetry.to_dict()["gauges"]
+        assert gauges["faults.branches_seen"] == 1200
+        assert gauges["faults.injected"] == injector.injected
