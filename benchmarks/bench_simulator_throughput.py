@@ -9,49 +9,53 @@ the reproduction benches which run once and print tables.
 import pytest
 
 from repro.configs import z15_config
-from repro.core import LookaheadBranchPredictor
-from repro.engine import CycleEngine, FunctionalEngine
+from repro.engine import BACKENDS, CycleEngine, FunctionalEngine, create_predictor
 from repro.workloads import get_workload
 
 BRANCHES = 3000
 CYCLE_BRANCHES = 2000
 
 
-def _simulate(program_name: str) -> float:
-    engine = FunctionalEngine(LookaheadBranchPredictor(z15_config()))
+def _simulate(program_name: str, backend: str = "object") -> float:
+    engine = FunctionalEngine(create_predictor(z15_config(), backend))
     stats = engine.run_program(get_workload(program_name),
                                max_branches=BRANCHES, warmup_branches=0)
     return stats.mpki
 
 
-def _simulate_cycles(program_name: str) -> int:
-    engine = CycleEngine(LookaheadBranchPredictor(z15_config()))
+def _simulate_cycles(program_name: str, backend: str = "object") -> int:
+    engine = CycleEngine(create_predictor(z15_config(), backend))
     stats = engine.run_program(get_workload(program_name),
                                max_branches=CYCLE_BRANCHES)
     return stats.cycles
 
 
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
 @pytest.mark.parametrize("workload", ["compute-kernel", "transactions"])
-def test_functional_throughput(benchmark, workload):
+def test_functional_throughput(benchmark, workload, backend):
     result = benchmark.pedantic(
-        _simulate, args=(workload,), rounds=3, iterations=1,
+        _simulate, args=(workload, backend), rounds=3, iterations=1,
         warmup_rounds=1,
     )
     assert result >= 0.0
     # Floor: the hot-path optimisation pass roughly doubled the engine's
     # speed, so the regression floor doubles too — 6K branches/second,
     # which still leaves ~1.5-2x headroom for machine noise below the
-    # slowest numbers observed on a loaded box.
+    # slowest numbers observed on a loaded box.  The array backend gets
+    # the same floor: it must never fall behind the object model enough
+    # to matter, or it has no reason to exist.
     seconds = benchmark.stats.stats.mean
     branches_per_second = BRANCHES / seconds
-    print(f"\n{workload}: {branches_per_second:,.0f} branches/second")
+    print(f"\n{workload} [{backend}]: "
+          f"{branches_per_second:,.0f} branches/second")
     assert branches_per_second > 6000
 
 
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
 @pytest.mark.parametrize("workload", ["compute-kernel", "transactions"])
-def test_cycle_throughput(benchmark, workload):
+def test_cycle_throughput(benchmark, workload, backend):
     result = benchmark.pedantic(
-        _simulate_cycles, args=(workload,), rounds=3, iterations=1,
+        _simulate_cycles, args=(workload, backend), rounds=3, iterations=1,
         warmup_rounds=1,
     )
     assert result > 0
@@ -60,5 +64,6 @@ def test_cycle_throughput(benchmark, workload):
     # catches order-of-magnitude regressions.
     seconds = benchmark.stats.stats.mean
     branches_per_second = CYCLE_BRANCHES / seconds
-    print(f"\n{workload} (cycle): {branches_per_second:,.0f} branches/second")
+    print(f"\n{workload} (cycle) [{backend}]: "
+          f"{branches_per_second:,.0f} branches/second")
     assert branches_per_second > 1000

@@ -42,7 +42,14 @@ from repro.baselines import (
 from repro.common.errors import ReproError
 from repro.configs import GENERATIONS, z15_config
 from repro.core import LookaheadBranchPredictor, load_state, save_state
-from repro.engine import CycleEngine, FunctionalEngine, make_grid, run_cells
+from repro.engine import (
+    BACKENDS,
+    CycleEngine,
+    FunctionalEngine,
+    create_predictor,
+    make_grid,
+    run_cells,
+)
 from repro.obs import TelemetrySession
 from repro.stats import MispredictProfile, load_trace
 from repro.verification import StimulusConstraints, VerificationEnvironment
@@ -61,11 +68,16 @@ BASELINES = {
 }
 
 
-def _predictor_for(name: str):
+def _predictor_for(name: str, backend: str = "object"):
     if name in GENERATIONS:
         factory, _ = GENERATIONS[name]
-        return LookaheadBranchPredictor(factory())
+        return create_predictor(factory(), backend)
     if name in BASELINES:
+        if backend != "object":
+            raise SystemExit(
+                f"--backend {backend} requires a generation preset; "
+                f"{name!r} is a baseline predictor"
+            )
         return BASELINES[name]()
     known = ", ".join(list(GENERATIONS) + list(BASELINES))
     raise SystemExit(f"unknown predictor {name!r}; known: {known}")
@@ -111,7 +123,7 @@ def _make_session(args, predictor) -> TelemetrySession:
 
 
 def cmd_run(args: argparse.Namespace) -> None:
-    predictor = _predictor_for(args.predictor)
+    predictor = _predictor_for(args.predictor, args.backend)
     if args.load_state:
         if not isinstance(predictor, LookaheadBranchPredictor):
             raise SystemExit("--load-state requires a generation preset")
@@ -178,7 +190,7 @@ def cmd_compare(args: argparse.Namespace) -> None:
 
 
 def cmd_cycles(args: argparse.Namespace) -> None:
-    predictor = _predictor_for(args.predictor)
+    predictor = _predictor_for(args.predictor, args.backend)
     if not isinstance(predictor, LookaheadBranchPredictor):
         raise SystemExit("the cycle engine requires a generation preset")
     engine = CycleEngine(predictor, smt2=args.smt2,
@@ -209,20 +221,22 @@ def cmd_verify_diff(args: argparse.Namespace) -> None:
         seed=args.seed,
         branches=args.branches,
         workloads=args.workloads or DEFAULT_WORKLOAD_FAMILIES,
+        backends=tuple(args.backends),
     )
     print(result.summary())
     if not result.clean:
         sys.exit(1)
 
 
-def _single_run_bps(workload: str, branches: int = 3000, repeats: int = 3) -> float:
+def _single_run_bps(workload: str, branches: int = 3000, repeats: int = 3,
+                    backend: str = "object") -> float:
     """Best-of-N single-engine throughput, benchmark-style: predictor
     construction and workload build sit inside the timed region, exactly
     like ``benchmarks/bench_simulator_throughput.py``."""
     best = 0.0
     for _ in range(repeats):
         start = time.perf_counter()
-        engine = FunctionalEngine(LookaheadBranchPredictor(z15_config()))
+        engine = FunctionalEngine(create_predictor(z15_config(), backend))
         program = get_workload(workload)
         engine.run_program(program, max_branches=branches, warmup_branches=0)
         best = max(best, branches / (time.perf_counter() - start))
@@ -251,7 +265,10 @@ def _throughput_payload(cells, workers, seq_results, seq_wall, par_results,
             "parallel_worker_bps": branches / par_seconds if par_seconds else 0.0,
         }
     return {
-        "schema": "repro-throughput/v1",
+        "schema": "repro-throughput/v2",
+        #: The predictor backend the sweep grid ran on; single_run
+        #: numbers below always cover every registered backend.
+        "backend": args.backend,
         #: Interprets the speedup: on a single-CPU box the pool can only
         #: add overhead, so speedup <= 1 is expected there.
         "cpu_count": os.cpu_count(),
@@ -276,29 +293,53 @@ def _throughput_payload(cells, workers, seq_results, seq_wall, par_results,
         "equivalent": equivalent,
         "workloads": per_workload,
         "single_run": {
-            name: {"branches_per_second": _single_run_bps(name)}
+            name: {
+                backend: {"branches_per_second":
+                          _single_run_bps(name, backend=backend)}
+                for backend in sorted(BACKENDS)
+            }
             for name in ("compute-kernel", "transactions")
         },
     }
 
 
+def _single_run_floors(baseline):
+    """Flatten a baseline's single_run section into (workload, backend,
+    baseline bps) rows.  v1 files carry one flat number per workload
+    (implicitly the object backend); v2 files nest per backend."""
+    rows = []
+    for name, entry in baseline.get("single_run", {}).items():
+        if "branches_per_second" in entry:  # v1
+            rows.append((name, "object", entry["branches_per_second"]))
+        else:  # v2: {backend: {branches_per_second: ...}}
+            for backend, numbers in entry.items():
+                rows.append((name, backend, numbers["branches_per_second"]))
+    return rows
+
+
 def _check_baseline(payload, baseline_path, max_regression):
     """Compare a throughput payload against a committed baseline; returns
-    the list of regression messages (empty when healthy)."""
+    the list of regression messages (empty when healthy).  The gate is
+    per (workload, backend): an array-backend slowdown fails even when
+    the object backend is healthy, and vice versa."""
     with open(baseline_path) as stream:
         baseline = json.load(stream)
     floor_ratio = 1.0 - max_regression
     failures = []
-    for name, entry in baseline.get("single_run", {}).items():
-        current = payload["single_run"].get(name)
+    current_rows = {
+        (name, backend): bps
+        for name, backend, bps in _single_run_floors(payload)
+    }
+    for name, backend, base_bps in _single_run_floors(baseline):
+        current = current_rows.get((name, backend))
         if current is None:
             continue
-        floor = entry["branches_per_second"] * floor_ratio
-        if current["branches_per_second"] < floor:
+        floor = base_bps * floor_ratio
+        if current < floor:
             failures.append(
-                f"single-run {name}: {current['branches_per_second']:,.0f} "
+                f"single-run {name} [{backend}]: {current:,.0f} "
                 f"branches/s < floor {floor:,.0f} "
-                f"(baseline {entry['branches_per_second']:,.0f}, "
+                f"(baseline {base_bps:,.0f}, "
                 f"max regression {max_regression:.0%})"
             )
     base_seq = baseline.get("sequential", {}).get("branches_per_second")
@@ -326,7 +367,8 @@ def cmd_sweep(args: argparse.Namespace) -> None:
             known = ", ".join(sorted(STANDARD_WORKLOADS))
             raise SystemExit(f"unknown workload {name!r}; known: {known}")
     cells = make_grid(configs, args.workloads, args.seeds,
-                      branches=args.branches, warmup=args.warmup)
+                      branches=args.branches, warmup=args.warmup,
+                      backend=args.backend)
     if args.telemetry:
         for cell in cells:
             cell.telemetry = True
@@ -400,8 +442,8 @@ def cmd_sweep(args: argparse.Namespace) -> None:
         f"speedup {payload['speedup']:.2f}x, "
         f"equivalent={payload['equivalent']})"
     )
-    for name, entry in payload["single_run"].items():
-        print(f"single-run {name}: {entry['branches_per_second']:,.0f} branches/s")
+    for name, backend, bps in _single_run_floors(payload):
+        print(f"single-run {name} [{backend}]: {bps:,.0f} branches/s")
     if not payload["equivalent"]:
         print("FAIL: parallel results diverge from sequential")
         sys.exit(1)
@@ -491,7 +533,7 @@ def cmd_faults(args: argparse.Namespace) -> None:
 
 
 def cmd_trace(args: argparse.Namespace) -> None:
-    predictor = _predictor_for(args.predictor)
+    predictor = _predictor_for(args.predictor, args.backend)
     session = _make_session(args, predictor)
     engine = FunctionalEngine(predictor, telemetry=session)
     stats = engine.run_program(
@@ -550,6 +592,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="run one predictor/workload")
     run_parser.add_argument("workload", nargs="?", default="transactions")
     run_parser.add_argument("--predictor", default="z15")
+    run_parser.add_argument("--backend", choices=sorted(BACKENDS),
+                            default="object",
+                            help="predictor backend (generation presets "
+                                 "only; default object)")
     run_parser.add_argument("--branches", type=int, default=30_000)
     run_parser.add_argument("--warmup", type=int, default=10_000)
     run_parser.add_argument("--seed", type=int, default=1)
@@ -589,6 +635,8 @@ def build_parser() -> argparse.ArgumentParser:
     cycles_parser = sub.add_parser("cycles", help="cycle-level timing run")
     cycles_parser.add_argument("workload", nargs="?", default="transactions")
     cycles_parser.add_argument("--predictor", default="z15")
+    cycles_parser.add_argument("--backend", choices=sorted(BACKENDS),
+                               default="object")
     cycles_parser.add_argument("--branches", type=int, default=15_000)
     cycles_parser.add_argument("--seed", type=int, default=1)
     cycles_parser.add_argument("--smt2", action="store_true")
@@ -612,6 +660,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--workloads", nargs="*", metavar="NAME",
         help=f"workload families to cross-check "
              f"(default: {' '.join(DEFAULT_WORKLOAD_FAMILIES)})")
+    diff_parser.add_argument(
+        "--backends", nargs="*", choices=sorted(BACKENDS),
+        default=["object", "array"], metavar="BACKEND",
+        help="predictor backends to verify; the first is the reference "
+             "the others are differentially compared against "
+             "(default: object array)")
     diff_parser.set_defaults(func=cmd_verify_diff)
 
     sweep_parser = sub.add_parser(
@@ -624,6 +678,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--workloads", nargs="*", metavar="NAME",
                               default=["compute-kernel", "transactions"])
     sweep_parser.add_argument("--seeds", nargs="*", type=int, default=[1])
+    sweep_parser.add_argument("--backend", choices=sorted(BACKENDS),
+                              default="object",
+                              help="predictor backend every cell runs on "
+                                   "(default object)")
     sweep_parser.add_argument("--branches", type=int, default=6_000)
     sweep_parser.add_argument("--warmup", type=int, default=2_000)
     sweep_parser.add_argument("--workers", type=int, default=1)
@@ -694,6 +752,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="telemetry-instrumented run with a JSONL branch trace")
     trace_parser.add_argument("--workload", default="transactions")
     trace_parser.add_argument("--predictor", default="z15")
+    trace_parser.add_argument("--backend", choices=sorted(BACKENDS),
+                              default="object")
     trace_parser.add_argument("--branches", type=int, default=10_000)
     trace_parser.add_argument("--warmup", type=int, default=0,
                               help="uncounted warmup branches (default 0 so "

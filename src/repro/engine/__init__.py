@@ -1,6 +1,14 @@
-"""Simulation engines: functional (accuracy), cycle-level (timing), and
-the deterministic parallel sweep runner."""
+"""Simulation engines: functional (accuracy), cycle-level (timing), the
+array-backed prediction backend, and the deterministic parallel sweep
+runner.  The shared per-branch consume sequence they all drive lives in
+:mod:`repro.engine.kernel`."""
 
+from repro.engine.array import (
+    BACKENDS,
+    ArrayLookaheadBranchPredictor,
+    create_predictor,
+    predictor_class,
+)
 from repro.engine.cycle import CycleEngine, CycleStats
 from repro.engine.functional import FunctionalEngine
 from repro.engine.parallel import (
@@ -12,6 +20,10 @@ from repro.engine.parallel import (
 )
 
 __all__ = [
+    "ArrayLookaheadBranchPredictor",
+    "BACKENDS",
+    "create_predictor",
+    "predictor_class",
     "CycleEngine",
     "CycleStats",
     "FunctionalEngine",

@@ -1,0 +1,88 @@
+"""The array-backed prediction backend.
+
+:class:`ArrayLookaheadBranchPredictor` is the full z15 prediction logic
+of :class:`~repro.core.predictor.LookaheadBranchPredictor` running over
+the array structures of :mod:`repro.structures.arrays`: bit-packed SWAR
+tag mirrors for the BTB1/BTB2 and TAGE tables, flat contiguous weight
+buffers for the perceptron.  Every behavioural decision — walk order,
+replacement, counters, corruption draws — is inherited or transcribed
+bit-for-bit, so the backend produces byte-identical branch streams,
+RunStats and fingerprints; the cross-backend battery in
+``tests/engine/test_array_equivalence.py`` and the ``verify-diff`` CLI
+prove it rather than trust it.
+
+The backend plugs in through the ``_make_*`` structure factories on the
+predictor, so it composes with both drive engines: wrap it in a
+:class:`~repro.engine.functional.FunctionalEngine` or
+:class:`~repro.engine.cycle.CycleEngine` exactly like the object
+predictor.  :func:`create_predictor` is the one registry every
+consumer (CLI, sweep cells, differential harness, benchmarks) selects
+backends through.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.configs.predictor import PredictorConfig
+from repro.core.predictor import LookaheadBranchPredictor
+from repro.structures.arrays import (
+    NUMPY_AVAILABLE,
+    ArrayBtb1,
+    ArrayBtb2,
+    ArrayPerceptron,
+    ArrayTagePht,
+)
+
+__all__ = [
+    "ArrayLookaheadBranchPredictor",
+    "BACKENDS",
+    "create_predictor",
+    "predictor_class",
+    "NUMPY_AVAILABLE",
+]
+
+
+class ArrayLookaheadBranchPredictor(LookaheadBranchPredictor):
+    """The z15 prediction logic over array-backed structures."""
+
+    backend = "array"
+
+    def _make_btb1(self, config) -> ArrayBtb1:
+        return ArrayBtb1(config)
+
+    def _make_btb2(self, config) -> ArrayBtb2:
+        return ArrayBtb2(config, self.btb1)
+
+    def _make_tage(self, config, gpv_bits_per_branch: int) -> ArrayTagePht:
+        return ArrayTagePht(config, gpv_bits_per_branch)
+
+    def _make_perceptron(self, config, gpv_width: int) -> ArrayPerceptron:
+        return ArrayPerceptron(config, gpv_width)
+
+
+#: backend name -> predictor class.  "object" is the reference model;
+#: "array" the accelerated twin proven equivalent by the differential
+#: battery.
+BACKENDS: Dict[str, Type[LookaheadBranchPredictor]] = {
+    "object": LookaheadBranchPredictor,
+    "array": ArrayLookaheadBranchPredictor,
+}
+
+
+def predictor_class(backend: str) -> Type[LookaheadBranchPredictor]:
+    """The predictor class registered under *backend*."""
+    try:
+        return BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown predictor backend {backend!r}; "
+            f"choose from {sorted(BACKENDS)}"
+        ) from None
+
+
+def create_predictor(
+    config: PredictorConfig, backend: str = "object"
+) -> LookaheadBranchPredictor:
+    """Build a predictor for *config* on the chosen *backend*."""
+    return predictor_class(backend)(config)

@@ -19,7 +19,7 @@ from typing import Dict, Optional
 
 from repro.configs.timing import TimingConfig
 from repro.core.predictor import LookaheadBranchPredictor, PredictionOutcome
-from repro.engine.functional import _chain_observers
+from repro.engine.kernel import _chain_observers, predict_one
 from repro.frontend.icache import InstructionCacheHierarchy
 from repro.stats.metrics import MispredictClass, RunStats, classify
 from repro.workloads.executor import Executor
@@ -156,16 +156,16 @@ class CycleEngine:
         clocks = self._clocks_for(0)
         clocks.fetch_point = program.entry_point
         instructions_before = 0
+        predict = self.predictor.predict_and_resolve
+        observer = self.observer
+        record = self.stats.accuracy.record
         while executor.branches_executed < max_branches:
             branch = executor.step()
             if branch is None:
                 continue
             gap = executor.instructions_executed - instructions_before - 1
             instructions_before = executor.instructions_executed
-            outcome = self.predictor.predict_and_resolve(branch)
-            if self.observer is not None:
-                self.observer(outcome)
-            self.stats.accuracy.record(outcome)
+            outcome = predict_one(predict, branch, observer, record)
             self._advance(clocks, branch, outcome, gap)
         self.predictor.finalize()
         self.stats.instructions = executor.instructions_executed
@@ -190,6 +190,9 @@ class CycleEngine:
 
         run = Smt2Run(program_a, program_b, seed=seed)
         instructions_before = {0: 0, 1: 0}
+        predict = self.predictor.predict_and_resolve
+        observer = self.observer
+        record = self.stats.accuracy.record
         for event in run.run(max_branches):
             if isinstance(event, ContextSwitch):
                 self.predictor.restart(event.entry_point,
@@ -202,10 +205,7 @@ class CycleEngine:
             gap = (executor.instructions_executed
                    - instructions_before[thread] - 1)
             instructions_before[thread] = executor.instructions_executed
-            outcome = self.predictor.predict_and_resolve(event)
-            if self.observer is not None:
-                self.observer(outcome)
-            self.stats.accuracy.record(outcome)
+            outcome = predict_one(predict, event, observer, record)
             self._advance(self._clocks_for(thread), event, outcome, max(0, gap))
         self.predictor.finalize()
         self.stats.instructions = run.instructions_executed

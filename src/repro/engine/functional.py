@@ -1,10 +1,15 @@
 """The functional simulation engine.
 
 Drives any predictor implementing the *branch predictor protocol* (the
-:class:`~repro.core.predictor.LookaheadBranchPredictor` or one of the
-baselines) over a workload, collecting :class:`~repro.stats.RunStats`.
-This engine measures *accuracy* (coverage, direction/target correctness,
-MPKI); the cycle engine in :mod:`repro.engine.cycle` measures time.
+:class:`~repro.core.predictor.LookaheadBranchPredictor`, the array
+backend in :mod:`repro.engine.array`, or one of the baselines) over a
+workload, collecting :class:`~repro.stats.RunStats`.  This engine
+measures *accuracy* (coverage, direction/target correctness, MPKI); the
+cycle engine in :mod:`repro.engine.cycle` measures time.
+
+The per-branch consume sequence lives in :mod:`repro.engine.kernel`,
+shared with the cycle engine, so every backend runs one semantics
+definition.
 """
 
 from __future__ import annotations
@@ -12,48 +17,23 @@ from __future__ import annotations
 from typing import Iterable, Optional, Union
 
 from repro.core.predictor import LookaheadBranchPredictor, PredictionOutcome
+from repro.engine.kernel import (
+    INSTRUCTIONS_PER_BRANCH,
+    _chain_observers,
+    drive_counted,
+    run_warmup,
+)
 from repro.isa.dynamic import DynamicBranch
 from repro.stats.metrics import RunStats
 from repro.workloads.executor import Executor
 from repro.workloads.multi import ContextSwitch, InterleavedRun
 from repro.workloads.program import Program
 
-#: Instructions assumed per executed branch when a branch stream carries
-#: no real instruction counts: the classic ~1-branch-in-4 dynamic
-#: density of the branch-heavy commercial footprints the paper's
-#: predictor targets.  MPKI derived through this approximation is
-#: exactly ``branch_mpki / INSTRUCTIONS_PER_BRANCH`` and is flagged via
-#: ``RunStats.instructions_approximate``; prefer real instruction counts
-#: (``run_program`` / the ``instructions=`` argument) whenever the
-#: workload provides them.
-INSTRUCTIONS_PER_BRANCH = 4
-
-
-def _chain_observers(observer, telemetry, injector=None):
-    """Compose an explicit observer, a telemetry session's observe and a
-    fault injector's observe into one per-branch callback.
-
-    Returns None when none is attached, preserving the engines'
-    per-branch ``observer is None`` fast paths; a single consumer is
-    returned unwrapped (no indirection for the common one-hook case).
-    The injector runs last: faults land after the branch's own updates,
-    like a soft error striking between predictions.
-    """
-    callbacks = [callback for callback in (
-        observer,
-        telemetry.observe if telemetry is not None else None,
-        injector.observe if injector is not None else None,
-    ) if callback is not None]
-    if not callbacks:
-        return None
-    if len(callbacks) == 1:
-        return callbacks[0]
-
-    def chained(outcome, _callbacks=tuple(callbacks)):
-        for callback in _callbacks:
-            callback(outcome)
-
-    return chained
+__all__ = [
+    "FunctionalEngine",
+    "INSTRUCTIONS_PER_BRANCH",
+    "_chain_observers",
+]
 
 
 class FunctionalEngine:
@@ -108,27 +88,16 @@ class FunctionalEngine:
         counted_instructions_start = 0
         stream = executor.run(max_branches=warmup_branches + max_branches)
         if warmup_branches > 0:
-            consumed = 0
-            for branch in stream:
-                outcome = predict(branch)
-                if observer is not None:
-                    observer(outcome)
-                consumed += 1
-                if consumed == warmup_branches:
-                    counted_instructions_start = executor.instructions_executed
-                    break
-        # Counted phase, specialized on the attached consumers so the
-        # per-branch loop carries no invariant is-None checks.
-        if observer is None and profile is None:
-            record = self.stats.record
-            for branch in stream:
-                record(predict(branch))
-        else:
-            for branch in stream:
-                outcome = predict(branch)
-                if observer is not None:
-                    observer(outcome)
-                self._record(outcome)
+            consumed = run_warmup(predict, stream, warmup_branches, observer)
+            if consumed == warmup_branches:
+                counted_instructions_start = executor.instructions_executed
+        drive_counted(
+            predict,
+            stream,
+            self.stats.record,
+            observer=observer,
+            extra=profile.record if profile is not None else None,
+        )
         self.predictor.finalize()
         self.stats.instructions = (
             executor.instructions_executed - counted_instructions_start

@@ -52,7 +52,6 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.configs.predictor import PredictorConfig
-from repro.core.predictor import LookaheadBranchPredictor
 from repro.engine.functional import FunctionalEngine
 from repro.workloads.program import Program
 from repro.workloads.suite import get_workload
@@ -81,6 +80,10 @@ class SweepCell:
     #: "functional" (RunStats) or "cycle" (CycleStats; warmup ignored —
     #: the cycle engine has no warmup phase).
     engine: str = "functional"
+    #: Predictor backend ("object" or "array") — cells on either backend
+    #: produce identical stats and fingerprints, so mixing backends
+    #: across a sweep is legal and the equivalence check still holds.
+    backend: str = "object"
     #: Attach a telemetry session to the cell's run.  Telemetry is an
     #: observer — it must not (and, by the tier-1 equivalence tests,
     #: does not) change the cell's stats or fingerprint; the session's
@@ -176,7 +179,9 @@ def _run_cell(cell: SweepCell) -> SweepResult:
         program = copy.deepcopy(workload)
     else:
         program = get_workload(workload, cell.seed)
-    predictor = LookaheadBranchPredictor(cell.config)
+    from repro.engine.array import create_predictor
+
+    predictor = create_predictor(cell.config, cell.backend)
     session = None
     if cell.telemetry:
         from repro.obs.session import TelemetrySession
@@ -451,6 +456,7 @@ def make_grid(
     seeds: Sequence[int] = (1,),
     branches: int = 8000,
     warmup: int = 4000,
+    backend: str = "object",
 ) -> List[SweepCell]:
     """Cross (config × workload × seed) into cells, config-major order."""
     return [
@@ -461,6 +467,7 @@ def make_grid(
             seed=seed,
             branches=branches,
             warmup=warmup,
+            backend=backend,
         )
         for label, config in configs
         for workload in workloads

@@ -11,17 +11,24 @@ silent behavioural divergence between them — or a lossy
 nondeterminism — would corrupt every experiment built on top without
 failing a single unit test.
 
-Three families of checks, each producing a :class:`DivergenceReport`
+Four families of checks, each producing a :class:`DivergenceReport`
 that localises the *first* diverging branch for debuggability:
 
 * **Cross-engine equivalence** — the same workload through both engines
   must produce bit-identical per-branch predictions and identical shared
   accuracy invariants (branch counts, per-class mispredict totals,
   coverage; cycle-only timing stats are excluded).
+* **Cross-backend equivalence** — the same workload through the same
+  engine on two predictor *backends* (the object reference model and
+  the array-accelerated twin of :mod:`repro.engine.array`) must produce
+  bit-identical per-branch predictions, identical invariants, *and*
+  identical final table fingerprints — the array backend's claim to
+  existence is this check passing, not its authors' care.
 * **Deterministic replay** — the same seed must reproduce bit-identical
   :class:`~repro.stats.metrics.RunStats` and final predictor state
   across runs, and predictor state must survive a ``state_io``
-  save -> load -> save round-trip byte-identically.
+  save -> load -> save round-trip byte-identically (including when the
+  restore target is a different backend than the saver).
 * **Baseline cross-validation** — directed workloads with known-best
   outcomes (always-taken loops, dead guards, short counted loops) must
   reach their expected direction accuracy on the z15 predictor *and*
@@ -52,6 +59,7 @@ from repro.configs import z15_config
 from repro.core import LookaheadBranchPredictor, load_state, save_state
 from repro.core.predictor import PredictionOutcome
 from repro.core.state_io import _entry_to_dict
+from repro.engine.array import BACKENDS, create_predictor
 from repro.engine.cycle import CycleEngine
 from repro.engine.functional import FunctionalEngine
 from repro.stats.metrics import RunStats, classify
@@ -337,16 +345,18 @@ def cross_engine_report(
     config_factory: Callable = z15_config,
     prepare_functional: Optional[Callable] = None,
     prepare_cycle: Optional[Callable] = None,
+    backend: str = "object",
 ) -> DivergenceReport:
     """Run *workload* through the functional and cycle engines with
     identically configured predictors and compare them branch by branch.
 
     The ``prepare_*`` hooks receive the freshly built predictor before
     the run; tests use them to corrupt one side's tables and prove the
-    comparison actually detects divergence.
+    comparison actually detects divergence.  *backend* selects the
+    predictor backend both engines drive.
     """
     functional_observations: List[BranchObservation] = []
-    functional_predictor = LookaheadBranchPredictor(config_factory())
+    functional_predictor = create_predictor(config_factory(), backend)
     if prepare_functional is not None:
         prepare_functional(functional_predictor)
     functional_engine = FunctionalEngine(
@@ -357,7 +367,7 @@ def cross_engine_report(
     )
 
     cycle_observations: List[BranchObservation] = []
-    cycle_predictor = LookaheadBranchPredictor(config_factory())
+    cycle_predictor = create_predictor(config_factory(), backend)
     if prepare_cycle is not None:
         prepare_cycle(cycle_predictor)
     cycle_engine = CycleEngine(
@@ -367,8 +377,9 @@ def cross_engine_report(
         _resolve_workload(workload, seed), max_branches=branches, seed=seed
     ).accuracy
 
+    suffix = "" if backend == "object" else f" [{backend} backend]"
     report = DivergenceReport(
-        title=f"cross-engine {_workload_name(workload)}",
+        title=f"cross-engine {_workload_name(workload)}{suffix}",
         left_label="functional",
         right_label="cycle",
         branches_compared=min(
@@ -385,15 +396,86 @@ def cross_engine_report(
 
 
 # ----------------------------------------------------------------------
+# Cross-backend equivalence
+# ----------------------------------------------------------------------
+
+
+def cross_backend_report(
+    workload: Workload,
+    branches: int = 3000,
+    seed: int = 1234,
+    config_factory: Callable = z15_config,
+    left_backend: str = "object",
+    right_backend: str = "array",
+    prepare_left: Optional[Callable] = None,
+    prepare_right: Optional[Callable] = None,
+) -> DivergenceReport:
+    """Run *workload* through the functional engine on two predictor
+    backends and compare them branch by branch.
+
+    On top of the per-branch stream and the aggregate invariants, the
+    final learned table state must fingerprint identically — the array
+    backend must not merely predict the same, it must *learn* the same.
+    The ``prepare_*`` hooks mirror :func:`cross_engine_report`'s; tests
+    use them to prove the comparison detects seeded divergence.
+    """
+    streams: List[List[BranchObservation]] = []
+    stats_pair: List[RunStats] = []
+    fingerprints: List[str] = []
+    audits: List[List[str]] = []
+    for backend, prepare in (
+        (left_backend, prepare_left),
+        (right_backend, prepare_right),
+    ):
+        observations: List[BranchObservation] = []
+        predictor = create_predictor(config_factory(), backend)
+        if prepare is not None:
+            prepare(predictor)
+        engine = FunctionalEngine(
+            predictor, observer=observer_into(observations)
+        )
+        stats = engine.run_program(
+            _resolve_workload(workload, seed), max_branches=branches,
+            seed=seed,
+        )
+        streams.append(observations)
+        stats_pair.append(stats)
+        fingerprints.append(predictor_fingerprint(predictor))
+        audits.append(predictor.audit())
+
+    report = DivergenceReport(
+        title=f"cross-backend {_workload_name(workload)}",
+        left_label=left_backend,
+        right_label=right_backend,
+        branches_compared=min(len(streams[0]), len(streams[1])),
+    )
+    report.first_divergence = diff_observations(streams[0], streams[1])
+    report.aggregate_mismatches = diff_aggregates(
+        comparable_stats(stats_pair[0]), comparable_stats(stats_pair[1])
+    )
+    if fingerprints[0] != fingerprints[1]:
+        report.aggregate_mismatches.append(
+            ("predictor_fingerprint", fingerprints[0], fingerprints[1])
+        )
+    for label, audit in zip((left_backend, right_backend), audits):
+        if audit:
+            report.aggregate_mismatches.append(
+                ("audit", label, "; ".join(audit))
+            )
+    return report
+
+
+# ----------------------------------------------------------------------
 # Deterministic replay
 # ----------------------------------------------------------------------
 
 
 def _functional_run(
-    workload: Workload, branches: int, seed: int, config_factory: Callable
+    workload: Workload, branches: int, seed: int, config_factory: Callable,
+    backend: str = "object",
 ) -> Tuple[List[BranchObservation], RunStats, LookaheadBranchPredictor]:
     observations: List[BranchObservation] = []
-    predictor = LookaheadBranchPredictor(config_factory())
+    predictor = create_predictor(config_factory(), backend)
     engine = FunctionalEngine(predictor, observer=observer_into(observations))
     stats = engine.run_program(
         _resolve_workload(workload, seed), max_branches=branches, seed=seed
@@ -406,17 +488,19 @@ def replay_report(
     branches: int = 3000,
     seed: int = 1234,
     config_factory: Callable = z15_config,
+    backend: str = "object",
 ) -> DivergenceReport:
     """Two identically seeded runs must be bit-identical: same per-branch
     predictions, same :class:`RunStats`, same final predictor state."""
     first_obs, first_stats, first_pred = _functional_run(
-        workload, branches, seed, config_factory
+        workload, branches, seed, config_factory, backend
     )
     second_obs, second_stats, second_pred = _functional_run(
-        workload, branches, seed, config_factory
+        workload, branches, seed, config_factory, backend
     )
+    suffix = "" if backend == "object" else f" [{backend} backend]"
     report = DivergenceReport(
-        title=f"replay {_workload_name(workload)} seed={seed}",
+        title=f"replay {_workload_name(workload)} seed={seed}{suffix}",
         left_label="run-1",
         right_label="run-2",
         branches_compared=min(len(first_obs), len(second_obs)),
@@ -437,10 +521,18 @@ def replay_report(
 def state_roundtrip_report(
     predictor: LookaheadBranchPredictor,
     label: str = "predictor",
+    restore_backend: Optional[str] = None,
 ) -> DivergenceReport:
     """Save *predictor*'s state, restore it into a fresh same-config
     predictor, save again — the two files must be byte-identical and
-    the restored tables must fingerprint identically."""
+    the restored tables must fingerprint identically.
+
+    By default the fresh predictor is the same class as the saver, so
+    an array-backed predictor round-trips through its own backend;
+    *restore_backend* forces the restore target onto a named backend
+    for cross-backend checkpoint checks (e.g. array state restored
+    into the object model, or vice versa).
+    """
     report = DivergenceReport(
         title=f"state round-trip {label}",
         left_label="saved",
@@ -451,7 +543,10 @@ def state_roundtrip_report(
         first_path = Path(tmp) / "first.json"
         second_path = Path(tmp) / "second.json"
         saved = save_state(predictor, first_path)
-        fresh = LookaheadBranchPredictor(predictor.config)
+        if restore_backend is None:
+            fresh = type(predictor)(predictor.config)
+        else:
+            fresh = create_predictor(predictor.config, restore_backend)
         loaded = load_state(fresh, first_path)
         resaved = save_state(fresh, second_path)
         if saved != loaded:
@@ -667,28 +762,67 @@ def run_differential_suite(
     branches: int = 3000,
     workloads: Sequence[str] = DEFAULT_WORKLOAD_FAMILIES,
     config_factory: Callable = z15_config,
+    backends: Sequence[str] = ("object", "array"),
 ) -> DifferentialResult:
-    """The full differential sweep the CLI exposes as ``verify-diff``."""
+    """The full differential sweep the CLI exposes as ``verify-diff``.
+
+    *backends* names the predictor backends to verify: the first is the
+    reference every other backend is differentially compared against
+    (per-branch streams, invariants and final table fingerprints), and
+    the cross-engine functional-vs-cycle check runs on each.
+    """
+    for backend in backends:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown predictor backend {backend!r}; "
+                f"choose from {sorted(BACKENDS)}"
+            )
+    reference = backends[0]
     result = DifferentialResult()
     for workload in workloads:
+        for backend in backends:
+            result.reports.append(
+                cross_engine_report(
+                    workload, branches=branches, seed=seed,
+                    config_factory=config_factory, backend=backend,
+                )
+            )
+        for backend in backends[1:]:
+            result.reports.append(
+                cross_backend_report(
+                    workload, branches=branches, seed=seed,
+                    config_factory=config_factory,
+                    left_backend=reference, right_backend=backend,
+                )
+            )
+    for backend in backends:
         result.reports.append(
-            cross_engine_report(
-                workload, branches=branches, seed=seed,
-                config_factory=config_factory,
+            replay_report(
+                workloads[0], branches=branches, seed=seed,
+                config_factory=config_factory, backend=backend,
             )
         )
-    result.reports.append(
-        replay_report(
-            workloads[0], branches=branches, seed=seed,
-            config_factory=config_factory,
+    # State persistence round-trips on warmed predictors: each backend
+    # through itself, plus every non-reference backend's state restored
+    # into the reference model (and the reference's into it).
+    for backend in backends:
+        _obs, _stats, warmed = _functional_run(
+            workloads[-1], branches, seed, config_factory, backend
         )
-    )
-    # State persistence round-trip on a warmed predictor.
-    _obs, _stats, warmed = _functional_run(
-        workloads[-1], branches, seed, config_factory
-    )
-    result.reports.append(
-        state_roundtrip_report(warmed, label=f"after {workloads[-1]}")
-    )
+        result.reports.append(
+            state_roundtrip_report(
+                warmed, label=f"after {workloads[-1]} [{backend}]"
+            )
+        )
+        for other in backends:
+            if other == backend:
+                continue
+            result.reports.append(
+                state_roundtrip_report(
+                    warmed,
+                    label=f"after {workloads[-1]} [{backend} -> {other}]",
+                    restore_backend=other,
+                )
+            )
     result.baseline_checks = cross_validate_baselines(seed=seed)
     return result

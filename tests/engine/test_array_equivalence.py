@@ -1,0 +1,301 @@
+"""The cross-backend differential battery.
+
+The array backend (:mod:`repro.engine.array`) claims bit-identical
+behaviour to the object reference model.  This module is the proof: for
+every workload-suite generator and every predictor generation, the same
+stimulus through both backends must commit the same branch stream, the
+same :class:`~repro.stats.metrics.RunStats` invariants, and the same
+final learned table state — and the comparison machinery itself is
+tested to *detect* seeded divergence, so a clean battery means
+equivalence, not a broken detector.
+
+Hypothesis properties extend the directed sweep to randomly shaped
+programs and raw incoherent event streams (the shared strategies from
+``tests/conftest.py``), where hand-picked workloads have no coverage.
+"""
+
+import copy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.configs import GENERATIONS, z15_config
+from repro.core.entries import BtbEntry
+from repro.core.predictor import LookaheadBranchPredictor
+from repro.engine import FunctionalEngine, create_predictor, predictor_class
+from repro.engine.array import ArrayLookaheadBranchPredictor
+from repro.isa.instructions import BranchKind
+from repro.structures.saturating import TwoBitDirectionCounter
+from repro.verification.differential import (
+    BranchObservation,
+    comparable_stats,
+    cross_backend_report,
+    cross_engine_report,
+    observer_into,
+    predictor_fingerprint,
+    state_roundtrip_report,
+)
+from repro.workloads import STANDARD_WORKLOADS, get_workload
+from tests.conftest import (
+    DEFAULT_TEST_SEED,
+    branch_events,
+    dynamic_branch_from_event,
+    program_shapes,
+    small_predictor_config,
+)
+
+
+def _run_backend(backend, program, branches, config=None, seed=DEFAULT_TEST_SEED):
+    """One functional run; returns (observations, stats, predictor)."""
+    observations = []
+    predictor = create_predictor(config or z15_config(), backend)
+    engine = FunctionalEngine(predictor, observer=observer_into(observations))
+    stats = engine.run_program(program, max_branches=branches, seed=seed)
+    return observations, stats, predictor
+
+
+# ----------------------------------------------------------------------
+# Every workload generator, both backends
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workload", sorted(STANDARD_WORKLOADS))
+def test_suite_workload_equivalence(workload):
+    """Every standard workload: identical committed stream, identical
+    invariants, identical final table fingerprints, clean audits."""
+    report = cross_backend_report(
+        workload, branches=1500, seed=DEFAULT_TEST_SEED
+    )
+    assert report.clean, report.summary()
+    assert report.branches_compared == 1500
+
+
+@pytest.mark.parametrize("generation", sorted(GENERATIONS))
+def test_generation_equivalence(generation):
+    """Every generation preset — including the ones with no BTB2, no
+    long-history TAGE table or no perceptron — stays equivalent."""
+    factory, _info = GENERATIONS[generation]
+    report = cross_backend_report(
+        "transactions", branches=1500, seed=DEFAULT_TEST_SEED,
+        config_factory=factory,
+    )
+    assert report.clean, report.summary()
+
+
+@pytest.mark.parametrize("generation", sorted(GENERATIONS))
+def test_generation_array_cross_engine(generation):
+    """The array backend composes with the cycle engine too: functional
+    vs cycle on the array backend agrees for every generation."""
+    factory, _info = GENERATIONS[generation]
+    report = cross_engine_report(
+        "compute-kernel", branches=600, seed=DEFAULT_TEST_SEED,
+        config_factory=factory, backend="array",
+    )
+    assert report.clean, report.summary()
+
+
+def test_stats_are_byte_identical_not_just_clean():
+    """Belt and braces: compare the raw comparable_stats dicts and the
+    observation streams directly, not only through the report object."""
+    program = get_workload("patterned", DEFAULT_TEST_SEED)
+    obs_o, stats_o, pred_o = _run_backend("object", program, 2000)
+    program = get_workload("patterned", DEFAULT_TEST_SEED)
+    obs_a, stats_a, pred_a = _run_backend("array", program, 2000)
+    assert obs_o == obs_a
+    assert comparable_stats(stats_o) == comparable_stats(stats_a)
+    assert predictor_fingerprint(pred_o) == predictor_fingerprint(pred_a)
+    assert pred_a.audit() == []
+
+
+# ----------------------------------------------------------------------
+# The detector detects
+# ----------------------------------------------------------------------
+
+
+def _poison_btb1(predictor):
+    """Preload one wrong entry so the backends genuinely diverge."""
+    entry = BtbEntry(
+        tag=0,
+        offset=0,
+        length=4,
+        kind=BranchKind.UNCONDITIONAL_RELATIVE,
+        target=0x9999,
+        bht=TwoBitDirectionCounter(TwoBitDirectionCounter.STRONG_TAKEN),
+    )
+    predictor.btb1.install(0x4000, 0, entry)
+
+
+def test_cross_backend_report_detects_divergence():
+    report = cross_backend_report(
+        "compute-kernel", branches=500, seed=DEFAULT_TEST_SEED,
+        prepare_right=_poison_btb1,
+    )
+    assert not report.clean
+
+
+def test_cross_backend_fingerprint_mismatch_is_reported():
+    """Divergence that only shows in learned state (not the stream)
+    still fails: poison a row the workload never reaches."""
+
+    def poison_far_away(predictor):
+        entry = BtbEntry(
+            tag=0,
+            offset=2,
+            length=4,
+            kind=BranchKind.CONDITIONAL_RELATIVE,
+            target=0x700000,
+            bht=TwoBitDirectionCounter(TwoBitDirectionCounter.STRONG_NOT_TAKEN),
+        )
+        predictor.btb1.install(0x6FF000, 3, entry)
+
+    report = cross_backend_report(
+        "compute-kernel", branches=200, seed=DEFAULT_TEST_SEED,
+        prepare_right=poison_far_away,
+    )
+    assert not report.clean
+    assert any(
+        metric == "predictor_fingerprint"
+        for metric, _l, _r in report.aggregate_mismatches
+    )
+
+
+# ----------------------------------------------------------------------
+# Backend registry
+# ----------------------------------------------------------------------
+
+
+def test_predictor_class_registry():
+    assert predictor_class("object") is LookaheadBranchPredictor
+    assert predictor_class("array") is ArrayLookaheadBranchPredictor
+    assert ArrayLookaheadBranchPredictor.backend == "array"
+    assert LookaheadBranchPredictor.backend == "object"
+    with pytest.raises(ValueError, match="unknown predictor backend"):
+        predictor_class("vectorised")
+
+
+def test_create_predictor_builds_array_structures():
+    from repro.structures.arrays import (
+        ArrayBtb1,
+        ArrayBtb2,
+        ArrayPerceptron,
+        ArrayTagePht,
+    )
+
+    predictor = create_predictor(z15_config(), "array")
+    assert isinstance(predictor.btb1, ArrayBtb1)
+    assert isinstance(predictor.btb2, ArrayBtb2)
+    assert isinstance(predictor.tage, ArrayTagePht)
+    assert isinstance(predictor.perceptron, ArrayPerceptron)
+
+
+# ----------------------------------------------------------------------
+# State round-trips across backends
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("save_backend,restore_backend", [
+    ("array", None),        # array through itself
+    ("object", "array"),    # object state into the array backend
+    ("array", "object"),    # array state into the object backend
+])
+def test_state_roundtrip_across_backends(save_backend, restore_backend):
+    _obs, _stats, warmed = _run_backend(
+        save_backend, get_workload("transactions", DEFAULT_TEST_SEED), 2500
+    )
+    report = state_roundtrip_report(
+        warmed, label=save_backend, restore_backend=restore_backend
+    )
+    assert report.clean, report.summary()
+
+
+def test_cross_restored_predictors_run_identically(tmp_path):
+    """An object checkpoint restored into each backend must produce the
+    same downstream committed stream — warm state transfers exactly."""
+    from repro.core import load_state, save_state
+
+    _obs, _stats, warmed = _run_backend(
+        "object", get_workload("transactions", DEFAULT_TEST_SEED), 2500
+    )
+    path = tmp_path / "state.json"
+    save_state(warmed, path)
+
+    streams = {}
+    for backend in ("object", "array"):
+        predictor = create_predictor(z15_config(), backend)
+        load_state(predictor, path)
+        observations = []
+        engine = FunctionalEngine(
+            predictor, observer=observer_into(observations)
+        )
+        engine.run_program(
+            get_workload("transactions", DEFAULT_TEST_SEED),
+            max_branches=1500, seed=DEFAULT_TEST_SEED,
+        )
+        streams[backend] = (observations, predictor_fingerprint(predictor))
+    assert streams["object"] == streams["array"]
+
+
+# ----------------------------------------------------------------------
+# Hypothesis properties (shared strategies, `ci` profile in CI)
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(program=program_shapes(), seed=st.integers(min_value=0, max_value=999))
+def test_random_programs_are_equivalent(program, seed):
+    """Any runnable program shape: identical streams and fingerprints on
+    the tiny config (fast, and eviction-heavy by construction)."""
+    # Behavior objects (Loop counters etc.) are stateful; each run gets
+    # its own copy so both backends see the same ground-truth stream.
+    obs_o, stats_o, pred_o = _run_backend(
+        "object", copy.deepcopy(program), 300,
+        config=small_predictor_config(), seed=seed,
+    )
+    obs_a, stats_a, pred_a = _run_backend(
+        "array", copy.deepcopy(program), 300,
+        config=small_predictor_config(), seed=seed,
+    )
+    assert obs_o == obs_a
+    assert comparable_stats(stats_o) == comparable_stats(stats_a)
+    assert predictor_fingerprint(pred_o) == predictor_fingerprint(pred_a)
+    assert pred_a.audit() == []
+
+
+@settings(max_examples=20, deadline=None)
+@given(events=st.lists(branch_events(), min_size=1, max_size=60))
+def test_incoherent_event_streams_are_equivalent(events):
+    """Raw stream-incoherent branch events — aliasing, thread mixing,
+    context churn — through ``run_events`` on both backends."""
+    results = {}
+    for backend in ("object", "array"):
+        observations = []
+        predictor = create_predictor(small_predictor_config(), backend)
+        engine = FunctionalEngine(
+            predictor, observer=observer_into(observations)
+        )
+        stats = engine.run_events(
+            dynamic_branch_from_event(index, event)
+            for index, event in enumerate(events)
+        )
+        results[backend] = (
+            observations,
+            comparable_stats(stats),
+            predictor_fingerprint(predictor),
+            predictor.audit(),
+        )
+    assert results["object"] == results["array"]
+    assert results["array"][3] == []
+
+
+def test_observation_dataclass_equality_is_meaningful():
+    """The battery compares BranchObservation values; make sure two
+    differing observations actually compare unequal."""
+    kwargs = dict(
+        index=0, address=0x100, taken=True, predicted_taken=True,
+        predicted_target=0x200, dynamic=True, mispredict_class="correct",
+    )
+    assert BranchObservation(**kwargs) == BranchObservation(**kwargs)
+    assert BranchObservation(**{**kwargs, "predicted_taken": False}) != (
+        BranchObservation(**kwargs)
+    )

@@ -284,11 +284,27 @@ def test_run_differential_suite_clean_and_summarised():
     )
     assert result.clean
     assert result.divergence_count == 0
-    # 3 cross-engine + replay + state round-trip.
-    assert len(result.reports) == 5
+    # Per workload: cross-engine x 2 backends + cross-backend = 9, then
+    # replay x 2 backends, 2 self round-trips and 2 cross-restores.
+    assert len(result.reports) == 15
     summary = result.summary()
     assert "verdict: CLEAN" in summary
-    assert summary.count("[CLEAN]") == 5
+    assert summary.count("[CLEAN]") == 15
+    assert "[array backend]" in summary
+    assert "cross-backend" in summary
+
+
+def test_run_differential_suite_single_backend_shape():
+    # The pre-array report structure is still reachable explicitly.
+    result = run_differential_suite(
+        seed=DEFAULT_TEST_SEED, branches=600,
+        workloads=("compute-kernel", "services", "dispatch"),
+        backends=("object",),
+    )
+    assert result.clean
+    # 3 cross-engine + replay + state round-trip.
+    assert len(result.reports) == 5
+    assert "cross-backend" not in result.summary()
 
 
 def test_cli_verify_diff_exits_zero(capsys):
