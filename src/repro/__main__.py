@@ -10,10 +10,17 @@ Commands:
 * ``verify`` — run the white-box verification environment.
 * ``verify-diff`` — run the differential verification suite (cross-
   engine equivalence, deterministic replay, baseline cross-validation).
-* ``sweep`` — fan a (config × workload × seed) grid over worker
-  processes; optionally record a machine-readable throughput report and
+* ``sweep`` — fan a (config × workload × seed) grid over warm worker
+  processes (serialize-once payload transfer, ``--chunk-size`` cell
+  chunking); optionally record a machine-readable throughput report and
   compare it against a committed baseline.  Failing cells surface as
   structured error rows instead of aborting the sweep.
+  ``--stream-out`` checkpoints results to JSONL as they complete;
+  ``--resume`` restarts a killed sweep from such a stream.
+* ``fleet`` — run a full design-space fleet grid (configs × workloads ×
+  seeds × fault plans × backends, ~1000 cells) sequentially and over
+  the warm pool, and emit the merged ``BENCH_fleet.json`` artifact
+  (throughput both ways, measured speedup, equivalence verdict).
 * ``faults`` — run a deterministic fault-injection campaign and prove
   the committed branch stream is identical to the fault-free run (the
   predictor is a hint engine: faults may only cost accuracy).
@@ -46,9 +53,17 @@ from repro.engine import (
     BACKENDS,
     CycleEngine,
     FunctionalEngine,
+    PayloadRegistry,
+    SweepStreamWriter,
+    build_fleet_grid,
     create_predictor,
+    load_stream,
     make_grid,
+    restore_completed,
+    result_to_row,
     run_cells,
+    run_fleet,
+    stream_cells,
 )
 from repro.obs import TelemetrySession
 from repro.stats import MispredictProfile, load_trace
@@ -374,7 +389,14 @@ def cmd_sweep(args: argparse.Namespace) -> None:
             cell.telemetry = True
 
     throughput_mode = bool(args.throughput or args.json or args.baseline)
-    hardening = {"timeout": args.cell_timeout, "retries": args.cell_retries}
+    hardening = {"timeout": args.cell_timeout, "retries": args.cell_retries,
+                 "chunk_size": args.chunk_size}
+    if throughput_mode and (args.stream_out or args.resume):
+        raise SystemExit(
+            "--stream-out/--resume checkpoint a single pass; they cannot "
+            "be combined with the two-pass --throughput/--json/--baseline "
+            "timing mode"
+        )
     if throughput_mode:
         # Time the same grid both ways; the fingerprint comparison below
         # doubles as a determinism check on every CI run.
@@ -385,8 +407,28 @@ def cmd_sweep(args: argparse.Namespace) -> None:
         par_results = run_cells(cells, workers=args.workers, **hardening)
         par_wall = time.perf_counter() - start
     else:
+        registry = PayloadRegistry()
+        completed = {}
+        if args.resume:
+            completed = restore_completed(
+                load_stream(args.resume), cells, registry
+            )
+            print(f"resumed {len(completed)} completed cell(s) "
+                  f"from {args.resume}")
         start = time.perf_counter()
-        results = run_cells(cells, workers=args.workers, **hardening)
+        stream = stream_cells(cells, workers=args.workers,
+                              completed=completed, **hardening)
+        if args.stream_out:
+            results = []
+            with SweepStreamWriter(args.stream_out) as writer:
+                for index, result in enumerate(stream):
+                    writer.write(
+                        result_to_row(index, cells[index], result, registry)
+                    )
+                    results.append(result)
+            print(f"streamed {len(results)} rows to {args.stream_out}")
+        else:
+            results = list(stream)
         seq_wall = time.perf_counter() - start
 
     header = (f"{'config':<8} {'workload':<18} {'seed':>4} {'coverage':>9} "
@@ -460,6 +502,94 @@ def cmd_sweep(args: argparse.Namespace) -> None:
             sys.exit(1)
         print(f"throughput within {args.max_regression:.0%} of baseline "
               f"{args.baseline}")
+
+
+def cmd_fleet(args: argparse.Namespace) -> None:
+    for name in args.configs:
+        if name not in GENERATIONS:
+            known = ", ".join(GENERATIONS)
+            raise SystemExit(f"unknown config {name!r}; known: {known}")
+    for name in args.workloads:
+        if name not in STANDARD_WORKLOADS:
+            known = ", ".join(sorted(STANDARD_WORKLOADS))
+            raise SystemExit(f"unknown workload {name!r}; known: {known}")
+    seeds = list(range(1, args.seed_count + 1))
+    fault_rates = [0.0] + ([args.fault_rate] if args.fault_rate > 0 else [])
+    cells = build_fleet_grid(
+        configs=args.configs,
+        workloads=args.workloads,
+        seeds=seeds,
+        backends=args.backends,
+        fault_rates=fault_rates,
+        branches=args.branches,
+        warmup=args.warmup,
+    )
+    grid_info = {
+        "configs": list(args.configs),
+        "workloads": list(args.workloads),
+        "seeds": seeds,
+        "backends": list(args.backends),
+        "fault_plans": ["none"] + (
+            [f"rate={args.fault_rate:g}"] if args.fault_rate > 0 else []
+        ),
+        "branches_per_cell": args.branches,
+        "warmup_per_cell": args.warmup,
+    }
+    print(f"fleet sweep: {len(cells)} cells "
+          f"({len(args.configs)} configs x {len(args.workloads)} workloads "
+          f"x {len(seeds)} seeds x {len(fault_rates)} fault plans "
+          f"x {len(args.backends)} backends), "
+          f"{args.branches}+{args.warmup} branches/cell")
+    payload, seq_results, par_results = run_fleet(
+        cells,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        timeout=args.cell_timeout,
+        retries=args.cell_retries,
+        stream_out=args.stream_out,
+        resume=args.resume,
+        grid_info=grid_info,
+    )
+    print(f"sequential: {payload['sequential']['wall_seconds']:.2f}s "
+          f"({payload['sequential']['branches_per_second']:,.0f} branches/s)")
+    print(f"parallel (workers={args.workers}, chunk={args.chunk_size}): "
+          f"{payload['parallel']['wall_seconds']:.2f}s "
+          f"({payload['parallel']['branches_per_second']:,.0f} branches/s, "
+          f"{payload['parallel']['chunks_dispatched']} chunks)")
+    print(f"speedup {payload['speedup']:.2f}x on {payload['cpu_count']} "
+          f"core(s), equivalent={payload['equivalent']}, "
+          f"failed_cells={payload['failed_cells']}")
+    print(f"payload transfer: {payload['payloads']['distinct_blobs']} "
+          f"distinct blobs, {payload['payloads']['bytes']:,} bytes, "
+          f"{payload['payloads']['parent_pickle_calls']} parent pickles "
+          f"for {len(cells)} cells")
+    if args.json:
+        _write_json(args.json, payload)
+    failed = [r for r in par_results if r.stats is None]
+    for result in failed[:10]:
+        print(f"FAILED {result.label}/{result.workload}/seed {result.seed}: "
+              f"{result.kind} after {result.attempts} attempt(s): "
+              f"{result.message}")
+    if not payload["equivalent"]:
+        print("FAIL: parallel results diverge from sequential")
+        sys.exit(1)
+    if failed:
+        print(f"\n{len(failed)} cell(s) failed; see FAILED rows above")
+        sys.exit(1)
+    if args.require_speedup is not None:
+        cores = os.cpu_count() or 1
+        if cores >= 2 and args.workers >= 2:
+            if payload["speedup"] < args.require_speedup:
+                print(f"FAIL: speedup {payload['speedup']:.2f}x below "
+                      f"required {args.require_speedup:.2f}x "
+                      f"on {cores} cores")
+                sys.exit(1)
+            print(f"speedup gate passed: {payload['speedup']:.2f}x >= "
+                  f"{args.require_speedup:.2f}x")
+        else:
+            print(f"speedup gate skipped: {cores} core(s) available — "
+                  f"a process pool cannot beat sequential without "
+                  f"parallel hardware")
 
 
 def cmd_faults(args: argparse.Namespace) -> None:
@@ -713,7 +843,66 @@ def build_parser() -> argparse.ArgumentParser:
                               help="re-attempts for a failing cell before "
                                    "its slot becomes an error row "
                                    "(default 1)")
+    sweep_parser.add_argument("--chunk-size", type=int, default=1,
+                              help="cells per warm-worker dispatch "
+                                   "(default 1; larger chunks amortise "
+                                   "pool round-trips on big grids)")
+    sweep_parser.add_argument("--stream-out", metavar="PATH",
+                              help="checkpoint each result row to this "
+                                   "JSONL file as it completes (submission "
+                                   "order; resumable with --resume)")
+    sweep_parser.add_argument("--resume", metavar="PATH",
+                              help="resume a killed sweep from its partial "
+                                   "--stream-out file: completed cells are "
+                                   "not re-run")
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    fleet_parser = sub.add_parser(
+        "fleet",
+        help="fleet-scale (config x workload x seed x fault-plan x "
+             "backend) sweep; emits the merged BENCH_fleet.json artifact "
+             "with a measured sequential-vs-parallel speedup")
+    fleet_parser.add_argument("--configs", nargs="*", metavar="GEN",
+                              default=list(GENERATIONS),
+                              help="generation presets (default: all four)")
+    fleet_parser.add_argument("--workloads", nargs="*", metavar="NAME",
+                              default=["compute-kernel", "transactions",
+                                       "dispatch", "patterned"])
+    fleet_parser.add_argument("--seed-count", type=int, default=8,
+                              help="seeds 1..N per (config, workload) "
+                                   "(default 8 -> ~1000 cells on the "
+                                   "default axes)")
+    fleet_parser.add_argument("--backends", nargs="*",
+                              choices=sorted(BACKENDS),
+                              default=["object", "array"], metavar="BACKEND")
+    fleet_parser.add_argument("--fault-rate", type=float, default=0.01,
+                              help="fault-plan axis: every cell runs clean "
+                                   "and again under a deterministic plan at "
+                                   "this rate (0 drops the fault axis; "
+                                   "default 0.01)")
+    fleet_parser.add_argument("--branches", type=int, default=300)
+    fleet_parser.add_argument("--warmup", type=int, default=100)
+    fleet_parser.add_argument("--workers", type=int, default=2)
+    fleet_parser.add_argument("--chunk-size", type=int, default=16,
+                              help="cells per warm-worker dispatch "
+                                   "(default 16)")
+    fleet_parser.add_argument("--cell-timeout", type=float, default=None,
+                              metavar="SECONDS")
+    fleet_parser.add_argument("--cell-retries", type=int, default=1)
+    fleet_parser.add_argument("--json", metavar="PATH",
+                              help="write the merged BENCH_fleet report")
+    fleet_parser.add_argument("--stream-out", metavar="PATH",
+                              help="checkpoint the parallel pass's rows to "
+                                   "this JSONL file as they complete")
+    fleet_parser.add_argument("--resume", metavar="PATH",
+                              help="resume the parallel pass from a partial "
+                                   "--stream-out file")
+    fleet_parser.add_argument("--require-speedup", type=float, default=None,
+                              metavar="X",
+                              help="exit 1 unless speedup >= X (enforced "
+                                   "only with >= 2 cores and >= 2 workers; "
+                                   "the CI gate)")
+    fleet_parser.set_defaults(func=cmd_fleet)
 
     faults_parser = sub.add_parser(
         "faults",

@@ -24,6 +24,11 @@ class StateFormatError(TraceFormatError):
     unknown format version."""
 
 
+class SweepStreamError(TraceFormatError):
+    """A sweep checkpoint stream (JSONL result rows) is malformed, or
+    does not belong to the sweep being resumed."""
+
+
 class VerificationError(ReproError):
     """A white-box verification checker detected a DUT/reference mismatch."""
 

@@ -1,6 +1,7 @@
 """Simulation engines: functional (accuracy), cycle-level (timing), the
-array-backed prediction backend, and the deterministic parallel sweep
-runner.  The shared per-branch consume sequence they all drive lives in
+array-backed prediction backend, and the deterministic warm-pool sweep
+runner (with JSONL checkpoint streams and fleet-scale grids).  The
+shared per-branch consume sequence they all drive lives in
 :mod:`repro.engine.kernel`."""
 
 from repro.engine.array import (
@@ -10,13 +11,25 @@ from repro.engine.array import (
     predictor_class,
 )
 from repro.engine.cycle import CycleEngine, CycleStats
+from repro.engine.fleet import build_fleet_grid, run_fleet
 from repro.engine.functional import FunctionalEngine
 from repro.engine.parallel import (
     CellError,
+    PayloadRegistry,
     SweepCell,
     SweepResult,
+    cell_fingerprint,
     make_grid,
     run_cells,
+    stream_cells,
+)
+from repro.engine.stream import (
+    RestoredStats,
+    SweepStreamWriter,
+    load_stream,
+    restore_completed,
+    result_to_row,
+    row_to_result,
 )
 
 __all__ = [
@@ -28,8 +41,19 @@ __all__ = [
     "CycleStats",
     "FunctionalEngine",
     "CellError",
+    "PayloadRegistry",
     "SweepCell",
     "SweepResult",
+    "cell_fingerprint",
     "make_grid",
     "run_cells",
+    "stream_cells",
+    "RestoredStats",
+    "SweepStreamWriter",
+    "load_stream",
+    "restore_completed",
+    "result_to_row",
+    "row_to_result",
+    "build_fleet_grid",
+    "run_fleet",
 ]

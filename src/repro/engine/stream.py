@@ -1,0 +1,310 @@
+"""Sweep checkpoint streams: JSONL result rows, written as they
+complete, loadable to resume a killed sweep.
+
+:func:`~repro.engine.parallel.stream_cells` yields results merged into
+submission order, so writing each row as it arrives checkpoints a
+strict prefix of the final result list.  This module is the row codec
+around that contract:
+
+* :func:`result_to_row` / :func:`row_to_result` — lossless-for-the-
+  contract JSON encoding of :class:`~repro.engine.parallel.SweepResult`
+  and :class:`~repro.engine.parallel.CellError` rows.  Stats objects
+  are flattened to their engine-independent invariant slice (the same
+  ``comparable_stats`` dict the fingerprint hashes) plus the derived
+  headline metrics; a restored row exposes them through a read-only
+  :class:`RestoredStats` view.
+* :class:`SweepStreamWriter` — append-one-line-per-row JSONL writer,
+  flushed per row so a killed process loses at most the torn tail line.
+* :func:`load_stream` — re-reads a stream, tolerating exactly that torn
+  tail (a partial final line is dropped; corruption anywhere else
+  raises :class:`~repro.common.errors.SweepStreamError`).
+* :func:`restore_completed` — validates loaded rows against the grid
+  being resumed (every row must sit at its submission index and match
+  the cell's content fingerprint) and returns the ``completed`` mapping
+  ``stream_cells`` accepts.
+
+The determinism contract extends through the stream: resuming a killed
+sweep from its partial stream produces the identical merged result set
+(fingerprints, stats, ordering; only per-row wall-clock ``elapsed``
+reflects whichever run actually executed the cell).
+
+Schema: ``repro-sweep-stream/v1``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.common.errors import SweepStreamError
+from repro.engine.parallel import (
+    CellError,
+    PayloadRegistry,
+    SweepCell,
+    SweepResult,
+    cell_fingerprint,
+)
+
+STREAM_SCHEMA = "repro-sweep-stream/v1"
+
+
+class RestoredStats:
+    """Read-only attribute view over a checkpointed stats row.
+
+    Exposes the flattened invariant slice (``branches``, ``mpki``,
+    ``dynamic_coverage``, ...; ``cycles``/``accuracy`` for cycle cells)
+    by attribute, like the live RunStats/CycleStats it replaces — enough
+    for report tables and payload assembly.  It is *not* a RunStats: it
+    cannot be re-fingerprinted or folded into; the row's recorded
+    fingerprint is the identity a resumed sweep carries forward.
+    """
+
+    def __init__(self, data: Mapping[str, object]) -> None:
+        fields = dict(data)
+        if isinstance(fields.get("accuracy"), dict):
+            fields["accuracy"] = RestoredStats(fields["accuracy"])
+        self._data = fields
+
+    def __getattr__(self, name: str):
+        try:
+            return self._data[name]
+        except KeyError:
+            raise AttributeError(
+                f"restored stats row has no field {name!r}"
+            ) from None
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, RestoredStats):
+            return self._data == other._data
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"RestoredStats({sorted(self._data)})"
+
+    def to_dict(self) -> dict:
+        data = dict(self._data)
+        if isinstance(data.get("accuracy"), RestoredStats):
+            data["accuracy"] = data["accuracy"].to_dict()
+        return data
+
+
+def _accuracy_dict(stats) -> dict:
+    """The invariant slice plus derived headline metrics of a RunStats
+    (mirrors the CLI's machine-readable stats payload)."""
+    from repro.verification.differential import comparable_stats
+
+    payload = comparable_stats(stats)
+    payload["instructions_approximate"] = stats.instructions_approximate
+    payload["dynamic_coverage"] = stats.dynamic_coverage
+    payload["direction_accuracy"] = stats.direction_accuracy
+    payload["branch_mpki"] = stats.branch_mpki
+    payload["mpki"] = stats.mpki
+    return payload
+
+
+#: CycleStats scalar fields carried verbatim into a cycle row.
+_CYCLE_FIELDS = (
+    "cycles", "instructions", "branches", "bpl_wait_cycles",
+    "fetch_wait_cycles", "restart_cycles", "exposed_miss_cycles",
+    "hidden_miss_cycles", "cpred_redirects", "taken_redirects", "restarts",
+)
+
+
+def _stats_to_dict(stats, engine: str) -> dict:
+    if isinstance(stats, RestoredStats):
+        return stats.to_dict()
+    if engine == "cycle":
+        payload = {name: getattr(stats, name) for name in _CYCLE_FIELDS}
+        payload["cpi"] = stats.cpi
+        payload["ipc"] = stats.ipc
+        payload["cache_levels"] = stats.cache_levels
+        payload["accuracy"] = _accuracy_dict(stats.accuracy)
+        return payload
+    return _accuracy_dict(stats)
+
+
+def _cell_identity(index: int, cell: SweepCell,
+                   registry: Optional[PayloadRegistry]) -> dict:
+    return {
+        "index": index,
+        "key": cell_fingerprint(cell, registry),
+        "label": cell.label,
+        "workload": cell.workload_name,
+        "seed": cell.seed,
+        "branches": cell.branches,
+        "warmup": cell.warmup,
+        "engine": cell.engine,
+        "backend": cell.backend,
+    }
+
+
+def result_to_row(
+    index: int,
+    cell: SweepCell,
+    result: Union[SweepResult, CellError],
+    registry: Optional[PayloadRegistry] = None,
+) -> dict:
+    """Encode one result (at its submission *index*) as a JSONL row.
+
+    Pass a shared :class:`PayloadRegistry` when encoding a whole sweep
+    so each distinct Program is pickled once for its content key rather
+    than once per row.
+    """
+    row = {
+        "schema": STREAM_SCHEMA,
+        "cell": _cell_identity(index, cell, registry),
+        "fingerprint": result.fingerprint,
+        "elapsed": result.elapsed,
+        "telemetry": result.telemetry,
+        "faults": result.faults,
+    }
+    if isinstance(result, CellError):
+        row["status"] = "error"
+        row["stats"] = None
+        row["error"] = {
+            "kind": result.kind,
+            "message": result.message,
+            "attempts": result.attempts,
+        }
+    else:
+        row["status"] = "ok"
+        row["stats"] = _stats_to_dict(result.stats, cell.engine)
+        row["error"] = None
+    return row
+
+
+def row_to_result(row: Mapping) -> Union[SweepResult, CellError]:
+    """Decode one stream row back into its result object.
+
+    An "ok" row's ``stats`` comes back as a :class:`RestoredStats`
+    view; its ``fingerprint`` is the recorded digest, so sweep
+    equivalence checks over restored rows remain string comparisons.
+    """
+    cell = row["cell"]
+    identity = {
+        "label": cell["label"],
+        "workload": cell["workload"],
+        "seed": cell["seed"],
+        "branches": cell["branches"],
+        "warmup": cell["warmup"],
+    }
+    if row["status"] == "error":
+        error = row["error"]
+        return CellError(
+            kind=error["kind"],
+            message=error["message"],
+            attempts=error["attempts"],
+            elapsed=row.get("elapsed", 0.0),
+            telemetry=row.get("telemetry"),
+            faults=row.get("faults"),
+            **identity,
+        )
+    result = SweepResult(
+        stats=RestoredStats(row["stats"]),
+        fingerprint=row["fingerprint"],
+        elapsed=row.get("elapsed", 0.0),
+        telemetry=row.get("telemetry"),
+        faults=row.get("faults"),
+        **identity,
+    )
+    return result
+
+
+class SweepStreamWriter:
+    """Append sweep rows to a JSONL file, one flushed line per row.
+
+    Flushing per row bounds the damage of a killed sweep to the torn
+    final line, which :func:`load_stream` drops on reload.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._stream = open(path, "w")
+        self.rows_written = 0
+
+    def write(self, row: Mapping) -> None:
+        self._stream.write(json.dumps(row, sort_keys=True))
+        self._stream.write("\n")
+        self._stream.flush()
+        self.rows_written += 1
+
+    def close(self) -> None:
+        if not self._stream.closed:
+            self._stream.close()
+
+    def __enter__(self) -> "SweepStreamWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def load_stream(path: str) -> List[dict]:
+    """Load a (possibly truncated) checkpoint stream.
+
+    A torn *final* line — the signature of a killed writer — is
+    silently dropped.  A malformed line anywhere else, or a row of the
+    wrong schema, raises :class:`SweepStreamError`.
+    """
+    rows: List[dict] = []
+    with open(path) as stream:
+        lines = stream.read().split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            if lineno == len(lines):
+                break  # torn tail from a killed writer
+            raise SweepStreamError(
+                f"{path}:{lineno}: malformed stream row"
+            ) from None
+        if not isinstance(row, dict) or row.get("schema") != STREAM_SCHEMA:
+            raise SweepStreamError(
+                f"{path}:{lineno}: not a {STREAM_SCHEMA} row"
+            )
+        rows.append(row)
+    return rows
+
+
+def restore_completed(
+    rows: Sequence[Mapping],
+    cells: Sequence[SweepCell],
+    registry: Optional[PayloadRegistry] = None,
+) -> Dict[int, Union[SweepResult, CellError]]:
+    """Validate loaded rows against the grid being resumed and build the
+    ``completed`` mapping for :func:`~repro.engine.parallel.
+    stream_cells`.
+
+    Every row must sit inside the grid and carry the content fingerprint
+    of the cell at its index — a stream from a different sweep (other
+    configs, workload payloads, seeds or grid order) is rejected rather
+    than silently merged.  Duplicate indices must agree.
+    """
+    registry = registry if registry is not None else PayloadRegistry()
+    keys = [cell_fingerprint(cell, registry) for cell in cells]
+    completed: Dict[int, Union[SweepResult, CellError]] = {}
+    seen: Dict[int, str] = {}
+    for row in rows:
+        identity = row["cell"]
+        index = identity["index"]
+        if not 0 <= index < len(cells):
+            raise SweepStreamError(
+                f"stream row index {index} outside grid of "
+                f"{len(cells)} cells"
+            )
+        if identity["key"] != keys[index]:
+            raise SweepStreamError(
+                f"stream row {index} ({identity['label']}/"
+                f"{identity['workload']}/seed {identity['seed']}) does "
+                f"not match this sweep's cell at that slot — resuming a "
+                f"different sweep?"
+            )
+        if index in seen and seen[index] != row["fingerprint"]:
+            raise SweepStreamError(
+                f"stream contains conflicting rows for cell {index}"
+            )
+        seen[index] = row["fingerprint"]
+        completed[index] = row_to_result(row)
+    return completed

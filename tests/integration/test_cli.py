@@ -223,14 +223,14 @@ def test_sweep_surfaces_cell_errors_instead_of_aborting(capsys, monkeypatch):
     sweep exits 1 after completing every other cell."""
     from repro.engine import parallel as parallel_module
 
-    real_run_cell = parallel_module._run_cell
+    real_run_spec = parallel_module._run_spec
 
-    def exploding_run_cell(cell):
-        if cell.seed == 2:
+    def exploding_run_spec(spec):
+        if spec.seed == 2:
             raise RuntimeError("injected cell failure")
-        return real_run_cell(cell)
+        return real_run_spec(spec)
 
-    monkeypatch.setattr(parallel_module, "_run_cell", exploding_run_cell)
+    monkeypatch.setattr(parallel_module, "_run_spec", exploding_run_spec)
     with pytest.raises(SystemExit) as caught:
         main(["sweep", "--configs", "z15", "--workloads", "compute-kernel",
               "--seeds", "1", "2", "3", "--branches", "400", "--warmup",
