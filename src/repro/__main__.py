@@ -34,8 +34,10 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
 import os
+import pstats
 import sys
 import time
 
@@ -51,6 +53,7 @@ from repro.configs import GENERATIONS, z15_config
 from repro.core import LookaheadBranchPredictor, load_state, save_state
 from repro.engine import (
     BACKENDS,
+    ENGINE_MODES,
     CycleEngine,
     FunctionalEngine,
     PayloadRegistry,
@@ -119,6 +122,24 @@ def _write_json(path: str, payload) -> None:
     print(f"wrote {path}")
 
 
+def _profiled(args, work):
+    """Run *work* under cProfile when ``--profile`` is set, printing a
+    top-N table sorted by cumulative and by total time afterwards."""
+    if not getattr(args, "profile", False):
+        return work()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return work()
+    finally:
+        profiler.disable()
+        top = args.profile_top
+        for sort in ("cumulative", "tottime"):
+            print(f"\n-- cProfile top {top} by {sort} --")
+            pstats.Stats(profiler, stream=sys.stdout) \
+                .strip_dirs().sort_stats(sort).print_stats(top)
+
+
 def _make_session(args, predictor) -> TelemetrySession:
     """Build a telemetry session matching the run's warmup, so telemetry
     aggregates exactly the counted phase (like RunStats)."""
@@ -144,17 +165,18 @@ def cmd_run(args: argparse.Namespace) -> None:
             raise SystemExit("--load-state requires a generation preset")
         loaded = load_state(predictor, args.load_state)
         print(f"restored state: {loaded}")
-    profile = MispredictProfile() if args.profile else None
+    profile = MispredictProfile() if args.hot_branches else None
     session = None
     if args.telemetry or args.trace_out:
         session = _make_session(args, predictor)
-    engine = FunctionalEngine(predictor, profile=profile, telemetry=session)
-    stats = engine.run_program(
+    engine = FunctionalEngine(predictor, profile=profile, telemetry=session,
+                              engine_mode=args.engine_mode)
+    stats = _profiled(args, lambda: engine.run_program(
         get_workload(args.workload, args.seed),
         max_branches=args.branches,
         warmup_branches=args.warmup,
         seed=args.seed,
-    )
+    ))
     if session is not None:
         session.finish(stats)
     print(stats.report(f"{args.predictor} / {args.workload}"))
@@ -209,7 +231,8 @@ def cmd_cycles(args: argparse.Namespace) -> None:
     if not isinstance(predictor, LookaheadBranchPredictor):
         raise SystemExit("the cycle engine requires a generation preset")
     engine = CycleEngine(predictor, smt2=args.smt2,
-                         lookahead_prefetch=not args.no_prefetch)
+                         lookahead_prefetch=not args.no_prefetch,
+                         engine_mode=args.engine_mode)
     stats = engine.run_program(
         get_workload(args.workload, args.seed),
         max_branches=args.branches,
@@ -237,6 +260,7 @@ def cmd_verify_diff(args: argparse.Namespace) -> None:
         branches=args.branches,
         workloads=args.workloads or DEFAULT_WORKLOAD_FAMILIES,
         backends=tuple(args.backends),
+        engine_modes=tuple(args.engine_modes),
     )
     print(result.summary())
     if not result.clean:
@@ -244,14 +268,22 @@ def cmd_verify_diff(args: argparse.Namespace) -> None:
 
 
 def _single_run_bps(workload: str, branches: int = 3000, repeats: int = 3,
-                    backend: str = "object") -> float:
+                    backend: str = "object",
+                    engine_mode: str = "reference") -> float:
     """Best-of-N single-engine throughput, benchmark-style: predictor
     construction and workload build sit inside the timed region, exactly
-    like ``benchmarks/bench_simulator_throughput.py``."""
+    like ``benchmarks/bench_simulator_throughput.py``.  Kernel
+    compilation for fast mode is cached process-wide, so (like any JIT)
+    only the first fast run pays it; a warm call outside the timed loop
+    makes repeats measure steady state."""
+    if engine_mode == "fast":
+        FunctionalEngine(create_predictor(z15_config(), backend),
+                         engine_mode="fast")
     best = 0.0
     for _ in range(repeats):
         start = time.perf_counter()
-        engine = FunctionalEngine(create_predictor(z15_config(), backend))
+        engine = FunctionalEngine(create_predictor(z15_config(), backend),
+                                  engine_mode=engine_mode)
         program = get_workload(workload)
         engine.run_program(program, max_branches=branches, warmup_branches=0)
         best = max(best, branches / (time.perf_counter() - start))
@@ -280,10 +312,12 @@ def _throughput_payload(cells, workers, seq_results, seq_wall, par_results,
             "parallel_worker_bps": branches / par_seconds if par_seconds else 0.0,
         }
     return {
-        "schema": "repro-throughput/v2",
-        #: The predictor backend the sweep grid ran on; single_run
-        #: numbers below always cover every registered backend.
+        "schema": "repro-throughput/v3",
+        #: The predictor backend / engine mode the sweep grid ran on;
+        #: single_run numbers below always cover the full backends x
+        #: engine-modes matrix.
         "backend": args.backend,
+        "engine_mode": args.engine_mode,
         #: Interprets the speedup: on a single-CPU box the pool can only
         #: add overhead, so speedup <= 1 is expected there.
         "cpu_count": os.cpu_count(),
@@ -309,8 +343,12 @@ def _throughput_payload(cells, workers, seq_results, seq_wall, par_results,
         "workloads": per_workload,
         "single_run": {
             name: {
-                backend: {"branches_per_second":
-                          _single_run_bps(name, backend=backend)}
+                backend: {
+                    mode: {"branches_per_second":
+                           _single_run_bps(name, backend=backend,
+                                           engine_mode=mode)}
+                    for mode in ENGINE_MODES
+                }
                 for backend in sorted(BACKENDS)
             }
             for name in ("compute-kernel", "transactions")
@@ -320,39 +358,47 @@ def _throughput_payload(cells, workers, seq_results, seq_wall, par_results,
 
 def _single_run_floors(baseline):
     """Flatten a baseline's single_run section into (workload, backend,
-    baseline bps) rows.  v1 files carry one flat number per workload
-    (implicitly the object backend); v2 files nest per backend."""
+    engine mode, baseline bps) rows.  v1 files carry one flat number per
+    workload (implicitly the object backend, reference mode); v2 files
+    nest per backend; v3 files nest per backend per engine mode."""
     rows = []
     for name, entry in baseline.get("single_run", {}).items():
         if "branches_per_second" in entry:  # v1
-            rows.append((name, "object", entry["branches_per_second"]))
-        else:  # v2: {backend: {branches_per_second: ...}}
-            for backend, numbers in entry.items():
-                rows.append((name, backend, numbers["branches_per_second"]))
+            rows.append((name, "object", "reference",
+                         entry["branches_per_second"]))
+            continue
+        for backend, numbers in entry.items():
+            if "branches_per_second" in numbers:  # v2
+                rows.append((name, backend, "reference",
+                             numbers["branches_per_second"]))
+            else:  # v3: {engine_mode: {branches_per_second: ...}}
+                for mode, inner in numbers.items():
+                    rows.append((name, backend, mode,
+                                 inner["branches_per_second"]))
     return rows
 
 
 def _check_baseline(payload, baseline_path, max_regression):
     """Compare a throughput payload against a committed baseline; returns
     the list of regression messages (empty when healthy).  The gate is
-    per (workload, backend): an array-backend slowdown fails even when
-    the object backend is healthy, and vice versa."""
+    per (workload, backend, engine mode): a fast-mode or array-backend
+    slowdown fails even when every other cell is healthy."""
     with open(baseline_path) as stream:
         baseline = json.load(stream)
     floor_ratio = 1.0 - max_regression
     failures = []
     current_rows = {
-        (name, backend): bps
-        for name, backend, bps in _single_run_floors(payload)
+        (name, backend, mode): bps
+        for name, backend, mode, bps in _single_run_floors(payload)
     }
-    for name, backend, base_bps in _single_run_floors(baseline):
-        current = current_rows.get((name, backend))
+    for name, backend, mode, base_bps in _single_run_floors(baseline):
+        current = current_rows.get((name, backend, mode))
         if current is None:
             continue
         floor = base_bps * floor_ratio
         if current < floor:
             failures.append(
-                f"single-run {name} [{backend}]: {current:,.0f} "
+                f"single-run {name} [{backend}/{mode}]: {current:,.0f} "
                 f"branches/s < floor {floor:,.0f} "
                 f"(baseline {base_bps:,.0f}, "
                 f"max regression {max_regression:.0%})"
@@ -383,7 +429,7 @@ def cmd_sweep(args: argparse.Namespace) -> None:
             raise SystemExit(f"unknown workload {name!r}; known: {known}")
     cells = make_grid(configs, args.workloads, args.seeds,
                       branches=args.branches, warmup=args.warmup,
-                      backend=args.backend)
+                      backend=args.backend, engine_mode=args.engine_mode)
     if args.telemetry:
         for cell in cells:
             cell.telemetry = True
@@ -401,7 +447,8 @@ def cmd_sweep(args: argparse.Namespace) -> None:
         # Time the same grid both ways; the fingerprint comparison below
         # doubles as a determinism check on every CI run.
         start = time.perf_counter()
-        results = run_cells(cells, workers=1, **hardening)
+        results = _profiled(args, lambda: run_cells(cells, workers=1,
+                                                    **hardening))
         seq_wall = time.perf_counter() - start
         start = time.perf_counter()
         par_results = run_cells(cells, workers=args.workers, **hardening)
@@ -428,7 +475,7 @@ def cmd_sweep(args: argparse.Namespace) -> None:
                     results.append(result)
             print(f"streamed {len(results)} rows to {args.stream_out}")
         else:
-            results = list(stream)
+            results = _profiled(args, lambda: list(stream))
         seq_wall = time.perf_counter() - start
 
     header = (f"{'config':<8} {'workload':<18} {'seed':>4} {'coverage':>9} "
@@ -484,8 +531,8 @@ def cmd_sweep(args: argparse.Namespace) -> None:
         f"speedup {payload['speedup']:.2f}x, "
         f"equivalent={payload['equivalent']})"
     )
-    for name, backend, bps in _single_run_floors(payload):
-        print(f"single-run {name} [{backend}]: {bps:,.0f} branches/s")
+    for name, backend, mode, bps in _single_run_floors(payload):
+        print(f"single-run {name} [{backend}/{mode}]: {bps:,.0f} branches/s")
     if not payload["equivalent"]:
         print("FAIL: parallel results diverge from sequential")
         sys.exit(1)
@@ -523,12 +570,14 @@ def cmd_fleet(args: argparse.Namespace) -> None:
         fault_rates=fault_rates,
         branches=args.branches,
         warmup=args.warmup,
+        engine_modes=args.engine_modes,
     )
     grid_info = {
         "configs": list(args.configs),
         "workloads": list(args.workloads),
         "seeds": seeds,
         "backends": list(args.backends),
+        "engine_modes": list(args.engine_modes),
         "fault_plans": ["none"] + (
             [f"rate={args.fault_rate:g}"] if args.fault_rate > 0 else []
         ),
@@ -538,7 +587,8 @@ def cmd_fleet(args: argparse.Namespace) -> None:
     print(f"fleet sweep: {len(cells)} cells "
           f"({len(args.configs)} configs x {len(args.workloads)} workloads "
           f"x {len(seeds)} seeds x {len(fault_rates)} fault plans "
-          f"x {len(args.backends)} backends), "
+          f"x {len(args.backends)} backends "
+          f"x {len(args.engine_modes)} engine modes), "
           f"{args.branches}+{args.warmup} branches/cell")
     payload, seq_results, par_results = run_fleet(
         cells,
@@ -563,6 +613,10 @@ def cmd_fleet(args: argparse.Namespace) -> None:
           f"distinct blobs, {payload['payloads']['bytes']:,} bytes, "
           f"{payload['payloads']['parent_pickle_calls']} parent pickles "
           f"for {len(cells)} cells")
+    print(f"result transfer: {payload['results']['blobs']} chunk blobs, "
+          f"{payload['results']['bytes']:,} bytes "
+          f"({payload['results']['bytes_saved']:,} saved vs per-cell "
+          f"pickling)")
     if args.json:
         _write_json(args.json, payload)
     failed = [r for r in par_results if r.stats is None]
@@ -609,6 +663,7 @@ def cmd_faults(args: argparse.Namespace) -> None:
         branches=args.branches,
         seed=args.seed,
         warmup=args.warmup,
+        engine_mode=args.engine_mode,
     )
     counters = impact.fault_counters
     parity = "on" if plan.parity else "off"
@@ -665,7 +720,8 @@ def cmd_faults(args: argparse.Namespace) -> None:
 def cmd_trace(args: argparse.Namespace) -> None:
     predictor = _predictor_for(args.predictor, args.backend)
     session = _make_session(args, predictor)
-    engine = FunctionalEngine(predictor, telemetry=session)
+    engine = FunctionalEngine(predictor, telemetry=session,
+                              engine_mode=args.engine_mode)
     stats = engine.run_program(
         get_workload(args.workload, args.seed),
         max_branches=args.branches,
@@ -729,8 +785,20 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--branches", type=int, default=30_000)
     run_parser.add_argument("--warmup", type=int, default=10_000)
     run_parser.add_argument("--seed", type=int, default=1)
-    run_parser.add_argument("--profile", action="store_true",
+    run_parser.add_argument("--engine-mode", choices=ENGINE_MODES,
+                            default="reference",
+                            help="drive mode: reference interpreter or the "
+                                 "config-specialized compiled kernels "
+                                 "(byte-identical results; default "
+                                 "reference)")
+    run_parser.add_argument("--hot-branches", action="store_true",
                             help="print the hot-branch mispredict profile")
+    run_parser.add_argument("--profile", action="store_true",
+                            help="run under cProfile and print the top-N "
+                                 "table (cumulative + tottime)")
+    run_parser.add_argument("--profile-top", type=int, default=15,
+                            metavar="N",
+                            help="rows per cProfile table (default 15)")
     run_parser.add_argument("--telemetry", action="store_true",
                             help="attach a telemetry session and print the "
                                  "per-component report")
@@ -769,6 +837,11 @@ def build_parser() -> argparse.ArgumentParser:
                                default="object")
     cycles_parser.add_argument("--branches", type=int, default=15_000)
     cycles_parser.add_argument("--seed", type=int, default=1)
+    cycles_parser.add_argument("--engine-mode", choices=ENGINE_MODES,
+                               default="reference",
+                               help="drive mode for the prediction pipeline "
+                                    "(timing model unchanged; default "
+                                    "reference)")
     cycles_parser.add_argument("--smt2", action="store_true")
     cycles_parser.add_argument("--no-prefetch", action="store_true")
     cycles_parser.set_defaults(func=cmd_cycles)
@@ -796,6 +869,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="predictor backends to verify; the first is the reference "
              "the others are differentially compared against "
              "(default: object array)")
+    diff_parser.add_argument(
+        "--engine-modes", nargs="*", choices=ENGINE_MODES,
+        default=["reference", "fast"], metavar="MODE",
+        help="engine modes to verify as a matrix against the backends; "
+             "the first is the reference mode (default: reference fast)")
     diff_parser.set_defaults(func=cmd_verify_diff)
 
     sweep_parser = sub.add_parser(
@@ -812,9 +890,19 @@ def build_parser() -> argparse.ArgumentParser:
                               default="object",
                               help="predictor backend every cell runs on "
                                    "(default object)")
+    sweep_parser.add_argument("--engine-mode", choices=ENGINE_MODES,
+                              default="reference",
+                              help="drive mode every cell runs on "
+                                   "(default reference)")
     sweep_parser.add_argument("--branches", type=int, default=6_000)
     sweep_parser.add_argument("--warmup", type=int, default=2_000)
     sweep_parser.add_argument("--workers", type=int, default=1)
+    sweep_parser.add_argument("--profile", action="store_true",
+                              help="run the sequential pass under cProfile "
+                                   "and print the top-N table")
+    sweep_parser.add_argument("--profile-top", type=int, default=15,
+                              metavar="N",
+                              help="rows per cProfile table (default 15)")
     sweep_parser.add_argument("--throughput", action="store_true",
                               help="also time the grid sequentially vs "
                                    "parallel and print single-run numbers")
@@ -875,6 +963,11 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_parser.add_argument("--backends", nargs="*",
                               choices=sorted(BACKENDS),
                               default=["object", "array"], metavar="BACKEND")
+    fleet_parser.add_argument("--engine-modes", nargs="*",
+                              choices=ENGINE_MODES, default=["reference"],
+                              metavar="MODE",
+                              help="engine-mode axis (default: reference "
+                                   "only; add fast for the full matrix)")
     fleet_parser.add_argument("--fault-rate", type=float, default=0.01,
                               help="fault-plan axis: every cell runs clean "
                                    "and again under a deterministic plan at "
@@ -931,6 +1024,10 @@ def build_parser() -> argparse.ArgumentParser:
     faults_parser.add_argument("--audit-interval", type=int, default=1_000,
                                help="structural audit every N branches "
                                     "(0 disables; default 1000)")
+    faults_parser.add_argument("--engine-mode", choices=ENGINE_MODES,
+                               default="reference",
+                               help="drive mode for both the fault-free and "
+                                    "faulted runs (default reference)")
     faults_parser.add_argument("--stats-json", metavar="PATH",
                                help="write the campaign report as "
                                     "machine-readable JSON")
@@ -947,6 +1044,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--warmup", type=int, default=0,
                               help="uncounted warmup branches (default 0 so "
                                    "the trace covers the whole run)")
+    trace_parser.add_argument("--engine-mode", choices=ENGINE_MODES,
+                              default="reference",
+                              help="drive mode (telemetry rides the same "
+                                   "observer seam in both; default "
+                                   "reference)")
     trace_parser.add_argument("--seed", type=int, default=1)
     trace_parser.add_argument("--interval", type=int, default=1_000,
                               help="interval-sampler window in branches "

@@ -23,6 +23,16 @@ from repro.engine.parallel import (
     run_cells,
     stream_cells,
 )
+from repro.engine.specialize import (
+    ENGINE_MODES,
+    SpecializedKernels,
+    clear_kernel_cache,
+    config_shape,
+    effective_engine_mode,
+    generate_kernel_source,
+    kernels_for,
+    kernels_for_config,
+)
 from repro.engine.stream import (
     RestoredStats,
     SweepStreamWriter,
@@ -56,4 +66,12 @@ __all__ = [
     "row_to_result",
     "build_fleet_grid",
     "run_fleet",
+    "ENGINE_MODES",
+    "SpecializedKernels",
+    "clear_kernel_cache",
+    "config_shape",
+    "effective_engine_mode",
+    "generate_kernel_source",
+    "kernels_for",
+    "kernels_for_config",
 ]

@@ -20,6 +20,7 @@ from typing import Dict, Optional
 from repro.configs.timing import TimingConfig
 from repro.core.predictor import LookaheadBranchPredictor, PredictionOutcome
 from repro.engine.kernel import _chain_observers, predict_one
+from repro.engine.specialize import effective_engine_mode, kernels_for
 from repro.frontend.icache import InstructionCacheHierarchy
 from repro.stats.metrics import MispredictClass, RunStats, classify
 from repro.workloads.executor import Executor
@@ -105,6 +106,7 @@ class CycleEngine:
         observer=None,
         telemetry=None,
         injector=None,
+        engine_mode: str = "reference",
     ):
         self.predictor = predictor
         self.icache = icache if icache is not None else InstructionCacheHierarchy()
@@ -119,6 +121,14 @@ class CycleEngine:
         self.injector = injector
         self.observer = _chain_observers(observer, telemetry, injector)
         self.stats = CycleStats()
+        #: Timing needs every per-branch outcome, so ``fast`` here swaps
+        #: the reference ``predict_and_resolve`` pyramid for the flat
+        #: single-branch specialized kernel (same outcome objects, same
+        #: state transitions, fewer Python frames per branch).
+        self.engine_mode = effective_engine_mode(engine_mode, predictor)
+        self._kernels = (
+            kernels_for(predictor) if self.engine_mode == "fast" else None
+        )
         # Per-thread clocks (thread 0 for single-thread runs).
         self._clocks: Dict[int, _Clocks] = {}
 
@@ -156,7 +166,7 @@ class CycleEngine:
         clocks = self._clocks_for(0)
         clocks.fetch_point = program.entry_point
         instructions_before = 0
-        predict = self.predictor.predict_and_resolve
+        predict = self._predict_callable()
         observer = self.observer
         record = self.stats.accuracy.record
         while executor.branches_executed < max_branches:
@@ -190,7 +200,7 @@ class CycleEngine:
 
         run = Smt2Run(program_a, program_b, seed=seed)
         instructions_before = {0: 0, 1: 0}
-        predict = self.predictor.predict_and_resolve
+        predict = self._predict_callable()
         observer = self.observer
         record = self.stats.accuracy.record
         for event in run.run(max_branches):
@@ -215,6 +225,18 @@ class CycleEngine:
         for name, accesses, hits in self.icache.level_stats():
             self.stats.cache_levels[name] = {"accesses": accesses, "hits": hits}
         return self.stats
+
+    def _predict_callable(self):
+        """The per-branch predict entry point for the selected mode."""
+        if self._kernels is None:
+            return self.predictor.predict_and_resolve
+        kernel = self._kernels.predict_flat
+        predictor = self.predictor
+
+        def predict(branch, _kernel=kernel, _predictor=predictor):
+            return _kernel(_predictor, branch)
+
+        return predict
 
     def _clocks_for(self, thread: int) -> _Clocks:
         clocks = self._clocks.get(thread)

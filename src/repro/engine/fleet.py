@@ -56,9 +56,10 @@ def build_fleet_grid(
     branches: int = 300,
     warmup: int = 100,
     fault_seed: int = 101,
+    engine_modes: Sequence[str] = ("reference",),
 ) -> List[SweepCell]:
-    """Cross (config × workload × seed × fault plan × backend) into one
-    flat cell list, config-major order.
+    """Cross (config × workload × seed × fault plan × backend ×
+    engine mode) into one flat cell list, config-major order.
 
     Each (workload, seed) Program is built **once** and shared by every
     cell that runs it — the serialize-once registry then transfers it
@@ -87,21 +88,24 @@ def build_fleet_grid(
     cells = []
     for name, config in pairs:
         for backend in backends:
-            for rate in fault_rates:
-                suffix = f"/f{rate:g}" if rate > 0 else ""
-                label = f"{name}/{backend}{suffix}"
-                for workload in workloads:
-                    for seed in seeds:
-                        cells.append(SweepCell(
-                            label=label,
-                            config=config,
-                            workload=programs[(workload, seed)],
-                            seed=seed,
-                            branches=branches,
-                            warmup=warmup,
-                            backend=backend,
-                            fault_plan=plans[rate],
-                        ))
+            for engine_mode in engine_modes:
+                mode_suffix = "" if engine_mode == "reference" else "/fast"
+                for rate in fault_rates:
+                    suffix = f"/f{rate:g}" if rate > 0 else ""
+                    label = f"{name}/{backend}{mode_suffix}{suffix}"
+                    for workload in workloads:
+                        for seed in seeds:
+                            cells.append(SweepCell(
+                                label=label,
+                                config=config,
+                                workload=programs[(workload, seed)],
+                                seed=seed,
+                                branches=branches,
+                                warmup=warmup,
+                                backend=backend,
+                                engine_mode=engine_mode,
+                                fault_plan=plans[rate],
+                            ))
     return cells
 
 
@@ -188,6 +192,12 @@ def run_fleet(
             "bytes": par_stats.get("payload_bytes", 0),
             "parent_pickle_calls": par_stats.get("parent_pickle_calls", 0),
         },
+        "results": {
+            "blobs": par_stats.get("result_blobs", 0),
+            "bytes": par_stats.get("result_bytes", 0),
+            "bytes_unbatched": par_stats.get("result_bytes_unbatched", 0),
+            "bytes_saved": par_stats.get("result_bytes_saved", 0),
+        },
         "sequential": {
             "wall_seconds": seq_wall,
             "branches_per_second": total_branches / seq_wall,
@@ -217,6 +227,10 @@ def run_fleet(
                 lambda r: r.label.split("/")[1] if "/" in r.label else "object",
             ),
             "by_workload": _rollup(seq_results, lambda r: r.workload),
+            "by_engine_mode": _rollup(
+                seq_results,
+                lambda r: "fast" if "/fast" in r.label else "reference",
+            ),
         },
     }
     return payload, seq_results, par_results

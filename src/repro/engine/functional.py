@@ -14,6 +14,7 @@ definition.
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import Iterable, Optional, Union
 
 from repro.core.predictor import LookaheadBranchPredictor, PredictionOutcome
@@ -23,6 +24,7 @@ from repro.engine.kernel import (
     drive_counted,
     run_warmup,
 )
+from repro.engine.specialize import effective_engine_mode, kernels_for
 from repro.isa.dynamic import DynamicBranch
 from repro.stats.metrics import RunStats
 from repro.workloads.executor import Executor
@@ -55,13 +57,22 @@ class FunctionalEngine:
     """
 
     def __init__(self, predictor: LookaheadBranchPredictor, profile=None,
-                 observer=None, telemetry=None, injector=None):
+                 observer=None, telemetry=None, injector=None,
+                 engine_mode: str = "reference"):
         self.predictor = predictor
         self.stats = RunStats()
         self.profile = profile
         self.telemetry = telemetry
         self.injector = injector
         self.observer = _chain_observers(observer, telemetry, injector)
+        #: The mode actually driving this engine: ``fast`` compiles (or
+        #: fetches from cache) the config-specialized kernels; baseline
+        #: predictors have no specialized kernel and silently fall back
+        #: to ``reference``.
+        self.engine_mode = effective_engine_mode(engine_mode, predictor)
+        self._kernels = (
+            kernels_for(predictor) if self.engine_mode == "fast" else None
+        )
 
     def _record(self, outcome) -> None:
         self.stats.record(outcome)
@@ -82,22 +93,49 @@ class FunctionalEngine:
         """
         executor = Executor(program, seed=seed)
         self.predictor.restart(program.entry_point, context=0)
-        predict = self.predictor.predict_and_resolve
         observer = self.observer
         profile = self.profile
         counted_instructions_start = 0
         stream = executor.run(max_branches=warmup_branches + max_branches)
-        if warmup_branches > 0:
-            consumed = run_warmup(predict, stream, warmup_branches, observer)
-            if consumed == warmup_branches:
-                counted_instructions_start = executor.instructions_executed
-        drive_counted(
-            predict,
-            stream,
-            self.stats.record,
-            observer=observer,
-            extra=profile.record if profile is not None else None,
-        )
+        kernels = self._kernels
+        if kernels is not None:
+            predictor = self.predictor
+            if warmup_branches > 0:
+                if observer is None:
+                    consumed = kernels.warmup_bare(
+                        predictor, stream, warmup_branches
+                    )
+                else:
+                    consumed = kernels.warmup_observed(
+                        predictor, stream, warmup_branches, observer
+                    )
+                if consumed == warmup_branches:
+                    counted_instructions_start = executor.instructions_executed
+            if observer is None and profile is None:
+                kernels.counted_bare(predictor, stream, self.stats)
+            else:
+                kernels.counted_observed(
+                    predictor,
+                    stream,
+                    self.stats,
+                    observer,
+                    profile.record if profile is not None else None,
+                )
+        else:
+            predict = self.predictor.predict_and_resolve
+            if warmup_branches > 0:
+                consumed = run_warmup(
+                    predict, stream, warmup_branches, observer
+                )
+                if consumed == warmup_branches:
+                    counted_instructions_start = executor.instructions_executed
+            drive_counted(
+                predict,
+                stream,
+                self.stats.record,
+                observer=observer,
+                extra=profile.record if profile is not None else None,
+            )
         self.predictor.finalize()
         self.stats.instructions = (
             executor.instructions_executed - counted_instructions_start
@@ -111,9 +149,37 @@ class FunctionalEngine:
         restart_at: Optional[int] = None,
     ) -> RunStats:
         """Predict a pre-recorded branch stream (e.g. a loaded trace)."""
-        predict = self.predictor.predict_and_resolve
         observer = self.observer
         profile = self.profile
+        kernels = self._kernels
+        if kernels is not None:
+            count = 0
+            iterator = iter(branches)
+            head = next(iterator, None)
+            if head is not None:
+                start = restart_at if restart_at is not None else head.address
+                self.predictor.restart(start, context=head.context)
+                stream = chain((head,), iterator)
+                if observer is None and profile is None:
+                    count = kernels.counted_bare(
+                        self.predictor, stream, self.stats
+                    )
+                else:
+                    count = kernels.counted_observed(
+                        self.predictor,
+                        stream,
+                        self.stats,
+                        observer,
+                        profile.record if profile is not None else None,
+                    )
+            self.predictor.finalize()
+            if instructions is not None:
+                self.stats.instructions = instructions
+            else:
+                self.stats.instructions = count * INSTRUCTIONS_PER_BRANCH
+                self.stats.instructions_approximate = True
+            return self.stats
+        predict = self.predictor.predict_and_resolve
         record = self.stats.record
         fast = observer is None and profile is None
         first = True
@@ -147,9 +213,28 @@ class FunctionalEngine:
         instructions: Optional[int] = None,
     ) -> RunStats:
         """Drive an interleaved multi-context event stream."""
-        predict = self.predictor.predict_and_resolve
         observer = self.observer
         profile = self.profile
+        kernels = self._kernels
+        if kernels is not None:
+            if observer is None and profile is None:
+                count = kernels.events_bare(self.predictor, events, self.stats)
+            else:
+                count = kernels.events_observed(
+                    self.predictor,
+                    events,
+                    self.stats,
+                    observer,
+                    profile.record if profile is not None else None,
+                )
+            self.predictor.finalize()
+            if instructions is not None:
+                self.stats.instructions = instructions
+            else:
+                self.stats.instructions = count * INSTRUCTIONS_PER_BRANCH
+                self.stats.instructions_approximate = True
+            return self.stats
+        predict = self.predictor.predict_and_resolve
         record = self.stats.record
         fast = observer is None and profile is None
         count = 0

@@ -119,6 +119,11 @@ class SweepCell:
     #: produce identical stats and fingerprints, so mixing backends
     #: across a sweep is legal and the equivalence check still holds.
     backend: str = "object"
+    #: Engine mode ("reference" or "fast") — fast cells drive the
+    #: config-specialized compiled kernels (:mod:`repro.engine.
+    #: specialize`); stats and fingerprints are byte-identical across
+    #: modes, so mixing modes across a sweep is legal too.
+    engine_mode: str = "reference"
     #: Attach a telemetry session to the cell's run.  Telemetry is an
     #: observer — it must not (and, by the tier-1 equivalence tests,
     #: does not) change the cell's stats or fingerprint; the session's
@@ -315,6 +320,7 @@ class _CellSpec:
     warmup: int
     engine: str
     backend: str
+    engine_mode: str
     telemetry: bool
     telemetry_interval: int
     prelude: Optional[Callable]
@@ -335,6 +341,7 @@ def _spec_for(cell: SweepCell, registry: PayloadRegistry) -> _CellSpec:
         warmup=cell.warmup,
         engine=cell.engine,
         backend=cell.backend,
+        engine_mode=cell.engine_mode,
         telemetry=cell.telemetry,
         telemetry_interval=cell.telemetry_interval,
         prelude=cell.prelude,
@@ -352,6 +359,7 @@ def cell_fingerprint(cell: SweepCell,
         spec.label, spec.workload_name, spec.workload_ref, spec.config_ref,
         spec.fault_ref, spec.seed, spec.branches, spec.warmup, spec.engine,
         spec.backend, spec.telemetry, spec.telemetry_interval,
+        spec.engine_mode,
     )
     return hashlib.sha256(repr(identity).encode()).hexdigest()
 
@@ -400,14 +408,16 @@ def _run_spec(spec: _CellSpec) -> SweepResult:
     if spec.engine == "cycle":
         from repro.engine.cycle import CycleEngine
 
-        engine = CycleEngine(predictor, telemetry=session, injector=injector)
+        engine = CycleEngine(predictor, telemetry=session, injector=injector,
+                             engine_mode=spec.engine_mode)
         stats = engine.run_program(
             program, max_branches=spec.branches, seed=spec.seed
         )
         accuracy = stats.accuracy
     else:
         engine = FunctionalEngine(predictor, telemetry=session,
-                                  injector=injector)
+                                  injector=injector,
+                                  engine_mode=spec.engine_mode)
         stats = engine.run_program(
             program,
             max_branches=spec.branches,
@@ -435,14 +445,21 @@ def _run_spec(spec: _CellSpec) -> SweepResult:
     )
 
 
-def _run_chunk(tasks: List[Tuple[int, _CellSpec]]) -> Tuple[List[Tuple], dict]:
+def _run_chunk(tasks: List[Tuple[int, _CellSpec]]) -> Tuple[bytes, dict]:
     """Run a chunk of cells inside a warm worker.
 
     Failures are caught *per cell*, so one raising cell yields an
     ("error", message) outcome while its chunkmates complete normally —
     only a crash or hang takes the whole chunk down (and then isolation
-    rounds re-attribute).  Returns the outcome list plus a snapshot of
-    this worker's instrumentation counters.
+    rounds re-attribute).
+
+    Result IPC is *batched*: the whole outcome list crosses the pipe as
+    one ``pickle.dumps`` blob, so the RunStats of chunkmates share one
+    pickle memo (interned class descriptors, provider-name keys, the
+    framing overhead) instead of paying it per cell.  The worker also
+    measures what the same outcomes would have cost pickled one by one,
+    so ``pool_stats`` can account the bytes the batching saved.
+    Returns (outcome blob, worker instrumentation snapshot).
     """
     outcomes: List[Tuple] = []
     for index, spec in tasks:
@@ -453,7 +470,29 @@ def _run_chunk(tasks: List[Tuple[int, _CellSpec]]) -> Tuple[List[Tuple], dict]:
                 (index, "error", f"{type(error).__name__}: {error}")
             )
     _reset_worker_stats_if_new_process()
-    return outcomes, dict(_WORKER_STATS)
+    blob = pickle.dumps(outcomes, protocol=pickle.HIGHEST_PROTOCOL)
+    unbatched = sum(
+        len(pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL))
+        for outcome in outcomes
+    )
+    stats = dict(_WORKER_STATS)
+    stats["chunk_result_bytes"] = len(blob)
+    stats["chunk_result_bytes_unbatched"] = unbatched
+    return blob, stats
+
+
+def _account_result_blob(stats: dict, blob: bytes,
+                         worker_stats: Mapping[str, int]) -> None:
+    """Fold one chunk's result-IPC accounting into ``pool_stats``."""
+    stats["result_blobs"] = stats.get("result_blobs", 0) + 1
+    stats["result_bytes"] = stats.get("result_bytes", 0) + len(blob)
+    unbatched = worker_stats.get("chunk_result_bytes_unbatched", len(blob))
+    stats["result_bytes_unbatched"] = (
+        stats.get("result_bytes_unbatched", 0) + unbatched
+    )
+    stats["result_bytes_saved"] = (
+        stats["result_bytes_unbatched"] - stats["result_bytes"]
+    )
 
 
 # ----------------------------------------------------------------------
@@ -525,7 +564,8 @@ def _isolated_attempt(spec: _CellSpec, blobs: Mapping[str, bytes],
                                initargs=(dict(blobs),))
     future = pool.submit(_run_chunk, [(0, spec)])
     try:
-        outcomes, worker_stats = future.result(timeout=timeout)
+        blob, worker_stats = future.result(timeout=timeout)
+        outcomes = pickle.loads(blob)
     except FuturesTimeout:
         _stop_pool(pool)
         return ("timeout", f"no result within {timeout}s", {})
@@ -549,6 +589,10 @@ def _fresh_pool_stats() -> dict:
         "payload_bytes": 0,
         "parent_pickle_calls": 0,
         "chunks_dispatched": 0,
+        "result_blobs": 0,
+        "result_bytes": 0,
+        "result_bytes_unbatched": 0,
+        "result_bytes_saved": 0,
         "rounds": 0,
         "pool_breaks": 0,
         "isolation_attempts": 0,
@@ -690,7 +734,9 @@ def stream_cells(
                     # assign blame without consuming an attempt here).
                     if (future.done() and not future.cancelled()
                             and future.exception() is None):
-                        outcomes, worker_stats = future.result()
+                        blob, worker_stats = future.result()
+                        outcomes = pickle.loads(blob)
+                        _account_result_blob(stats, blob, worker_stats)
                         _record_worker(stats, worker_stats)
                         for index, status, payload in outcomes:
                             attempts[index] += 1
@@ -709,7 +755,7 @@ def stream_cells(
                 budget = (timeout * len(chunk)
                           if timeout is not None else None)
                 try:
-                    outcomes, worker_stats = future.result(timeout=budget)
+                    blob, worker_stats = future.result(timeout=budget)
                 except FuturesTimeout:
                     if future.running() and len(chunk) == 1:
                         # Exact attribution: this single-cell chunk hung.
@@ -741,6 +787,8 @@ def stream_cells(
                     _stop_pool(pool)
                     pool_live = False
                 else:
+                    outcomes = pickle.loads(blob)
+                    _account_result_blob(stats, blob, worker_stats)
                     _record_worker(stats, worker_stats)
                     for index, status, payload in outcomes:
                         attempts[index] += 1
@@ -813,6 +861,7 @@ def make_grid(
     branches: int = 8000,
     warmup: int = 4000,
     backend: str = "object",
+    engine_mode: str = "reference",
 ) -> List[SweepCell]:
     """Cross (config × workload × seed) into cells, config-major order."""
     return [
@@ -824,6 +873,7 @@ def make_grid(
             branches=branches,
             warmup=warmup,
             backend=backend,
+            engine_mode=engine_mode,
         )
         for label, config in configs
         for workload in workloads

@@ -135,6 +135,7 @@ def _cell_identity(index: int, cell: SweepCell,
         "warmup": cell.warmup,
         "engine": cell.engine,
         "backend": cell.backend,
+        "engine_mode": cell.engine_mode,
     }
 
 

@@ -131,13 +131,17 @@ def fault_equivalence_report(
     seed: int = 1234,
     warmup: int = 0,
     config_factory: Callable = z15_config,
+    engine_mode: str = "reference",
 ) -> FaultImpact:
     """Run *workload* fault-free and under *plan*; compare the committed
-    branch streams and collect the accuracy impact."""
+    branch streams and collect the accuracy impact.  *engine_mode*
+    drives both runs, so the equivalence verdict also covers the
+    specialized kernels' injector seam."""
     baseline_sink: List[ArchObservation] = []
     baseline_engine = FunctionalEngine(
         LookaheadBranchPredictor(config_factory()),
         observer=arch_observer_into(baseline_sink),
+        engine_mode=engine_mode,
     )
     baseline_stats = baseline_engine.run_program(
         _resolve_workload(workload, seed),
@@ -153,6 +157,7 @@ def fault_equivalence_report(
         faulted_predictor,
         observer=arch_observer_into(faulted_sink),
         injector=injector,
+        engine_mode=engine_mode,
     )
     faulted_stats = faulted_engine.run_program(
         _resolve_workload(workload, seed),

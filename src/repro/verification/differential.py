@@ -24,6 +24,13 @@ that localises the *first* diverging branch for debuggability:
   bit-identical per-branch predictions, identical invariants, *and*
   identical final table fingerprints — the array backend's claim to
   existence is this check passing, not its authors' care.
+* **Cross-mode equivalence** — the same workload through the same
+  backend under two *engine modes* (the reference interpreter and the
+  config-specialized compiled kernels of
+  :mod:`repro.engine.specialize`) must produce bit-identical per-branch
+  predictions, invariants, table fingerprints, *and* byte-identical
+  ``state_io`` checkpoints — specialization is pure derivation, so any
+  observable difference is a codegen bug.
 * **Deterministic replay** — the same seed must reproduce bit-identical
   :class:`~repro.stats.metrics.RunStats` and final predictor state
   across runs, and predictor state must survive a ``state_io``
@@ -60,6 +67,7 @@ from repro.core import LookaheadBranchPredictor, load_state, save_state
 from repro.core.predictor import PredictionOutcome
 from repro.core.state_io import _entry_to_dict
 from repro.engine.array import BACKENDS, create_predictor
+from repro.engine.specialize import ENGINE_MODES
 from repro.engine.cycle import CycleEngine
 from repro.engine.functional import FunctionalEngine
 from repro.stats.metrics import RunStats, classify
@@ -346,6 +354,7 @@ def cross_engine_report(
     prepare_functional: Optional[Callable] = None,
     prepare_cycle: Optional[Callable] = None,
     backend: str = "object",
+    engine_mode: str = "reference",
 ) -> DivergenceReport:
     """Run *workload* through the functional and cycle engines with
     identically configured predictors and compare them branch by branch.
@@ -353,14 +362,16 @@ def cross_engine_report(
     The ``prepare_*`` hooks receive the freshly built predictor before
     the run; tests use them to corrupt one side's tables and prove the
     comparison actually detects divergence.  *backend* selects the
-    predictor backend both engines drive.
+    predictor backend both engines drive; *engine_mode* the drive mode.
     """
     functional_observations: List[BranchObservation] = []
     functional_predictor = create_predictor(config_factory(), backend)
     if prepare_functional is not None:
         prepare_functional(functional_predictor)
     functional_engine = FunctionalEngine(
-        functional_predictor, observer=observer_into(functional_observations)
+        functional_predictor,
+        observer=observer_into(functional_observations),
+        engine_mode=engine_mode,
     )
     functional_stats = functional_engine.run_program(
         _resolve_workload(workload, seed), max_branches=branches, seed=seed
@@ -371,13 +382,16 @@ def cross_engine_report(
     if prepare_cycle is not None:
         prepare_cycle(cycle_predictor)
     cycle_engine = CycleEngine(
-        cycle_predictor, observer=observer_into(cycle_observations)
+        cycle_predictor, observer=observer_into(cycle_observations),
+        engine_mode=engine_mode,
     )
     cycle_stats = cycle_engine.run_program(
         _resolve_workload(workload, seed), max_branches=branches, seed=seed
     ).accuracy
 
     suffix = "" if backend == "object" else f" [{backend} backend]"
+    if engine_mode != "reference":
+        suffix += f" [{engine_mode} mode]"
     report = DivergenceReport(
         title=f"cross-engine {_workload_name(workload)}{suffix}",
         left_label="functional",
@@ -409,6 +423,7 @@ def cross_backend_report(
     right_backend: str = "array",
     prepare_left: Optional[Callable] = None,
     prepare_right: Optional[Callable] = None,
+    engine_mode: str = "reference",
 ) -> DivergenceReport:
     """Run *workload* through the functional engine on two predictor
     backends and compare them branch by branch.
@@ -432,7 +447,8 @@ def cross_backend_report(
         if prepare is not None:
             prepare(predictor)
         engine = FunctionalEngine(
-            predictor, observer=observer_into(observations)
+            predictor, observer=observer_into(observations),
+            engine_mode=engine_mode,
         )
         stats = engine.run_program(
             _resolve_workload(workload, seed), max_branches=branches,
@@ -443,8 +459,9 @@ def cross_backend_report(
         fingerprints.append(predictor_fingerprint(predictor))
         audits.append(predictor.audit())
 
+    mode_suffix = "" if engine_mode == "reference" else f" [{engine_mode} mode]"
     report = DivergenceReport(
-        title=f"cross-backend {_workload_name(workload)}",
+        title=f"cross-backend {_workload_name(workload)}{mode_suffix}",
         left_label=left_backend,
         right_label=right_backend,
         branches_compared=min(len(streams[0]), len(streams[1])),
@@ -466,6 +483,83 @@ def cross_backend_report(
 
 
 # ----------------------------------------------------------------------
+# Cross-mode equivalence (reference interpreter vs compiled kernels)
+# ----------------------------------------------------------------------
+
+
+def cross_mode_report(
+    workload: Workload,
+    branches: int = 3000,
+    seed: int = 1234,
+    config_factory: Callable = z15_config,
+    backend: str = "object",
+    left_mode: str = "reference",
+    right_mode: str = "fast",
+    prepare_left: Optional[Callable] = None,
+    prepare_right: Optional[Callable] = None,
+) -> DivergenceReport:
+    """Run *workload* through the functional engine on one backend under
+    two engine modes and compare them branch by branch.
+
+    On top of the per-branch stream, the aggregate invariants and the
+    final table fingerprints, both predictors' ``state_io`` checkpoints
+    must be **byte-identical** — specialization is pure derivation from
+    the config, so the compiled kernels may never leave different state
+    behind.  The ``prepare_*`` hooks mirror :func:`cross_engine_report`'s.
+    """
+    streams: List[List[BranchObservation]] = []
+    stats_pair: List[RunStats] = []
+    fingerprints: List[str] = []
+    state_digests: List[str] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for mode, prepare in (
+            (left_mode, prepare_left),
+            (right_mode, prepare_right),
+        ):
+            observations: List[BranchObservation] = []
+            predictor = create_predictor(config_factory(), backend)
+            if prepare is not None:
+                prepare(predictor)
+            engine = FunctionalEngine(
+                predictor, observer=observer_into(observations),
+                engine_mode=mode,
+            )
+            stats = engine.run_program(
+                _resolve_workload(workload, seed), max_branches=branches,
+                seed=seed,
+            )
+            path = Path(tmp) / f"{mode}-{len(streams)}.json"
+            save_state(predictor, path)
+            streams.append(observations)
+            stats_pair.append(stats)
+            fingerprints.append(predictor_fingerprint(predictor))
+            state_digests.append(
+                hashlib.sha256(path.read_bytes()).hexdigest()
+            )
+
+    suffix = "" if backend == "object" else f" [{backend} backend]"
+    report = DivergenceReport(
+        title=f"cross-mode {_workload_name(workload)}{suffix}",
+        left_label=left_mode,
+        right_label=right_mode,
+        branches_compared=min(len(streams[0]), len(streams[1])),
+    )
+    report.first_divergence = diff_observations(streams[0], streams[1])
+    report.aggregate_mismatches = diff_aggregates(
+        comparable_stats(stats_pair[0]), comparable_stats(stats_pair[1])
+    )
+    if fingerprints[0] != fingerprints[1]:
+        report.aggregate_mismatches.append(
+            ("predictor_fingerprint", fingerprints[0], fingerprints[1])
+        )
+    if state_digests[0] != state_digests[1]:
+        report.aggregate_mismatches.append(
+            ("state_bytes", state_digests[0], state_digests[1])
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
 # Deterministic replay
 # ----------------------------------------------------------------------
 
@@ -473,10 +567,12 @@ def cross_backend_report(
 def _functional_run(
     workload: Workload, branches: int, seed: int, config_factory: Callable,
     backend: str = "object",
+    engine_mode: str = "reference",
 ) -> Tuple[List[BranchObservation], RunStats, LookaheadBranchPredictor]:
     observations: List[BranchObservation] = []
     predictor = create_predictor(config_factory(), backend)
-    engine = FunctionalEngine(predictor, observer=observer_into(observations))
+    engine = FunctionalEngine(predictor, observer=observer_into(observations),
+                              engine_mode=engine_mode)
     stats = engine.run_program(
         _resolve_workload(workload, seed), max_branches=branches, seed=seed
     )
@@ -489,16 +585,19 @@ def replay_report(
     seed: int = 1234,
     config_factory: Callable = z15_config,
     backend: str = "object",
+    engine_mode: str = "reference",
 ) -> DivergenceReport:
     """Two identically seeded runs must be bit-identical: same per-branch
     predictions, same :class:`RunStats`, same final predictor state."""
     first_obs, first_stats, first_pred = _functional_run(
-        workload, branches, seed, config_factory, backend
+        workload, branches, seed, config_factory, backend, engine_mode
     )
     second_obs, second_stats, second_pred = _functional_run(
-        workload, branches, seed, config_factory, backend
+        workload, branches, seed, config_factory, backend, engine_mode
     )
     suffix = "" if backend == "object" else f" [{backend} backend]"
+    if engine_mode != "reference":
+        suffix += f" [{engine_mode} mode]"
     report = DivergenceReport(
         title=f"replay {_workload_name(workload)} seed={seed}{suffix}",
         left_label="run-1",
@@ -763,6 +862,7 @@ def run_differential_suite(
     workloads: Sequence[str] = DEFAULT_WORKLOAD_FAMILIES,
     config_factory: Callable = z15_config,
     backends: Sequence[str] = ("object", "array"),
+    engine_modes: Sequence[str] = ("reference", "fast"),
 ) -> DifferentialResult:
     """The full differential sweep the CLI exposes as ``verify-diff``.
 
@@ -770,6 +870,13 @@ def run_differential_suite(
     reference every other backend is differentially compared against
     (per-branch streams, invariants and final table fingerprints), and
     the cross-engine functional-vs-cycle check runs on each.
+
+    *engine_modes* names the drive modes to verify as a full matrix
+    against the backends: the first is the reference mode; every other
+    mode is cross-mode compared against it on **every** backend
+    (per-branch streams, invariants, table fingerprints, byte-identical
+    checkpoints), the cross-engine and cross-backend checks repeat under
+    each mode, and replay runs on each (backend, mode) pair.
     """
     for backend in backends:
         if backend not in BACKENDS:
@@ -777,31 +884,52 @@ def run_differential_suite(
                 f"unknown predictor backend {backend!r}; "
                 f"choose from {sorted(BACKENDS)}"
             )
+    for mode in engine_modes:
+        if mode not in ENGINE_MODES:
+            raise ValueError(
+                f"unknown engine mode {mode!r}; "
+                f"choose from {sorted(ENGINE_MODES)}"
+            )
     reference = backends[0]
+    reference_mode = engine_modes[0]
     result = DifferentialResult()
     for workload in workloads:
         for backend in backends:
-            result.reports.append(
-                cross_engine_report(
-                    workload, branches=branches, seed=seed,
-                    config_factory=config_factory, backend=backend,
+            for mode in engine_modes:
+                result.reports.append(
+                    cross_engine_report(
+                        workload, branches=branches, seed=seed,
+                        config_factory=config_factory, backend=backend,
+                        engine_mode=mode,
+                    )
                 )
-            )
+            for mode in engine_modes[1:]:
+                result.reports.append(
+                    cross_mode_report(
+                        workload, branches=branches, seed=seed,
+                        config_factory=config_factory, backend=backend,
+                        left_mode=reference_mode, right_mode=mode,
+                    )
+                )
         for backend in backends[1:]:
+            for mode in engine_modes:
+                result.reports.append(
+                    cross_backend_report(
+                        workload, branches=branches, seed=seed,
+                        config_factory=config_factory,
+                        left_backend=reference, right_backend=backend,
+                        engine_mode=mode,
+                    )
+                )
+    for backend in backends:
+        for mode in engine_modes:
             result.reports.append(
-                cross_backend_report(
-                    workload, branches=branches, seed=seed,
-                    config_factory=config_factory,
-                    left_backend=reference, right_backend=backend,
+                replay_report(
+                    workloads[0], branches=branches, seed=seed,
+                    config_factory=config_factory, backend=backend,
+                    engine_mode=mode,
                 )
             )
-    for backend in backends:
-        result.reports.append(
-            replay_report(
-                workloads[0], branches=branches, seed=seed,
-                config_factory=config_factory, backend=backend,
-            )
-        )
     # State persistence round-trips on warmed predictors: each backend
     # through itself, plus every non-reference backend's state restored
     # into the reference model (and the reference's into it).

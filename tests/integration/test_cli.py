@@ -23,11 +23,32 @@ def test_run_default(capsys):
     assert "direction providers" in out
 
 
-def test_run_with_profile(capsys):
+def test_run_with_hot_branches(capsys):
     out = run_cli(capsys, "run", "transactions", "--branches", "2000",
-                  "--warmup", "500", "--profile")
+                  "--warmup", "500", "--hot-branches")
     assert "hot branches" in out
     assert "concentration" in out
+
+
+def test_run_with_cprofile(capsys):
+    out = run_cli(capsys, "run", "transactions", "--branches", "1000",
+                  "--warmup", "0", "--profile", "--profile-top", "5")
+    assert "cProfile top 5 by cumulative" in out
+    assert "cProfile top 5 by tottime" in out
+    assert "run_program" in out
+
+
+def test_run_fast_mode_matches_reference_stats(capsys, tmp_path):
+    import json
+
+    ref_path = tmp_path / "ref.json"
+    fast_path = tmp_path / "fast.json"
+    run_cli(capsys, "run", "dispatch", "--branches", "1500", "--warmup",
+            "300", "--stats-json", str(ref_path))
+    run_cli(capsys, "run", "dispatch", "--branches", "1500", "--warmup",
+            "300", "--engine-mode", "fast", "--stats-json", str(fast_path))
+    assert json.loads(ref_path.read_text()) == json.loads(
+        fast_path.read_text())
 
 
 def test_run_baseline_predictor(capsys):
