@@ -28,7 +28,19 @@ Commands:
   attached and stream a schema-versioned JSONL branch trace; with
   ``--validate`` the written trace is re-loaded, schema-checked and
   reconciled against the run's stats.
+* ``export`` — render a telemetry artifact (trace ``--json`` payload,
+  sweep telemetry dump or checkpoint stream) as OpenMetrics text or
+  canonical JSON, with per-(backend, engine-mode, workload) rollups
+  for multi-cell inputs.
+* ``report`` — the observatory: classify BENCH artifacts, sweep
+  streams, manifests, span files and bench history, and render one
+  markdown dashboard with trend deltas and regression highlights.
 * ``workloads`` — list the standard workloads.
+
+``run``/``sweep``/``fleet`` accept ``--metrics-out`` (OpenMetrics
+export, implies telemetry), ``--spans-out`` (phase span tracing) and —
+for the sweep commands — ``--history`` (append a bench-history row the
+``report`` dashboard turns into trend deltas).
 """
 
 from __future__ import annotations
@@ -122,6 +134,40 @@ def _write_json(path: str, payload) -> None:
     print(f"wrote {path}")
 
 
+def _write_text(path, text) -> None:
+    with open(path, "w") as stream:
+        stream.write(text)
+    print(f"wrote {path}")
+
+
+def _write_metrics(path: str, source) -> None:
+    """Render *source* (Telemetry payload or rollup group list) as
+    OpenMetrics text."""
+    from repro.obs.export import to_openmetrics
+
+    _write_text(path, to_openmetrics(source))
+
+
+def _span_tracer(args, kind: str):
+    """(SpanWriter, SpanTracer) when ``--spans-out`` is set, else
+    (None, None) — the engines and pool treat a None tracer as off."""
+    if not getattr(args, "spans_out", None):
+        return None, None
+    from repro.obs.spans import SpanTracer, SpanWriter
+
+    writer = SpanWriter(args.spans_out, kind=kind,
+                        context={"command": kind})
+    return writer, SpanTracer(writer=writer)
+
+
+def _finish_spans(writer, tracer) -> None:
+    if writer is not None:
+        writer.write_summary(tracer)
+        writer.close()
+        print(f"wrote {writer.path} ({len(tracer.spans)} spans, "
+              f"{len(tracer.events)} events)")
+
+
 def _profiled(args, work):
     """Run *work* under cProfile when ``--profile`` is set, printing a
     top-N table sorted by cumulative and by total time afterwards."""
@@ -167,18 +213,24 @@ def cmd_run(args: argparse.Namespace) -> None:
         print(f"restored state: {loaded}")
     profile = MispredictProfile() if args.hot_branches else None
     session = None
-    if args.telemetry or args.trace_out:
+    if args.telemetry or args.trace_out or args.metrics_out:
         session = _make_session(args, predictor)
+    span_writer, spans = _span_tracer(args, "run")
     engine = FunctionalEngine(predictor, profile=profile, telemetry=session,
-                              engine_mode=args.engine_mode)
+                              engine_mode=args.engine_mode, spans=spans)
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
     stats = _profiled(args, lambda: engine.run_program(
         get_workload(args.workload, args.seed),
         max_branches=args.branches,
         warmup_branches=args.warmup,
         seed=args.seed,
     ))
+    wall_seconds = time.perf_counter() - wall_start
+    cpu_seconds = time.process_time() - cpu_start
     if session is not None:
         session.finish(stats)
+    _finish_spans(span_writer, spans)
     print(stats.report(f"{args.predictor} / {args.workload}"))
     if profile is not None:
         print()
@@ -188,8 +240,32 @@ def cmd_run(args: argparse.Namespace) -> None:
         print(session.report(f"{args.predictor} / {args.workload} telemetry"))
         if args.trace_out:
             print(f"wrote {args.trace_out}")
+        if args.metrics_out:
+            _write_metrics(args.metrics_out, session.telemetry)
     if args.stats_json:
-        _write_json(args.stats_json, _stats_payload(stats))
+        from repro.obs.manifest import build_manifest
+        from repro.verification.differential import predictor_fingerprint
+
+        payload = _stats_payload(stats)
+        payload["manifest"] = build_manifest(
+            "run",
+            config=getattr(predictor, "config", None),
+            config_name=args.predictor,
+            backend=args.backend,
+            engine_mode=args.engine_mode,
+            workload=args.workload,
+            seed=args.seed,
+            branches=args.branches,
+            warmup=args.warmup,
+            stats=stats,
+            state_fingerprint=(
+                predictor_fingerprint(predictor)
+                if isinstance(predictor, LookaheadBranchPredictor) else None
+            ),
+            wall_seconds=wall_seconds,
+            cpu_seconds=cpu_seconds,
+        )
+        _write_json(args.stats_json, payload)
     if args.save_state:
         if not isinstance(predictor, LookaheadBranchPredictor):
             raise SystemExit("--save-state requires a generation preset")
@@ -430,11 +506,30 @@ def cmd_sweep(args: argparse.Namespace) -> None:
     cells = make_grid(configs, args.workloads, args.seeds,
                       branches=args.branches, warmup=args.warmup,
                       backend=args.backend, engine_mode=args.engine_mode)
-    if args.telemetry:
+    if args.telemetry or args.metrics_out:
+        args.telemetry = True
         for cell in cells:
             cell.telemetry = True
 
-    throughput_mode = bool(args.throughput or args.json or args.baseline)
+    from repro.obs.manifest import build_manifest
+
+    manifest = build_manifest(
+        "sweep",
+        backend=args.backend,
+        engine_mode=args.engine_mode,
+        branches=args.branches,
+        warmup=args.warmup,
+        grid={
+            "configs": list(args.configs),
+            "workloads": list(args.workloads),
+            "seeds": list(args.seeds),
+            "cells": len(cells),
+        },
+        extra={"workers": args.workers, "chunk_size": args.chunk_size},
+    )
+    span_writer, spans = _span_tracer(args, "sweep")
+    throughput_mode = bool(args.throughput or args.json or args.baseline
+                           or args.history)
     hardening = {"timeout": args.cell_timeout, "retries": args.cell_retries,
                  "chunk_size": args.chunk_size}
     if throughput_mode and (args.stream_out or args.resume):
@@ -445,13 +540,15 @@ def cmd_sweep(args: argparse.Namespace) -> None:
         )
     if throughput_mode:
         # Time the same grid both ways; the fingerprint comparison below
-        # doubles as a determinism check on every CI run.
+        # doubles as a determinism check on every CI run.  Spans trace
+        # the parallel pass (the pool lifecycle is what they decompose).
         start = time.perf_counter()
         results = _profiled(args, lambda: run_cells(cells, workers=1,
                                                     **hardening))
         seq_wall = time.perf_counter() - start
         start = time.perf_counter()
-        par_results = run_cells(cells, workers=args.workers, **hardening)
+        par_results = run_cells(cells, workers=args.workers, spans=spans,
+                                **hardening)
         par_wall = time.perf_counter() - start
     else:
         registry = PayloadRegistry()
@@ -464,10 +561,11 @@ def cmd_sweep(args: argparse.Namespace) -> None:
                   f"from {args.resume}")
         start = time.perf_counter()
         stream = stream_cells(cells, workers=args.workers,
-                              completed=completed, **hardening)
+                              completed=completed, spans=spans, **hardening)
         if args.stream_out:
             results = []
-            with SweepStreamWriter(args.stream_out) as writer:
+            with SweepStreamWriter(args.stream_out,
+                                   manifest=manifest) as writer:
                 for index, result in enumerate(stream):
                     writer.write(
                         result_to_row(index, cells[index], result, registry)
@@ -477,6 +575,11 @@ def cmd_sweep(args: argparse.Namespace) -> None:
         else:
             results = _profiled(args, lambda: list(stream))
         seq_wall = time.perf_counter() - start
+    manifest["timings"] = {
+        "wall_seconds": seq_wall + (par_wall if throughput_mode else 0.0),
+        "cpu_seconds": None,
+    }
+    _finish_spans(span_writer, spans)
 
     header = (f"{'config':<8} {'workload':<18} {'seed':>4} {'coverage':>9} "
               f"{'accuracy':>9} {'MPKI':>8}  fingerprint")
@@ -507,6 +610,7 @@ def cmd_sweep(args: argparse.Namespace) -> None:
     if args.telemetry and args.telemetry_json:
         _write_json(args.telemetry_json, {
             "schema": "repro-sweep-telemetry/v1",
+            "manifest": manifest,
             "cells": [
                 {
                     "label": result.label,
@@ -517,6 +621,10 @@ def cmd_sweep(args: argparse.Namespace) -> None:
                 for result in results
             ],
         })
+    if args.metrics_out:
+        from repro.obs.export import rollup_results
+
+        _write_metrics(args.metrics_out, rollup_results(cells, results))
 
     if failed:
         print(f"\n{failed} cell(s) failed; see FAILED rows above")
@@ -525,6 +633,7 @@ def cmd_sweep(args: argparse.Namespace) -> None:
         return
     payload = _throughput_payload(cells, args.workers, results, seq_wall,
                                   par_results, par_wall, args.workloads, args)
+    payload["manifest"] = manifest
     print(
         f"parallel (workers={args.workers}): {par_wall:.2f}s "
         f"({payload['parallel']['branches_per_second']:,.0f} branches/s, "
@@ -541,6 +650,17 @@ def cmd_sweep(args: argparse.Namespace) -> None:
             json.dump(payload, stream, indent=2, sort_keys=True)
             stream.write("\n")
         print(f"wrote {args.json}")
+    if args.history:
+        from repro.obs.observatory import (
+            append_history,
+            history_row,
+            throughput_metrics,
+        )
+
+        append_history(args.history, history_row(
+            "throughput", throughput_metrics(payload), manifest=manifest,
+        ))
+        print(f"appended throughput history row to {args.history}")
     if args.baseline:
         failures = _check_baseline(payload, args.baseline, args.max_regression)
         if failures:
@@ -590,6 +710,10 @@ def cmd_fleet(args: argparse.Namespace) -> None:
           f"x {len(args.backends)} backends "
           f"x {len(args.engine_modes)} engine modes), "
           f"{args.branches}+{args.warmup} branches/cell")
+    if args.telemetry or args.metrics_out:
+        for cell in cells:
+            cell.telemetry = True
+    span_writer, spans = _span_tracer(args, "fleet")
     payload, seq_results, par_results = run_fleet(
         cells,
         workers=args.workers,
@@ -599,7 +723,9 @@ def cmd_fleet(args: argparse.Namespace) -> None:
         stream_out=args.stream_out,
         resume=args.resume,
         grid_info=grid_info,
+        spans=spans,
     )
+    _finish_spans(span_writer, spans)
     print(f"sequential: {payload['sequential']['wall_seconds']:.2f}s "
           f"({payload['sequential']['branches_per_second']:,.0f} branches/s)")
     print(f"parallel (workers={args.workers}, chunk={args.chunk_size}): "
@@ -619,6 +745,23 @@ def cmd_fleet(args: argparse.Namespace) -> None:
           f"pickling)")
     if args.json:
         _write_json(args.json, payload)
+    if args.metrics_out:
+        from repro.obs.export import rollup_results
+
+        _write_metrics(args.metrics_out,
+                       rollup_results(cells, par_results))
+    if args.history:
+        from repro.obs.observatory import (
+            append_history,
+            fleet_metrics,
+            history_row,
+        )
+
+        append_history(args.history, history_row(
+            "fleet", fleet_metrics(payload),
+            manifest=payload.get("manifest"),
+        ))
+        print(f"appended fleet history row to {args.history}")
     failed = [r for r in par_results if r.stats is None]
     for result in failed[:10]:
         print(f"FAILED {result.label}/{result.workload}/seed {result.seed}: "
@@ -763,6 +906,101 @@ def cmd_trace(args: argparse.Namespace) -> None:
             )
 
 
+def _load_export_source(path: str):
+    """Classify a telemetry artifact for ``repro export``.
+
+    Accepts a run/trace ``--json`` payload (one Telemetry ``to_dict``
+    document), a ``repro-sweep-telemetry/v1`` dump (grouped per
+    (label, workload)), an OpenMetrics text file written by
+    ``--metrics-out`` (re-parsed, so ``export x.om --format json``
+    converts back to canonical JSON), or a sweep/fleet checkpoint
+    stream whose cells ran with ``--telemetry`` (grouped per (backend,
+    engine-mode, workload)).  Returns whatever :func:`repro.obs.
+    export.to_openmetrics` accepts.
+    """
+    from repro.obs.export import parse_openmetrics
+    from repro.obs.telemetry import Telemetry
+
+    with open(path) as stream:
+        text = stream.read()
+    stripped = text.lstrip()
+    if stripped.startswith(("# HELP", "# TYPE", "# EOF")):
+        return parse_openmetrics(text)
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError:
+        document = None
+    if isinstance(document, dict) and document.get("schema") not in (
+        "repro-sweep-stream/v1", "repro-manifest/v1",
+    ):
+        if document.get("schema") == "repro-sweep-telemetry/v1":
+            groups = {}
+            for cell in document.get("cells", []):
+                payload = cell.get("telemetry")
+                if not payload:
+                    continue
+                labels = (("label", str(cell.get("label"))),
+                          ("workload", str(cell.get("workload"))))
+                groups.setdefault(labels, Telemetry()).merge(payload)
+            if not groups:
+                raise SystemExit(
+                    f"{path}: sweep telemetry dump carries no telemetry "
+                    f"registries"
+                )
+            return sorted(groups.items())
+        if any(key in document
+               for key in ("counters", "gauges", "histograms")):
+            return document
+        raise SystemExit(
+            f"{path}: not a telemetry artifact (expected a telemetry "
+            f"JSON payload, a repro-sweep-telemetry/v1 dump or a "
+            f"checkpoint stream)"
+        )
+    # JSONL checkpoint stream (possibly manifest-headed).
+    rows = load_stream(path)
+    groups = {}
+    for row in rows:
+        payload = row.get("telemetry")
+        if not payload:
+            continue
+        cell = row["cell"]
+        labels = (("backend", str(cell.get("backend"))),
+                  ("engine_mode", str(cell.get("engine_mode"))),
+                  ("workload", str(cell.get("workload"))))
+        groups.setdefault(labels, Telemetry()).merge(payload)
+    if not groups:
+        raise SystemExit(
+            f"{path}: stream carries no telemetry — re-run the sweep "
+            f"with --telemetry to export metrics from it"
+        )
+    return sorted(groups.items())
+
+
+def cmd_export(args: argparse.Namespace) -> None:
+    from repro.obs.export import to_canonical_json, to_openmetrics
+
+    source = _load_export_source(args.input)
+    if args.format == "json":
+        text = to_canonical_json(source)
+    else:
+        text = to_openmetrics(source)
+    if args.out:
+        _write_text(args.out, text)
+    else:
+        sys.stdout.write(text)
+
+
+def cmd_report(args: argparse.Namespace) -> None:
+    from repro.obs.observatory import collect_artifacts, render_dashboard
+
+    artifacts = collect_artifacts(args.paths)
+    text = render_dashboard(artifacts, title=args.title)
+    if args.out:
+        _write_text(args.out, text)
+    else:
+        print(text)
+
+
 def cmd_workloads(_args: argparse.Namespace) -> None:
     for spec in STANDARD_WORKLOADS.values():
         print(f"{spec.name:<20} {spec.description}")
@@ -809,8 +1047,14 @@ def build_parser() -> argparse.ArgumentParser:
                             help="telemetry sampling window in branches "
                                  "(default 2000; 0 disables)")
     run_parser.add_argument("--stats-json", metavar="PATH",
-                            help="write the run stats as machine-readable "
-                                 "JSON")
+                            help="write the run stats (with the embedded "
+                                 "run manifest) as machine-readable JSON")
+    run_parser.add_argument("--metrics-out", metavar="PATH",
+                            help="write the run telemetry as OpenMetrics "
+                                 "text (implies --telemetry)")
+    run_parser.add_argument("--spans-out", metavar="PATH",
+                            help="write engine phase spans as JSONL "
+                                 "(repro-spans/v1; results unchanged)")
     run_parser.add_argument("--save-state", metavar="PATH",
                             help="save the learned BTB/CTB state after the run")
     run_parser.add_argument("--load-state", metavar="PATH",
@@ -943,6 +1187,19 @@ def build_parser() -> argparse.ArgumentParser:
                               help="resume a killed sweep from its partial "
                                    "--stream-out file: completed cells are "
                                    "not re-run")
+    sweep_parser.add_argument("--metrics-out", metavar="PATH",
+                              help="write per-(backend, engine-mode, "
+                                   "workload) telemetry rollups as "
+                                   "OpenMetrics text (implies --telemetry)")
+    sweep_parser.add_argument("--spans-out", metavar="PATH",
+                              help="write pool phase spans "
+                                   "(serialize/transfer/execute/merge) as "
+                                   "JSONL (repro-spans/v1)")
+    sweep_parser.add_argument("--history", metavar="PATH",
+                              help="append a throughput bench-history row "
+                                   "to this JSONL (implies --throughput; "
+                                   "repro report renders trend deltas "
+                                   "from it)")
     sweep_parser.set_defaults(func=cmd_sweep)
 
     fleet_parser = sub.add_parser(
@@ -995,6 +1252,20 @@ def build_parser() -> argparse.ArgumentParser:
                               help="exit 1 unless speedup >= X (enforced "
                                    "only with >= 2 cores and >= 2 workers; "
                                    "the CI gate)")
+    fleet_parser.add_argument("--telemetry", action="store_true",
+                              help="attach a telemetry session to every "
+                                   "cell (results unchanged)")
+    fleet_parser.add_argument("--metrics-out", metavar="PATH",
+                              help="write per-(backend, engine-mode, "
+                                   "workload) telemetry rollups as "
+                                   "OpenMetrics text (implies --telemetry)")
+    fleet_parser.add_argument("--spans-out", metavar="PATH",
+                              help="write the parallel pass's pool phase "
+                                   "spans as JSONL (repro-spans/v1)")
+    fleet_parser.add_argument("--history", metavar="PATH",
+                              help="append a fleet bench-history row to "
+                                   "this JSONL (repro report renders trend "
+                                   "deltas from it)")
     fleet_parser.set_defaults(func=cmd_fleet)
 
     faults_parser = sub.add_parser(
@@ -1066,6 +1337,35 @@ def build_parser() -> argparse.ArgumentParser:
                                    "every line and reconcile against the "
                                    "run's stats")
     trace_parser.set_defaults(func=cmd_trace)
+
+    export_parser = sub.add_parser(
+        "export",
+        help="render a telemetry artifact as OpenMetrics text or "
+             "canonical JSON")
+    export_parser.add_argument("input", metavar="PATH",
+                               help="telemetry JSON payload, "
+                                    "repro-sweep-telemetry/v1 dump or "
+                                    "checkpoint stream with telemetry rows")
+    export_parser.add_argument("--format", choices=("openmetrics", "json"),
+                               default="openmetrics",
+                               help="output format (default openmetrics)")
+    export_parser.add_argument("--out", metavar="PATH",
+                               help="output file (default: stdout)")
+    export_parser.set_defaults(func=cmd_export)
+
+    report_parser = sub.add_parser(
+        "report",
+        help="observatory dashboard over BENCH artifacts, streams, "
+             "manifests, spans and bench history")
+    report_parser.add_argument("paths", nargs="+", metavar="PATH",
+                               help="artifact files or directories "
+                                    "(directories scanned one level deep)")
+    report_parser.add_argument("--title", default="repro observatory",
+                               help="dashboard title")
+    report_parser.add_argument("--out", metavar="PATH",
+                               help="write the markdown here "
+                                    "(default: stdout)")
+    report_parser.set_defaults(func=cmd_report)
 
     workloads_parser = sub.add_parser("workloads",
                                       help="list standard workloads")

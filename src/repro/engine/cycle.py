@@ -14,6 +14,7 @@ summarised by the paper's own statistical penalties.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -107,6 +108,7 @@ class CycleEngine:
         telemetry=None,
         injector=None,
         engine_mode: str = "reference",
+        spans=None,
     ):
         self.predictor = predictor
         self.icache = icache if icache is not None else InstructionCacheHierarchy()
@@ -119,6 +121,11 @@ class CycleEngine:
         #: hook (see :class:`repro.engine.functional.FunctionalEngine`).
         self.telemetry = telemetry
         self.injector = injector
+        #: Optional :class:`repro.obs.spans.SpanTracer` receiving the
+        #: ``engine.counted``/``engine.finalize`` phase timings of
+        #: :meth:`run_program` (the cycle engine has no warmup phase).
+        #: Spans only observe; results are identical with tracing off.
+        self.spans = spans
         self.observer = _chain_observers(observer, telemetry, injector)
         self.stats = CycleStats()
         #: Timing needs every per-branch outcome, so ``fast`` here swaps
@@ -169,6 +176,9 @@ class CycleEngine:
         predict = self._predict_callable()
         observer = self.observer
         record = self.stats.accuracy.record
+        spans = self.spans
+        if spans:
+            phase_start = time.perf_counter()
         while executor.branches_executed < max_branches:
             branch = executor.step()
             if branch is None:
@@ -177,7 +187,14 @@ class CycleEngine:
             instructions_before = executor.instructions_executed
             outcome = predict_one(predict, branch, observer, record)
             self._advance(clocks, branch, outcome, gap)
-        self.predictor.finalize()
+        if spans:
+            spans.observe("engine.counted",
+                          time.perf_counter() - phase_start,
+                          branches=max_branches)
+            with spans.span("engine.finalize"):
+                self.predictor.finalize()
+        else:
+            self.predictor.finalize()
         self.stats.instructions = executor.instructions_executed
         self.stats.branches = executor.branches_executed
         self.stats.accuracy.instructions = executor.instructions_executed

@@ -137,6 +137,7 @@ def run_fleet(
     stream_out: Optional[str] = None,
     resume: Optional[str] = None,
     grid_info: Optional[dict] = None,
+    spans=None,
 ) -> Tuple[dict, list, list]:
     """Run the fleet grid sequentially and in parallel; return the
     merged ``BENCH_fleet.json`` payload plus both result lists.
@@ -144,11 +145,16 @@ def run_fleet(
     The sequential pass is the reference for both timing (speedup
     denominator) and correctness (the parallel pass must match it
     fingerprint-for-fingerprint).  ``stream_out`` checkpoints the
-    parallel pass's rows to JSONL as they complete; ``resume`` pre-loads
+    parallel pass's rows to JSONL as they complete (with the fleet's
+    run manifest embedded as the first line); ``resume`` pre-loads
     such a stream, skipping its completed cells (the reported parallel
     wall then covers only the remaining work — ``resumed_cells`` in the
-    payload says how many rows were inherited).
+    payload says how many rows were inherited).  *spans*, when given a
+    :class:`~repro.obs.spans.SpanTracer`, traces the parallel pass's
+    pool lifecycle (see :func:`~repro.engine.parallel.stream_cells`).
     """
+    from repro.obs.manifest import build_manifest
+
     cells = list(cells)
     hardening = {"timeout": timeout, "retries": retries}
     seq_stats: dict = {}
@@ -163,12 +169,18 @@ def run_fleet(
         completed = restore_completed(load_stream(resume), cells, registry)
     par_stats: dict = {}
     par_results: list = []
+    grid = dict(grid_info or {}, cells=len(cells))
+    manifest = build_manifest(
+        "fleet",
+        grid=grid,
+        extra={"workers": workers, "chunk_size": chunk_size},
+    )
     start = time.perf_counter()
     stream = stream_cells(cells, workers=workers, chunk_size=chunk_size,
                           completed=completed, pool_stats=par_stats,
-                          **hardening)
+                          spans=spans, **hardening)
     if stream_out:
-        with SweepStreamWriter(stream_out) as writer:
+        with SweepStreamWriter(stream_out, manifest=manifest) as writer:
             for index, result in enumerate(stream):
                 writer.write(result_to_row(index, cells[index], result,
                                            registry))
@@ -181,12 +193,17 @@ def run_fleet(
     equivalent = ([r.fingerprint for r in seq_results]
                   == [r.fingerprint for r in par_results])
     failed = sum(1 for r in par_results if isinstance(r, CellError))
+    manifest["timings"] = {
+        "wall_seconds": seq_wall + par_wall,
+        "cpu_seconds": None,
+    }
     payload = {
         "schema": FLEET_SCHEMA,
         #: Interprets the speedup: with one core the pool can only add
         #: overhead, so speedup ~<= 1 is the expected reading there.
         "cpu_count": os.cpu_count(),
-        "grid": dict(grid_info or {}, cells=len(cells)),
+        "manifest": manifest,
+        "grid": grid,
         "payloads": {
             "distinct_blobs": par_stats.get("payload_blobs", 0),
             "bytes": par_stats.get("payload_bytes", 0),
@@ -216,6 +233,7 @@ def run_fleet(
                     par_stats.get("workers", {}).items()
                 )
             },
+            "phase_latency": par_stats.get("phase_latency", {}),
         },
         "resumed_cells": par_stats.get("resumed_cells", 0),
         "speedup": seq_wall / par_wall if par_wall else 0.0,

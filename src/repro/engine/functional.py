@@ -14,6 +14,7 @@ definition.
 
 from __future__ import annotations
 
+import time
 from itertools import chain
 from typing import Iterable, Optional, Union
 
@@ -58,12 +59,18 @@ class FunctionalEngine:
 
     def __init__(self, predictor: LookaheadBranchPredictor, profile=None,
                  observer=None, telemetry=None, injector=None,
-                 engine_mode: str = "reference"):
+                 engine_mode: str = "reference", spans=None):
         self.predictor = predictor
         self.stats = RunStats()
         self.profile = profile
         self.telemetry = telemetry
         self.injector = injector
+        #: Optional :class:`repro.obs.spans.SpanTracer` receiving
+        #: ``engine.warmup``/``engine.counted``/``engine.finalize`` phase
+        #: timings from :meth:`run_program`.  Spans only observe — the
+        #: default off path pays one truthiness check per phase and
+        #: results stay byte-identical either way.
+        self.spans = spans
         self.observer = _chain_observers(observer, telemetry, injector)
         #: The mode actually driving this engine: ``fast`` compiles (or
         #: fetches from cache) the config-specialized kernels; baseline
@@ -95,12 +102,15 @@ class FunctionalEngine:
         self.predictor.restart(program.entry_point, context=0)
         observer = self.observer
         profile = self.profile
+        spans = self.spans
         counted_instructions_start = 0
         stream = executor.run(max_branches=warmup_branches + max_branches)
         kernels = self._kernels
         if kernels is not None:
             predictor = self.predictor
             if warmup_branches > 0:
+                if spans:
+                    phase_start = time.perf_counter()
                 if observer is None:
                     consumed = kernels.warmup_bare(
                         predictor, stream, warmup_branches
@@ -109,8 +119,14 @@ class FunctionalEngine:
                     consumed = kernels.warmup_observed(
                         predictor, stream, warmup_branches, observer
                     )
+                if spans:
+                    spans.observe("engine.warmup",
+                                  time.perf_counter() - phase_start,
+                                  branches=warmup_branches)
                 if consumed == warmup_branches:
                     counted_instructions_start = executor.instructions_executed
+            if spans:
+                phase_start = time.perf_counter()
             if observer is None and profile is None:
                 kernels.counted_bare(predictor, stream, self.stats)
             else:
@@ -121,14 +137,26 @@ class FunctionalEngine:
                     observer,
                     profile.record if profile is not None else None,
                 )
+            if spans:
+                spans.observe("engine.counted",
+                              time.perf_counter() - phase_start,
+                              branches=max_branches)
         else:
             predict = self.predictor.predict_and_resolve
             if warmup_branches > 0:
+                if spans:
+                    phase_start = time.perf_counter()
                 consumed = run_warmup(
                     predict, stream, warmup_branches, observer
                 )
+                if spans:
+                    spans.observe("engine.warmup",
+                                  time.perf_counter() - phase_start,
+                                  branches=warmup_branches)
                 if consumed == warmup_branches:
                     counted_instructions_start = executor.instructions_executed
+            if spans:
+                phase_start = time.perf_counter()
             drive_counted(
                 predict,
                 stream,
@@ -136,7 +164,15 @@ class FunctionalEngine:
                 observer=observer,
                 extra=profile.record if profile is not None else None,
             )
-        self.predictor.finalize()
+            if spans:
+                spans.observe("engine.counted",
+                              time.perf_counter() - phase_start,
+                              branches=max_branches)
+        if spans:
+            with spans.span("engine.finalize"):
+                self.predictor.finalize()
+        else:
+            self.predictor.finalize()
         self.stats.instructions = (
             executor.instructions_executed - counted_instructions_start
         )

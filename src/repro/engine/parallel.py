@@ -608,6 +608,17 @@ def _record_worker(stats: dict, worker_stats: dict) -> None:
         stats["workers"][pid] = worker_stats
 
 
+def _observe_result(spans, result: Union[SweepResult, CellError]) -> None:
+    """Fold one definitive result into the span tracer: completed cells
+    contribute their in-worker elapsed to the ``execute`` phase; failed
+    cells surface as ``cell.error`` incidents."""
+    if isinstance(result, SweepResult):
+        spans.observe("execute", result.elapsed, label=result.label)
+    else:
+        spans.event("cell.error", label=result.label, kind=result.kind,
+                    attempts=result.attempts)
+
+
 def stream_cells(
     cells: Iterable[SweepCell],
     workers: int = 1,
@@ -617,6 +628,7 @@ def stream_cells(
     backoff: float = 0.25,
     completed: Optional[Mapping[int, Union[SweepResult, CellError]]] = None,
     pool_stats: Optional[dict] = None,
+    spans=None,
 ) -> Iterator[Union[SweepResult, CellError]]:
     """Incrementally run every cell, yielding results in cell order.
 
@@ -636,6 +648,16 @@ def stream_cells(
     with a :class:`CellError`.  ``pool_stats``, when given a dict, is
     populated with transfer/instrumentation counters (serialize-once
     accounting, per-worker install counts, chunk dispatch totals).
+
+    *spans*, when given a :class:`~repro.obs.spans.SpanTracer`, records
+    the submission lifecycle: ``serialize``/``transfer``/``execute``/
+    ``merge`` phase spans (worker execute time harvested from each
+    result's in-worker ``elapsed``), plus ``cell.retry``/
+    ``cell.timeout``/``cell.error``/``pool.break``/``isolation.round``
+    incident events, and leaves per-phase latency histograms in
+    ``pool_stats["phase_latency"]``.  Spans only observe — results and
+    fingerprints are byte-identical with tracing on or off — and the
+    default off path pays one truthiness check per phase.
     """
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -643,7 +665,11 @@ def stream_cells(
     stats = pool_stats if pool_stats is not None else {}
     stats.update(_fresh_pool_stats())
     registry = PayloadRegistry()
-    specs = [_spec_for(cell, registry) for cell in cells]
+    if spans:
+        with spans.span("serialize", cells=len(cells)):
+            specs = [_spec_for(cell, registry) for cell in cells]
+    else:
+        specs = [_spec_for(cell, registry) for cell in cells]
     results: List[object] = [None] * len(cells)
     for index, result in (completed or {}).items():
         if not 0 <= index < len(cells):
@@ -671,23 +697,41 @@ def stream_cells(
 
     if workers <= 1 or len(pending) <= 1:
         stats["mode"] = "sequential"
-        _install_payloads(registry.blobs)
+        if spans:
+            with spans.span("transfer",
+                            payload_bytes=registry.payload_bytes):
+                _install_payloads(registry.blobs)
+        else:
+            _install_payloads(registry.blobs)
         for index in range(len(cells)):
             if results[index] is None:
                 results[index] = _run_sequential_spec(
                     cells[index], specs[index], retries, backoff
                 )
+                if spans:
+                    _observe_result(spans, results[index])
             yield from _emit_ready()
+        if spans:
+            stats["phase_latency"] = spans.phase_latency()
         return
 
     stats["mode"] = "warm-pool"
     attempts = [0] * len(cells)
     first_chunks = (len(pending) + chunk_size - 1) // chunk_size
-    pool = ProcessPoolExecutor(
-        max_workers=max(1, min(workers, first_chunks)),
-        initializer=_install_payloads,
-        initargs=(registry.blobs,),
-    )
+    if spans:
+        with spans.span("transfer", payload_bytes=registry.payload_bytes,
+                        workers=max(1, min(workers, first_chunks))):
+            pool = ProcessPoolExecutor(
+                max_workers=max(1, min(workers, first_chunks)),
+                initializer=_install_payloads,
+                initargs=(registry.blobs,),
+            )
+    else:
+        pool = ProcessPoolExecutor(
+            max_workers=max(1, min(workers, first_chunks)),
+            initializer=_install_payloads,
+            initargs=(registry.blobs,),
+        )
     pool_live = True
     finished = False
     try:
@@ -699,17 +743,27 @@ def stream_cells(
                 index = pending.pop(0)
                 attempts[index] += 1
                 stats["isolation_attempts"] += 1
+                if spans:
+                    spans.event("isolation.round", label=cells[index].label,
+                                attempt=attempts[index])
                 outcome, payload, worker_stats = _isolated_attempt(
                     specs[index], registry.blobs, timeout
                 )
                 if outcome == "ok":
                     results[index] = payload
                     _record_worker(stats, worker_stats)
+                    if spans:
+                        _observe_result(spans, payload)
                 elif attempts[index] >= max_attempts:
                     results[index] = _cell_error(
                         cells[index], outcome, str(payload), attempts[index]
                     )
+                    if spans:
+                        _observe_result(spans, results[index])
                 else:
+                    if spans:
+                        spans.event("cell.retry", label=cells[index].label,
+                                    kind=outcome, attempt=attempts[index])
                     _sleep_backoff(backoff, attempts[index])
                     pending.append(index)
                 yield from _emit_ready()
@@ -742,12 +796,23 @@ def stream_cells(
                             attempts[index] += 1
                             if status == "ok":
                                 results[index] = payload
+                                if spans:
+                                    _observe_result(spans, payload)
                             elif attempts[index] >= max_attempts:
                                 results[index] = _cell_error(
                                     cells[index], "error", payload,
                                     attempts[index],
                                 )
+                                if spans:
+                                    _observe_result(spans, results[index])
                             else:
+                                if spans:
+                                    spans.event(
+                                        "cell.retry",
+                                        label=cells[index].label,
+                                        kind="error",
+                                        attempt=attempts[index],
+                                    )
                                 requeue.append(index)
                     else:
                         requeue.extend(chunk)
@@ -762,11 +827,17 @@ def stream_cells(
                         index = chunk[0]
                         attempts[index] += 1
                         message = f"no result within {timeout}s"
+                        if spans:
+                            spans.event("cell.timeout",
+                                        label=cells[index].label,
+                                        attempt=attempts[index])
                         if attempts[index] >= max_attempts:
                             results[index] = _cell_error(
                                 cells[index], "timeout", message,
                                 attempts[index],
                             )
+                            if spans:
+                                _observe_result(spans, results[index])
                         else:
                             requeue.append(index)
                     else:
@@ -787,30 +858,48 @@ def stream_cells(
                     _stop_pool(pool)
                     pool_live = False
                 else:
-                    outcomes = pickle.loads(blob)
+                    if spans:
+                        with spans.span("merge", cells=len(chunk)):
+                            outcomes = pickle.loads(blob)
+                    else:
+                        outcomes = pickle.loads(blob)
                     _account_result_blob(stats, blob, worker_stats)
                     _record_worker(stats, worker_stats)
                     for index, status, payload in outcomes:
                         attempts[index] += 1
                         if status == "ok":
                             results[index] = payload
+                            if spans:
+                                _observe_result(spans, payload)
                         elif attempts[index] >= max_attempts:
                             results[index] = _cell_error(
                                 cells[index], "error", payload,
                                 attempts[index],
                             )
+                            if spans:
+                                _observe_result(spans, results[index])
                         else:
+                            if spans:
+                                spans.event("cell.retry",
+                                            label=cells[index].label,
+                                            kind="error",
+                                            attempt=attempts[index])
                             requeue.append(index)
                     yield from _emit_ready()
             if broken:
                 isolate = True
                 stats["pool_breaks"] += 1
+                if spans:
+                    spans.event("pool.break",
+                                pending=len(requeue))
             elif requeue:
                 _sleep_backoff(backoff, 1)
             pending = sorted(requeue)
             yield from _emit_ready()
         finished = True
     finally:
+        if spans:
+            stats["phase_latency"] = spans.phase_latency()
         if pool_live:
             if finished:
                 pool.shutdown(wait=True)
@@ -830,6 +919,7 @@ def run_cells(
     chunk_size: Optional[int] = None,
     completed: Optional[Mapping[int, Union[SweepResult, CellError]]] = None,
     pool_stats: Optional[dict] = None,
+    spans=None,
 ) -> List[Union[SweepResult, CellError]]:
     """Run every cell; results are returned in cell order.
 
@@ -850,6 +940,7 @@ def run_cells(
             backoff=backoff,
             completed=completed,
             pool_stats=pool_stats,
+            spans=spans,
         )
     )
 

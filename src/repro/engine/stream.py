@@ -216,12 +216,24 @@ class SweepStreamWriter:
 
     Flushing per row bounds the damage of a killed sweep to the torn
     final line, which :func:`load_stream` drops on reload.
+
+    Pass a run *manifest* (:func:`repro.obs.manifest.build_manifest`)
+    to embed it as the stream's first line; :func:`load_stream` skips
+    it (so result-row consumers are unaffected) and
+    :func:`load_stream_manifest` retrieves it.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, manifest: Optional[dict] = None) -> None:
         self.path = path
         self._stream = open(path, "w")
         self.rows_written = 0
+        if manifest is not None:
+            from repro.obs.manifest import validate_manifest
+
+            validate_manifest(manifest)
+            self._stream.write(json.dumps(manifest, sort_keys=True))
+            self._stream.write("\n")
+            self._stream.flush()
 
     def write(self, row: Mapping) -> None:
         self._stream.write(json.dumps(row, sort_keys=True))
@@ -244,9 +256,14 @@ def load_stream(path: str) -> List[dict]:
     """Load a (possibly truncated) checkpoint stream.
 
     A torn *final* line — the signature of a killed writer — is
-    silently dropped.  A malformed line anywhere else, or a row of the
-    wrong schema, raises :class:`SweepStreamError`.
+    silently dropped.  An embedded run-manifest row (the optional first
+    line, ``repro-manifest/v1``) is skipped — result consumers see only
+    result rows; use :func:`load_stream_manifest` for the manifest.  A
+    malformed line anywhere else, or a row of the wrong schema, raises
+    :class:`SweepStreamError`.
     """
+    from repro.obs.manifest import is_manifest
+
     rows: List[dict] = []
     with open(path) as stream:
         lines = stream.read().split("\n")
@@ -261,12 +278,30 @@ def load_stream(path: str) -> List[dict]:
             raise SweepStreamError(
                 f"{path}:{lineno}: malformed stream row"
             ) from None
+        if is_manifest(row):
+            continue
         if not isinstance(row, dict) or row.get("schema") != STREAM_SCHEMA:
             raise SweepStreamError(
                 f"{path}:{lineno}: not a {STREAM_SCHEMA} row"
             )
         rows.append(row)
     return rows
+
+
+def load_stream_manifest(path: str) -> Optional[dict]:
+    """The run manifest embedded in a stream's first line, or None for
+    streams written without one (pre-manifest files stay loadable)."""
+    from repro.obs.manifest import is_manifest
+
+    with open(path) as stream:
+        first = stream.readline().strip()
+    if not first:
+        return None
+    try:
+        row = json.loads(first)
+    except json.JSONDecodeError:
+        return None  # torn single-line file
+    return row if is_manifest(row) else None
 
 
 def restore_completed(

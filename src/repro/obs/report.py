@@ -48,12 +48,15 @@ def _instrument_line(name: str, instrument: object, width: int) -> str:
     short = name.split(".", 1)[1] if "." in name else name
     if isinstance(instrument, Histogram):
         if instrument.count == 0:
-            return f"  {short:<{width}} (no samples)"
+            return f"  {short:<{width}} (no samples; p50/p95/p99 n/a)"
         return (
             f"  {short:<{width}} n={instrument.count}"
             f" mean={instrument.mean:.2f}"
             f" min={_format_value(instrument.min)}"
             f" max={_format_value(instrument.max)}"
+            f" p50={instrument.percentile(0.50):.2f}"
+            f" p95={instrument.percentile(0.95):.2f}"
+            f" p99={instrument.percentile(0.99):.2f}"
         )
     value = instrument.value  # Counter / Gauge
     return f"  {short:<{width}} {_format_value(value):>10}"

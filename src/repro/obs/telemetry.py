@@ -107,6 +107,70 @@ class Histogram:
             return None
         return self.total / self.count
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Bucket-interpolated percentile estimate (``q`` in [0, 1]).
+
+        The true sample values inside a bucket are gone, so the estimate
+        interpolates linearly across the bucket's bound span; the first
+        bucket's lower edge and the overflow bucket's upper edge come
+        from the tracked min/max.  Returns None for an empty histogram
+        (rendered as "n/a" downstream).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cumulative = 0
+        for index, in_bucket in enumerate(self.buckets):
+            if in_bucket == 0:
+                continue
+            below = cumulative
+            cumulative += in_bucket
+            if cumulative >= target:
+                if index == 0:
+                    lower = self.min if self.min is not None else self.bounds[0]
+                else:
+                    lower = self.bounds[index - 1]
+                if index < len(self.bounds):
+                    upper = self.bounds[index]
+                else:
+                    upper = self.max if self.max is not None else lower
+                fraction = (target - below) / in_bucket
+                estimate = lower + fraction * (upper - lower)
+                # Clamp to the observed range: interpolation never
+                # invents values outside [min, max].
+                if self.min is not None:
+                    estimate = max(estimate, self.min)
+                if self.max is not None:
+                    estimate = min(estimate, self.max)
+                return estimate
+        return self.max
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold *other* into this histogram (bucket-wise addition).
+
+        Requires identical bounds — the reason bounds are fixed at
+        creation.  Commutative and associative over the exported dict,
+        so cross-cell aggregation can fold in any order.
+        """
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bounds differ "
+                f"({self.bounds} vs {other.bounds})"
+            )
+        for index, in_bucket in enumerate(other.buckets):
+            self.buckets[index] += in_bucket
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min,
+                                                             other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max,
+                                                              other.max)
+        return self
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "bounds": list(self.bounds),
@@ -115,6 +179,11 @@ class Histogram:
             "total": self.total,
             "min": self.min,
             "max": self.max,
+            # Bucket-interpolated estimates (None when empty); derived,
+            # so from_dict round-trips recompute them consistently.
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
         }
 
     def __repr__(self) -> str:
@@ -186,6 +255,32 @@ class Telemetry:
         """
         for key, value in counts.items():
             self.set_gauge(f"{prefix}.{key}", value)
+
+    # -- cross-run aggregation -----------------------------------------
+
+    def merge(self, other) -> "Telemetry":
+        """Fold another registry into this one, instrument by instrument.
+
+        Counters add, gauges add (every gauge in this system is a
+        harvested total, so addition is the rollup semantics), and
+        histograms merge bucket-wise (same-name histograms must share
+        bounds).  Merging is commutative and associative over
+        :meth:`to_dict`, and a fresh (or null) registry is the identity
+        — the properties the cross-cell aggregation tests pin.  Accepts
+        a :class:`Telemetry`, a falsy null object (no-op), or a
+        :meth:`to_dict` payload.
+        """
+        if not other:
+            return self
+        if isinstance(other, dict):
+            other = Telemetry.from_dict(other)
+        for name, counter in other.counters.items():
+            self.counter(name).value += counter.value
+        for name, gauge in other.gauges.items():
+            self.gauge(name).value += gauge.value
+        for name, histogram in other.histograms.items():
+            self.histogram(name, histogram.bounds).merge(histogram)
+        return self
 
     # -- export ---------------------------------------------------------
 
@@ -276,6 +371,9 @@ class NullTelemetry:
 
     def merge_counts(self, prefix: str, counts: Dict[str, float]) -> None:
         pass
+
+    def merge(self, other) -> "NullTelemetry":
+        return self
 
     def components(self) -> List[str]:
         return []

@@ -141,7 +141,16 @@ class TraceWriter:
     Use as a context manager, or call :meth:`close` explicitly.  The
     header must be written first (:meth:`write_header`); the summary
     (:meth:`write_summary`) is normally last.
+
+    Crash contract: the writer flushes every ``flush_every`` records and
+    again on context-manager exit *including the error path*, so a run
+    that dies mid-trace leaves a file whose damage is bounded to one
+    torn tail line — which :func:`repro.stats.analysis.load_trace`
+    drops on reload instead of refusing the whole file.
     """
+
+    #: Records between forced flushes (bounds data lost to a hard kill).
+    flush_every = 256
 
     def __init__(self, path: str, every: int = 1):
         if every <= 0:
@@ -162,6 +171,8 @@ class TraceWriter:
                                 separators=(",", ":")))
         stream.write("\n")
         self.records_written += 1
+        if self.records_written % self.flush_every == 0:
+            stream.flush()
 
     def write_header(self, *, workload: str, predictor: str, seed: int,
                      branches: int, interval: int) -> None:
@@ -195,15 +206,23 @@ class TraceWriter:
 
     # -- lifecycle -------------------------------------------------------
 
+    def flush(self) -> None:
+        if self._stream is not None:
+            self._stream.flush()
+
     def close(self) -> None:
         if self._stream is not None:
+            self._stream.flush()
             self._stream.close()
             self._stream = None
 
     def __enter__(self) -> "TraceWriter":
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, exc_type, *_exc) -> None:
+        # Flush-then-close on both paths: an exception inside the block
+        # must still leave everything written so far on disk, so the
+        # file stays loadable (minus at most a torn tail).
         self.close()
 
 

@@ -187,7 +187,11 @@ def load_trace(path: str) -> TraceDocument:
     """Parse and schema-validate a ``TraceWriter`` JSONL file.
 
     Raises :class:`repro.obs.trace.TraceSchemaError` on any malformed
-    line, a header/schema mismatch, or a missing header.
+    line, a header/schema mismatch, or a missing header — except a
+    malformed *final* line, the signature of a killed or crashed writer
+    mid-record, which is silently dropped (the writer flushes per batch
+    and on error-path exit, so that torn tail is the only damage a
+    crash can leave).
     """
     from repro.obs.trace import TraceSchemaError, validate_record
 
@@ -196,34 +200,39 @@ def load_trace(path: str) -> TraceDocument:
     intervals: List[Dict[str, object]] = []
     summary: Optional[Dict[str, object]] = None
     with open(path) as stream:
-        for line_number, line in enumerate(stream, 1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                obj = json.loads(line)
-            except json.JSONDecodeError as exc:
+        lines = stream.read().split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    for line_number, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if line_number == len(lines):
+                break  # torn tail from a killed writer
+            raise TraceSchemaError(
+                f"line {line_number}: invalid JSON ({exc})"
+            ) from exc
+        record = validate_record(obj, line_number)
+        kind = record["type"]
+        if kind == "header":
+            if header is not None:
                 raise TraceSchemaError(
-                    f"line {line_number}: invalid JSON ({exc})"
-                ) from exc
-            record = validate_record(obj, line_number)
-            kind = record["type"]
-            if kind == "header":
-                if header is not None:
-                    raise TraceSchemaError(
-                        f"line {line_number}: duplicate header record"
-                    )
-                header = record
-            elif header is None:
-                raise TraceSchemaError(
-                    f"line {line_number}: {kind} record before header"
+                    f"line {line_number}: duplicate header record"
                 )
-            elif kind == "branch":
-                branches.append(record)
-            elif kind == "interval":
-                intervals.append(record)
-            else:
-                summary = record
+            header = record
+        elif header is None:
+            raise TraceSchemaError(
+                f"line {line_number}: {kind} record before header"
+            )
+        elif kind == "branch":
+            branches.append(record)
+        elif kind == "interval":
+            intervals.append(record)
+        else:
+            summary = record
     if header is None:
         raise TraceSchemaError(f"{path}: no header record")
     return TraceDocument(path=str(path), header=header, branches=branches,

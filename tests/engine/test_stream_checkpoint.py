@@ -252,3 +252,76 @@ def test_fully_streamed_sweep_resumes_to_a_no_op(tmp_path):
 
 def _forbidden_rerun(spec):
     raise RuntimeError("fully-checkpointed sweep must not re-run cells")
+
+
+# ----------------------------------------------------------------------
+# Embedded run manifests
+# ----------------------------------------------------------------------
+
+
+def test_manifest_embeds_as_first_line_and_is_skipped(tmp_path):
+    from repro.engine.stream import load_stream_manifest
+    from repro.obs.manifest import build_manifest
+
+    cells = _cells()
+    results = run_cells(copy.deepcopy(cells), workers=1)
+    path = str(tmp_path / "stream.jsonl")
+    registry = PayloadRegistry()
+    manifest = build_manifest("sweep", grid={"cells": len(cells)})
+    with SweepStreamWriter(path, manifest=manifest) as writer:
+        for index, result in enumerate(results):
+            writer.write(result_to_row(index, cells[index], result,
+                                       registry))
+    first = json.loads(open(path).readline())
+    assert first["schema"] == "repro-manifest/v1"
+    # Result consumers never see the manifest row...
+    rows = load_stream(path)
+    assert len(rows) == len(cells)
+    assert all(row["schema"] == STREAM_SCHEMA for row in rows)
+    # ...and the manifest reader returns exactly it.
+    recovered = load_stream_manifest(path)
+    assert recovered == json.loads(json.dumps(manifest))
+
+
+def test_manifest_headed_stream_resumes(tmp_path):
+    from repro.obs.manifest import build_manifest
+
+    cells = _cells()
+    results = run_cells(copy.deepcopy(cells), workers=1)
+    path = str(tmp_path / "stream.jsonl")
+    registry = PayloadRegistry()
+    with SweepStreamWriter(path,
+                           manifest=build_manifest("sweep")) as writer:
+        for index in (0, 1):
+            writer.write(result_to_row(index, cells[index], results[index],
+                                       registry))
+    completed = restore_completed(load_stream(path), cells, registry)
+    assert sorted(completed) == [0, 1]
+
+
+def test_load_stream_manifest_none_for_plain_streams(tmp_path):
+    from repro.engine.stream import load_stream_manifest
+
+    cells = _cells()
+    results = run_cells(copy.deepcopy(cells), workers=1)
+    path = str(tmp_path / "plain.jsonl")
+    with SweepStreamWriter(path) as writer:
+        writer.write(result_to_row(0, cells[0], results[0]))
+    assert load_stream_manifest(path) is None
+
+
+def test_load_stream_manifest_tolerates_torn_single_line(tmp_path):
+    from repro.engine.stream import load_stream_manifest
+
+    path = str(tmp_path / "torn.jsonl")
+    with open(path, "w") as stream:
+        stream.write('{"schema": "repro-manif')
+    assert load_stream_manifest(path) is None
+
+
+def test_writer_rejects_invalid_manifest(tmp_path):
+    from repro.obs.manifest import ManifestError
+
+    with pytest.raises(ManifestError):
+        SweepStreamWriter(str(tmp_path / "bad.jsonl"),
+                          manifest={"schema": "nope"})

@@ -47,8 +47,13 @@ def test_run_fast_mode_matches_reference_stats(capsys, tmp_path):
             "300", "--stats-json", str(ref_path))
     run_cli(capsys, "run", "dispatch", "--branches", "1500", "--warmup",
             "300", "--engine-mode", "fast", "--stats-json", str(fast_path))
-    assert json.loads(ref_path.read_text()) == json.loads(
-        fast_path.read_text())
+    ref = json.loads(ref_path.read_text())
+    fast = json.loads(fast_path.read_text())
+    # The manifest legitimately differs (engine_mode, wall timings);
+    # every stat must not.
+    assert ref.pop("manifest")["engine_mode"] == "reference"
+    assert fast.pop("manifest")["engine_mode"] == "fast"
+    assert ref == fast
 
 
 def test_run_baseline_predictor(capsys):
@@ -263,3 +268,137 @@ def test_sweep_surfaces_cell_errors_instead_of_aborting(capsys, monkeypatch):
     assert out.count("\n1 cell(s) failed") or "1 cell(s) failed" in out
     # The innocent cells still rendered normal rows.
     assert out.count("compute-kernel") >= 3
+
+
+# ----------------------------------------------------------------------
+# Observability surface: manifests, spans, metrics, export, report
+# ----------------------------------------------------------------------
+
+
+def test_run_stats_json_embeds_manifest(capsys, tmp_path):
+    import json
+
+    path = str(tmp_path / "stats.json")
+    run_cli(capsys, "run", "patterned", "--branches", "1000", "--warmup",
+            "200", "--stats-json", path)
+    manifest = json.load(open(path))["manifest"]
+    assert manifest["schema"] == "repro-manifest/v1"
+    assert manifest["kind"] == "run"
+    assert manifest["config"]["name"] == "z15"
+    assert manifest["workload"] == "patterned"
+    assert manifest["stats"]["fingerprint"]
+    assert manifest["timings"]["wall_seconds"] > 0
+
+
+def test_run_metrics_out_writes_openmetrics(capsys, tmp_path):
+    from repro.obs.export import parse_openmetrics, to_openmetrics
+
+    path = str(tmp_path / "run.om")
+    out = run_cli(capsys, "run", "patterned", "--branches", "1000",
+                  "--warmup", "200", "--metrics-out", path)
+    assert "telemetry" in out  # --metrics-out implies --telemetry
+    text = open(path).read()
+    assert text.endswith("# EOF\n")
+    assert to_openmetrics(parse_openmetrics(text)) == text
+
+
+def test_run_spans_out_traces_engine_phases(capsys, tmp_path):
+    from repro.obs.spans import load_spans
+
+    path = str(tmp_path / "spans.jsonl")
+    run_cli(capsys, "run", "patterned", "--branches", "1000", "--warmup",
+            "200", "--spans-out", path)
+    document = load_spans(path)
+    names = {span["name"] for span in document["spans"]}
+    assert {"engine.warmup", "engine.counted", "engine.finalize"} <= names
+    assert "engine.counted" in document["summary"]["phase_latency"]
+
+
+def test_sweep_stream_embeds_manifest_and_spans(capsys, tmp_path):
+    from repro.engine.stream import load_stream, load_stream_manifest
+    from repro.obs.spans import load_spans
+
+    stream = str(tmp_path / "stream.jsonl")
+    spans = str(tmp_path / "spans.jsonl")
+    run_cli(capsys, "sweep", "--configs", "z15", "--workloads",
+            "transactions", "--seeds", "1", "2", "--branches", "500",
+            "--warmup", "100", "--stream-out", stream, "--spans-out", spans)
+    manifest = load_stream_manifest(stream)
+    assert manifest["kind"] == "sweep"
+    assert manifest["grid"]["cells"] == 2
+    assert len(load_stream(stream)) == 2
+    names = {span["name"] for span in load_spans(spans)["spans"]}
+    assert "execute" in names and "serialize" in names
+
+
+def test_sweep_metrics_out_rolls_up_cells(capsys, tmp_path):
+    from repro.obs.export import parse_openmetrics
+
+    path = str(tmp_path / "sweep.om")
+    run_cli(capsys, "sweep", "--configs", "z15", "--workloads",
+            "transactions", "compute-kernel", "--seeds", "1", "--branches",
+            "500", "--warmup", "100", "--metrics-out", path)
+    groups = parse_openmetrics(open(path).read())
+    label_sets = [dict(labels) for labels, _ in groups]
+    assert {"backend": "object", "engine_mode": "reference",
+            "workload": "transactions"} in label_sets
+    assert {} in label_sets  # unlabeled grand total
+
+
+def test_export_openmetrics_from_stream(capsys, tmp_path):
+    stream = str(tmp_path / "stream.jsonl")
+    run_cli(capsys, "sweep", "--configs", "z15", "--workloads",
+            "transactions", "--seeds", "1", "--branches", "500",
+            "--warmup", "100", "--telemetry", "--stream-out", stream)
+    out = run_cli(capsys, "export", stream)
+    assert "# EOF" in out
+    assert 'workload="transactions"' in out
+
+
+def test_export_json_format(capsys, tmp_path):
+    import json
+
+    stream = str(tmp_path / "stream.jsonl")
+    run_cli(capsys, "sweep", "--configs", "z15", "--workloads",
+            "transactions", "--seeds", "1", "--branches", "500",
+            "--warmup", "100", "--telemetry", "--stream-out", stream)
+    out = run_cli(capsys, "export", stream, "--format", "json")
+    payload = json.loads(out)
+    assert payload["groups"][0]["labels"]["workload"] == "transactions"
+
+
+def test_export_rejects_telemetry_free_stream(capsys, tmp_path):
+    stream = str(tmp_path / "stream.jsonl")
+    run_cli(capsys, "sweep", "--configs", "z15", "--workloads",
+            "transactions", "--seeds", "1", "--branches", "500",
+            "--warmup", "100", "--stream-out", stream)
+    with pytest.raises(SystemExit):
+        run_cli(capsys, "export", stream)
+
+
+def test_sweep_history_and_report_dashboard(capsys, tmp_path):
+    history = str(tmp_path / "history.jsonl")
+    for _ in range(2):
+        run_cli(capsys, "sweep", "--configs", "z15", "--workloads",
+                "transactions", "--seeds", "1", "--branches", "500",
+                "--warmup", "100", "--history", history)
+    out = run_cli(capsys, "report", str(tmp_path), "--title", "cli smoke")
+    assert out.startswith("# cli smoke")
+    assert "history" in out
+    assert "vs previous" in out or "Regressions" in out
+
+
+def test_report_writes_markdown_file(capsys, tmp_path):
+    import json as json_module
+
+    stats = str(tmp_path / "stats.json")
+    run_cli(capsys, "run", "patterned", "--branches", "1000", "--warmup",
+            "200", "--stats-json", stats)
+    # A bare manifest artifact: reports classify and table it.
+    manifest_path = tmp_path / "manifest.json"
+    manifest_path.write_text(json_module.dumps(
+        json_module.load(open(stats))["manifest"]))
+    out_path = str(tmp_path / "DASH.md")
+    run_cli(capsys, "report", str(manifest_path), "--out", out_path)
+    text = open(out_path).read()
+    assert "Manifests" in text or "manifest" in text

@@ -1,0 +1,106 @@
+"""Run manifests: build/validate round trips and loader multiplexing."""
+
+import pytest
+
+from repro.configs import z15_config
+from repro.core import LookaheadBranchPredictor
+from repro.engine.functional import FunctionalEngine
+from repro.obs.manifest import (
+    MANIFEST_KINDS,
+    MANIFEST_SCHEMA,
+    ManifestError,
+    build_manifest,
+    host_info,
+    is_manifest,
+    stats_digest,
+    validate_manifest,
+)
+from repro.verification.differential import stats_fingerprint
+from repro.workloads import get_workload
+
+
+def run_stats(branches=400):
+    engine = FunctionalEngine(LookaheadBranchPredictor(z15_config()))
+    return engine.run_program(get_workload("transactions"),
+                              max_branches=branches, warmup_branches=100)
+
+
+class TestBuild:
+    def test_minimal_manifest_validates(self):
+        manifest = build_manifest("run")
+        assert validate_manifest(manifest) is manifest
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["kind"] == "run"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ManifestError, match="unknown manifest kind"):
+            build_manifest("orbit")
+
+    def test_every_declared_kind_builds(self):
+        for kind in MANIFEST_KINDS:
+            validate_manifest(build_manifest(kind))
+
+    def test_host_section_has_environment_slice(self):
+        host = host_info()
+        for key in ("platform", "python", "implementation", "cpu_count"):
+            assert key in host
+
+    def test_config_shape_is_the_specialization_key(self):
+        from repro.engine.specialize import config_shape
+
+        manifest = build_manifest("run", config=z15_config(),
+                                  config_name="z15")
+        assert manifest["config"]["name"] == "z15"
+        assert manifest["config"]["shape"] == list(config_shape(z15_config()))
+
+    def test_config_name_without_object_keeps_null_shape(self):
+        manifest = build_manifest("run", config_name="l-tage")
+        assert manifest["config"] == {"name": "l-tage", "shape": None}
+
+    def test_stats_digest_carries_fingerprint_and_headlines(self):
+        stats = run_stats()
+        manifest = build_manifest("run", stats=stats)
+        digest = manifest["stats"]
+        assert digest["fingerprint"] == stats_fingerprint(stats)
+        assert digest["branches"] == stats.branches
+        assert digest["mpki"] == stats.mpki
+
+    def test_stats_digest_none_for_no_stats(self):
+        assert stats_digest(None) is None
+
+    def test_grid_and_extra_merge_in(self):
+        manifest = build_manifest("fleet", grid={"cells": 8},
+                                  extra={"workers": 2})
+        assert manifest["grid"] == {"cells": 8}
+        assert manifest["workers"] == 2
+
+    def test_timings_section(self):
+        manifest = build_manifest("run", wall_seconds=1.5, cpu_seconds=1.2)
+        assert manifest["timings"] == {"wall_seconds": 1.5,
+                                       "cpu_seconds": 1.2}
+
+
+class TestValidate:
+    def test_rejects_non_dict(self):
+        with pytest.raises(ManifestError, match="expected a JSON object"):
+            validate_manifest(["not", "a", "manifest"])
+
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ManifestError, match="unsupported manifest"):
+            validate_manifest({"schema": "repro-manifest/v9", "kind": "run",
+                               "host": {}})
+
+    def test_rejects_missing_required_field(self):
+        with pytest.raises(ManifestError, match="missing fields"):
+            validate_manifest({"schema": MANIFEST_SCHEMA, "kind": "run"})
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ManifestError, match="unknown manifest kind"):
+            validate_manifest({"schema": MANIFEST_SCHEMA, "kind": "orbit",
+                               "host": {}})
+
+    def test_is_manifest_is_loose_but_schema_keyed(self):
+        assert is_manifest(build_manifest("sweep"))
+        assert not is_manifest({"schema": "repro-sweep-stream/v1"})
+        assert not is_manifest(None)
+        assert not is_manifest("repro-manifest/v1")

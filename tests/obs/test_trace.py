@@ -120,12 +120,24 @@ class TestSchemaValidation:
         with pytest.raises(TraceSchemaError, match="before header"):
             load_trace(str(rewritten))
 
-    def test_invalid_json_line(self, tmp_path):
+    def test_invalid_json_mid_file(self, tmp_path):
         path, _, _ = traced_run(tmp_path)
-        with open(path, "a") as stream:
-            stream.write("{not json\n")
+        lines = open(path).read().splitlines()
+        lines.insert(len(lines) - 1, "{not json")
+        with open(path, "w") as stream:
+            stream.write("\n".join(lines) + "\n")
         with pytest.raises(TraceSchemaError, match="invalid JSON"):
             load_trace(str(path))
+
+    def test_torn_tail_line_is_dropped(self, tmp_path):
+        # The crash contract: a killed writer tears at most the final
+        # line, and the loader drops it instead of refusing the file.
+        path, _, _ = traced_run(tmp_path)
+        intact = load_trace(str(path))
+        with open(path, "a") as stream:
+            stream.write('{"type": "branch", "index": 99')
+        torn = load_trace(str(path))
+        assert len(torn.branches) == len(intact.branches)
 
     def test_missing_header_entirely(self, tmp_path):
         path = tmp_path / "empty.jsonl"
@@ -138,6 +150,19 @@ class TestWriter:
     def test_rejects_nonpositive_every(self, tmp_path):
         with pytest.raises(ValueError):
             TraceWriter(str(tmp_path / "t.jsonl"), every=0)
+
+    def test_context_manager_flushes_on_error_path(self, tmp_path):
+        path = str(tmp_path / "crash.jsonl")
+        with pytest.raises(RuntimeError):
+            with TraceWriter(path) as writer:
+                writer.write_header(workload="w", predictor="p", seed=1,
+                                    branches=10, interval=0)
+                raise RuntimeError("run died mid-trace")
+        # Buffered records reached disk despite the crash: the file is
+        # loadable (no summary — exactly what a killed run looks like).
+        document = load_trace(path)
+        assert document.header["workload"] == "w"
+        assert document.summary is None
 
     def test_write_after_close_raises(self, tmp_path):
         writer = TraceWriter(str(tmp_path / "t.jsonl"))
