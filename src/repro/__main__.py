@@ -35,7 +35,23 @@ Commands:
 * ``report`` — the observatory: classify BENCH artifacts, sweep
   streams, manifests, span files and bench history, and render one
   markdown dashboard with trend deltas and regression highlights.
+* ``serve`` — the prediction service: an asyncio front end multiplexing
+  tenant branch streams over supervised warm predictor shard processes,
+  with per-tenant journaling, LRU warm-state eviction, backpressure,
+  deadlines and crash recovery (SIGTERM/SIGINT drains and writes the
+  final manifest).
+* ``loadgen`` — replay workload-suite traffic against a running
+  ``serve`` instance, retrying clean rejections, and audit that the
+  client-folded fingerprint chain matches the server's.
+* ``serve-chaos`` — seeded fault-injection scenarios (shard kill/hang/
+  slow, torn checkpoints, queue floods, eviction churn) against a live
+  server, with liveness / exactness / accounting audits.
 * ``workloads`` — list the standard workloads.
+
+``sweep --resume``, ``fleet --resume``, ``trace --validate``,
+``export`` and ``report`` accept ``--strict``: a torn JSONL tail (the
+signature of a killed writer) becomes a located error instead of being
+silently dropped.
 
 ``run``/``sweep``/``fleet`` accept ``--metrics-out`` (OpenMetrics
 export, implies telemetry), ``--spans-out`` (phase span tracing) and —
@@ -46,6 +62,7 @@ for the sweep commands — ``--history`` (append a bench-history row the
 from __future__ import annotations
 
 import argparse
+import contextlib
 import cProfile
 import json
 import os
@@ -60,7 +77,9 @@ from repro.baselines import (
     LTagePredictor,
     StaticBtfntPredictor,
 )
+from repro.common.atomic import atomic_write_json, atomic_write_text
 from repro.common.errors import ReproError
+from repro.common.signals import GracefulShutdown
 from repro.configs import GENERATIONS, z15_config
 from repro.core import LookaheadBranchPredictor, load_state, save_state
 from repro.engine import (
@@ -128,15 +147,14 @@ def _stats_payload(stats) -> dict:
 
 
 def _write_json(path: str, payload) -> None:
-    with open(path, "w") as stream:
-        json.dump(payload, stream, indent=2, sort_keys=True)
-        stream.write("\n")
+    # Atomic (write-fsync-rename): a kill mid-report leaves the old
+    # artifact, never a torn JSON that downstream tooling chokes on.
+    atomic_write_json(path, payload, indent=2, trailing_newline=True)
     print(f"wrote {path}")
 
 
 def _write_text(path, text) -> None:
-    with open(path, "w") as stream:
-        stream.write(text)
+    atomic_write_text(path, text)
     print(f"wrote {path}")
 
 
@@ -555,7 +573,7 @@ def cmd_sweep(args: argparse.Namespace) -> None:
         completed = {}
         if args.resume:
             completed = restore_completed(
-                load_stream(args.resume), cells, registry
+                load_stream(args.resume, strict=args.strict), cells, registry
             )
             print(f"resumed {len(completed)} completed cell(s) "
                   f"from {args.resume}")
@@ -564,13 +582,31 @@ def cmd_sweep(args: argparse.Namespace) -> None:
                               completed=completed, spans=spans, **hardening)
         if args.stream_out:
             results = []
-            with SweepStreamWriter(args.stream_out,
-                                   manifest=manifest) as writer:
+            # SIGTERM/SIGINT drain gracefully: the row in flight is
+            # flushed, a final manifest line records the interruption
+            # (load_stream skips manifest rows, so the stream stays
+            # --resume-able), and the process exits 128+signum.
+            with GracefulShutdown() as shutdown, \
+                    SweepStreamWriter(args.stream_out,
+                                      manifest=manifest) as writer:
                 for index, result in enumerate(stream):
                     writer.write(
                         result_to_row(index, cells[index], result, registry)
                     )
                     results.append(result)
+                    if shutdown.requested:
+                        writer.write(dict(manifest, interrupted={
+                            "signal": shutdown.signum,
+                            "rows_written": writer.rows_written,
+                            "cells_total": len(cells),
+                        }))
+                        break
+            if shutdown.requested:
+                print(f"interrupted by signal {shutdown.signum}: flushed "
+                      f"{len(results)} of {len(cells)} row(s) to "
+                      f"{args.stream_out}; resume with "
+                      f"--resume {args.stream_out}")
+                sys.exit(shutdown.exit_code)
             print(f"streamed {len(results)} rows to {args.stream_out}")
         else:
             results = _profiled(args, lambda: list(stream))
@@ -646,10 +682,7 @@ def cmd_sweep(args: argparse.Namespace) -> None:
         print("FAIL: parallel results diverge from sequential")
         sys.exit(1)
     if args.json:
-        with open(args.json, "w") as stream:
-            json.dump(payload, stream, indent=2, sort_keys=True)
-            stream.write("\n")
-        print(f"wrote {args.json}")
+        _write_json(args.json, payload)
     if args.history:
         from repro.obs.observatory import (
             append_history,
@@ -714,18 +747,30 @@ def cmd_fleet(args: argparse.Namespace) -> None:
         for cell in cells:
             cell.telemetry = True
     span_writer, spans = _span_tracer(args, "fleet")
-    payload, seq_results, par_results = run_fleet(
-        cells,
-        workers=args.workers,
-        chunk_size=args.chunk_size,
-        timeout=args.cell_timeout,
-        retries=args.cell_retries,
-        stream_out=args.stream_out,
-        resume=args.resume,
-        grid_info=grid_info,
-        spans=spans,
-    )
+    # Graceful-drain is only meaningful when rows are being
+    # checkpointed; without --stream-out the default signal behaviour
+    # (abort) is the right one.
+    shutdown = GracefulShutdown() if args.stream_out else None
+    with (shutdown if shutdown is not None else contextlib.nullcontext()):
+        payload, seq_results, par_results = run_fleet(
+            cells,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            timeout=args.cell_timeout,
+            retries=args.cell_retries,
+            stream_out=args.stream_out,
+            resume=args.resume,
+            strict=args.strict,
+            grid_info=grid_info,
+            spans=spans,
+            shutdown=shutdown,
+        )
     _finish_spans(span_writer, spans)
+    if shutdown is not None and shutdown.requested:
+        print(f"interrupted by signal {shutdown.signum}: flushed "
+              f"{len(par_results)} of {len(cells)} parallel row(s) to "
+              f"{args.stream_out}; resume with --resume {args.stream_out}")
+        sys.exit(shutdown.exit_code)
     print(f"sequential: {payload['sequential']['wall_seconds']:.2f}s "
           f"({payload['sequential']['branches_per_second']:,.0f} branches/s)")
     print(f"parallel (workers={args.workers}, chunk={args.chunk_size}): "
@@ -887,7 +932,7 @@ def cmd_trace(args: argparse.Namespace) -> None:
             raise SystemExit("--validate requires --trace-out")
         from repro.obs.trace import reconcile_with_stats
 
-        document = load_trace(args.trace_out)
+        document = load_trace(args.trace_out, strict=args.strict)
         problems = document.reconcile()
         if not document.sampled:
             problems += reconcile_with_stats(document.branches, stats)
@@ -906,7 +951,7 @@ def cmd_trace(args: argparse.Namespace) -> None:
             )
 
 
-def _load_export_source(path: str):
+def _load_export_source(path: str, strict: bool = False):
     """Classify a telemetry artifact for ``repro export``.
 
     Accepts a run/trace ``--json`` payload (one Telemetry ``to_dict``
@@ -957,7 +1002,7 @@ def _load_export_source(path: str):
             f"checkpoint stream)"
         )
     # JSONL checkpoint stream (possibly manifest-headed).
-    rows = load_stream(path)
+    rows = load_stream(path, strict=strict)
     groups = {}
     for row in rows:
         payload = row.get("telemetry")
@@ -979,7 +1024,7 @@ def _load_export_source(path: str):
 def cmd_export(args: argparse.Namespace) -> None:
     from repro.obs.export import to_canonical_json, to_openmetrics
 
-    source = _load_export_source(args.input)
+    source = _load_export_source(args.input, strict=args.strict)
     if args.format == "json":
         text = to_canonical_json(source)
     else:
@@ -994,11 +1039,157 @@ def cmd_report(args: argparse.Namespace) -> None:
     from repro.obs.observatory import collect_artifacts, render_dashboard
 
     artifacts = collect_artifacts(args.paths)
-    text = render_dashboard(artifacts, title=args.title)
+    text = render_dashboard(artifacts, title=args.title, strict=args.strict)
     if args.out:
         _write_text(args.out, text)
     else:
         print(text)
+
+
+def _serve_options(args: argparse.Namespace):
+    from repro.serve import ServeOptions
+
+    return ServeOptions(
+        shards=args.shards,
+        queue_depth=args.queue_depth,
+        warm_tenants=args.warm_tenants,
+        shed_highwater=args.shed_highwater,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_timeout=args.heartbeat_timeout,
+        request_timeout=args.request_timeout,
+        checkpoint_every=args.checkpoint_every,
+        default_deadline_ms=args.deadline_ms,
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> None:
+    import asyncio
+
+    from repro.serve import PredictorServer
+
+    options = _serve_options(args)
+
+    async def _run(shutdown: GracefulShutdown) -> None:
+        server = PredictorServer(args.spool, options,
+                                 host=args.host, port=args.port)
+        await server.start()
+        print(f"serving on {server.host}:{server.port} "
+              f"({options.shards} shard(s), spool {args.spool}); "
+              f"SIGINT/SIGTERM drains, checkpoints warm tenants and "
+              f"writes the final manifest")
+        try:
+            while not shutdown.requested:
+                await asyncio.sleep(0.1)
+        finally:
+            reason = (f"signal:{shutdown.signum}"
+                      if shutdown.requested else "shutdown")
+            metrics = (await server.stop(reason=reason))["serve"]["metrics"]
+            print(f"stopped ({reason}): {metrics['received']} received, "
+                  f"{metrics['answered']} answered, "
+                  f"{metrics['restarts']} shard restart(s), "
+                  f"accounted={metrics['accounted']}; manifest at "
+                  f"{os.path.join(args.spool, 'manifest.json')}")
+
+    with GracefulShutdown() as shutdown:
+        asyncio.run(_run(shutdown))
+    if shutdown.requested:
+        sys.exit(shutdown.exit_code)
+
+
+def cmd_loadgen(args: argparse.Namespace) -> None:
+    import asyncio
+
+    from repro.obs.manifest import build_manifest
+    from repro.serve import LoadGenerator, TenantPlan
+
+    for name in args.workloads:
+        if name not in STANDARD_WORKLOADS:
+            known = ", ".join(sorted(STANDARD_WORKLOADS))
+            raise SystemExit(f"unknown workload {name!r}; known: {known}")
+    plans = [
+        TenantPlan(
+            f"{args.tenant_prefix}{index}",
+            workload=args.workloads[index % len(args.workloads)],
+            seed=args.seed + index,
+            branches=args.branches,
+            batch_size=args.batch_size,
+            config=args.config,
+            backend=args.backend,
+            deadline_ms=args.deadline_ms,
+            burst=args.burst,
+            pace=args.pace,
+        )
+        for index in range(args.tenants)
+    ]
+    start = time.perf_counter()
+    report = asyncio.run(LoadGenerator(args.host, args.port).run(plans))
+    wall = time.perf_counter() - start
+    for tenant in report["tenants"]:
+        rejections = ",".join(f"{code}={count}" for code, count
+                              in tenant["rejections"].items()) or "-"
+        print(f"{tenant['tenant']:<16} {tenant['answered']:>4}/"
+              f"{tenant['batches']:<4} batches  "
+              f"attempts={tenant['attempts']:<5} retries={tenant['retries']:<3} "
+              f"rejections={rejections:<24} "
+              f"chains_agree={tenant['chains_agree']}")
+    answered = sum(tenant["answered"] for tenant in report["tenants"])
+    print(f"{len(plans)} tenant(s), {answered} batch(es) answered in "
+          f"{wall:.2f}s; complete={report['complete']} "
+          f"chains_agree={report['chains_agree']}")
+    if args.json:
+        _write_json(args.json, build_manifest(
+            "loadgen",
+            config_name=args.config,
+            backend=args.backend,
+            branches=args.branches,
+            seed=args.seed,
+            wall_seconds=wall,
+            extra={"loadgen": {
+                "host": args.host,
+                "port": args.port,
+                "plans": [plan.to_dict() for plan in plans],
+                "report": report,
+            }},
+        ))
+    if not (report["complete"] and report["chains_agree"]):
+        print("FAIL: load was not fully answered with matching "
+              "fingerprint chains")
+        sys.exit(1)
+
+
+def cmd_serve_chaos(args: argparse.Namespace) -> None:
+    import tempfile
+
+    from repro.serve import SCENARIOS, run_chaos
+
+    scenarios = list(args.scenarios) if args.scenarios else list(SCENARIOS)
+    with contextlib.ExitStack() as stack:
+        spool = args.spool
+        if spool is None:
+            spool = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-chaos-")
+            )
+        report = run_chaos(scenarios, args.seed, spool,
+                           tenants=args.tenants, branches=args.branches,
+                           batch=args.batch_size)
+    for scenario in report["scenarios"]:
+        verdict = "PASS" if scenario["passed"] else "FAIL"
+        injected = {key: value for key, value
+                    in scenario["injected"].items() if value}
+        print(f"{verdict} {scenario['scenario']:<10} "
+              f"injected={injected or 'none'}")
+        for check in scenario["checks"]:
+            mark = "ok  " if check["passed"] else "FAIL"
+            detail = f"  ({check['detail']})" if (check["detail"] and
+                                                 not check["passed"]) else ""
+            print(f"    [{mark}] {check['name']}{detail}")
+    if args.json:
+        _write_json(args.json, report)
+    if not report["passed"]:
+        print("FAIL: at least one chaos scenario failed its checks")
+        sys.exit(1)
+    print(f"chaos clean: {len(report['scenarios'])} scenario(s) passed "
+          f"(seed {args.seed})")
 
 
 def cmd_workloads(_args: argparse.Namespace) -> None:
@@ -1187,6 +1378,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="resume a killed sweep from its partial "
                                    "--stream-out file: completed cells are "
                                    "not re-run")
+    sweep_parser.add_argument("--strict", action="store_true",
+                              help="refuse a torn final line in the "
+                                   "--resume stream instead of silently "
+                                   "dropping it")
     sweep_parser.add_argument("--metrics-out", metavar="PATH",
                               help="write per-(backend, engine-mode, "
                                    "workload) telemetry rollups as "
@@ -1244,6 +1439,10 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_parser.add_argument("--stream-out", metavar="PATH",
                               help="checkpoint the parallel pass's rows to "
                                    "this JSONL file as they complete")
+    fleet_parser.add_argument("--strict", action="store_true",
+                              help="refuse a torn final line in the "
+                                   "--resume stream instead of silently "
+                                   "dropping it")
     fleet_parser.add_argument("--resume", metavar="PATH",
                               help="resume the parallel pass from a partial "
                                    "--stream-out file")
@@ -1336,6 +1535,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="re-load the written trace, schema-check "
                                    "every line and reconcile against the "
                                    "run's stats")
+    trace_parser.add_argument("--strict", action="store_true",
+                              help="with --validate, refuse a torn final "
+                                   "trace line instead of dropping it")
     trace_parser.set_defaults(func=cmd_trace)
 
     export_parser = sub.add_parser(
@@ -1351,6 +1553,9 @@ def build_parser() -> argparse.ArgumentParser:
                                help="output format (default openmetrics)")
     export_parser.add_argument("--out", metavar="PATH",
                                help="output file (default: stdout)")
+    export_parser.add_argument("--strict", action="store_true",
+                               help="refuse torn JSONL tails in checkpoint-"
+                                    "stream inputs instead of dropping them")
     export_parser.set_defaults(func=cmd_export)
 
     report_parser = sub.add_parser(
@@ -1365,7 +1570,117 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--out", metavar="PATH",
                                help="write the markdown here "
                                     "(default: stdout)")
+    report_parser.add_argument("--strict", action="store_true",
+                               help="refuse torn tails in JSONL artifacts "
+                                    "(streams, spans, history) instead of "
+                                    "dropping them")
     report_parser.set_defaults(func=cmd_report)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="multi-tenant prediction service over supervised warm "
+             "predictor shards")
+    serve_parser.add_argument("--spool", default="serve-spool",
+                              metavar="DIR",
+                              help="durable state root: per-tenant "
+                                   "journals/snapshots, events.jsonl, "
+                                   "final manifest.json (default "
+                                   "serve-spool)")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=0,
+                              help="listen port (default 0: pick a free "
+                                   "one and print it)")
+    serve_parser.add_argument("--shards", type=int, default=2,
+                              help="warm predictor worker processes "
+                                   "(default 2)")
+    serve_parser.add_argument("--queue-depth", type=int, default=8,
+                              help="outstanding batches per tenant before "
+                                   "queue-full rejections (default 8)")
+    serve_parser.add_argument("--warm-tenants", type=int, default=64,
+                              help="tenants kept warm before LRU eviction "
+                                   "to the lossy state tier (default 64)")
+    serve_parser.add_argument("--shed-highwater", type=int, default=256,
+                              help="total outstanding batches before load "
+                                   "shedding (default 256)")
+    serve_parser.add_argument("--heartbeat-interval", type=float,
+                              default=0.25, metavar="SECONDS",
+                              help="supervisor ping period (default 0.25)")
+    serve_parser.add_argument("--heartbeat-timeout", type=float,
+                              default=3.0, metavar="SECONDS",
+                              help="unresponsive-shard threshold before a "
+                                   "restart from journals (default 3)")
+    serve_parser.add_argument("--request-timeout", type=float, default=60.0,
+                              metavar="SECONDS",
+                              help="hard cap on any one request "
+                                   "(default 60)")
+    serve_parser.add_argument("--checkpoint-every", type=int, default=4,
+                              help="snapshot + journal rotation period in "
+                                   "batches per tenant (default 4)")
+    serve_parser.add_argument("--deadline-ms", type=int, default=None,
+                              help="default per-request deadline when the "
+                                   "client sends none")
+    serve_parser.set_defaults(func=cmd_serve)
+
+    loadgen_parser = sub.add_parser(
+        "loadgen",
+        help="replay workload-suite traffic against a running serve "
+             "instance and audit the fingerprint chains")
+    loadgen_parser.add_argument("--host", default="127.0.0.1")
+    loadgen_parser.add_argument("--port", type=int, required=True,
+                                help="port of the running serve instance")
+    loadgen_parser.add_argument("--tenants", type=int, default=3)
+    loadgen_parser.add_argument("--tenant-prefix", default="tenant-",
+                                help="tenant ids are PREFIX0..PREFIXn-1 "
+                                     "(default tenant-)")
+    loadgen_parser.add_argument("--workloads", nargs="+",
+                                default=["transactions", "dispatch",
+                                         "services", "correlated"],
+                                metavar="NAME",
+                                help="cycled across tenants")
+    loadgen_parser.add_argument("--config", default="z15")
+    loadgen_parser.add_argument("--backend", choices=sorted(BACKENDS),
+                                default="object")
+    loadgen_parser.add_argument("--seed", type=int, default=1)
+    loadgen_parser.add_argument("--branches", type=int, default=240,
+                                help="branches per tenant (default 240)")
+    loadgen_parser.add_argument("--batch-size", type=int, default=40)
+    loadgen_parser.add_argument("--burst", type=int, default=1,
+                                help="batches sent concurrently per wave "
+                                     "(default 1)")
+    loadgen_parser.add_argument("--pace", type=float, default=0.0,
+                                metavar="SECONDS",
+                                help="think time between waves (default 0)")
+    loadgen_parser.add_argument("--deadline-ms", type=int, default=None,
+                                help="per-request deadline attached to "
+                                     "every predict (default: none)")
+    loadgen_parser.add_argument("--json", metavar="PATH",
+                                help="write the loadgen manifest + per-"
+                                     "tenant report as JSON")
+    loadgen_parser.set_defaults(func=cmd_loadgen)
+
+    chaos_parser = sub.add_parser(
+        "serve-chaos",
+        help="seeded fault-injection scenarios against a live server: "
+             "kill/hang/slow/torn/flood/churn with liveness, exactness "
+             "and accounting audits")
+    chaos_parser.add_argument("scenarios", nargs="*", metavar="SCENARIO",
+                              help="scenario names (default: all of "
+                                   "baseline, kill, hang, slow, torn, "
+                                   "flood, churn)")
+    chaos_parser.add_argument("--seed", type=int, default=1,
+                              help="seeds fault timing, targets and "
+                                   "tenant traffic (default 1)")
+    chaos_parser.add_argument("--spool", default=None, metavar="DIR",
+                              help="keep spools under this directory "
+                                   "(default: a temporary directory, "
+                                   "removed afterwards)")
+    chaos_parser.add_argument("--tenants", type=int, default=3)
+    chaos_parser.add_argument("--branches", type=int, default=240,
+                              help="branches per tenant (default 240)")
+    chaos_parser.add_argument("--batch-size", type=int, default=40)
+    chaos_parser.add_argument("--json", metavar="PATH",
+                              help="write the repro-chaos/v1 report here")
+    chaos_parser.set_defaults(func=cmd_serve_chaos)
 
     workloads_parser = sub.add_parser("workloads",
                                       help="list standard workloads")

@@ -38,26 +38,40 @@ def fold_xor(value: int, width: int) -> int:
     return folded
 
 
-def bit_folder(width: int):
-    """A precompiled :func:`fold_xor` for one fixed *width*.
+class BitFolder:
+    """A precompiled :func:`fold_xor` bound to one fixed width.
 
     The prediction tables fold on every search with a table-constant
-    width; binding the width (and its chunk mask) once at
-    config-bind time keeps the per-lookup work to the XOR loop alone.
-    The returned callable is exactly ``lambda v: fold_xor(v, width)``.
+    width; binding the width (and its chunk mask) once at config-bind
+    time keeps the per-lookup work to the XOR loop alone.  A slotted
+    callable class rather than a closure so predictors holding folders
+    stay picklable (checkpoint/evict state rides :mod:`pickle`).
     """
-    if width <= 0:
-        raise ValueError(f"width must be positive, got {width}")
-    chunk_mask = (1 << width) - 1
 
-    def fold(value: int) -> int:
+    __slots__ = ("width", "chunk_mask")
+
+    def __init__(self, width: int):
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self.width = width
+        self.chunk_mask = (1 << width) - 1
+
+    def __call__(self, value: int) -> int:
+        width = self.width
+        chunk_mask = self.chunk_mask
         folded = 0
         while value:
             folded ^= value & chunk_mask
             value >>= width
         return folded
 
-    return fold
+    def __reduce__(self):
+        return (BitFolder, (self.width,))
+
+
+def bit_folder(width: int) -> BitFolder:
+    """A precompiled :func:`fold_xor` for one fixed *width*."""
+    return BitFolder(width)
 
 
 def rotate_left(value: int, amount: int, width: int) -> int:

@@ -33,6 +33,16 @@ class VerificationError(ReproError):
     """A white-box verification checker detected a DUT/reference mismatch."""
 
 
+class ServeError(ReproError):
+    """The prediction service hit a configuration or protocol problem
+    that is not expressible as a per-request rejection."""
+
+
+class JournalError(TraceFormatError):
+    """A tenant journal or snapshot is corrupt beyond the torn tail the
+    crash contract allows."""
+
+
 class AuditError(SimulationError):
     """A structural-invariant audit found corrupted predictor state.
 

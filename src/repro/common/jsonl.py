@@ -1,0 +1,77 @@
+"""Shared JSONL ingestion with the torn-tail crash contract.
+
+Every append-only artifact in this repo (sweep checkpoint streams,
+branch traces, span files, bench history, serve journals) shares one
+loader discipline:
+
+* a malformed **final** line is the signature of a writer killed
+  mid-append — by default it is silently dropped, because the writers
+  flush line-at-a-time so that is the only damage a kill can cause;
+* malformed JSON **anywhere else** is real corruption and must raise,
+  and the error must say exactly where: ``path:line`` plus the byte
+  offset of the offending line, so the damage can be inspected with
+  ``dd``/``head -c`` instead of guessing;
+* ``strict=True`` upgrades even the torn tail to an error — the mode
+  CLIs expose as ``--strict`` for pipelines where a partial artifact
+  must fail loudly rather than load quietly.
+
+:func:`iter_jsonl` is that discipline, shared; each loader keeps its
+own schema validation on top.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Iterator, Tuple, Union
+
+
+def format_location(path: str, line_number: int, offset: int) -> str:
+    """The standard corruption coordinate string: path:line @ byte."""
+    return f"{path}:{line_number} (byte offset {offset})"
+
+
+def iter_jsonl(
+    path: str,
+    *,
+    strict: bool = False,
+    error: Callable[[str], Exception] = ValueError,
+) -> Iterator[Tuple[int, int, object]]:
+    """Yield ``(line_number, byte_offset, decoded_object)`` per line.
+
+    *line_number* is 1-based; *byte_offset* is the offset of the line's
+    first byte in the file (as encoded on disk).  Blank lines are
+    skipped.  Corruption handling follows the module contract above,
+    raising ``error(message)`` — pass the loader's own exception type so
+    callers keep their established ``except`` surfaces.
+    """
+    with open(path, "rb") as stream:
+        data = stream.read()
+    lines = data.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    offset = 0
+    last = len(lines)
+    for line_number, raw in enumerate(lines, start=1):
+        line_offset = offset
+        offset += len(raw) + 1
+        text = raw.decode("utf-8", errors="replace").strip()
+        if not text:
+            continue
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError as exc:
+            if line_number == last and not strict:
+                return  # torn tail from a killed writer
+            where = format_location(path, line_number, line_offset)
+            if line_number == last:
+                raise error(
+                    f"{where}: torn final line (killed writer?) rejected "
+                    f"by strict loading: {exc.msg}"
+                ) from exc
+            raise error(
+                f"{where}: malformed JSONL row: {exc.msg}"
+            ) from exc
+        yield line_number, line_offset, obj
+
+
+__all__ = ["format_location", "iter_jsonl"]

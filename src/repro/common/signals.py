@@ -1,0 +1,107 @@
+"""Graceful SIGTERM/SIGINT handling for long-running invocations.
+
+A killed ``sweep --stream-out``, ``fleet`` or ``serve`` process should
+behave like the z15 under a detected parity error: finish the unit of
+work in flight, record that it stopped cleanly, and get out — never
+strand a half-written artifact.  :class:`GracefulShutdown` converts the
+first SIGTERM/SIGINT into a *flag* the checkpoint loop polls between
+rows (so the current row is flushed before exiting), while a second
+signal falls through to the default handler for an operator who really
+means it.
+
+Exit-code contract: a run that stopped on a signal exits with the
+POSIX convention ``128 + signum`` (130 for SIGINT, 143 for SIGTERM) —
+distinct from success (0), verification failure (1) and usage/library
+errors (2), so wrappers and CI can tell "interrupted cleanly" from
+"failed".
+"""
+
+from __future__ import annotations
+
+import signal
+from typing import Iterable, Optional
+
+__all__ = ["GracefulShutdown", "exit_code_for"]
+
+#: Signals a long-running CLI treats as a shutdown request.
+SHUTDOWN_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+
+def exit_code_for(signum: int) -> int:
+    """The POSIX exit code for a run stopped by *signum*."""
+    return 128 + int(signum)
+
+
+class GracefulShutdown:
+    """Context manager turning the first SIGTERM/SIGINT into a flag.
+
+    Usage::
+
+        with GracefulShutdown() as shutdown:
+            for row in work:
+                process(row)          # current row always completes
+                if shutdown.requested:
+                    finish_checkpoint()
+                    sys.exit(shutdown.exit_code)
+
+    The second delivery of a handled signal restores and re-raises the
+    previous behaviour — a stuck drain can still be interrupted.
+    Handlers are restored on exit, and installation degrades to a no-op
+    off the main thread (tests drive the flag directly there).
+    """
+
+    def __init__(self, signals: Iterable[int] = SHUTDOWN_SIGNALS):
+        self.signals = tuple(signals)
+        self.requested = False
+        self.signum: Optional[int] = None
+        self._previous = {}
+        self._installed = False
+
+    # -- signal plumbing -------------------------------------------------
+
+    def _handle(self, signum, frame) -> None:
+        if self.requested:
+            # Second signal: the operator wants out *now*.  Restore the
+            # previous disposition and re-deliver.
+            self._restore()
+            signal.raise_signal(signum)
+            return
+        self.requested = True
+        self.signum = signum
+
+    def _restore(self) -> None:
+        if not self._installed:
+            return
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):
+                pass
+        self._previous.clear()
+        self._installed = False
+
+    def __enter__(self) -> "GracefulShutdown":
+        try:
+            for signum in self.signals:
+                self._previous[signum] = signal.signal(signum, self._handle)
+            self._installed = True
+        except ValueError:
+            # Not the main thread: signals cannot be installed here.
+            self._previous.clear()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._restore()
+
+    # -- polling surface -------------------------------------------------
+
+    @property
+    def exit_code(self) -> int:
+        """The ``128 + signum`` exit code (0 when never signalled)."""
+        return exit_code_for(self.signum) if self.signum is not None else 0
+
+    def request(self, signum: int = signal.SIGTERM) -> None:
+        """Set the flag programmatically (tests, in-process servers)."""
+        self.requested = True
+        if self.signum is None:
+            self.signum = signum

@@ -21,6 +21,7 @@ import json
 from pathlib import Path
 from typing import Union
 
+from repro.common.atomic import atomic_write_text
 from repro.common.errors import StateFormatError
 from repro.core.entries import BtbEntry
 from repro.core.predictor import LookaheadBranchPredictor
@@ -101,8 +102,12 @@ def save_state(
     # Canonical form (sorted keys, no whitespace): a save -> load -> save
     # round-trip of the same state is byte-identical, which the
     # differential harness relies on to detect lossy persistence.
-    Path(path).write_text(json.dumps(payload, sort_keys=True,
-                                     separators=(",", ":")))
+    # Written atomically (temp sibling + fsync + rename): a process
+    # killed mid-save leaves the previous checkpoint intact instead of
+    # a torn file — the contract the serve layer's crash recovery and
+    # the chaos harness lean on.
+    atomic_write_text(path, json.dumps(payload, sort_keys=True,
+                                       separators=(",", ":")))
     return {"btb1": len(btb1_entries), "btb2": len(btb2_entries)}
 
 

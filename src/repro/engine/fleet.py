@@ -136,8 +136,10 @@ def run_fleet(
     retries: int = 1,
     stream_out: Optional[str] = None,
     resume: Optional[str] = None,
+    strict: bool = False,
     grid_info: Optional[dict] = None,
     spans=None,
+    shutdown=None,
 ) -> Tuple[dict, list, list]:
     """Run the fleet grid sequentially and in parallel; return the
     merged ``BENCH_fleet.json`` payload plus both result lists.
@@ -147,11 +149,17 @@ def run_fleet(
     fingerprint-for-fingerprint).  ``stream_out`` checkpoints the
     parallel pass's rows to JSONL as they complete (with the fleet's
     run manifest embedded as the first line); ``resume`` pre-loads
-    such a stream, skipping its completed cells (the reported parallel
+    such a stream, skipping its completed cells (*strict* makes a torn
+    resume tail an error instead of silently dropping it; the reported
+    parallel
     wall then covers only the remaining work — ``resumed_cells`` in the
     payload says how many rows were inherited).  *spans*, when given a
     :class:`~repro.obs.spans.SpanTracer`, traces the parallel pass's
     pool lifecycle (see :func:`~repro.engine.parallel.stream_cells`).
+    *shutdown* (a :class:`~repro.common.signals.GracefulShutdown`) is
+    polled between streamed rows: when it fires, the row in flight is
+    flushed, a trailing manifest line records the interruption, and the
+    partial results are returned for the caller to exit ``128+signum``.
     """
     from repro.obs.manifest import build_manifest
 
@@ -166,7 +174,8 @@ def run_fleet(
     registry = PayloadRegistry()
     completed: dict = {}
     if resume:
-        completed = restore_completed(load_stream(resume), cells, registry)
+        completed = restore_completed(load_stream(resume, strict=strict),
+                                      cells, registry)
     par_stats: dict = {}
     par_results: list = []
     grid = dict(grid_info or {}, cells=len(cells))
@@ -185,6 +194,17 @@ def run_fleet(
                 writer.write(result_to_row(index, cells[index], result,
                                            registry))
                 par_results.append(result)
+                # Graceful drain: flush the row in flight, stamp the
+                # interruption into a trailing manifest line (loaders
+                # skip manifest rows, so the stream stays resumable)
+                # and stop dispatching.  The caller owns the exit code.
+                if shutdown is not None and shutdown.requested:
+                    writer.write(dict(manifest, interrupted={
+                        "signal": shutdown.signum,
+                        "rows_written": writer.rows_written,
+                        "cells_total": len(cells),
+                    }))
+                    break
     else:
         par_results = list(stream)
     par_wall = time.perf_counter() - start

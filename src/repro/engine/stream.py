@@ -36,6 +36,7 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
+from repro.common.atomic import append_line
 from repro.common.errors import SweepStreamError
 from repro.engine.parallel import (
     CellError,
@@ -223,22 +224,25 @@ class SweepStreamWriter:
     :func:`load_stream_manifest` retrieves it.
     """
 
-    def __init__(self, path: str, manifest: Optional[dict] = None) -> None:
+    def __init__(self, path: str, manifest: Optional[dict] = None,
+                 fsync: bool = True) -> None:
         self.path = path
         self._stream = open(path, "w")
+        #: Checkpoint rows exist to survive a kill, so each one is
+        #: fsynced through to the device by default (rows are per sweep
+        #: cell — far off the simulation hot path).
+        self.fsync = fsync
         self.rows_written = 0
         if manifest is not None:
             from repro.obs.manifest import validate_manifest
 
             validate_manifest(manifest)
-            self._stream.write(json.dumps(manifest, sort_keys=True))
-            self._stream.write("\n")
-            self._stream.flush()
+            append_line(self._stream, json.dumps(manifest, sort_keys=True),
+                        fsync=self.fsync)
 
     def write(self, row: Mapping) -> None:
-        self._stream.write(json.dumps(row, sort_keys=True))
-        self._stream.write("\n")
-        self._stream.flush()
+        append_line(self._stream, json.dumps(row, sort_keys=True),
+                    fsync=self.fsync)
         self.rows_written += 1
 
     def close(self) -> None:
@@ -252,37 +256,30 @@ class SweepStreamWriter:
         self.close()
 
 
-def load_stream(path: str) -> List[dict]:
+def load_stream(path: str, strict: bool = False) -> List[dict]:
     """Load a (possibly truncated) checkpoint stream.
 
     A torn *final* line — the signature of a killed writer — is
-    silently dropped.  An embedded run-manifest row (the optional first
-    line, ``repro-manifest/v1``) is skipped — result consumers see only
+    silently dropped, unless *strict* is set (the CLI ``--strict``
+    mode), in which case it raises like any other corruption.  An
+    embedded run-manifest row (the optional first line,
+    ``repro-manifest/v1``) is skipped — result consumers see only
     result rows; use :func:`load_stream_manifest` for the manifest.  A
     malformed line anywhere else, or a row of the wrong schema, raises
-    :class:`SweepStreamError`.
+    :class:`SweepStreamError` naming the line number and byte offset.
     """
+    from repro.common.jsonl import format_location, iter_jsonl
     from repro.obs.manifest import is_manifest
 
     rows: List[dict] = []
-    with open(path) as stream:
-        lines = stream.read().split("\n")
-    if lines and lines[-1] == "":
-        lines.pop()
-    for lineno, line in enumerate(lines, start=1):
-        try:
-            row = json.loads(line)
-        except json.JSONDecodeError:
-            if lineno == len(lines):
-                break  # torn tail from a killed writer
-            raise SweepStreamError(
-                f"{path}:{lineno}: malformed stream row"
-            ) from None
+    for lineno, offset, row in iter_jsonl(path, strict=strict,
+                                          error=SweepStreamError):
         if is_manifest(row):
             continue
         if not isinstance(row, dict) or row.get("schema") != STREAM_SCHEMA:
             raise SweepStreamError(
-                f"{path}:{lineno}: not a {STREAM_SCHEMA} row"
+                f"{format_location(path, lineno, offset)}: "
+                f"not a {STREAM_SCHEMA} row"
             )
         rows.append(row)
     return rows

@@ -32,7 +32,7 @@ MANIFEST_SCHEMA = "repro-manifest/v1"
 
 #: Invocation kinds a manifest describes.
 MANIFEST_KINDS = ("run", "cycles", "trace", "faults", "sweep", "fleet",
-                  "cell", "bench")
+                  "cell", "bench", "serve", "loadgen", "chaos")
 
 #: Keys every manifest must carry (beyond these, kinds add freely).
 REQUIRED_FIELDS = ("schema", "kind", "host")

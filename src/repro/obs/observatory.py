@@ -78,33 +78,30 @@ def append_history(path: str, row: Dict[str, object]) -> None:
         raise ObservatoryError(
             f"history rows must carry schema {HISTORY_SCHEMA!r}"
         )
+    from repro.common.atomic import append_line
+
+    # History rows are appended rarely (once per bench invocation), so
+    # each is fsynced: the trend data a dashboard is built on should
+    # not evaporate in a crash that happens minutes later.
     with open(path, "a") as stream:
-        stream.write(json.dumps(row, sort_keys=True))
-        stream.write("\n")
+        append_line(stream, json.dumps(row, sort_keys=True), fsync=True)
 
 
-def load_history(path: str) -> List[Dict[str, object]]:
-    """Load history rows, tolerating a torn tail line."""
+def load_history(path: str, strict: bool = False) -> List[Dict[str, object]]:
+    """Load history rows, tolerating a torn tail line (unless *strict*).
+
+    Mid-file corruption raises :class:`ObservatoryError` naming the
+    line number and byte offset.
+    """
+    from repro.common.jsonl import format_location, iter_jsonl
+
     rows: List[Dict[str, object]] = []
-    with open(path) as stream:
-        lines = stream.read().split("\n")
-    if lines and lines[-1] == "":
-        lines.pop()
-    for line_number, line in enumerate(lines, 1):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            row = json.loads(line)
-        except json.JSONDecodeError:
-            if line_number == len(lines):
-                break  # torn tail from a killed writer
-            raise ObservatoryError(
-                f"{path}:{line_number}: malformed history row"
-            ) from None
+    for line_number, offset, row in iter_jsonl(path, strict=strict,
+                                               error=ObservatoryError):
         if not isinstance(row, dict) or row.get("schema") != HISTORY_SCHEMA:
             raise ObservatoryError(
-                f"{path}:{line_number}: not a {HISTORY_SCHEMA} row"
+                f"{format_location(path, line_number, offset)}: "
+                f"not a {HISTORY_SCHEMA} row"
             )
         rows.append(row)
     return rows
@@ -349,12 +346,12 @@ def _fleet_section(paths: List[str], history: List[Dict]) -> List[str]:
     return lines
 
 
-def _stream_section(paths: List[str]) -> List[str]:
+def _stream_section(paths: List[str], strict: bool = False) -> List[str]:
     from repro.engine.stream import load_stream, load_stream_manifest
 
     lines = ["## Sweep streams"]
     for path in paths:
-        rows = load_stream(path)
+        rows = load_stream(path, strict=strict)
         manifest = load_stream_manifest(path)
         ok = [row for row in rows if row.get("status") == "ok"]
         failed = [row for row in rows if row.get("status") != "ok"]
@@ -422,12 +419,12 @@ def _manifest_section(paths: List[str]) -> List[str]:
     return lines
 
 
-def _spans_section(paths: List[str]) -> List[str]:
+def _spans_section(paths: List[str], strict: bool = False) -> List[str]:
     from repro.obs.spans import load_spans
 
     lines = ["## Span traces"]
     for path in paths:
-        document = load_spans(path)
+        document = load_spans(path, strict=strict)
         spans = document["spans"]
         events = document["events"]
         summary = document["summary"] or {}
@@ -488,11 +485,16 @@ def _regression_section(history: List[Dict]) -> List[str]:
 
 
 def render_dashboard(artifacts: Dict[str, List[str]],
-                     title: str = "repro observatory") -> str:
-    """Render the markdown dashboard over classified artifacts."""
+                     title: str = "repro observatory",
+                     strict: bool = False) -> str:
+    """Render the markdown dashboard over classified artifacts.
+
+    *strict* refuses torn-tail lines in JSONL artifacts instead of
+    dropping them (the CLI ``--strict`` surface).
+    """
     history: List[Dict[str, object]] = []
     for path in artifacts.get("history", []):
-        history.extend(load_history(path))
+        history.extend(load_history(path, strict=strict))
     sections: List[List[str]] = [[f"# {title}"]]
     counts = ", ".join(
         f"{len(paths)} {kind}" for kind, paths in sorted(artifacts.items())
@@ -508,11 +510,13 @@ def render_dashboard(artifacts: Dict[str, List[str]],
     if artifacts.get("fleet"):
         sections.append(_fleet_section(artifacts["fleet"], history))
     if artifacts.get("stream"):
-        sections.append(_stream_section(artifacts["stream"]))
+        sections.append(_stream_section(artifacts["stream"],
+                                        strict=strict))
     if artifacts.get("manifest"):
         sections.append(_manifest_section(artifacts["manifest"]))
     if artifacts.get("spans"):
-        sections.append(_spans_section(artifacts["spans"]))
+        sections.append(_spans_section(artifacts["spans"],
+                                       strict=strict))
     if len(sections) == 2 and not history:
         sections.append(["", "No recognised artifacts found."])
     return "\n\n".join("\n".join(section) for section in sections) + "\n"

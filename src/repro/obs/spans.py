@@ -208,7 +208,11 @@ class SpanWriter:
 
     def close(self) -> None:
         if self._stream is not None:
-            self._stream.flush()
+            from repro.common.atomic import durable_flush
+
+            # Durable close: everything written is on the device before
+            # the handle drops, so only a mid-record kill can tear.
+            durable_flush(self._stream)
             self._stream.close()
             self._stream = None
 
@@ -220,52 +224,37 @@ class SpanWriter:
         self.close()
 
 
-def load_spans(path: str) -> Dict[str, object]:
+def load_spans(path: str, strict: bool = False) -> Dict[str, object]:
     """Parse a span file into header/spans/events/summary.
 
     A malformed *final* line — the torn tail of a killed writer — is
-    dropped; any other malformed line raises :class:`SpanSchemaError`.
+    dropped (unless *strict*, which makes it an error like any other);
+    any other malformed line raises :class:`SpanSchemaError` naming the
+    line number and byte offset.
     """
+    from repro.common.jsonl import format_location, iter_jsonl
+
     header: Optional[Dict[str, object]] = None
     spans: List[Dict[str, object]] = []
     events: List[Dict[str, object]] = []
     summary: Optional[Dict[str, object]] = None
-    with open(path) as stream:
-        lines = stream.read().split("\n")
-    if lines and lines[-1] == "":
-        lines.pop()
-    for line_number, line in enumerate(lines, 1):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            obj = json.loads(line)
-        except json.JSONDecodeError as exc:
-            if line_number == len(lines):
-                break  # torn tail from a killed writer
-            raise SpanSchemaError(
-                f"line {line_number}: invalid JSON ({exc})"
-            ) from exc
+    for line_number, offset, obj in iter_jsonl(path, strict=strict,
+                                               error=SpanSchemaError):
+        where = format_location(path, line_number, offset)
         if not isinstance(obj, dict) or "type" not in obj:
-            raise SpanSchemaError(
-                f"line {line_number}: expected an object with a type"
-            )
+            raise SpanSchemaError(f"{where}: expected an object with a type")
         kind = obj["type"]
         if kind == "header":
             if obj.get("schema") != SPAN_SCHEMA:
                 raise SpanSchemaError(
-                    f"line {line_number}: unsupported span schema "
+                    f"{where}: unsupported span schema "
                     f"{obj.get('schema')!r} (expected {SPAN_SCHEMA!r})"
                 )
             if header is not None:
-                raise SpanSchemaError(
-                    f"line {line_number}: duplicate header record"
-                )
+                raise SpanSchemaError(f"{where}: duplicate header record")
             header = obj
         elif header is None:
-            raise SpanSchemaError(
-                f"line {line_number}: {kind} record before header"
-            )
+            raise SpanSchemaError(f"{where}: {kind} record before header")
         elif kind == "span":
             spans.append(obj)
         elif kind == "event":
@@ -273,9 +262,7 @@ def load_spans(path: str) -> Dict[str, object]:
         elif kind == "summary":
             summary = obj
         else:
-            raise SpanSchemaError(
-                f"line {line_number}: unknown record type {kind!r}"
-            )
+            raise SpanSchemaError(f"{where}: unknown record type {kind!r}")
     if header is None:
         raise SpanSchemaError(f"{path}: no header record")
     return {"path": str(path), "header": header, "spans": spans,

@@ -212,7 +212,13 @@ class TraceWriter:
 
     def close(self) -> None:
         if self._stream is not None:
-            self._stream.flush()
+            from repro.common.atomic import durable_flush
+
+            # Durable close (flush + fsync): a completed trace survives
+            # a crash of whatever runs after it.  Mid-run flushes stay
+            # plain flushes — fsync every 256 branch records would sit
+            # on the simulation hot path.
+            durable_flush(self._stream)
             self._stream.close()
             self._stream = None
 

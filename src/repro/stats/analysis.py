@@ -183,50 +183,36 @@ class TraceDocument:
         return reconcile(self.header, self.branches, self.summary)
 
 
-def load_trace(path: str) -> TraceDocument:
+def load_trace(path: str, strict: bool = False) -> TraceDocument:
     """Parse and schema-validate a ``TraceWriter`` JSONL file.
 
     Raises :class:`repro.obs.trace.TraceSchemaError` on any malformed
-    line, a header/schema mismatch, or a missing header — except a
-    malformed *final* line, the signature of a killed or crashed writer
-    mid-record, which is silently dropped (the writer flushes per batch
-    and on error-path exit, so that torn tail is the only damage a
-    crash can leave).
+    line (naming the line number and byte offset), a header/schema
+    mismatch, or a missing header — except a malformed *final* line,
+    the signature of a killed or crashed writer mid-record, which is
+    silently dropped (the writer flushes per batch and on error-path
+    exit, so that torn tail is the only damage a crash can leave).
+    With *strict* — the CLI ``--strict`` mode — the torn tail raises
+    too.
     """
+    from repro.common.jsonl import format_location, iter_jsonl
     from repro.obs.trace import TraceSchemaError, validate_record
 
     header: Optional[Dict[str, object]] = None
     branches: List[Dict[str, object]] = []
     intervals: List[Dict[str, object]] = []
     summary: Optional[Dict[str, object]] = None
-    with open(path) as stream:
-        lines = stream.read().split("\n")
-    if lines and lines[-1] == "":
-        lines.pop()
-    for line_number, line in enumerate(lines, 1):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            obj = json.loads(line)
-        except json.JSONDecodeError as exc:
-            if line_number == len(lines):
-                break  # torn tail from a killed writer
-            raise TraceSchemaError(
-                f"line {line_number}: invalid JSON ({exc})"
-            ) from exc
+    for line_number, offset, obj in iter_jsonl(path, strict=strict,
+                                               error=TraceSchemaError):
         record = validate_record(obj, line_number)
         kind = record["type"]
+        where = format_location(path, line_number, offset)
         if kind == "header":
             if header is not None:
-                raise TraceSchemaError(
-                    f"line {line_number}: duplicate header record"
-                )
+                raise TraceSchemaError(f"{where}: duplicate header record")
             header = record
         elif header is None:
-            raise TraceSchemaError(
-                f"line {line_number}: {kind} record before header"
-            )
+            raise TraceSchemaError(f"{where}: {kind} record before header")
         elif kind == "branch":
             branches.append(record)
         elif kind == "interval":

@@ -1,0 +1,55 @@
+"""GracefulShutdown: first signal is a flag, second means *now*."""
+
+import signal
+
+from repro.common.signals import GracefulShutdown, exit_code_for
+
+
+def test_exit_code_contract():
+    assert exit_code_for(signal.SIGINT) == 130
+    assert exit_code_for(signal.SIGTERM) == 143
+
+
+def test_flag_starts_clear():
+    shutdown = GracefulShutdown()
+    assert not shutdown.requested
+    assert shutdown.signum is None
+    assert shutdown.exit_code == 0
+
+
+def test_programmatic_request_sets_flag_and_exit_code():
+    shutdown = GracefulShutdown()
+    shutdown.request(signal.SIGTERM)
+    assert shutdown.requested
+    assert shutdown.exit_code == 143
+    # A second request does not overwrite the first signal's identity.
+    shutdown.request(signal.SIGINT)
+    assert shutdown.exit_code == 143
+
+
+def test_first_signal_sets_flag_without_raising():
+    with GracefulShutdown() as shutdown:
+        signal.raise_signal(signal.SIGTERM)
+        assert shutdown.requested
+        assert shutdown.signum == signal.SIGTERM
+        assert shutdown.exit_code == 143
+
+
+def test_handlers_restored_after_exit():
+    previous = signal.getsignal(signal.SIGTERM)
+    with GracefulShutdown():
+        assert signal.getsignal(signal.SIGTERM) != previous
+    assert signal.getsignal(signal.SIGTERM) == previous
+
+
+def test_checkpoint_loop_drains_current_row():
+    """The poll-between-rows idiom: the row in flight always lands."""
+    flushed = []
+    with GracefulShutdown() as shutdown:
+        for row in range(10):
+            flushed.append(row)
+            if row == 3:
+                signal.raise_signal(signal.SIGTERM)
+            if shutdown.requested:
+                break
+    assert flushed == [0, 1, 2, 3]
